@@ -1,0 +1,34 @@
+"""Benchmark A2 — value of signaling across audit budgets.
+
+Design-study for Theorem 2: the OSSP's advantage over the plain SSE is
+largest when the budget is far below the deterrence point and vanishes once
+coverage alone deters the attacker. Uses the Figure 2 day-start state
+(type 1, Table 1 mean).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import format_budget_sweep, run_budget_sweep
+
+_BUDGETS = (5.0, 10.0, 20.0, 40.0, 80.0, 120.0, 160.0)
+
+
+def test_bench_budget_sweep(benchmark):
+    rows = benchmark(run_budget_sweep, budgets=_BUDGETS)
+
+    print()
+    print(format_budget_sweep(rows))
+
+    assert [row.budget for row in rows] == list(_BUDGETS)
+    # Coverage grows with budget.
+    thetas = [row.theta for row in rows]
+    assert thetas == sorted(thetas)
+    # Theorem 2 at every budget.
+    for row in rows:
+        assert row.signaling_gain >= -1e-9
+    # Below deterrence the gain is strictly positive; above, exactly zero.
+    assert rows[0].signaling_gain > 10.0
+    assert rows[-1].signaling_gain == 0.0
+    # The gain eventually vanishes (crossover to deterrence).
+    deterred = [row for row in rows if row.sse_utility == 0.0]
+    assert deterred, "sweep should reach the deterrence regime"

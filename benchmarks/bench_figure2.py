@@ -1,0 +1,56 @@
+"""Benchmark E3 — Figure 2: single-type per-alert utility series.
+
+Reproduces: paper Figure 2 (a-d). Single alert type (Same Last Name),
+budget 20, audit cost 1, 41-day rolling training windows, 4 test days.
+
+Shape assertions (what the paper's figures show):
+
+* OSSP achieves strictly higher auditor expected utility than both SSE
+  baselines on every test day (on average, and pointwise over the first
+  half of the day where budget paths still coincide);
+* the offline-SSE series is exactly flat;
+* the two SSE baselines sit close together (their lines nearly overlap in
+  the paper's plots), far below the OSSP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+
+def test_bench_figure2(benchmark, paper_store):
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs=dict(store=paper_store, n_test_days=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_figure2(result, n_points=12))
+
+    assert len(result.test_days) == 4
+    for test_day in result.test_days:
+        day = result.day(test_day)
+        ossp = day["OSSP"]
+        online = day["online SSE"]
+        offline = day["offline SSE"]
+
+        # Headline: signaling wins, by a wide margin.
+        assert ossp.mean_utility() > online.mean_utility() + 50.0
+        assert ossp.mean_utility() > offline.mean_utility() + 50.0
+
+        # Pointwise over the first half of the day.
+        half = len(ossp.values) // 2
+        assert np.all(ossp.values[:half] >= online.values[:half] - 1e-6)
+
+        # Offline SSE is flat; the two SSE lines nearly overlap.
+        assert np.ptp(offline.values) < 1e-9
+        assert abs(online.mean_utility() - offline.mean_utility()) < 60.0
+
+        # Utilities live in the paper's plotted band.
+        for series in (ossp, online, offline):
+            assert np.all(series.values <= 50.0)
+            assert np.all(series.values >= -450.0)

@@ -1,0 +1,55 @@
+"""Benchmark E4 — Figure 3: seven-type per-alert utility series.
+
+Reproduces: paper Figure 3 (a-d). All seven Table 1 alert types, budget 50,
+audit cost 1, SAG applied to best-response-type alerts (paper Section 5.B),
+41-day rolling training windows, 4 test days.
+
+Shape assertions: same ordering as Figure 2 — OSSP above online SSE above
+(or near) the flat offline SSE — in the same utility band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure3 import format_figure3, run_figure3
+
+
+def test_bench_figure3(benchmark, paper_store):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs=dict(store=paper_store, n_test_days=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_figure3(result, n_points=12))
+
+    assert len(result.test_days) == 4
+    for test_day in result.test_days:
+        day = result.day(test_day)
+        ossp = day["OSSP"]
+        online = day["online SSE"]
+        offline = day["offline SSE"]
+
+        # Headline ordering: the SAG helps the auditor lose less.
+        assert ossp.mean_utility() > online.mean_utility() + 50.0
+        assert ossp.mean_utility() > offline.mean_utility() + 50.0
+
+        # Pointwise over the first half of the day.
+        half = len(ossp.values) // 2
+        assert np.all(ossp.values[:half] >= online.values[:half] - 1e-6)
+
+        # Offline SSE is flat.
+        assert np.ptp(offline.values) < 1e-9
+
+        # Paper's plotted band. The last alerts of a day can dip further
+        # when the sampled (conditional-charging) budget path runs dry and
+        # the best-response type carries a large uncovered loss (type 7's
+        # U_du = -2000), so the hard floor is loose; the bucketed means
+        # stay inside the paper's plotted range.
+        for series in (ossp, online, offline):
+            assert np.all(series.values <= 50.0)
+            assert np.all(series.values >= -2000.0)
+            assert series.mean_utility() >= -500.0

@@ -1,0 +1,65 @@
+"""Benchmark E6 — the full 15-group evaluation summary.
+
+Reproduces: the paper's claim that the four displayed test days generalize
+("From the dataset, we construct 15 groups ... all of which yield similar
+trends"). Runs the single-type setting over every rolling group of the
+56-day dataset and the seven-type setting over a subset, asserting the
+Figure 2/3 ordering holds in aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.full_eval import (
+    format_full_evaluation,
+    run_full_evaluation,
+)
+
+
+def test_bench_full_eval_single(benchmark, paper_store):
+    result = benchmark.pedantic(
+        run_full_evaluation,
+        kwargs=dict(store=paper_store, setting="single"),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_full_evaluation(result))
+
+    assert result.n_groups == 15  # the paper's group count
+    summaries = result.summaries
+    # Ordering across ALL groups, not just the four displayed days.
+    assert (
+        summaries["OSSP"].mean_utility
+        > summaries["online SSE"].mean_utility + 50.0
+    )
+    assert (
+        summaries["OSSP"].mean_utility
+        > summaries["offline SSE"].mean_utility + 50.0
+    )
+    # The two SSE baselines nearly overlap.
+    assert (
+        abs(
+            summaries["online SSE"].mean_utility
+            - summaries["offline SSE"].mean_utility
+        )
+        < 60.0
+    )
+
+
+def test_bench_full_eval_multi(benchmark, paper_store):
+    result = benchmark.pedantic(
+        run_full_evaluation,
+        kwargs=dict(store=paper_store, setting="multi", max_groups=2),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(format_full_evaluation(result))
+
+    summaries = result.summaries
+    assert (
+        summaries["OSSP"].mean_utility
+        > summaries["online SSE"].mean_utility + 50.0
+    )

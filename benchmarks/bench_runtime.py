@@ -1,0 +1,54 @@
+"""Benchmark E5 — per-alert SAG optimization latency.
+
+Reproduces: the paper's runtime claim ("the average running time is around
+0.02 seconds" per alert, 7 types, laptop hardware). The benchmark times the
+complete per-alert pipeline — estimation with rollback, LP (2) via seven
+candidate LPs, LP (3)/Theorem-3 signaling, budget update — on the 7-type
+workload at the paper's budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.game import SAGConfig, SignalingAuditGame
+from repro.experiments.config import (
+    MULTI_TYPE_BUDGET,
+    TABLE2_PAYOFFS,
+    paper_costs,
+)
+from repro.experiments.runtime import PAPER_SECONDS_PER_ALERT
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+_MIDDAY = 12 * 3600.0
+
+
+def test_bench_per_alert_latency(benchmark, paper_store):
+    train_days = paper_store.days[:41]
+    history = paper_store.times_by_type(train_days, sorted(TABLE2_PAYOFFS))
+    estimator = RollbackEstimator(FutureAlertEstimator(history))
+    game = SignalingAuditGame(
+        SAGConfig(
+            payoffs=TABLE2_PAYOFFS, costs=paper_costs(), budget=MULTI_TYPE_BUDGET
+        ),
+        estimator,
+        rng=np.random.default_rng(0),
+    )
+
+    def optimize_one_alert():
+        decision = game.process_alert(1, _MIDDAY)
+        game.reset()  # keep every round at the same (day-start) state
+        return decision
+
+    decision = benchmark(optimize_one_alert)
+
+    assert decision.scheme is not None or not decision.signaling_applied
+    # The paper reports ~0.02 s on a 2017 laptop; anything within 10x of
+    # that on unknown hardware confirms the "users are unlikely to perceive
+    # the extra processing time" claim.
+    assert benchmark.stats.stats.mean < 10 * PAPER_SECONDS_PER_ALERT
+    print(
+        f"\nper-alert optimization: mean "
+        f"{benchmark.stats.stats.mean * 1000:.2f} ms "
+        f"(paper: {PAPER_SECONDS_PER_ALERT * 1000:.0f} ms)"
+    )

@@ -1,0 +1,37 @@
+"""Benchmark A3 — LP backend comparison on real LP (2) instances.
+
+Design-choice ablation: the online SSE can be solved by SciPy's HiGHS or by
+the dependency-free pure-Python simplex. Both must agree on the optimum;
+this benchmark quantifies the speed gap on the paper-shaped 7-type LP (2)
+state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sse import GameState, solve_online_sse
+from repro.experiments.config import (
+    MULTI_TYPE_BUDGET,
+    TABLE1_STATISTICS,
+    TABLE2_PAYOFFS,
+    paper_costs,
+)
+
+_STATE = GameState(
+    budget=MULTI_TYPE_BUDGET,
+    lambdas={t: mean for t, (mean, _) in TABLE1_STATISTICS.items()},
+)
+_COSTS = paper_costs()
+
+
+@pytest.mark.parametrize("backend", ["scipy", "simplex"])
+def test_bench_lp2_backend(benchmark, backend):
+    solution = benchmark(
+        solve_online_sse, _STATE, TABLE2_PAYOFFS, _COSTS, backend=backend
+    )
+    reference = solve_online_sse(_STATE, TABLE2_PAYOFFS, _COSTS, backend="scipy")
+    assert solution.auditor_utility == pytest.approx(
+        reference.auditor_utility, abs=1e-5
+    )
+    assert solution.best_response == reference.best_response

@@ -1,0 +1,29 @@
+"""Benchmark E1 — regenerate Table 1 (daily alert statistics per type).
+
+Reproduces: paper Table 1. The assertion checks that the synthetic
+pipeline's *detected* per-type daily means land within a few paper standard
+deviations of the published values — the calibration contract every other
+experiment relies on.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import TABLE1_STATISTICS
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, paper_store):
+    rows = benchmark(run_table1, store=paper_store)
+
+    print()
+    print(format_table1(rows))
+
+    for row in rows:
+        paper_mean, paper_std = TABLE1_STATISTICS[row.type_id]
+        tolerance = max(3.0 * paper_std, 8.0)
+        assert abs(row.measured_mean - paper_mean) <= tolerance, (
+            f"type {row.type_id}: measured mean {row.measured_mean:.2f} "
+            f"too far from paper's {paper_mean:.2f}"
+        )
+        # Spread should be the right order of magnitude, not degenerate.
+        assert row.measured_std <= 4.0 * max(paper_std, 2.0)

@@ -1,0 +1,55 @@
+"""Robust signaling against a boundedly rational attacker.
+
+Run with:  python examples/robust_attacker.py
+
+The classic OSSP leaves the warned attacker *exactly* indifferent — a noisy
+(quantal-response) attacker then proceeds about half the time, eroding the
+value of the warning. This example (the paper's "robust SAG" future-work
+direction, implemented in :mod:`repro.extensions.robust`) hardens the quit
+constraint with a margin and shows the trade-off curve, then picks the
+optimal margin for a range of attacker rationalities.
+"""
+
+from repro.audit.attacker import QuantalResponseAttacker
+from repro.experiments.config import TABLE2_PAYOFFS
+from repro.extensions.robust import (
+    evaluate_against_quantal,
+    optimize_margin,
+    solve_robust_ossp,
+)
+
+THETA = 0.10          # marginal audit probability for the arriving alert
+TYPE_ID = 1           # Same Last Name
+
+
+def main() -> None:
+    payoff = TABLE2_PAYOFFS[TYPE_ID]
+    attacker = QuantalResponseAttacker(rationality=20.0)
+
+    print(f"type {TYPE_ID}, theta = {THETA}, attacker rationality = "
+          f"{attacker.rationality}\n")
+    print(f"{'margin':>7} {'warn P':>7} {'proceed P':>10} {'utility':>9}")
+    for margin in (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5):
+        scheme = solve_robust_ossp(THETA, payoff, margin)
+        proceed = attacker.proceed_probability(scheme, payoff)
+        value = evaluate_against_quantal(scheme, payoff, attacker)
+        print(f"{margin:>7.2f} {scheme.warning_probability:>7.3f} "
+              f"{proceed:>10.3f} {value:>9.1f}")
+
+    print("\noptimal margin by attacker rationality:")
+    print(f"{'rationality':>12} {'margin':>7} {'robust util':>12} "
+          f"{'classic util':>13} {'gain':>8}")
+    for rationality in (2.0, 5.0, 10.0, 20.0, 50.0, 200.0):
+        result = optimize_margin(
+            THETA, payoff, QuantalResponseAttacker(rationality)
+        )
+        print(
+            f"{rationality:>12.0f} {result.margin:>7.2f} "
+            f"{result.utility_vs_quantal:>12.1f} "
+            f"{result.classic_utility_vs_quantal:>13.1f} "
+            f"{result.robustness_gain:>8.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

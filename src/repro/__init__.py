@@ -1,0 +1,91 @@
+"""repro — Signaling Audit Games (SAG).
+
+A complete reproduction of *"To Warn or Not to Warn: Online Signaling in
+Audit Games"* (Yan, Xu, Vorobeychik, Li, Fabbri, Malin): the online
+Stackelberg signaling policy (OSSP), the online/offline SSE baselines, the
+synthetic EMR substrate calibrated to the paper's Table 1, and the full
+evaluation harness for every table and figure.
+
+Quickstart
+----------
+>>> from repro import GameState, PayoffMatrix, solve_online_sse, solve_ossp
+>>> payoffs = {1: PayoffMatrix(u_dc=100, u_du=-400, u_ac=-2000, u_au=400)}
+>>> state = GameState(budget=20.0, lambdas={1: 196.57})
+>>> sse = solve_online_sse(state, payoffs, costs={1: 1.0})
+>>> scheme = solve_ossp(sse.theta_of(1), payoffs[1])
+>>> scheme.auditor_utility(payoffs[1]) >= payoffs[1].auditor_utility(sse.theta_of(1))
+True
+"""
+
+from repro.core import (
+    AlertDecision,
+    AlertTypeRegistry,
+    AlertTypeSpec,
+    BudgetLedger,
+    GameState,
+    PayoffMatrix,
+    SAGConfig,
+    SignalingAuditGame,
+    SignalingScheme,
+    SSESolution,
+    solve_multiple_lp,
+    solve_offline_sse,
+    solve_online_sse,
+    solve_ossp,
+    solve_ossp_closed_form,
+    solve_ossp_lp,
+)
+from repro.audit import (
+    EvaluationHarness,
+    OfflineSSEPolicy,
+    OnlineSSEPolicy,
+    OSSPPolicy,
+    QuantalResponseAttacker,
+    RationalAttacker,
+    rolling_splits,
+    run_cycle,
+)
+from repro.stats import (
+    DiurnalProfile,
+    FutureAlertEstimator,
+    RollbackEstimator,
+    build_estimator,
+    hospital_profile,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlertDecision",
+    "AlertTypeRegistry",
+    "AlertTypeSpec",
+    "BudgetLedger",
+    "GameState",
+    "PayoffMatrix",
+    "SAGConfig",
+    "SignalingAuditGame",
+    "SignalingScheme",
+    "SSESolution",
+    "solve_multiple_lp",
+    "solve_offline_sse",
+    "solve_online_sse",
+    "solve_ossp",
+    "solve_ossp_closed_form",
+    "solve_ossp_lp",
+    "EvaluationHarness",
+    "OfflineSSEPolicy",
+    "OnlineSSEPolicy",
+    "OSSPPolicy",
+    "QuantalResponseAttacker",
+    "RationalAttacker",
+    "rolling_splits",
+    "run_cycle",
+    "DiurnalProfile",
+    "FutureAlertEstimator",
+    "RollbackEstimator",
+    "build_estimator",
+    "hospital_profile",
+    "ReproError",
+    "__version__",
+]

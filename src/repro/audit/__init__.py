@@ -1,0 +1,60 @@
+"""Audit-cycle evaluation substrate.
+
+Runs audit policies (OSSP, online SSE, offline SSE, naive baselines) over
+alert streams, reproducing the paper's real-time evaluation protocol:
+rolling 41-day training histories, one test day per group, per-alert
+expected-utility time series.
+"""
+
+from repro.audit.metrics import CycleResult, OutcomeSummary, UtilityPoint, summarize
+from repro.audit.policies import (
+    AuditPolicy,
+    AlertOutcome,
+    CycleContext,
+    OfflineSSEPolicy,
+    OnlineSSEPolicy,
+    OSSPPolicy,
+    UniformRandomPolicy,
+)
+from repro.audit.cycle import run_cycle
+from repro.audit.evaluation import (
+    EvaluationHarness,
+    TrainTestSplit,
+    rolling_splits,
+)
+from repro.audit.attacker import (
+    AttackPlan,
+    QuantalResponseAttacker,
+    RationalAttacker,
+)
+from repro.audit.montecarlo import (
+    MonteCarloResult,
+    TIMING_LATE,
+    TIMING_UNIFORM,
+    run_attacker_in_the_loop,
+)
+
+__all__ = [
+    "CycleResult",
+    "OutcomeSummary",
+    "UtilityPoint",
+    "summarize",
+    "AuditPolicy",
+    "AlertOutcome",
+    "CycleContext",
+    "OfflineSSEPolicy",
+    "OnlineSSEPolicy",
+    "OSSPPolicy",
+    "UniformRandomPolicy",
+    "run_cycle",
+    "EvaluationHarness",
+    "TrainTestSplit",
+    "rolling_splits",
+    "AttackPlan",
+    "QuantalResponseAttacker",
+    "RationalAttacker",
+    "MonteCarloResult",
+    "TIMING_LATE",
+    "TIMING_UNIFORM",
+    "run_attacker_in_the_loop",
+]

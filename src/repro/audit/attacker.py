@@ -1,0 +1,144 @@
+"""Attacker models.
+
+The paper's attacker is perfectly rational: he observes the auditor's
+committed distribution, picks the alert type maximizing his expected
+utility, attacks only when that utility is non-negative, and — under
+signaling — quits whenever his conditional utility after a warning is
+non-positive.
+
+:class:`QuantalResponseAttacker` is the boundedly-rational relaxation the
+paper flags as future work ("we assume that the attacker is perfectly
+rational. Such a strong assumption may lead to unexpected loss in
+practice"); it powers :mod:`repro.extensions.robust`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """A (possibly degenerate) attack decision.
+
+    ``type_id`` is ``None`` when the attacker prefers not to attack.
+    """
+
+    type_id: int | None
+    expected_utility: float
+
+    @property
+    def attacks(self) -> bool:
+        """Whether an attack is launched."""
+        return self.type_id is not None
+
+
+class RationalAttacker:
+    """The paper's perfectly rational, fully informed attacker."""
+
+    def choose_type(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> AttackPlan:
+        """Best-response type under coverage ``thetas`` (or no attack).
+
+        Attacks when the best type's expected utility is >= 0 (matching
+        Theorem 2's case split).
+        """
+        if not thetas:
+            raise ModelError("attacker needs at least one candidate type")
+        best_type = None
+        best_value = -math.inf
+        for type_id in sorted(thetas):
+            value = payoffs[type_id].attacker_utility(thetas[type_id])
+            if value > best_value:
+                best_type = type_id
+                best_value = value
+        if best_value < 0:
+            return AttackPlan(type_id=None, expected_utility=0.0)
+        return AttackPlan(type_id=best_type, expected_utility=best_value)
+
+    def proceeds_after_warning(
+        self, scheme: SignalingScheme, payoff: PayoffMatrix
+    ) -> bool:
+        """Whether the attacker ignores a warning and proceeds.
+
+        He proceeds only when his conditional expected utility is strictly
+        positive; the OSSP constrains it to be <= 0 (and keeps it *exactly*
+        0 at the optimum), so under an OSSP this is always ``False``. The
+        comparison uses a payoff-scaled tolerance so LP rounding dust never
+        flips the boundary case.
+        """
+        value = scheme.attacker_proceed_utility_given_warning(payoff)
+        return value > 1e-9 * max(1.0, abs(payoff.u_au))
+
+
+class QuantalResponseAttacker:
+    """Logit quantal-response (boundedly rational) attacker.
+
+    ``rationality`` is the precision parameter: 0 is uniformly random,
+    ``+inf`` recovers the rational best response. Utilities are rescaled by
+    their magnitude range before exponentiation so the parameter is
+    comparable across payoff scales.
+    """
+
+    def __init__(self, rationality: float = 1.0) -> None:
+        if rationality < 0:
+            raise ModelError(f"rationality must be non-negative, got {rationality}")
+        self.rationality = float(rationality)
+
+    def type_distribution(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> dict[int, float]:
+        """Probability of attacking each type (logit response)."""
+        if not thetas:
+            raise ModelError("attacker needs at least one candidate type")
+        type_ids = sorted(thetas)
+        values = np.array(
+            [payoffs[t].attacker_utility(thetas[t]) for t in type_ids]
+        )
+        scale = max(1.0, float(np.max(np.abs(values))))
+        logits = self.rationality * values / scale
+        logits -= logits.max()
+        weights = np.exp(logits)
+        probabilities = weights / weights.sum()
+        return dict(zip(type_ids, (float(p) for p in probabilities)))
+
+    def proceed_probability(
+        self, scheme: SignalingScheme, payoff: PayoffMatrix
+    ) -> float:
+        """Probability of proceeding after a warning (logistic response).
+
+        At the OSSP boundary (conditional utility exactly 0) a boundedly
+        rational attacker proceeds half the time — the robustness gap the
+        robust extension closes by enforcing a strict margin.
+        """
+        value = scheme.attacker_proceed_utility_given_warning(payoff)
+        scale = max(1.0, abs(payoff.u_au))
+        # Clamp the exponent: beyond +-60 the logistic saturates to 0/1
+        # anyway, and math.exp overflows around 710.
+        exponent = min(60.0, max(-60.0, -self.rationality * value / scale))
+        return 1.0 / (1.0 + math.exp(exponent))
+
+    def auditor_expected_utility(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> float:
+        """Auditor's expected utility against this attacker (no signaling)."""
+        distribution = self.type_distribution(thetas, payoffs)
+        return sum(
+            probability * payoffs[t].auditor_utility(thetas[t])
+            for t, probability in distribution.items()
+        )

@@ -1,0 +1,60 @@
+"""Driving one policy through one audit cycle."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ExperimentError
+from repro.audit.metrics import CycleResult, UtilityPoint
+from repro.audit.policies import AuditPolicy, CycleContext
+from repro.logstore.store import AlertRecord
+
+
+def run_cycle(
+    policy: AuditPolicy,
+    alerts: Sequence[AlertRecord],
+    context: CycleContext,
+    day: int | None = None,
+) -> CycleResult:
+    """Feed a day's alerts (chronological) through ``policy``.
+
+    Returns the per-alert expected-utility series along with budget and
+    latency traces.
+    """
+    if not alerts:
+        raise ExperimentError("cannot run a cycle over an empty alert stream")
+    days = {alert.day for alert in alerts}
+    if len(days) > 1:
+        raise ExperimentError(f"alert stream spans multiple days: {sorted(days)}")
+    times = [alert.time_of_day for alert in alerts]
+    if times != sorted(times):
+        raise ExperimentError("alert stream must be chronological")
+
+    policy.begin_cycle(context)
+    points: list[UtilityPoint] = []
+    latencies: list[float] = []
+    warnings_sent = 0
+    budget_after = context.budget
+    for alert in alerts:
+        outcome = policy.handle_alert(alert)
+        points.append(
+            UtilityPoint(
+                time_of_day=outcome.time_of_day,
+                value=outcome.expected_utility,
+                type_id=outcome.type_id,
+                theta=outcome.theta,
+            )
+        )
+        latencies.append(outcome.solve_seconds)
+        if outcome.warned:
+            warnings_sent += 1
+        budget_after = outcome.budget_after
+    return CycleResult(
+        policy=policy.name,
+        day=day if day is not None else next(iter(days)),
+        points=tuple(points),
+        budget_initial=context.budget,
+        budget_final=budget_after,
+        solve_seconds=tuple(latencies),
+        warnings_sent=warnings_sent,
+    )

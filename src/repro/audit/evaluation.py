@@ -1,0 +1,154 @@
+"""The paper's evaluation protocol: rolling train/test groups.
+
+From 56 continuous days, the paper constructs 15 groups, each using 41
+consecutive days as history and the following day for testing.
+:func:`rolling_splits` reproduces that construction for any day range, and
+:class:`EvaluationHarness` runs a set of policies over every group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.audit.cycle import run_cycle
+from repro.audit.metrics import CycleResult
+from repro.audit.policies import AuditPolicy, CycleContext
+from repro.core.payoffs import PayoffMatrix
+from repro.logstore.store import AlertLogStore
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.estimator import DEFAULT_ROLLBACK_THRESHOLD
+
+#: Training-window length used throughout the paper's evaluation.
+PAPER_TRAINING_DAYS = 41
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """One evaluation group: a training window plus its test day."""
+
+    train_days: tuple[int, ...]
+    test_day: int
+
+    def __post_init__(self) -> None:
+        if not self.train_days:
+            raise ExperimentError("a split needs at least one training day")
+        if self.test_day in self.train_days:
+            raise ExperimentError("test day must not be part of training")
+
+
+def rolling_splits(
+    days: Sequence[int],
+    window: int = PAPER_TRAINING_DAYS,
+) -> list[TrainTestSplit]:
+    """All ``window``-train / next-day-test groups over consecutive ``days``.
+
+    With the paper's 56 days and a 41-day window this yields exactly 15
+    groups.
+    """
+    ordered = sorted(days)
+    if len(ordered) <= window:
+        raise ExperimentError(
+            f"need more than {window} days for a rolling split, got {len(ordered)}"
+        )
+    splits = []
+    for end in range(window, len(ordered)):
+        splits.append(
+            TrainTestSplit(
+                train_days=tuple(ordered[end - window : end]),
+                test_day=ordered[end],
+            )
+        )
+    return splits
+
+
+class EvaluationHarness:
+    """Runs audit policies over the rolling groups of an alert store."""
+
+    def __init__(
+        self,
+        store: AlertLogStore,
+        payoffs: Mapping[int, PayoffMatrix],
+        costs: Mapping[int, float],
+        budget: float,
+        type_ids: Iterable[int] | None = None,
+        rollback_threshold: float = DEFAULT_ROLLBACK_THRESHOLD,
+        rollback_enabled: bool = True,
+        backend: str = DEFAULT_BACKEND,
+        seed: int = 0,
+        budget_charging: str = "conditional",
+    ) -> None:
+        self._store = store
+        self._payoffs = dict(payoffs)
+        self._costs = dict(costs)
+        self._budget = float(budget)
+        self._type_ids = (
+            tuple(type_ids) if type_ids is not None else tuple(sorted(self._payoffs))
+        )
+        missing = set(self._type_ids) - set(self._payoffs)
+        if missing:
+            raise ExperimentError(f"no payoffs for requested types: {sorted(missing)}")
+        self._rollback_threshold = rollback_threshold
+        self._rollback_enabled = rollback_enabled
+        self._backend = backend
+        self._seed = seed
+        self._budget_charging = budget_charging
+
+    def splits(self, window: int = PAPER_TRAINING_DAYS) -> list[TrainTestSplit]:
+        """Rolling groups over every day in the store."""
+        return rolling_splits(self._store.days, window=window)
+
+    def context_for(self, split: TrainTestSplit) -> CycleContext:
+        """Build the cycle context (history, budget, payoffs) for a group."""
+        history = self._store.times_by_type(split.train_days, self._type_ids)
+        return CycleContext(
+            history=history,
+            budget=self._budget,
+            payoffs=self._payoffs,
+            costs=self._costs,
+            rollback_threshold=self._rollback_threshold,
+            rollback_enabled=self._rollback_enabled,
+            backend=self._backend,
+            seed=self._seed + split.test_day,
+            budget_charging=self._budget_charging,
+        )
+
+    def test_alerts(self, split: TrainTestSplit):
+        """The test day's chronological alerts, restricted to known types."""
+        return [
+            alert
+            for alert in self._store.day_alerts(split.test_day)
+            if alert.type_id in self._type_ids
+        ]
+
+    def run_group(
+        self,
+        split: TrainTestSplit,
+        policies: Sequence[AuditPolicy],
+    ) -> dict[str, CycleResult]:
+        """Run every policy over one group's test day."""
+        context = self.context_for(split)
+        alerts = self.test_alerts(split)
+        if not alerts:
+            raise ExperimentError(f"test day {split.test_day} has no alerts")
+        results = {}
+        for policy in policies:
+            results[policy.name] = run_cycle(
+                policy, alerts, context, day=split.test_day
+            )
+        return results
+
+    def run_all(
+        self,
+        policies: Sequence[AuditPolicy],
+        window: int = PAPER_TRAINING_DAYS,
+        max_groups: int | None = None,
+    ) -> dict[int, dict[str, CycleResult]]:
+        """Run every policy over every (or the first ``max_groups``) group."""
+        splits = self.splits(window=window)
+        if max_groups is not None:
+            splits = splits[:max_groups]
+        return {
+            split.test_day: self.run_group(split, policies) for split in splits
+        }

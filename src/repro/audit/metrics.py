@@ -1,0 +1,109 @@
+"""Per-alert utility time series and summaries."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class UtilityPoint:
+    """One per-alert sample of the auditor's expected utility.
+
+    ``theta`` records the marginal audit probability of the alert's type at
+    decision time — the coverage a would-be attacker faced (used by the
+    rollback ablation's late-attacker analysis).
+    """
+
+    time_of_day: float
+    value: float
+    type_id: int
+    theta: float = 0.0
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Everything one policy produced over one audit cycle (day).
+
+    ``points`` holds the per-alert expected utilities in arrival order —
+    the series plotted in Figures 2 and 3. ``solve_seconds`` holds the
+    per-alert optimization latencies (the paper's runtime experiment).
+    """
+
+    policy: str
+    day: int
+    points: tuple[UtilityPoint, ...]
+    budget_initial: float
+    budget_final: float
+    solve_seconds: tuple[float, ...] = ()
+    warnings_sent: int = 0
+
+    @property
+    def times(self) -> np.ndarray:
+        """Arrival times of the scored alerts."""
+        return np.array([p.time_of_day for p in self.points])
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-alert expected-utility values."""
+        return np.array([p.value for p in self.points])
+
+    @property
+    def thetas(self) -> np.ndarray:
+        """Per-alert marginal audit probabilities (alert's own type)."""
+        return np.array([p.theta for p in self.points])
+
+    def mean_utility(self) -> float:
+        """Average per-alert auditor expected utility over the day."""
+        if not self.points:
+            raise ExperimentError("cycle produced no scored alerts")
+        return float(np.mean(self.values))
+
+    def final_utility(self) -> float:
+        """Expected utility at the last scored alert of the day."""
+        if not self.points:
+            raise ExperimentError("cycle produced no scored alerts")
+        return float(self.points[-1].value)
+
+    def min_utility(self) -> float:
+        """Worst per-alert expected utility of the day."""
+        if not self.points:
+            raise ExperimentError("cycle produced no scored alerts")
+        return float(np.min(self.values))
+
+
+@dataclass(frozen=True)
+class OutcomeSummary:
+    """Aggregate of one policy across several test days."""
+
+    policy: str
+    n_days: int
+    n_alerts: int
+    mean_utility: float
+    mean_final_utility: float
+    worst_utility: float
+    mean_solve_seconds: float
+
+
+def summarize(results: Sequence[CycleResult]) -> OutcomeSummary:
+    """Aggregate same-policy cycle results across test days."""
+    if not results:
+        raise ExperimentError("nothing to summarize")
+    names = {result.policy for result in results}
+    if len(names) != 1:
+        raise ExperimentError(f"mixed policies in summary: {sorted(names)}")
+    all_values = np.concatenate([result.values for result in results])
+    latencies = [s for result in results for s in result.solve_seconds]
+    return OutcomeSummary(
+        policy=results[0].policy,
+        n_days=len(results),
+        n_alerts=int(all_values.size),
+        mean_utility=float(np.mean(all_values)),
+        mean_final_utility=float(np.mean([r.final_utility() for r in results])),
+        worst_utility=float(np.min(all_values)),
+        mean_solve_seconds=float(np.mean(latencies)) if latencies else 0.0,
+    )

@@ -1,0 +1,257 @@
+"""Attacker-in-the-loop Monte Carlo validation.
+
+The paper's evaluation (and ours) plots *expected* utilities — LP
+objectives. This module closes the loop empirically: it simulates actual
+attacks against the running SAG, samples the warning, lets a rational
+attacker react (quit on warning — the OSSP makes proceeding unattractive),
+samples the end-of-cycle audit with the recorded signal-conditional
+probability, and scores realized payoffs. Averaged over trials, the
+realized auditor utility converges to the predicted expected game value —
+a whole-system correctness check no unit test provides.
+
+It also implements the paper's *late attacker* thought experiment
+("imagine, for instance, an attacker who only attacks at the very end of
+an audit cycle"): attack timing can be uniform over the day or pinned to
+the final alerts, which is exactly the scenario knowledge rollback exists
+to defuse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
+from repro.audit.policies import CycleContext
+from repro.core.game import SAGConfig, SignalingAuditGame
+from repro.core.signaling import SignalingScheme, solve_ossp
+from repro.logstore.store import AlertRecord
+
+#: Attack-timing strategies.
+TIMING_UNIFORM = "uniform"      # attack at a uniformly random alert slot
+TIMING_LATE = "late"            # attack within the last alert slots
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One simulated attack against one audit day.
+
+    ``expected_auditor_utility`` is the solver-predicted game value at the
+    attacked state — what the figures plot; ``auditor_utility`` is the
+    realized payoff of this trial's lottery.
+    """
+
+    attacked: bool
+    attack_type: int | None
+    attack_time: float
+    warned: bool
+    proceeded: bool
+    audited: bool
+    auditor_utility: float
+    attacker_utility: float
+    expected_auditor_utility: float
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Aggregate of attacker-in-the-loop trials."""
+
+    n_trials: int
+    timing: str
+    mean_auditor_utility: float
+    mean_attacker_utility: float
+    mean_expected_utility: float
+    attack_rate: float
+    warned_rate: float
+    quit_rate: float
+    audit_rate: float
+
+    @property
+    def expectation_gap(self) -> float:
+        """|empirical mean - predicted expectation| for the auditor."""
+        return abs(self.mean_auditor_utility - self.mean_expected_utility)
+
+
+def run_attacker_in_the_loop(
+    alerts: Sequence[AlertRecord],
+    context: CycleContext,
+    n_trials: int = 200,
+    timing: str = TIMING_UNIFORM,
+    signaling_enabled: bool = True,
+    seed: int = 0,
+    attacker: RationalAttacker | QuantalResponseAttacker | None = None,
+    robust_margin: float = 0.0,
+) -> MonteCarloResult:
+    """Simulate ``n_trials`` independent attack days.
+
+    Each trial replays the day's (false-positive) alert stream through a
+    fresh :class:`SignalingAuditGame`; one alert slot is the attacker's. At
+    that slot the rational attacker observes the committed distribution,
+    picks the best alert type, attacks only when his expected utility is
+    non-negative, quits when warned, and otherwise rides out the audit
+    lottery.
+
+    Parameters
+    ----------
+    alerts:
+        The day's chronological alert stream (background traffic).
+    context:
+        Cycle context (history, budget, payoffs) shared by all trials.
+    timing:
+        :data:`TIMING_UNIFORM` or :data:`TIMING_LATE`.
+    signaling_enabled:
+        ``False`` simulates against the online-SSE baseline instead.
+    attacker:
+        A :class:`RationalAttacker` (default) or a
+        :class:`QuantalResponseAttacker` (noisy type choice, probabilistic
+        warning compliance; always participates).
+    robust_margin:
+        Forwarded to the game: > 0 hardens the warning's quit constraint
+        (the robust-SAG extension).
+    """
+    if not alerts:
+        raise ExperimentError("need a non-empty alert stream")
+    if timing not in (TIMING_UNIFORM, TIMING_LATE):
+        raise ExperimentError(f"unknown timing strategy {timing!r}")
+    rng = np.random.default_rng(seed)
+    attacker = attacker or RationalAttacker()
+
+    outcomes: list[TrialOutcome] = []
+    for trial in range(n_trials):
+        game = SignalingAuditGame(
+            SAGConfig(
+                payoffs=context.payoffs,
+                costs=context.costs,
+                budget=context.budget,
+                backend=context.backend,
+                signaling_enabled=signaling_enabled,
+                budget_charging=context.budget_charging,
+                robust_margin=robust_margin,
+            ),
+            context.build_estimator(),
+            rng=np.random.default_rng(seed + 1000 + trial),
+        )
+        if timing == TIMING_UNIFORM:
+            slot = int(rng.integers(len(alerts)))
+        else:
+            tail = max(1, len(alerts) // 20)
+            slot = len(alerts) - 1 - int(rng.integers(tail))
+
+        outcome: TrialOutcome | None = None
+        for index, alert in enumerate(alerts):
+            if index == slot:
+                outcome = _attack_at_slot(
+                    game, alert.time_of_day, context, attacker, rng,
+                    signaling_enabled, robust_margin,
+                )
+            else:
+                game.process_alert(alert.type_id, alert.time_of_day)
+        assert outcome is not None  # slot always within range
+        outcomes.append(outcome)
+
+    return MonteCarloResult(
+        n_trials=n_trials,
+        timing=timing,
+        mean_auditor_utility=float(
+            np.mean([o.auditor_utility for o in outcomes])
+        ),
+        mean_attacker_utility=float(
+            np.mean([o.attacker_utility for o in outcomes])
+        ),
+        mean_expected_utility=float(
+            np.mean([o.expected_auditor_utility for o in outcomes])
+        ),
+        attack_rate=float(np.mean([o.attacked for o in outcomes])),
+        warned_rate=float(np.mean([o.warned for o in outcomes])),
+        quit_rate=float(
+            np.mean([o.warned and not o.proceeded for o in outcomes])
+        ),
+        audit_rate=float(np.mean([o.audited for o in outcomes])),
+    )
+
+
+def _attack_at_slot(
+    game: SignalingAuditGame,
+    time_of_day: float,
+    context: CycleContext,
+    attacker: RationalAttacker | QuantalResponseAttacker,
+    rng: np.random.Generator,
+    signaling_enabled: bool,
+    robust_margin: float,
+) -> TrialOutcome:
+    """Play out the attacker's slot and score realized payoffs."""
+    # The attacker's access itself raises an alert; process it to obtain
+    # the equilibrium commitment he observes and best-responds to. (The
+    # type fed to process_alert is the attacker's eventual choice below for
+    # bookkeeping; the equilibrium marginals do not depend on it.)
+    probe = game.process_alert(next(iter(context.payoffs)), time_of_day)
+
+    if isinstance(attacker, QuantalResponseAttacker):
+        distribution = attacker.type_distribution(probe.sse.thetas, context.payoffs)
+        type_ids = sorted(distribution)
+        probabilities = [distribution[t] for t in type_ids]
+        attack_type: int | None = int(
+            rng.choice(np.asarray(type_ids), p=probabilities)
+        )
+    else:
+        plan = attacker.choose_type(probe.sse.thetas, context.payoffs)
+        attack_type = plan.type_id
+    if attack_type is None:
+        return TrialOutcome(
+            attacked=False, attack_type=None, attack_time=time_of_day,
+            warned=False, proceeded=False, audited=False,
+            auditor_utility=0.0, attacker_utility=0.0,
+            expected_auditor_utility=0.0,
+        )
+    payoff = context.payoffs[attack_type]
+    theta = probe.sse.theta_of(attack_type)
+
+    if signaling_enabled:
+        scheme = _scheme_for(theta, payoff, robust_margin)
+        expected = scheme.auditor_utility(payoff)
+        warned = bool(rng.random() < scheme.warning_probability)
+        if warned:
+            if isinstance(attacker, QuantalResponseAttacker):
+                proceeded = bool(
+                    rng.random() < attacker.proceed_probability(scheme, payoff)
+                )
+            else:
+                proceeded = attacker.proceeds_after_warning(scheme, payoff)
+            if not proceeded:
+                return TrialOutcome(
+                    attacked=True, attack_type=attack_type,
+                    attack_time=time_of_day, warned=True, proceeded=False,
+                    audited=False, auditor_utility=0.0, attacker_utility=0.0,
+                    expected_auditor_utility=expected,
+                )
+            audit_probability = scheme.audit_given_warning
+        else:
+            proceeded = True
+            audit_probability = scheme.audit_given_silence
+    else:
+        expected = payoff.auditor_utility(theta)
+        warned = False
+        proceeded = True
+        audit_probability = theta
+
+    audited = bool(rng.random() < audit_probability)
+    return TrialOutcome(
+        attacked=True, attack_type=attack_type, attack_time=time_of_day,
+        warned=warned, proceeded=proceeded, audited=audited,
+        auditor_utility=payoff.u_dc if audited else payoff.u_du,
+        attacker_utility=payoff.u_ac if audited else payoff.u_au,
+        expected_auditor_utility=expected,
+    )
+
+
+def _scheme_for(
+    theta: float, payoff, robust_margin: float
+) -> SignalingScheme:
+    if robust_margin > 0:
+        from repro.extensions.robust import solve_robust_ossp
+
+        return solve_robust_ossp(theta, payoff, robust_margin)
+    return solve_ossp(theta, payoff)

@@ -1,0 +1,267 @@
+"""Audit policies: OSSP, online SSE, offline SSE, and naive baselines.
+
+A policy is driven through one audit cycle (day) at a time:
+:meth:`~AuditPolicy.begin_cycle` hands it the cycle's context (training
+history, budget, payoffs), then :meth:`~AuditPolicy.handle_alert` is called
+once per arriving alert and returns the auditor's expected utility for that
+alert — the quantity plotted in Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.core.budget import BudgetLedger
+from repro.core.game import (
+    SAGConfig,
+    SCOPE_BEST_RESPONSE,
+    SignalingAuditGame,
+)
+from repro.core.offline import solve_offline_sse
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import SSESolution
+from repro.logstore.store import AlertRecord
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.estimator import (
+    DEFAULT_ROLLBACK_THRESHOLD,
+    FutureAlertEstimator,
+    RollbackEstimator,
+)
+
+
+@dataclass(frozen=True)
+class CycleContext:
+    """Everything a policy may use to prepare for one audit cycle.
+
+    Attributes
+    ----------
+    history:
+        Per-type, per-historical-day sorted arrival times (the estimator
+        input built from the preceding 41 days).
+    budget:
+        The cycle's total audit budget.
+    payoffs, costs:
+        Per-type payoff matrices and audit costs.
+    rollback_threshold / rollback_enabled:
+        Knowledge-rollback configuration (paper Section 5).
+    backend:
+        LP backend name.
+    seed:
+        Seed for the policy's private signal-sampling generator.
+    budget_charging:
+        ``"conditional"`` (paper-faithful) or ``"expected"`` — see
+        :mod:`repro.core.game`.
+    """
+
+    history: Mapping[int, list[np.ndarray]]
+    budget: float
+    payoffs: Mapping[int, PayoffMatrix]
+    costs: Mapping[int, float]
+    rollback_threshold: float = DEFAULT_ROLLBACK_THRESHOLD
+    rollback_enabled: bool = True
+    backend: str = DEFAULT_BACKEND
+    seed: int = 0
+    budget_charging: str = "conditional"
+
+    def build_estimator(self) -> RollbackEstimator:
+        """Fresh rollback estimator over this context's history."""
+        return RollbackEstimator(
+            FutureAlertEstimator(self.history),
+            threshold=self.rollback_threshold,
+            enabled=self.rollback_enabled,
+        )
+
+    def daily_means(self) -> dict[int, float]:
+        """Historical mean daily count per type (offline-SSE input)."""
+        return {
+            type_id: float(np.mean([day.size for day in days]))
+            for type_id, days in self.history.items()
+        }
+
+
+@dataclass(frozen=True)
+class AlertOutcome:
+    """A policy's reaction to one alert."""
+
+    time_of_day: float
+    type_id: int
+    expected_utility: float
+    theta: float
+    audit_probability: float
+    warned: bool | None
+    budget_after: float
+    solve_seconds: float = 0.0
+
+
+class AuditPolicy(Protocol):
+    """Interface every audit policy implements."""
+
+    name: str
+
+    def begin_cycle(self, context: CycleContext) -> None:
+        """Prepare internal state for a fresh day."""
+        ...
+
+    def handle_alert(self, alert: AlertRecord) -> AlertOutcome:
+        """React to one arriving alert."""
+        ...
+
+
+class _GameBackedPolicy:
+    """Shared implementation for the two online policies (OSSP / SSE)."""
+
+    name = "game"
+    _signaling_enabled = True
+
+    def __init__(self, scope: str = SCOPE_BEST_RESPONSE, signaling_method: str = "closed_form") -> None:
+        self._scope = scope
+        self._signaling_method = signaling_method
+        self._game: SignalingAuditGame | None = None
+
+    def begin_cycle(self, context: CycleContext) -> None:
+        config = SAGConfig(
+            payoffs=context.payoffs,
+            costs=context.costs,
+            budget=context.budget,
+            backend=context.backend,
+            signaling_method=self._signaling_method,
+            signaling_enabled=self._signaling_enabled,
+            scope=self._scope,
+            budget_charging=context.budget_charging,
+        )
+        self._game = SignalingAuditGame(
+            config,
+            context.build_estimator(),
+            rng=np.random.default_rng(context.seed),
+        )
+
+    def handle_alert(self, alert: AlertRecord) -> AlertOutcome:
+        if self._game is None:
+            raise ExperimentError(f"{self.name}: begin_cycle was never called")
+        decision = self._game.process_alert(alert.type_id, alert.time_of_day)
+        return AlertOutcome(
+            time_of_day=alert.time_of_day,
+            type_id=alert.type_id,
+            expected_utility=decision.game_value,
+            theta=decision.theta,
+            audit_probability=decision.audit_probability,
+            warned=decision.warned if decision.signaling_applied else None,
+            budget_after=decision.budget_after,
+            solve_seconds=decision.solve_seconds,
+        )
+
+
+class OSSPPolicy(_GameBackedPolicy):
+    """The paper's approach: online SSE marginals + optimal signaling."""
+
+    name = "OSSP"
+    _signaling_enabled = True
+
+
+class OnlineSSEPolicy(_GameBackedPolicy):
+    """Online SSE without signaling (the paper's "online SSE" baseline)."""
+
+    name = "online SSE"
+    _signaling_enabled = False
+
+
+class OfflineSSEPolicy:
+    """Whole-cycle SSE computed once from historical daily volumes.
+
+    The paper plots this as a flat line: the equilibrium is computed for the
+    full day, so the auditor's expected utility is identical for every
+    alert regardless of when it arrives.
+    """
+
+    name = "offline SSE"
+
+    def __init__(self) -> None:
+        self._solution: SSESolution | None = None
+        self._payoffs: Mapping[int, PayoffMatrix] | None = None
+        self._ledger: BudgetLedger | None = None
+        self._costs: Mapping[int, float] = {}
+
+    def begin_cycle(self, context: CycleContext) -> None:
+        self._solution = solve_offline_sse(
+            context.budget,
+            context.daily_means(),
+            context.payoffs,
+            context.costs,
+            backend=context.backend,
+        )
+        self._payoffs = context.payoffs
+        self._costs = context.costs
+        self._ledger = BudgetLedger(context.budget)
+
+    def handle_alert(self, alert: AlertRecord) -> AlertOutcome:
+        if self._solution is None or self._ledger is None or self._payoffs is None:
+            raise ExperimentError(f"{self.name}: begin_cycle was never called")
+        theta = self._solution.theta_of(alert.type_id)
+        cost = self._costs[alert.type_id]
+        affordable = (
+            theta
+            if self._ledger.can_afford(theta * cost)
+            else self._ledger.remaining / cost
+        )
+        self._ledger.spend(affordable * cost, time_of_day=alert.time_of_day)
+        return AlertOutcome(
+            time_of_day=alert.time_of_day,
+            type_id=alert.type_id,
+            # The offline equilibrium value: flat across the whole day.
+            expected_utility=self._solution.effective_auditor_utility,
+            theta=theta,
+            audit_probability=affordable,
+            warned=None,
+            budget_after=self._ledger.remaining,
+        )
+
+
+class UniformRandomPolicy:
+    """Non-strategic baseline: spread the budget evenly over expected alerts.
+
+    Every alert is audited with probability
+    ``remaining_budget / (cost * expected_remaining_alerts)`` (capped at 1).
+    Included as a sanity floor for the benchmark comparisons; not part of
+    the paper's evaluated set.
+    """
+
+    name = "uniform"
+
+    def __init__(self) -> None:
+        self._estimator: RollbackEstimator | None = None
+        self._ledger: BudgetLedger | None = None
+        self._payoffs: Mapping[int, PayoffMatrix] = {}
+        self._costs: Mapping[int, float] = {}
+
+    def begin_cycle(self, context: CycleContext) -> None:
+        self._estimator = context.build_estimator()
+        self._ledger = BudgetLedger(context.budget)
+        self._payoffs = context.payoffs
+        self._costs = context.costs
+
+    def handle_alert(self, alert: AlertRecord) -> AlertOutcome:
+        if self._estimator is None or self._ledger is None:
+            raise ExperimentError(f"{self.name}: begin_cycle was never called")
+        self._estimator.observe_alert(alert.time_of_day)
+        expected_remaining = sum(
+            self._estimator.remaining_means(alert.time_of_day).values()
+        )
+        cost = self._costs[alert.type_id]
+        denominator = max(1.0, expected_remaining)
+        theta = min(1.0, self._ledger.remaining / (cost * denominator))
+        self._ledger.spend(theta * cost, time_of_day=alert.time_of_day)
+        payoff = self._payoffs[alert.type_id]
+        return AlertOutcome(
+            time_of_day=alert.time_of_day,
+            type_id=alert.type_id,
+            expected_utility=payoff.auditor_utility(theta),
+            theta=theta,
+            audit_probability=theta,
+            warned=None,
+            budget_after=self._ledger.remaining,
+        )

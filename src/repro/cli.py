@@ -1,0 +1,229 @@
+"""Command-line entry points: ``python -m repro.cli <experiment>``.
+
+Each subcommand regenerates one of the paper's tables/figures (or an
+ablation) and prints a fixed-width text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run one experiment; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="sag",
+        description="Signaling Audit Games — reproduce the paper's evaluation.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="dataset seed")
+    parser.add_argument(
+        "--days", type=int, default=56, help="number of simulated days"
+    )
+    parser.add_argument(
+        "--test-days", type=int, default=4, help="test days for the figures"
+    )
+    parser.add_argument(
+        "--backend", choices=("scipy", "simplex"), default="scipy",
+        help="LP backend",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render figures as ASCII charts instead of bucket tables",
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+    for name, help_text in (
+        ("table1", "daily alert statistics per type"),
+        ("table2", "payoff structures"),
+        ("figure2", "single-type utility series (budget 20)"),
+        ("figure3", "seven-type utility series (budget 50)"),
+        ("runtime", "per-alert optimization latency"),
+        ("ablation-rollback", "knowledge-rollback ablation"),
+        ("ablation-budget", "signaling value vs budget sweep"),
+        ("ablation-backend", "LP backend agreement and speed"),
+        ("ablation-charging", "conditional vs expected budget charging"),
+        ("ablation-scope", "signaling scope: best-response-only vs all alerts"),
+        ("montecarlo", "attacker-in-the-loop empirical validation"),
+        ("robustness", "robust SAG vs boundedly rational attackers"),
+        ("full-eval", "all-group (15x) evaluation summary"),
+    ):
+        subparsers.add_parser(name, help=help_text)
+    parser.add_argument(
+        "--svg", metavar="PATH",
+        help="also write figure output as SVG files with this path prefix",
+    )
+    args = parser.parse_args(argv)
+
+    # Imports are deferred so `--help` stays instant.
+    if args.experiment == "table1":
+        from repro.experiments.table1 import format_table1, run_table1
+
+        print(format_table1(run_table1(seed=args.seed, n_days=args.days)))
+    elif args.experiment == "table2":
+        from repro.experiments.table2 import format_table2
+
+        print(format_table2())
+    elif args.experiment == "figure2":
+        from repro.experiments.figure2 import format_figure2, run_figure2
+
+        result = run_figure2(
+            seed=args.seed, n_days=args.days,
+            n_test_days=args.test_days, backend=args.backend,
+        )
+        print(_render_figure(result, format_figure2, "Figure 2", args.chart))
+        _maybe_write_svgs(result, args.svg, "figure2")
+    elif args.experiment == "figure3":
+        from repro.experiments.figure3 import format_figure3, run_figure3
+
+        result = run_figure3(
+            seed=args.seed, n_days=args.days,
+            n_test_days=args.test_days, backend=args.backend,
+        )
+        print(_render_figure(result, format_figure3, "Figure 3", args.chart))
+        _maybe_write_svgs(result, args.svg, "figure3")
+    elif args.experiment == "runtime":
+        from repro.experiments.runtime import format_runtime, run_runtime
+
+        print(format_runtime(run_runtime(seed=args.seed, backend=args.backend)))
+    elif args.experiment == "ablation-rollback":
+        from repro.experiments.ablations import run_rollback_ablation
+
+        result = run_rollback_ablation(seed=args.seed, n_days=args.days)
+        print("A1 — knowledge rollback (OSSP, single type, late-day window)")
+        print(f"  min coverage theta,      rollback on : {result.late_min_theta_with:10.4f}")
+        print(f"  min coverage theta,      rollback off: {result.late_min_theta_without:10.4f}")
+        print(f"  max attacker E[utility], rollback on : {result.late_max_attacker_utility_with:10.2f}")
+        print(f"  max attacker E[utility], rollback off: {result.late_max_attacker_utility_without:10.2f}")
+        print(f"  mean auditor E[utility], rollback on : {result.late_mean_utility_with:10.2f}")
+        print(f"  mean auditor E[utility], rollback off: {result.late_mean_utility_without:10.2f}")
+    elif args.experiment == "ablation-budget":
+        from repro.experiments.ablations import format_budget_sweep, run_budget_sweep
+
+        print(format_budget_sweep(run_budget_sweep()))
+    elif args.experiment == "ablation-backend":
+        from repro.experiments.ablations import run_backend_comparison
+
+        result = run_backend_comparison(seed=args.seed, n_days=args.days)
+        print("A3 — LP backend comparison on LP (2) states")
+        print(f"  states solved        : {result.n_states}")
+        print(f"  max objective gap    : {result.max_objective_gap:.2e}")
+        print(f"  scipy total seconds  : {result.scipy_seconds:.3f}")
+        print(f"  simplex total seconds: {result.simplex_seconds:.3f}")
+    elif args.experiment == "ablation-charging":
+        from repro.experiments.ablations import run_charging_ablation
+
+        result = run_charging_ablation(seed=args.seed, n_days=args.days)
+        print("A4 — budget charging (OSSP, single type)")
+        print(f"  final budget,       conditional: {result.final_budget_conditional:10.3f}")
+        print(f"  final budget,       expected   : {result.final_budget_expected:10.3f}")
+        print(f"  late-day mean util, conditional: {result.late_mean_utility_conditional:10.2f}")
+        print(f"  late-day mean util, expected   : {result.late_mean_utility_expected:10.2f}")
+        print(f"  full-day mean util, conditional: {result.full_mean_utility_conditional:10.2f}")
+        print(f"  full-day mean util, expected   : {result.full_mean_utility_expected:10.2f}")
+    elif args.experiment == "ablation-scope":
+        from repro.experiments.ablations import run_scope_ablation
+
+        result = run_scope_ablation(seed=args.seed, n_days=args.days)
+        print("A5 — signaling scope (OSSP, 7 types)")
+        print(f"  mean game value, best-response-only: {result.mean_game_value_best_only:10.2f}")
+        print(f"  mean game value, all alerts        : {result.mean_game_value_all:10.2f}")
+        print(f"  warnings shown,  best-response-only: {result.warnings_best_only:10.1f}")
+        print(f"  warnings shown,  all alerts        : {result.warnings_all:10.1f}")
+        print(f"  final budget,    best-response-only: {result.final_budget_best_only:10.2f}")
+        print(f"  final budget,    all alerts        : {result.final_budget_all:10.2f}")
+    elif args.experiment == "robustness":
+        from repro.experiments.robustness import format_robustness, run_robustness
+
+        print(format_robustness(run_robustness(seed=args.seed, n_days=args.days)))
+    elif args.experiment == "full-eval":
+        from repro.experiments.full_eval import (
+            format_full_evaluation,
+            run_full_evaluation,
+        )
+
+        for setting in ("single", "multi"):
+            result = run_full_evaluation(
+                setting=setting, seed=args.seed, n_days=args.days,
+                max_groups=args.test_days if setting == "multi" else None,
+            )
+            print(format_full_evaluation(result))
+            print()
+    elif args.experiment == "montecarlo":
+        from repro.audit.evaluation import EvaluationHarness
+        from repro.audit.montecarlo import (
+            TIMING_LATE,
+            TIMING_UNIFORM,
+            run_attacker_in_the_loop,
+        )
+        from repro.experiments.config import (
+            SINGLE_TYPE_BUDGET,
+            SINGLE_TYPE_ID,
+            TABLE2_PAYOFFS,
+            paper_costs,
+        )
+        from repro.experiments.dataset import build_alert_store
+
+        store = build_alert_store(seed=args.seed, n_days=args.days)
+        harness = EvaluationHarness(
+            store,
+            payoffs={SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
+            costs={SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]},
+            budget=SINGLE_TYPE_BUDGET,
+            type_ids=(SINGLE_TYPE_ID,),
+            seed=args.seed,
+        )
+        split = harness.splits(window=min(41, len(store.days) - 1))[0]
+        alerts = harness.test_alerts(split)
+        context = harness.context_for(split)
+        print("Attacker-in-the-loop Monte Carlo (single type, budget "
+              f"{SINGLE_TYPE_BUDGET:.0f}, {len(alerts)} alerts/day)")
+        for timing in (TIMING_UNIFORM, TIMING_LATE):
+            result = run_attacker_in_the_loop(
+                alerts, context, n_trials=60, timing=timing, seed=args.seed
+            )
+            print(f"  timing={timing:8s} empirical auditor utility "
+                  f"{result.mean_auditor_utility:9.2f}  "
+                  f"predicted {result.mean_expected_utility:9.2f}  "
+                  f"gap {result.expectation_gap:7.2f}  "
+                  f"attack rate {result.attack_rate:.2f}  "
+                  f"quit rate {result.quit_rate:.2f}")
+    return 0
+
+
+def _maybe_write_svgs(result, prefix: str | None, stem: str) -> None:
+    """Write one SVG per test day when ``--svg PREFIX`` was given."""
+    if not prefix:
+        return
+    from repro.experiments.svgplot import write_svg
+
+    for test_day in result.test_days:
+        path = f"{prefix}{stem}_day{test_day}.svg"
+        write_svg(
+            result.day(test_day),
+            path,
+            title=f"{stem} — day {test_day}: auditor expected utility",
+        )
+        print(f"wrote {path}")
+
+
+def _render_figure(result, formatter, label: str, as_chart: bool) -> str:
+    """Bucket-table rendering by default, ASCII charts with ``--chart``."""
+    if not as_chart:
+        return formatter(result)
+    from repro.experiments.textplot import ascii_chart
+
+    chunks = []
+    for index, test_day in enumerate(result.test_days, start=1):
+        chunks.append(
+            ascii_chart(
+                result.day(test_day),
+                title=f"{label}({chr(96 + index)}) — day {test_day}: "
+                "auditor expected utility",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core Signaling-Audit-Game algorithms (the paper's contribution).
+
+* :mod:`~repro.core.alert_types` — alert-type specifications and registry.
+* :mod:`~repro.core.payoffs` — per-type payoff matrices and sign checks.
+* :mod:`~repro.core.budget` — the auditor's budget ledger.
+* :mod:`~repro.core.sse` — LP (2): the online SSE via multiple LPs.
+* :mod:`~repro.core.offline` — the offline-SSE baseline.
+* :mod:`~repro.core.signaling` — LP (3): the OSSP, plus Theorem 3's closed form.
+* :mod:`~repro.core.game` — per-alert online decision pipeline.
+* :mod:`~repro.core.theory` — Theorems 1-4 as executable checks.
+"""
+
+from repro.core.alert_types import AlertTypeRegistry, AlertTypeSpec
+from repro.core.payoffs import PayoffMatrix
+from repro.core.budget import BudgetLedger
+from repro.core.sse import (
+    GameState,
+    SSESolution,
+    solve_multiple_lp,
+    solve_online_sse,
+)
+from repro.core.offline import solve_offline_sse
+from repro.core.signaling import (
+    SignalingScheme,
+    solve_ossp,
+    solve_ossp_closed_form,
+    solve_ossp_lp,
+)
+from repro.core.game import (
+    AlertDecision,
+    CHARGE_CONDITIONAL,
+    CHARGE_EXPECTED,
+    SAGConfig,
+    SCOPE_ALL,
+    SCOPE_BEST_RESPONSE,
+    SignalingAuditGame,
+)
+
+__all__ = [
+    "AlertTypeRegistry",
+    "AlertTypeSpec",
+    "PayoffMatrix",
+    "BudgetLedger",
+    "GameState",
+    "SSESolution",
+    "solve_multiple_lp",
+    "solve_online_sse",
+    "solve_offline_sse",
+    "SignalingScheme",
+    "solve_ossp",
+    "solve_ossp_closed_form",
+    "solve_ossp_lp",
+    "AlertDecision",
+    "CHARGE_CONDITIONAL",
+    "CHARGE_EXPECTED",
+    "SAGConfig",
+    "SCOPE_ALL",
+    "SCOPE_BEST_RESPONSE",
+    "SignalingAuditGame",
+]

@@ -1,0 +1,86 @@
+"""Alert-type specifications.
+
+An *alert type* is the unit of strategic reasoning in a SAG: every triggered
+alert carries exactly one type (multi-rule hits are modelled as combination
+types, exactly as in the paper's Table 1), attacks select a type, payoffs and
+audit costs are per-type.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class AlertTypeSpec:
+    """Static description of one alert type.
+
+    Attributes
+    ----------
+    type_id:
+        Stable integer identifier (Table 1 uses 1..7).
+    name:
+        Human-readable label, e.g. ``"Same Last Name"``.
+    audit_cost:
+        Cost ``V^t`` (budget units) of auditing one alert of this type. The
+        paper's experiments set every cost to 1.
+    """
+
+    type_id: int
+    name: str
+    audit_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.type_id < 0:
+            raise ModelError(f"type_id must be non-negative, got {self.type_id}")
+        if not self.name:
+            raise ModelError("alert type name must be non-empty")
+        if not self.audit_cost > 0:
+            raise ModelError(
+                f"audit cost must be positive, got {self.audit_cost} "
+                f"for type {self.type_id}"
+            )
+
+
+class AlertTypeRegistry:
+    """An immutable, id-keyed collection of :class:`AlertTypeSpec`."""
+
+    def __init__(self, specs: Iterable[AlertTypeSpec]) -> None:
+        self._specs: dict[int, AlertTypeSpec] = {}
+        for spec in specs:
+            if spec.type_id in self._specs:
+                raise ModelError(f"duplicate alert type id {spec.type_id}")
+            self._specs[spec.type_id] = spec
+        if not self._specs:
+            raise ModelError("registry must contain at least one alert type")
+
+    def __iter__(self) -> Iterator[AlertTypeSpec]:
+        return iter(sorted(self._specs.values(), key=lambda s: s.type_id))
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, type_id: int) -> bool:
+        return type_id in self._specs
+
+    def __getitem__(self, type_id: int) -> AlertTypeSpec:
+        try:
+            return self._specs[type_id]
+        except KeyError:
+            raise ModelError(f"unknown alert type id {type_id}") from None
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        """Sorted tuple of registered type ids."""
+        return tuple(sorted(self._specs))
+
+    def audit_costs(self) -> dict[int, float]:
+        """Mapping ``type_id -> V^t``."""
+        return {spec.type_id: spec.audit_cost for spec in self}
+
+    def subset(self, type_ids: Iterable[int]) -> "AlertTypeRegistry":
+        """A registry restricted to ``type_ids`` (order-insensitive)."""
+        return AlertTypeRegistry(self[type_id] for type_id in type_ids)

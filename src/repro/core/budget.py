@@ -1,0 +1,79 @@
+"""The auditor's budget ledger.
+
+Tracks the remaining audit budget ``B_tau`` across a cycle and records every
+spend. Following the paper, after the signaling scheme for alert ``tau`` is
+executed the auditor charges the *signal-conditional* audit probability times
+the audit cost:
+
+* warning sampled (``xi_1``):   spend ``p1 / (p1 + q1) * V^t``
+* no warning sampled (``xi_0``): spend ``p0 / (p0 + q0) * V^t``
+
+and the ledger never goes negative (``B_tau >= 0`` is enforced by clamping,
+as in the paper's "we always ensure B_tau >= 0").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetError
+
+
+@dataclass(frozen=True)
+class SpendRecord:
+    """One budget charge."""
+
+    time_of_day: float
+    amount: float
+    label: str = ""
+
+
+@dataclass
+class BudgetLedger:
+    """Mutable remaining-budget tracker for one audit cycle."""
+
+    initial: float
+    _remaining: float = field(init=False)
+    _records: list[SpendRecord] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.initial >= 0:
+            raise BudgetError(f"initial budget must be non-negative, got {self.initial}")
+        self._remaining = float(self.initial)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available in this cycle."""
+        return self._remaining
+
+    @property
+    def spent(self) -> float:
+        """Total charged so far."""
+        return self.initial - self._remaining
+
+    @property
+    def records(self) -> tuple[SpendRecord, ...]:
+        """Chronological spend records."""
+        return tuple(self._records)
+
+    def spend(self, amount: float, time_of_day: float = 0.0, label: str = "") -> float:
+        """Charge ``amount``; returns the amount actually charged.
+
+        Charges are clamped to the remaining budget so the ledger never goes
+        negative. Negative amounts are rejected.
+        """
+        if amount < 0:
+            raise BudgetError(f"cannot spend a negative amount ({amount})")
+        charged = min(float(amount), self._remaining)
+        self._remaining -= charged
+        self._records.append(SpendRecord(time_of_day=time_of_day, amount=charged, label=label))
+        return charged
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether ``amount`` fits in the remaining budget."""
+        return amount <= self._remaining + 1e-12
+
+    def reset(self) -> None:
+        """Restore the initial budget and clear the spend history."""
+        self._remaining = float(self.initial)
+        self._records.clear()

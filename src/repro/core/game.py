@@ -1,0 +1,297 @@
+"""The Signaling Audit Game: per-alert online decision pipeline.
+
+For each arriving alert the pipeline is exactly the paper's Section 3:
+
+1. update the future-alert estimate (with knowledge rollback);
+2. solve the online SSE (LP (2)) at the current remaining budget — this
+   fixes the marginal audit probabilities ``theta^{t'}`` (Theorem 1);
+3. solve the OSSP (LP (3) / Theorem 3 closed form) for the arriving
+   alert's type, yielding the joint warning/audit distribution;
+4. sample the signal, and charge the *signal-conditional* audit
+   probability times the audit cost against the budget.
+
+The same class also runs without signaling (``signaling_enabled=False``),
+which is precisely the paper's *online SSE* baseline: step 3 is skipped and
+the alert is audited with its marginal probability.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.budget import BudgetLedger
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme, solve_ossp
+from repro.core.sse import GameState, SSESolution, solve_online_sse
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.estimator import RollbackEstimator
+from repro.stats.poisson import PoissonReciprocalMoment
+
+#: Apply signaling only to alerts of the attacker's best-response type
+#: (the multi-type evaluation rule of Section 5.B).
+SCOPE_BEST_RESPONSE = "best_response"
+#: Apply signaling to every arriving alert.
+SCOPE_ALL = "all"
+
+#: Charge the signal-conditional audit probability after sampling the
+#: signal — the paper's exact budget update (Section 2.2). The realized
+#: budget path is a mean-preserving random walk around the fluid path, so
+#: occasional early exhaustion is possible.
+CHARGE_CONDITIONAL = "conditional"
+#: Charge the marginal ``theta * V`` regardless of the sampled signal — a
+#: variance-free martingale-equivalent alternative that tracks the fluid
+#: budget path exactly. Used by the ablations to isolate estimation
+#: effects from budget-path noise.
+CHARGE_EXPECTED = "expected"
+
+
+@dataclass(frozen=True)
+class SAGConfig:
+    """Static configuration of a Signaling Audit Game.
+
+    Attributes
+    ----------
+    payoffs:
+        Per-type payoff matrices.
+    costs:
+        Per-type audit costs ``V^t``.
+    budget:
+        Total audit budget for the cycle.
+    backend:
+        LP backend (``"scipy"`` or ``"simplex"``).
+    signaling_method:
+        ``"closed_form"`` (Theorem 3, default) or ``"lp"``.
+    signaling_enabled:
+        ``False`` turns the game into the online-SSE baseline.
+    scope:
+        :data:`SCOPE_BEST_RESPONSE` (paper Section 5.B) or :data:`SCOPE_ALL`.
+    budget_charging:
+        :data:`CHARGE_CONDITIONAL` (paper-faithful, default) or
+        :data:`CHARGE_EXPECTED` (variance-free; for ablations).
+    robust_margin:
+        When positive, signaling uses the hardened quit constraint of
+        :func:`repro.extensions.robust.solve_robust_ossp` with this margin
+        (a fraction of ``|U_au|``); 0 is the classic OSSP.
+    """
+
+    payoffs: Mapping[int, PayoffMatrix]
+    costs: Mapping[int, float]
+    budget: float
+    backend: str = DEFAULT_BACKEND
+    signaling_method: str = "closed_form"
+    signaling_enabled: bool = True
+    scope: str = SCOPE_BEST_RESPONSE
+    budget_charging: str = CHARGE_CONDITIONAL
+    robust_margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ModelError(f"budget must be non-negative, got {self.budget}")
+        if set(self.payoffs) != set(self.costs):
+            raise ModelError("payoffs and costs must cover the same alert types")
+        if self.scope not in (SCOPE_BEST_RESPONSE, SCOPE_ALL):
+            raise ModelError(f"unknown scope {self.scope!r}")
+        if self.budget_charging not in (CHARGE_CONDITIONAL, CHARGE_EXPECTED):
+            raise ModelError(f"unknown budget_charging {self.budget_charging!r}")
+        if self.robust_margin < 0:
+            raise ModelError(
+                f"robust_margin must be non-negative, got {self.robust_margin}"
+            )
+        object.__setattr__(self, "payoffs", dict(self.payoffs))
+        object.__setattr__(self, "costs", dict(self.costs))
+
+
+@dataclass(frozen=True)
+class AlertDecision:
+    """The auditor's realized decision for one alert.
+
+    ``game_value`` is the auditor's expected utility against the *strategic*
+    attacker at this game state — the quantity plotted in Figures 2 and 3.
+    With signaling enabled it is the LP (3) objective at the attacker's
+    best-response type; without signaling it is the LP (2) objective, with
+    deterrence accounted for (0 when the attacker prefers not to attack).
+
+    ``ossp_utility`` / ``sse_utility`` are the corresponding per-alert values
+    for the *arriving alert's* type (they coincide with ``game_value`` when
+    the alert is of the best-response type, as is always the case in the
+    single-type setting).
+    """
+
+    time_of_day: float
+    type_id: int
+    sse: SSESolution
+    scheme: SignalingScheme | None
+    warned: bool
+    audit_probability: float
+    budget_before: float
+    budget_after: float
+    charged: float
+    ossp_utility: float
+    sse_utility: float
+    game_value: float = 0.0
+    solve_seconds: float = 0.0
+    signaling_applied: bool = field(default=False)
+
+    @property
+    def theta(self) -> float:
+        """Marginal audit probability of the arriving alert's type."""
+        return self.sse.theta_of(self.type_id)
+
+
+class SignalingAuditGame:
+    """Stateful per-cycle SAG runner.
+
+    Parameters
+    ----------
+    config:
+        Game configuration (payoffs, costs, budget, solver choices).
+    estimator:
+        Rollback-aware future-alert estimator built from historical logs.
+    rng:
+        Source of randomness for signal sampling; defaults to a fresh
+        deterministic generator.
+    """
+
+    def __init__(
+        self,
+        config: SAGConfig,
+        estimator: RollbackEstimator,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        missing = set(estimator.type_ids) - set(config.payoffs)
+        if missing:
+            raise ModelError(f"estimator covers unknown alert types: {sorted(missing)}")
+        self._config = config
+        self._estimator = estimator
+        self._rng = rng or np.random.default_rng(0)
+        self._ledger = BudgetLedger(config.budget)
+        self._moment = PoissonReciprocalMoment()
+        self._decisions: list[AlertDecision] = []
+
+    @property
+    def config(self) -> SAGConfig:
+        """The static game configuration."""
+        return self._config
+
+    @property
+    def budget_remaining(self) -> float:
+        """Budget left in the current cycle."""
+        return self._ledger.remaining
+
+    @property
+    def decisions(self) -> tuple[AlertDecision, ...]:
+        """All decisions made in the current cycle, in arrival order."""
+        return tuple(self._decisions)
+
+    def reset(self) -> None:
+        """Start a fresh audit cycle (budget, estimator anchor, history)."""
+        self._ledger.reset()
+        self._estimator.reset()
+        self._decisions.clear()
+
+    def process_alert(self, type_id: int, time_of_day: float) -> AlertDecision:
+        """Run the full online pipeline for one arriving alert."""
+        if type_id not in self._config.payoffs:
+            raise ModelError(f"unknown alert type {type_id}")
+        started = _time.perf_counter()
+
+        self._estimator.observe_alert(time_of_day)
+        lambdas = self._estimator.remaining_means(time_of_day)
+        state = GameState(budget=self._ledger.remaining, lambdas=lambdas)
+        sse = solve_online_sse(
+            state,
+            self._config.payoffs,
+            self._config.costs,
+            moment=self._moment,
+            backend=self._config.backend,
+        )
+
+        payoff = self._config.payoffs[type_id]
+        theta = sse.theta_of(type_id)
+        sse_utility = payoff.auditor_utility(theta)
+
+        apply_signaling = self._config.signaling_enabled and (
+            self._config.scope == SCOPE_ALL or type_id == sse.best_response
+        )
+        if self._config.signaling_enabled:
+            # Game value: the OSSP objective at the attacker's best-response
+            # type (what a strategic attacker actually faces right now).
+            best_payoff = self._config.payoffs[sse.best_response]
+            best_scheme = self._solve_scheme(
+                sse.theta_of(sse.best_response), best_payoff
+            )
+            game_value = best_scheme.auditor_utility(best_payoff)
+        else:
+            game_value = sse.effective_auditor_utility
+
+        if apply_signaling:
+            scheme = (
+                best_scheme
+                if type_id == sse.best_response
+                else self._solve_scheme(theta, payoff)
+            )
+            ossp_utility = scheme.auditor_utility(payoff)
+            warned = bool(self._rng.random() < scheme.warning_probability)
+            audit_probability = (
+                scheme.audit_given_warning if warned else scheme.audit_given_silence
+            )
+        else:
+            scheme = None
+            ossp_utility = sse_utility
+            warned = False
+            audit_probability = theta
+        solve_seconds = _time.perf_counter() - started
+
+        budget_before = self._ledger.remaining
+        charge_probability = (
+            theta
+            if self._config.budget_charging == CHARGE_EXPECTED
+            else audit_probability
+        )
+        charged = self._ledger.spend(
+            charge_probability * self._config.costs[type_id],
+            time_of_day=time_of_day,
+            label=f"type={type_id}",
+        )
+        decision = AlertDecision(
+            time_of_day=time_of_day,
+            type_id=type_id,
+            sse=sse,
+            scheme=scheme,
+            warned=warned,
+            audit_probability=audit_probability,
+            budget_before=budget_before,
+            budget_after=self._ledger.remaining,
+            charged=charged,
+            ossp_utility=ossp_utility,
+            sse_utility=sse_utility,
+            game_value=game_value,
+            solve_seconds=solve_seconds,
+            signaling_applied=apply_signaling,
+        )
+        self._decisions.append(decision)
+        return decision
+
+    def _solve_scheme(self, theta: float, payoff: PayoffMatrix) -> SignalingScheme:
+        """The signaling scheme for one (theta, payoff): classic or robust."""
+        if self._config.robust_margin > 0:
+            # Imported lazily: extensions depend on core, not vice versa.
+            from repro.extensions.robust import solve_robust_ossp
+
+            return solve_robust_ossp(
+                theta,
+                payoff,
+                self._config.robust_margin,
+                backend=self._config.backend,
+            )
+        return solve_ossp(
+            theta,
+            payoff,
+            method=self._config.signaling_method,
+            backend=self._config.backend,
+        )

@@ -1,0 +1,63 @@
+"""The offline-SSE baseline.
+
+Without signaling the audit game can be solved once, offline, for the whole
+cycle: alerts are targets, the expected number of alerts of type ``t`` over
+the full day is ``d^t``, and auditing budget ``B`` is split so that each
+alert of type ``t`` is audited with probability
+``theta^t = B^t / (V^t d^t)``. The paper's evaluation plots this strategy as
+a flat line — the auditor's expected utility is identical for every alert,
+whenever it is triggered.
+
+The LP structure is identical to the online case (the multiple-LP method);
+only the mapping from budget shares to marginals differs, so this module
+delegates to :func:`repro.core.sse.solve_multiple_lp` with deterministic
+coefficients ``1 / (V^t * max(d^t, 1))``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import SSESolution, solve_multiple_lp
+from repro.solvers.registry import DEFAULT_BACKEND
+
+
+def solve_offline_sse(
+    budget: float,
+    daily_counts: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+    backend: str = DEFAULT_BACKEND,
+) -> SSESolution:
+    """Solve the whole-cycle offline SSE.
+
+    Parameters
+    ----------
+    budget:
+        Total audit budget ``B`` for the cycle.
+    daily_counts:
+        Expected number of alerts of each type over the full cycle
+        (historical daily means). Counts below one are clamped to one —
+        an attacked type always contains at least the victim alert.
+    payoffs, costs:
+        Per-type payoff matrices and audit costs ``V^t``.
+    """
+    if budget < 0:
+        raise ModelError(f"budget must be non-negative, got {budget}")
+    if not daily_counts:
+        raise ModelError("offline SSE needs at least one alert type")
+    for type_id, count in daily_counts.items():
+        if count < 0:
+            raise ModelError(f"daily count for type {type_id} must be >= 0")
+        if type_id not in payoffs:
+            raise ModelError(f"missing payoff matrix for alert type {type_id}")
+        if type_id not in costs or not costs[type_id] > 0:
+            raise ModelError(f"missing/invalid audit cost for alert type {type_id}")
+
+    coefficient = {
+        type_id: 1.0 / (costs[type_id] * max(float(count), 1.0))
+        for type_id, count in daily_counts.items()
+    }
+    return solve_multiple_lp(budget, coefficient, payoffs, backend=backend)

@@ -1,0 +1,100 @@
+"""Per-type payoff matrices.
+
+The paper's sign conventions (Section 2.2):
+
+* attacker: ``U_a,c < 0 < U_a,u`` — being caught hurts, getting away pays;
+* auditor:  ``U_d,c >= 0 > U_d,u`` — catching an attack is weakly good,
+  missing one is a loss.
+
+``PayoffMatrix`` also exposes the quantities the theory section is built
+from: the expected utilities as functions of the marginal audit probability
+``theta``, the Theorem 3 condition ``U_ac * U_du - U_dc * U_au > 0`` and the
+remark's slope comparison ``-U_ac/U_au > -U_dc/U_du``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PayoffError
+
+
+@dataclass(frozen=True)
+class PayoffMatrix:
+    """Payoffs for one alert type.
+
+    Attributes
+    ----------
+    u_dc:
+        Auditor utility when a victim alert is audited ("covered").
+    u_du:
+        Auditor utility when a victim alert is *not* audited.
+    u_ac:
+        Attacker utility when his victim alert is audited.
+    u_au:
+        Attacker utility when his victim alert is not audited.
+    """
+
+    u_dc: float
+    u_du: float
+    u_ac: float
+    u_au: float
+
+    def __post_init__(self) -> None:
+        if not self.u_ac < 0:
+            raise PayoffError(f"U_a,c must be negative, got {self.u_ac}")
+        if not self.u_au > 0:
+            raise PayoffError(f"U_a,u must be positive, got {self.u_au}")
+        if not self.u_dc >= 0:
+            raise PayoffError(f"U_d,c must be non-negative, got {self.u_dc}")
+        if not self.u_du < 0:
+            raise PayoffError(f"U_d,u must be negative, got {self.u_du}")
+
+    def auditor_utility(self, theta: float) -> float:
+        """``theta * U_dc + (1 - theta) * U_du`` — auditor's expected utility
+        when the victim alert is audited with probability ``theta``."""
+        self._check_theta(theta)
+        return theta * self.u_dc + (1.0 - theta) * self.u_du
+
+    def attacker_utility(self, theta: float) -> float:
+        """``theta * U_ac + (1 - theta) * U_au`` — attacker's expected utility
+        against coverage ``theta`` (strictly decreasing in ``theta``)."""
+        self._check_theta(theta)
+        return theta * self.u_ac + (1.0 - theta) * self.u_au
+
+    def deterrence_threshold(self) -> float:
+        """The coverage ``theta`` at which the attacker's utility hits zero.
+
+        For ``theta`` above this value a rational attacker prefers not to
+        attack at all. Always in ``(0, 1)`` given the sign conventions.
+        """
+        return self.u_au / (self.u_au - self.u_ac)
+
+    def satisfies_theorem3_condition(self) -> bool:
+        """Whether ``U_ac * U_du - U_dc * U_au > 0`` (Theorem 3's premise).
+
+        Equivalently ``-U_ac/U_au > -U_dc/U_du``: the attacker's
+        penalty-to-gain ratio exceeds the auditor's gain-to-loss ratio —
+        "naturally satisfied in application domains" per the paper's remark.
+        """
+        return self.u_ac * self.u_du - self.u_dc * self.u_au > 0
+
+    def scaled(self, factor: float) -> "PayoffMatrix":
+        """A copy with every payoff multiplied by ``factor > 0``.
+
+        Useful for sensitivity analyses; scaling preserves all sign
+        conditions and equilibrium structure.
+        """
+        if not factor > 0:
+            raise PayoffError(f"scale factor must be positive, got {factor}")
+        return PayoffMatrix(
+            u_dc=self.u_dc * factor,
+            u_du=self.u_du * factor,
+            u_ac=self.u_ac * factor,
+            u_au=self.u_au * factor,
+        )
+
+    @staticmethod
+    def _check_theta(theta: float) -> None:
+        if not -1e-9 <= theta <= 1.0 + 1e-9:
+            raise PayoffError(f"theta must lie in [0, 1], got {theta}")

@@ -1,0 +1,203 @@
+"""Optimal signaling — LP (3) of the paper and Theorem 3's closed form.
+
+Given the marginal audit probability ``theta`` for the arriving alert's type
+(pinned to the online-SSE marginal by Theorem 1), the auditor chooses the
+joint signal/audit distribution
+
+    p1 = P(warning, audited)      q1 = P(warning, not audited)
+    p0 = P(no warning, audited)   q0 = P(no warning, not audited)
+
+maximizing her expected utility ``p0 U_dc + q0 U_du`` subject to the
+attacker preferring to *quit* after a warning
+(``p1 U_ac + q1 U_au <= 0``), the marginal-consistency equalities
+``p1 + p0 = theta`` and ``q1 + q0 = 1 - theta``, and non-negativity.
+
+Theorem 3 gives the optimum in closed form whenever
+``U_ac U_du - U_dc U_au > 0`` (true for every payoff in Table 2); the LP
+path is kept both as a fallback for payoffs violating the condition and as
+an independent cross-check of the algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError, PayoffError
+from repro.core.payoffs import PayoffMatrix
+from repro.solvers import LPBuilder, solve
+from repro.solvers.registry import DEFAULT_BACKEND
+
+_PROB_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SignalingScheme:
+    """A joint warning/audit distribution for a single alert.
+
+    The four probabilities partition the unit of probability mass:
+    ``p1 + q1 + p0 + q0 = 1``.
+    """
+
+    p1: float
+    q1: float
+    p0: float
+    q0: float
+
+    def __post_init__(self) -> None:
+        values = (self.p1, self.q1, self.p0, self.q0)
+        for name, value in zip(("p1", "q1", "p0", "q0"), values):
+            if not -_PROB_TOL <= value <= 1.0 + _PROB_TOL:
+                raise ModelError(f"{name} must lie in [0, 1], got {value}")
+        if abs(sum(values) - 1.0) > 1e-6:
+            raise ModelError(f"probabilities must sum to 1, got {sum(values)}")
+        # Snap tiny numerical negatives to exactly zero.
+        object.__setattr__(self, "p1", max(0.0, float(self.p1)))
+        object.__setattr__(self, "q1", max(0.0, float(self.q1)))
+        object.__setattr__(self, "p0", max(0.0, float(self.p0)))
+        object.__setattr__(self, "q0", max(0.0, float(self.q0)))
+
+    @property
+    def theta(self) -> float:
+        """Marginal audit probability ``p1 + p0``."""
+        return self.p1 + self.p0
+
+    @property
+    def warning_probability(self) -> float:
+        """Probability a warning is shown, ``p1 + q1``."""
+        return self.p1 + self.q1
+
+    @property
+    def audit_given_warning(self) -> float:
+        """``P(audit | warning)``; 0 when warnings are never sent."""
+        total = self.p1 + self.q1
+        return self.p1 / total if total > _PROB_TOL else 0.0
+
+    @property
+    def audit_given_silence(self) -> float:
+        """``P(audit | no warning)``; 0 when silence never happens."""
+        total = self.p0 + self.q0
+        return self.p0 / total if total > _PROB_TOL else 0.0
+
+    def auditor_utility(self, payoff: PayoffMatrix) -> float:
+        """The OSSP objective ``p0 U_dc + q0 U_du``.
+
+        This is the auditor's expected utility against an attacker who quits
+        on a warning and proceeds otherwise.
+        """
+        return self.p0 * payoff.u_dc + self.q0 * payoff.u_du
+
+    def attacker_utility(self, payoff: PayoffMatrix) -> float:
+        """Attacker's expected utility under this scheme.
+
+        A warned attacker quits (utility 0 on that branch); an unwarned one
+        proceeds, so his expectation is ``p0 U_ac + q0 U_au``.
+        """
+        return self.p0 * payoff.u_ac + self.q0 * payoff.u_au
+
+    def attacker_proceed_utility_given_warning(self, payoff: PayoffMatrix) -> float:
+        """Attacker's conditional utility if he *ignored* the warning.
+
+        Non-positive in every valid OSSP (that is what makes quitting his
+        best response).
+        """
+        total = self.p1 + self.q1
+        if total <= _PROB_TOL:
+            return 0.0
+        return (self.p1 * payoff.u_ac + self.q1 * payoff.u_au) / total
+
+
+def solve_ossp_closed_form(theta: float, payoff: PayoffMatrix) -> SignalingScheme:
+    """Theorem 3's closed-form OSSP.
+
+    Requires the payoff condition ``U_ac U_du - U_dc U_au > 0``; raises
+    :class:`~repro.errors.PayoffError` otherwise (use :func:`solve_ossp_lp`
+    for such payoffs).
+
+    With ``beta = theta U_ac + (1 - theta) U_au`` (the attacker's expected
+    utility at marginal coverage ``theta``):
+
+    * ``beta <= 0``  — attack fully deterred: warn with the audit mass,
+      ``(p1, q1, p0, q0) = (theta, 1 - theta, 0, 0)``; auditor utility 0.
+    * ``beta > 0``   — warn as much as possible while keeping the quit
+      constraint tight: ``p1 = theta``, ``p0 = 0``, ``q0 = beta / U_au``,
+      ``q1 = 1 - theta - q0``; auditor utility ``(U_du / U_au) * beta``.
+    """
+    _check_theta(theta)
+    if not payoff.satisfies_theorem3_condition():
+        raise PayoffError(
+            "closed-form OSSP requires U_ac*U_du - U_dc*U_au > 0; "
+            "solve via the LP instead"
+        )
+    beta = payoff.attacker_utility(theta)
+    if beta <= 0:
+        return SignalingScheme(p1=theta, q1=1.0 - theta, p0=0.0, q0=0.0)
+    q0 = beta / payoff.u_au
+    q1 = 1.0 - theta - q0
+    # beta > 0 implies q0 <= 1 - theta (equality at theta = 0), so q1 >= 0
+    # up to rounding; clamp the dust.
+    q1 = max(0.0, q1)
+    return SignalingScheme(p1=theta, q1=q1, p0=0.0, q0=q0)
+
+
+def solve_ossp_lp(
+    theta: float,
+    payoff: PayoffMatrix,
+    backend: str = DEFAULT_BACKEND,
+) -> SignalingScheme:
+    """Solve LP (3) directly.
+
+    Works for any payoff matrix satisfying the paper's sign conventions,
+    including ones that violate Theorem 3's condition.
+
+    Beyond the constraints printed in LP (3), the paper's Theorem 3 proof
+    relies on the *participation* condition
+    ``p0 U_ac + q0 U_au >= 0`` ("this inequality is always true. If not the
+    case, the attacker will not attack initially"): an attacker whose
+    overall expected utility under the scheme is negative never attacks, so
+    any LP vertex violating it describes an off-equilibrium outcome with
+    vacuous objective value. We enforce it explicitly, which makes the LP
+    optimum coincide with the closed form on all inputs.
+    """
+    _check_theta(theta)
+    builder = LPBuilder()
+    builder.add_variable("p1", lower=0.0, upper=1.0)
+    builder.add_variable("q1", lower=0.0, upper=1.0)
+    builder.add_variable("p0", lower=0.0, upper=1.0, objective=payoff.u_dc)
+    builder.add_variable("q0", lower=0.0, upper=1.0, objective=payoff.u_du)
+    # Warned attacker must prefer to quit.
+    builder.add_le({"p1": payoff.u_ac, "q1": payoff.u_au}, 0.0)
+    # The (unwarned) attacker must still be willing to attack.
+    builder.add_ge({"p0": payoff.u_ac, "q0": payoff.u_au}, 0.0)
+    # Marginal consistency with the (Theorem 1) SSE marginals.
+    builder.add_eq({"p1": 1.0, "p0": 1.0}, theta)
+    builder.add_eq({"q1": 1.0, "q0": 1.0}, 1.0 - theta)
+    solution = solve(builder.build(), backend=backend)
+    values = solution.as_dict(["p1", "q1", "p0", "q0"])
+    return SignalingScheme(
+        p1=values["p1"], q1=values["q1"], p0=values["p0"], q0=values["q0"]
+    )
+
+
+def solve_ossp(
+    theta: float,
+    payoff: PayoffMatrix,
+    method: str = "closed_form",
+    backend: str = DEFAULT_BACKEND,
+) -> SignalingScheme:
+    """Compute the OSSP for one alert.
+
+    ``method`` is ``"closed_form"`` (Theorem 3; falls back to the LP when
+    the payoff condition fails) or ``"lp"``.
+    """
+    if method == "closed_form":
+        if payoff.satisfies_theorem3_condition():
+            return solve_ossp_closed_form(theta, payoff)
+        return solve_ossp_lp(theta, payoff, backend=backend)
+    if method == "lp":
+        return solve_ossp_lp(theta, payoff, backend=backend)
+    raise ModelError(f"unknown OSSP method {method!r}; use 'closed_form' or 'lp'")
+
+
+def _check_theta(theta: float) -> None:
+    if not -_PROB_TOL <= theta <= 1.0 + _PROB_TOL:
+        raise ModelError(f"theta must lie in [0, 1], got {theta}")

@@ -1,0 +1,279 @@
+"""Online SSE computation — LP (2) of the paper, via multiple LPs.
+
+Upon arrival of an alert, the auditor solves one LP per candidate attacker
+best-response type ``t``. Each LP allocates the remaining budget ``B_tau``
+across types as a vector ``B^{t'}`` and induces marginal audit probabilities
+
+    theta^{t'} = E_{d ~ Poisson(lambda^{t'})}[ B^{t'} / (V^{t'} d) ]
+              = B^{t'} * r(lambda^{t'}) / V^{t'}
+
+where ``r`` is the conditional reciprocal moment ``E[1/d | d >= 1]`` (see
+:mod:`repro.stats.poisson`; the attacker's own victim alert guarantees
+``d >= 1``, and as ``lambda -> 0`` the moment tends to 1). The LP maximizes
+the auditor's utility assuming ``t`` is attacked, subject to ``t`` actually
+being the attacker's best response, the budget split summing to at most
+``B_tau``, and every marginal staying a probability. The best feasible LP
+across all candidates is the online SSE.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.solvers import LPBuilder, solve
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.poisson import PoissonReciprocalMoment
+
+_THETA_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class GameState:
+    """Snapshot of the game at one alert arrival.
+
+    Attributes
+    ----------
+    budget:
+        Remaining audit budget ``B_tau``.
+    lambdas:
+        Estimated mean number of *future* alerts per type (the Poisson rates
+        ``lambda^{t'}`` of ``D^{t'}_tau``).
+    """
+
+    budget: float
+    lambdas: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        if not self.budget >= 0:
+            raise ModelError(f"budget must be non-negative, got {self.budget}")
+        if not self.lambdas:
+            raise ModelError("game state must cover at least one alert type")
+        for type_id, lam in self.lambdas.items():
+            if lam < 0 or not math.isfinite(lam):
+                raise ModelError(f"lambda for type {type_id} must be finite and >= 0")
+        object.__setattr__(self, "lambdas", dict(self.lambdas))
+
+
+@dataclass(frozen=True)
+class SSESolution:
+    """The online SSE at one game state.
+
+    Attributes
+    ----------
+    thetas:
+        Marginal audit probability ``theta^{t'}`` per type.
+    allocations:
+        Budget split ``B^{t'}`` per type (sums to at most the budget).
+    best_response:
+        The attacker's equilibrium alert type.
+    auditor_utility:
+        ``theta^t U_dc + (1-theta^t) U_du`` at the best response ``t``
+        (the optimal objective value of the winning LP).
+    attacker_utility:
+        ``theta^t U_ac + (1-theta^t) U_au`` at the best response.
+    lps_solved:
+        Number of candidate LPs solved (== number of types).
+    lps_feasible:
+        How many of them were feasible.
+    """
+
+    thetas: dict[int, float]
+    allocations: dict[int, float]
+    best_response: int
+    auditor_utility: float
+    attacker_utility: float
+    lps_solved: int = 0
+    lps_feasible: int = 0
+
+    @property
+    def deterred(self) -> bool:
+        """Whether a rational attacker prefers not to attack at all.
+
+        Follows Theorem 2's case split: the attacker attacks when his
+        expected utility is >= 0 and stays out when it is negative.
+        """
+        return self.attacker_utility < 0
+
+    @property
+    def effective_auditor_utility(self) -> float:
+        """Auditor utility accounting for deterrence (0 when no attack)."""
+        return 0.0 if self.deterred else self.auditor_utility
+
+    def theta_of(self, type_id: int) -> float:
+        """Marginal audit probability for ``type_id``."""
+        try:
+            return self.thetas[type_id]
+        except KeyError:
+            raise ModelError(f"no SSE marginal for alert type {type_id}") from None
+
+
+def solve_online_sse(
+    state: GameState,
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+    moment: PoissonReciprocalMoment | None = None,
+    backend: str = DEFAULT_BACKEND,
+) -> SSESolution:
+    """Compute the online SSE at ``state`` (LP (2), multiple-LP method).
+
+    Parameters
+    ----------
+    state:
+        Remaining budget and per-type future-alert rates.
+    payoffs:
+        Per-type payoff matrices (must cover every type in ``state``).
+    costs:
+        Per-type audit costs ``V^{t'}`` (must cover every type in ``state``).
+    moment:
+        Optional memoized Poisson reciprocal-moment table.
+    backend:
+        LP backend name (``"scipy"`` or ``"simplex"``).
+    """
+    type_ids = sorted(state.lambdas)
+    _validate_coverage(type_ids, payoffs, costs)
+    if moment is None:  # NB: an empty cache is falsy, so `or` would drop it
+        moment = PoissonReciprocalMoment()
+
+    # theta^{t'} = coefficient[t'] * B^{t'}
+    coefficient = {
+        t: moment(state.lambdas[t]) / costs[t]
+        for t in type_ids
+    }
+    return solve_multiple_lp(state.budget, coefficient, payoffs, backend=backend)
+
+
+def solve_multiple_lp(
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    backend: str = DEFAULT_BACKEND,
+) -> SSESolution:
+    """The multiple-LP SSE method over precomputed theta coefficients.
+
+    ``coefficient[t]`` maps a budget share ``B^t`` to the induced marginal
+    audit probability ``theta^t = coefficient[t] * B^t``. The online SSE
+    uses Poisson reciprocal moments for these coefficients; the offline
+    baseline uses deterministic whole-day counts. Everything else — the
+    candidate enumeration, best-response constraints and tie-breaking — is
+    shared.
+    """
+    type_ids = sorted(coefficient)
+    best: SSESolution | None = None
+    feasible = 0
+    for candidate in type_ids:
+        solution = _solve_candidate_lp(
+            candidate, type_ids, budget, coefficient, payoffs, backend
+        )
+        if solution is None:
+            continue
+        feasible += 1
+        if best is None or solution.auditor_utility > best.auditor_utility + _THETA_TOL:
+            best = solution
+        elif (
+            abs(solution.auditor_utility - best.auditor_utility) <= _THETA_TOL
+            and solution.attacker_utility < best.attacker_utility
+        ):
+            # Tie on auditor utility: prefer the outcome the attacker likes
+            # less (strong-Stackelberg tie-breaking is defender-optimal; this
+            # secondary rule just makes the choice deterministic).
+            best = solution
+    if best is None:
+        # Unreachable in a well-formed game: the all-zero allocation is
+        # always feasible for the type maximizing the uncovered payoff.
+        raise ModelError("no feasible best-response LP; game is ill-formed")
+    return SSESolution(
+        thetas=best.thetas,
+        allocations=best.allocations,
+        best_response=best.best_response,
+        auditor_utility=best.auditor_utility,
+        attacker_utility=best.attacker_utility,
+        lps_solved=len(type_ids),
+        lps_feasible=feasible,
+    )
+
+
+def _solve_candidate_lp(
+    candidate: int,
+    type_ids: list[int],
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    backend: str,
+) -> SSESolution | None:
+    """Solve LP (2) assuming ``candidate`` is the attacker's best response.
+
+    Returns ``None`` when the assumption is infeasible.
+    """
+    builder = LPBuilder()
+    pay_c = payoffs[candidate]
+
+    for t in type_ids:
+        # One variable per type: the budget share B^{t}. theta^{t} <= 1 is
+        # enforced through the variable's upper bound B^{t} <= 1/coef.
+        coef = coefficient[t]
+        upper = min(budget, 1.0 / coef if coef > 0 else math.inf)
+        builder.add_variable(_var(t), lower=0.0, upper=upper)
+
+    # Objective: maximize theta^c * (U_dc - U_du) (+ constant U_du).
+    builder.set_objective(
+        _var(candidate), coefficient[candidate] * (pay_c.u_dc - pay_c.u_du)
+    )
+
+    # Best-response constraints: attacker prefers `candidate` to every t'.
+    #   theta^c (U^c_ac - U^c_au) + U^c_au >= theta^{t'} (U'_ac - U'_au) + U'_au
+    gap_c = pay_c.u_ac - pay_c.u_au  # negative
+    for t in type_ids:
+        if t == candidate:
+            continue
+        pay_t = payoffs[t]
+        gap_t = pay_t.u_ac - pay_t.u_au
+        builder.add_ge(
+            {
+                _var(candidate): coefficient[candidate] * gap_c,
+                _var(t): -coefficient[t] * gap_t,
+            },
+            pay_t.u_au - pay_c.u_au,
+        )
+
+    # Budget split: sum of shares within the remaining budget.
+    builder.add_le({_var(t): 1.0 for t in type_ids}, budget)
+
+    solution = solve(builder.build(), backend=backend, raise_on_failure=False)
+    if not solution.status.is_success:
+        return None
+
+    values = solution.as_dict([_var(t) for t in type_ids])
+    allocations = {t: max(0.0, values[_var(t)]) for t in type_ids}
+    thetas = {
+        t: min(1.0, coefficient[t] * allocations[t]) for t in type_ids
+    }
+    theta_c = thetas[candidate]
+    return SSESolution(
+        thetas=thetas,
+        allocations=allocations,
+        best_response=candidate,
+        auditor_utility=pay_c.auditor_utility(theta_c),
+        attacker_utility=pay_c.attacker_utility(theta_c),
+    )
+
+
+def _validate_coverage(
+    type_ids: list[int],
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+) -> None:
+    for t in type_ids:
+        if t not in payoffs:
+            raise ModelError(f"missing payoff matrix for alert type {t}")
+        if t not in costs:
+            raise ModelError(f"missing audit cost for alert type {t}")
+        if not costs[t] > 0:
+            raise ModelError(f"audit cost for type {t} must be positive")
+
+
+def _var(type_id: int) -> str:
+    return f"B[{type_id}]"

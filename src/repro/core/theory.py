@@ -1,0 +1,110 @@
+"""Theorems 1-4 as executable predicates.
+
+These functions are the bridge between the paper's theory section and the
+test suite: each theorem becomes a checkable property over concrete payoff
+matrices, marginals, and game states. They are used by the property-based
+tests and are available to library users who want runtime assurance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp
+from repro.core.sse import GameState, solve_online_sse
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.poisson import PoissonReciprocalMoment
+
+_TOL = 1e-7
+
+
+def ossp_auditor_utility(theta: float, payoff: PayoffMatrix) -> float:
+    """Auditor's expected utility under the OSSP at marginal ``theta``."""
+    scheme = solve_ossp(theta, payoff)
+    return scheme.auditor_utility(payoff)
+
+
+def sse_auditor_utility(theta: float, payoff: PayoffMatrix) -> float:
+    """Auditor's expected utility without signaling at marginal ``theta``,
+    accounting for deterrence (utility 0 when the attacker stays out)."""
+    if payoff.attacker_utility(theta) < 0:
+        return 0.0
+    return payoff.auditor_utility(theta)
+
+
+def check_theorem_1(
+    state: GameState,
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+    backend: str = DEFAULT_BACKEND,
+    grid: int = 21,
+    tol: float = _TOL,
+) -> bool:
+    """Theorem 1: the OSSP uses exactly the online-SSE marginals.
+
+    Executable form: the OSSP auditor utility, as a function of the marginal
+    ``theta`` granted to the best-response type, is non-decreasing on
+    ``[0, theta_SSE]`` — so no *budget-feasible* marginal (they are all
+    below ``theta_SSE`` at the SSE optimum, by LP (2) optimality) can beat
+    ``theta_SSE`` itself, and the signaling stage inherits the SSE marginals
+    unchanged.
+
+    The certificate is valid under the paper's "mild assumptions (which are
+    typically satisfied in our domain of interest)" — concretely, the
+    Theorem 3 payoff condition ``U_ac U_du - U_dc U_au > 0``. For payoffs
+    violating it the OSSP utility need not be monotone in ``theta`` and the
+    check is vacuously true (the theorem's premise does not apply).
+    """
+    solution = solve_online_sse(
+        state, payoffs, costs, moment=PoissonReciprocalMoment(), backend=backend
+    )
+    payoff = payoffs[solution.best_response]
+    if not payoff.satisfies_theorem3_condition():
+        return True
+    theta_star = solution.theta_of(solution.best_response)
+    thetas = np.linspace(0.0, theta_star, grid)
+    utilities = [ossp_auditor_utility(float(t), payoff) for t in thetas]
+    return all(
+        later >= earlier - tol
+        for earlier, later in zip(utilities, utilities[1:])
+    )
+
+
+def check_theorem_2(theta: float, payoff: PayoffMatrix, tol: float = _TOL) -> bool:
+    """Theorem 2: OSSP auditor utility >= no-signaling auditor utility."""
+    return (
+        ossp_auditor_utility(theta, payoff)
+        >= sse_auditor_utility(theta, payoff) - tol
+    )
+
+
+def check_theorem_3(theta: float, payoff: PayoffMatrix, tol: float = _TOL) -> bool:
+    """Theorem 3: when ``U_ac U_du - U_dc U_au > 0``, the OSSP never audits
+    silently (``p0 = 0``)."""
+    if not payoff.satisfies_theorem3_condition():
+        return True  # premise not met; nothing to check
+    scheme = solve_ossp(theta, payoff, method="lp")
+    return scheme.p0 <= tol
+
+
+def check_theorem_4(theta: float, payoff: PayoffMatrix, tol: float = _TOL) -> bool:
+    """Theorem 4: the attacker is indifferent between OSSP and plain SSE.
+
+    With ``beta = attacker_utility(theta)``: when ``beta <= 0`` both give a
+    non-attacking attacker utility 0; when ``beta > 0`` both give ``beta``.
+    """
+    scheme = solve_ossp(theta, payoff)
+    beta = payoff.attacker_utility(theta)
+    ossp_value = scheme.attacker_utility(payoff)
+    if beta <= 0:
+        return abs(ossp_value) <= tol or ossp_value <= tol
+    return abs(ossp_value - beta) <= tol * max(1.0, abs(beta))
+
+
+def signaling_value(theta: float, payoff: PayoffMatrix) -> float:
+    """The auditor's gain from signaling at marginal ``theta`` (>= 0 by
+    Theorem 2)."""
+    return ossp_auditor_utility(theta, payoff) - sse_auditor_utility(theta, payoff)

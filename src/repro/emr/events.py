@@ -1,0 +1,38 @@
+"""Access-event records.
+
+An access event is the atomic unit of the EMR log: one employee opening one
+patient's record at one instant. Events carry only identifiers — all
+attributes used by the alert rules live in the :class:`~repro.emr.population.Population`,
+mirroring how a real detection system joins the access log against HR and
+patient-demographics tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.stats.diurnal import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True, order=True)
+class AccessEvent:
+    """One ``<Date, Employee, Patient>`` access (with a time of day).
+
+    Ordering is chronological: by day, then time of day.
+    """
+
+    day: int
+    time_of_day: float
+    employee_id: int
+    patient_id: int
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise DataError(f"day index must be non-negative, got {self.day}")
+        if not 0 <= self.time_of_day < SECONDS_PER_DAY:
+            raise DataError(
+                f"time of day must lie in [0, {SECONDS_PER_DAY}), got {self.time_of_day}"
+            )
+        if self.employee_id < 0 or self.patient_id < 0:
+            raise DataError("entity ids must be non-negative")

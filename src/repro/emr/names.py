@@ -1,0 +1,59 @@
+"""Surname generation.
+
+Surnames drive the "Same Last Name" alert predicate. The sampler uses a
+Zipf-like weighting over a fixed list of common US surnames so that name
+collisions between unrelated people occur at a realistic (non-negligible)
+rate, just as in the paper's real hospital data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SURNAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin",
+    "Wallace", "Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera",
+    "Gibson", "Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray",
+    "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+    "McDonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas",
+    "Henry", "Chen", "Freeman", "Webb", "Tucker", "Guzman", "Burns",
+    "Crawford", "Olson", "Simpson", "Porter", "Hunter", "Gordon", "Mendez",
+)
+
+_ZIPF_EXPONENT = 0.85
+
+
+def _zipf_weights(count: int, exponent: float = _ZIPF_EXPONENT) -> np.ndarray:
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+_WEIGHTS = _zipf_weights(len(SURNAMES))
+
+
+def sample_surname(rng: np.random.Generator) -> str:
+    """Draw one surname with Zipf-weighted frequency."""
+    return str(rng.choice(np.asarray(SURNAMES, dtype=object), p=_WEIGHTS))
+
+
+def sample_surnames(rng: np.random.Generator, count: int) -> list[str]:
+    """Draw ``count`` surnames independently."""
+    picks = rng.choice(len(SURNAMES), size=count, p=_WEIGHTS)
+    return [SURNAMES[i] for i in picks]

@@ -1,0 +1,362 @@
+"""Synthetic hospital population.
+
+The population is built so that every relationship category behind Table 1's
+alert types exists organically:
+
+* **family patients** share a household *and* surname with an employee
+  (feeding types 6/7 after geocode noise splits them);
+* **roommate patients** share a household but not a surname (type 4 when
+  geocoding separates them; the same-address+neighbor combination is not
+  one of the paper's seven types and is simply never drawn by the
+  simulator);
+* **neighbor patients** live within half a mile of an employee (type 3,
+  and type 5 when they also share the surname);
+* **namesake patients** share a surname with an employee but live far away
+  (type 1);
+* **coworker pairs** are employee-to-employee record accesses within a
+  department (type 2);
+* **general patients** have no engineered relationship and supply the large
+  mass of routine accesses (any alert they trigger is an organic collision,
+  exactly like the false positives in the real data).
+
+Crucially, the population only *constructs* candidate relationships — the
+alert types are assigned later by running the real rule engine over each
+pair, so the detection pipeline is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.emr import names
+from repro.emr.geo import (
+    CITY_SIZE_MILES,
+    Household,
+    distance_miles,
+    geocode,
+    make_household,
+)
+
+DEPARTMENTS: tuple[str, ...] = (
+    "Emergency", "Cardiology", "Oncology", "Pediatrics", "Radiology",
+    "Surgery", "Neurology", "Orthopedics", "Obstetrics", "Psychiatry",
+    "Urology", "Dermatology", "Pathology", "Anesthesiology", "Pharmacy",
+    "Laboratory", "Admissions", "Billing", "Nursing", "Internal Medicine",
+)
+
+#: Minimum true distance (miles) used when placing "far" households, so that
+#: engineered far relationships only become neighbors through geocode
+#: blunders (as in real messy data), not by construction.
+_FAR_MILES = 2.0
+
+
+@dataclass(frozen=True)
+class Employee:
+    """A hospital employee (EMR user)."""
+
+    employee_id: int
+    surname: str
+    department_id: int
+    household_id: int
+    geocode: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Patient:
+    """A patient record.
+
+    ``employee_id`` is set when the patient is also an employee (the
+    department-coworker predicate needs this link).
+    """
+
+    patient_id: int
+    surname: str
+    household_id: int
+    geocode: tuple[float, float]
+    employee_id: int | None = None
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Sizing and noise knobs for population synthesis.
+
+    Defaults are tuned so every relationship pool comfortably covers the
+    per-day draw counts implied by Table 1.
+    """
+
+    n_departments: int = 20
+    n_employees: int = 1200
+    n_family_patients: int = 1600
+    n_roommate_patients: int = 1400
+    n_neighbor_patients: int = 1800
+    n_namesake_neighbor_patients: int = 500
+    n_namesake_far_patients: int = 1600
+    n_coworker_pairs: int = 800
+    n_general_patients: int = 8000
+    geocode_noise_std_miles: float = 0.12
+    geocode_blunder_probability: float = 0.03
+    geocode_blunder_std_miles: float = 2.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "n_departments", "n_employees", "n_family_patients",
+            "n_roommate_patients", "n_neighbor_patients",
+            "n_namesake_neighbor_patients", "n_namesake_far_patients",
+            "n_coworker_pairs", "n_general_patients",
+        ):
+            if getattr(self, name) <= 0:
+                raise DataError(f"{name} must be positive")
+        if self.n_departments > len(DEPARTMENTS):
+            raise DataError(
+                f"at most {len(DEPARTMENTS)} departments are available"
+            )
+
+
+@dataclass
+class Population:
+    """The assembled synthetic hospital.
+
+    Attributes
+    ----------
+    households, employees, patients:
+        Entity lists, indexed by their ids.
+    departments:
+        Department names, indexed by ``department_id``.
+    candidate_pairs:
+        Engineered relationship pairs ``(employee_id, patient_id)`` — the
+        raw material the simulator classifies (with the rule engine) into
+        per-alert-type pools.
+    general_patient_ids:
+        Patients used for routine (unrelated) accesses.
+    """
+
+    households: list[Household]
+    employees: list[Employee]
+    patients: list[Patient]
+    departments: tuple[str, ...]
+    candidate_pairs: list[tuple[int, int]]
+    general_patient_ids: list[int] = field(default_factory=list)
+
+    def employee(self, employee_id: int) -> Employee:
+        """Lookup by id (ids are list positions)."""
+        try:
+            return self.employees[employee_id]
+        except IndexError:
+            raise DataError(f"unknown employee id {employee_id}") from None
+
+    def patient(self, patient_id: int) -> Patient:
+        """Lookup by id (ids are list positions)."""
+        try:
+            return self.patients[patient_id]
+        except IndexError:
+            raise DataError(f"unknown patient id {patient_id}") from None
+
+    def household(self, household_id: int) -> Household:
+        """Lookup by id (ids are list positions)."""
+        try:
+            return self.households[household_id]
+        except IndexError:
+            raise DataError(f"unknown household id {household_id}") from None
+
+    @property
+    def n_employees(self) -> int:
+        return len(self.employees)
+
+    @property
+    def n_patients(self) -> int:
+        return len(self.patients)
+
+
+class _Builder:
+    """Stateful helper that accumulates entities during construction."""
+
+    def __init__(self, config: PopulationConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self.households: list[Household] = []
+        self.employees: list[Employee] = []
+        self.patients: list[Patient] = []
+        self.candidate_pairs: list[tuple[int, int]] = []
+        self.general_patient_ids: list[int] = []
+
+    def new_household(self) -> Household:
+        household = make_household(len(self.households), self.rng)
+        self.households.append(household)
+        return household
+
+    def new_household_near(self, anchor: Household, min_miles: float, max_miles: float) -> Household:
+        angle = self.rng.uniform(0.0, 2.0 * np.pi)
+        radius = self.rng.uniform(min_miles, max_miles)
+        base = make_household(len(self.households) + 1, self.rng)
+        household = Household(
+            household_id=len(self.households),
+            address=base.address,
+            x=float(np.clip(anchor.x + radius * np.cos(angle), 0.0, CITY_SIZE_MILES)),
+            y=float(np.clip(anchor.y + radius * np.sin(angle), 0.0, CITY_SIZE_MILES)),
+        )
+        self.households.append(household)
+        return household
+
+    def new_household_far(self, anchor: Household) -> Household:
+        for _ in range(200):
+            household = make_household(len(self.households), self.rng)
+            if distance_miles((household.x, household.y), (anchor.x, anchor.y)) > _FAR_MILES:
+                self.households.append(household)
+                return household
+        raise DataError("could not place a far household (city too small?)")
+
+    def record_geocode(self, household: Household) -> tuple[float, float]:
+        return geocode(
+            household,
+            self.rng,
+            noise_std_miles=self.config.geocode_noise_std_miles,
+            blunder_probability=self.config.geocode_blunder_probability,
+            blunder_std_miles=self.config.geocode_blunder_std_miles,
+        )
+
+    def new_employee(self, surname: str, household: Household, department_id: int) -> Employee:
+        employee = Employee(
+            employee_id=len(self.employees),
+            surname=surname,
+            department_id=department_id,
+            household_id=household.household_id,
+            geocode=self.record_geocode(household),
+        )
+        self.employees.append(employee)
+        return employee
+
+    def new_patient(
+        self,
+        surname: str,
+        household: Household,
+        employee_id: int | None = None,
+    ) -> Patient:
+        patient = Patient(
+            patient_id=len(self.patients),
+            surname=surname,
+            household_id=household.household_id,
+            geocode=self.record_geocode(household),
+            employee_id=employee_id,
+        )
+        self.patients.append(patient)
+        return patient
+
+    def random_employee(self) -> Employee:
+        return self.employees[int(self.rng.integers(len(self.employees)))]
+
+
+def build_population(
+    config: PopulationConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> Population:
+    """Construct the full synthetic hospital.
+
+    Deterministic given ``rng``; pass a seeded generator for reproducible
+    experiments.
+    """
+    config = config or PopulationConfig()
+    rng = rng or np.random.default_rng(0)
+    builder = _Builder(config, rng)
+
+    # Employees, each with their own household.
+    for _ in range(config.n_employees):
+        household = builder.new_household()
+        builder.new_employee(
+            surname=names.sample_surname(rng),
+            household=household,
+            department_id=int(rng.integers(config.n_departments)),
+        )
+
+    # Family patients: same household and surname as an employee.
+    for _ in range(config.n_family_patients):
+        employee = builder.random_employee()
+        household = builder.households[employee.household_id]
+        patient = builder.new_patient(employee.surname, household)
+        builder.candidate_pairs.append((employee.employee_id, patient.patient_id))
+
+    # Roommate patients: same household, different surname.
+    for _ in range(config.n_roommate_patients):
+        employee = builder.random_employee()
+        household = builder.households[employee.household_id]
+        surname = _different_surname(rng, employee.surname)
+        patient = builder.new_patient(surname, household)
+        builder.candidate_pairs.append((employee.employee_id, patient.patient_id))
+
+    # Neighbor patients: nearby household, different surname.
+    for _ in range(config.n_neighbor_patients):
+        employee = builder.random_employee()
+        anchor = builder.households[employee.household_id]
+        household = builder.new_household_near(anchor, 0.03, 0.33)
+        surname = _different_surname(rng, employee.surname)
+        patient = builder.new_patient(surname, household)
+        builder.candidate_pairs.append((employee.employee_id, patient.patient_id))
+
+    # Namesake neighbors: nearby household, same surname.
+    for _ in range(config.n_namesake_neighbor_patients):
+        employee = builder.random_employee()
+        anchor = builder.households[employee.household_id]
+        household = builder.new_household_near(anchor, 0.03, 0.33)
+        patient = builder.new_patient(employee.surname, household)
+        builder.candidate_pairs.append((employee.employee_id, patient.patient_id))
+
+    # Namesake far: same surname, distant household.
+    for _ in range(config.n_namesake_far_patients):
+        employee = builder.random_employee()
+        anchor = builder.households[employee.household_id]
+        household = builder.new_household_far(anchor)
+        patient = builder.new_patient(employee.surname, household)
+        builder.candidate_pairs.append((employee.employee_id, patient.patient_id))
+
+    # Coworker pairs: an employee accessing the record of a same-department
+    # colleague (different surname, distant household).
+    coworker_patient_by_employee: dict[int, int] = {}
+    attempts = 0
+    created = 0
+    while created < config.n_coworker_pairs and attempts < config.n_coworker_pairs * 50:
+        attempts += 1
+        accessor = builder.random_employee()
+        target = builder.random_employee()
+        if accessor.employee_id == target.employee_id:
+            continue
+        if accessor.department_id != target.department_id:
+            continue
+        if accessor.surname == target.surname:
+            continue
+        patient_id = coworker_patient_by_employee.get(target.employee_id)
+        if patient_id is None:
+            household = builder.households[target.household_id]
+            patient = builder.new_patient(
+                target.surname, household, employee_id=target.employee_id
+            )
+            patient_id = patient.patient_id
+            coworker_patient_by_employee[target.employee_id] = patient_id
+        builder.candidate_pairs.append((accessor.employee_id, patient_id))
+        created += 1
+    if created < config.n_coworker_pairs:
+        raise DataError("could not assemble enough coworker pairs")
+
+    # General patients: the unrelated background population.
+    for _ in range(config.n_general_patients):
+        household = builder.new_household()
+        patient = builder.new_patient(names.sample_surname(rng), household)
+        builder.general_patient_ids.append(patient.patient_id)
+
+    return Population(
+        households=builder.households,
+        employees=builder.employees,
+        patients=builder.patients,
+        departments=DEPARTMENTS[: config.n_departments],
+        candidate_pairs=builder.candidate_pairs,
+        general_patient_ids=builder.general_patient_ids,
+    )
+
+
+def _different_surname(rng: np.random.Generator, avoid: str) -> str:
+    for _ in range(100):
+        surname = names.sample_surname(rng)
+        if surname != avoid:
+            return surname
+    raise DataError("surname sampler failed to produce a distinct surname")

@@ -1,0 +1,87 @@
+"""The four base alert predicates.
+
+These are the paper's rules: employee and patient (1) share the same last
+name, (2) work in the same department, (3) share the same residential
+address, and (4) are neighbors within 0.5 miles. Each predicate is a pure
+function of the population's recorded attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.emr.geo import NEIGHBOR_RADIUS_MILES, distance_miles
+from repro.emr.population import Population
+
+
+class BaseRule(enum.Enum):
+    """The atomic suspicious-access predicates."""
+
+    SAME_LAST_NAME = "L"
+    DEPARTMENT_COWORKER = "D"
+    SAME_ADDRESS = "A"
+    NEIGHBOR = "N"
+
+
+def is_same_last_name(population: Population, employee_id: int, patient_id: int) -> bool:
+    """Employee and patient share a surname (recorded string equality)."""
+    return (
+        population.employee(employee_id).surname
+        == population.patient(patient_id).surname
+    )
+
+
+def is_department_coworker(population: Population, employee_id: int, patient_id: int) -> bool:
+    """The patient is also an employee of the accessor's department."""
+    patient = population.patient(patient_id)
+    if patient.employee_id is None:
+        return False
+    if patient.employee_id == employee_id:
+        # Accessing one's own record is handled by separate self-access
+        # policies, not the coworker rule.
+        return False
+    target = population.employee(patient.employee_id)
+    return target.department_id == population.employee(employee_id).department_id
+
+
+def is_same_address(population: Population, employee_id: int, patient_id: int) -> bool:
+    """Recorded address strings match exactly."""
+    employee = population.employee(employee_id)
+    patient = population.patient(patient_id)
+    if employee.household_id == patient.household_id:
+        return True
+    return (
+        population.household(employee.household_id).address
+        == population.household(patient.household_id).address
+    )
+
+
+def is_neighbor(population: Population, employee_id: int, patient_id: int) -> bool:
+    """Recorded geocodes within :data:`~repro.emr.geo.NEIGHBOR_RADIUS_MILES`.
+
+    Computed from each person's *recorded* geocode, so geocoding noise can
+    make same-address pairs non-neighbors and vice versa — exactly the
+    messiness that gives Table 1 its separate address/neighbor combination
+    types.
+    """
+    employee = population.employee(employee_id)
+    patient = population.patient(patient_id)
+    return (
+        distance_miles(employee.geocode, patient.geocode) <= NEIGHBOR_RADIUS_MILES
+    )
+
+
+def evaluate_rules(
+    population: Population, employee_id: int, patient_id: int
+) -> frozenset[BaseRule]:
+    """Evaluate all four predicates; returns the set of firing rules."""
+    fired = set()
+    if is_same_last_name(population, employee_id, patient_id):
+        fired.add(BaseRule.SAME_LAST_NAME)
+    if is_department_coworker(population, employee_id, patient_id):
+        fired.add(BaseRule.DEPARTMENT_COWORKER)
+    if is_same_address(population, employee_id, patient_id):
+        fired.add(BaseRule.SAME_ADDRESS)
+    if is_neighbor(population, employee_id, patient_id):
+        fired.add(BaseRule.NEIGHBOR)
+    return frozenset(fired)

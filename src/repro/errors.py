@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SAG reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SolverError(ReproError):
+    """Base class for linear-programming solver failures."""
+
+
+class InfeasibleProblemError(SolverError):
+    """The LP has an empty feasible region."""
+
+
+class UnboundedProblemError(SolverError):
+    """The LP objective is unbounded over the feasible region."""
+
+
+class SolverConvergenceError(SolverError):
+    """The solver failed to converge (iteration limit, numerical trouble)."""
+
+
+class ModelError(ReproError):
+    """An ill-formed game model (payoffs, types, budgets)."""
+
+
+class PayoffError(ModelError):
+    """A payoff matrix violates the sign conventions of the paper."""
+
+
+class BudgetError(ModelError):
+    """An invalid budget amount or an overdraft was attempted."""
+
+
+class EstimationError(ReproError):
+    """A future-alert estimator was asked for something it cannot provide."""
+
+
+class DataError(ReproError):
+    """Malformed synthetic-data inputs or log records."""
+
+
+class QueryError(DataError):
+    """An invalid query against the log store."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration problem."""

@@ -1,0 +1,50 @@
+"""The paper's evaluation section, experiment by experiment.
+
+Every table and figure has a module that regenerates it:
+
+* :mod:`~repro.experiments.table1`  — per-type daily alert statistics.
+* :mod:`~repro.experiments.table2`  — the payoff structures.
+* :mod:`~repro.experiments.figure2` — single-type utility series (budget 20).
+* :mod:`~repro.experiments.figure3` — seven-type utility series (budget 50).
+* :mod:`~repro.experiments.runtime` — per-alert optimization latency.
+* :mod:`~repro.experiments.full_eval` — all-group (15x) evaluation summary.
+* :mod:`~repro.experiments.robustness` — robust-SAG attacker-model study.
+* :mod:`~repro.experiments.ablations` — rollback / budget / backend /
+  charging / scope studies.
+
+Shared constants (Table 1 calibration, Table 2 payoffs, budgets) live in
+:mod:`~repro.experiments.config`; the synthetic 56-day dataset builder in
+:mod:`~repro.experiments.dataset`. Rendering helpers:
+:mod:`~repro.experiments.report` (fixed-width tables),
+:mod:`~repro.experiments.textplot` (ASCII charts) and
+:mod:`~repro.experiments.svgplot` (SVG files).
+"""
+
+from repro.experiments.config import (
+    AUDIT_COST,
+    MULTI_TYPE_BUDGET,
+    PAPER_DAYS,
+    SINGLE_TYPE_BUDGET,
+    SINGLE_TYPE_ID,
+    TABLE1_STATISTICS,
+    TABLE2_PAYOFFS,
+    paper_calibration,
+    paper_costs,
+    paper_registry,
+)
+from repro.experiments.dataset import build_alert_store, build_dataset
+
+__all__ = [
+    "AUDIT_COST",
+    "MULTI_TYPE_BUDGET",
+    "PAPER_DAYS",
+    "SINGLE_TYPE_BUDGET",
+    "SINGLE_TYPE_ID",
+    "TABLE1_STATISTICS",
+    "TABLE2_PAYOFFS",
+    "paper_calibration",
+    "paper_costs",
+    "paper_registry",
+    "build_alert_store",
+    "build_dataset",
+]

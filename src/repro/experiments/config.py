@@ -1,0 +1,77 @@
+"""Paper constants: Table 1 statistics, Table 2 payoffs, and experiment
+parameters (verbatim from the evaluation section)."""
+
+from __future__ import annotations
+
+from repro.core.alert_types import AlertTypeRegistry, AlertTypeSpec
+from repro.core.payoffs import PayoffMatrix
+from repro.emr.engine import PAPER_TYPE_NAMES
+from repro.emr.simulator import TypeCalibration
+
+#: Table 1 — daily alert-count mean/std per type.
+TABLE1_STATISTICS: dict[int, tuple[float, float]] = {
+    1: (196.57, 17.30),
+    2: (29.02, 5.56),
+    3: (140.46, 23.23),
+    4: (10.84, 3.73),
+    5: (25.43, 4.51),
+    6: (15.14, 4.10),
+    7: (43.27, 6.45),
+}
+
+#: Table 2 — payoff structures per type (U_dc, U_du, U_ac, U_au).
+TABLE2_PAYOFFS: dict[int, PayoffMatrix] = {
+    1: PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0),
+    2: PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=400.0),
+    3: PayoffMatrix(u_dc=150.0, u_du=-600.0, u_ac=-2500.0, u_au=450.0),
+    4: PayoffMatrix(u_dc=300.0, u_du=-800.0, u_ac=-2500.0, u_au=600.0),
+    5: PayoffMatrix(u_dc=400.0, u_du=-1000.0, u_ac=-3000.0, u_au=650.0),
+    6: PayoffMatrix(u_dc=600.0, u_du=-1500.0, u_ac=-5000.0, u_au=700.0),
+    7: PayoffMatrix(u_dc=700.0, u_du=-2000.0, u_ac=-6000.0, u_au=800.0),
+}
+
+#: Audit cost per alert — "we set the audit cost per alert in all types to 1".
+AUDIT_COST = 1.0
+
+#: Budget for the single-type experiment (Figure 2).
+SINGLE_TYPE_BUDGET = 20.0
+
+#: Budget for the seven-type experiment (Figure 3).
+MULTI_TYPE_BUDGET = 50.0
+
+#: The single-type experiment uses "Same Last Name".
+SINGLE_TYPE_ID = 1
+
+#: The dataset spans 56 continuous days.
+PAPER_DAYS = 56
+
+#: Knowledge-rollback threshold ("which is 4 in both cases").
+ROLLBACK_THRESHOLD = 4.0
+
+#: Number of rolling evaluation groups (41 training days + 1 test day).
+PAPER_GROUPS = 15
+
+
+def paper_calibration() -> dict[int, TypeCalibration]:
+    """Table 1 as simulator calibration targets."""
+    return {
+        type_id: TypeCalibration(daily_mean=mean, daily_std=std)
+        for type_id, (mean, std) in TABLE1_STATISTICS.items()
+    }
+
+
+def paper_costs() -> dict[int, float]:
+    """Per-type audit costs (all 1, per the paper)."""
+    return {type_id: AUDIT_COST for type_id in TABLE2_PAYOFFS}
+
+
+def paper_registry() -> AlertTypeRegistry:
+    """Alert-type registry for the seven Table 1 types."""
+    return AlertTypeRegistry(
+        AlertTypeSpec(
+            type_id=type_id,
+            name=PAPER_TYPE_NAMES[type_id],
+            audit_cost=AUDIT_COST,
+        )
+        for type_id in TABLE1_STATISTICS
+    )

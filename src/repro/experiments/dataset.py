@@ -1,0 +1,85 @@
+"""Synthetic 56-day dataset shared by the experiments.
+
+The builder runs the full honest pipeline — population synthesis, calibrated
+access simulation, rule-engine detection — and returns the alert store the
+evaluation harness consumes. Results are memoized per parameter set so the
+benchmarks can share one dataset within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.emr.population import PopulationConfig, build_population
+from repro.emr.simulator import (
+    AccessLogSimulator,
+    SimulatedDay,
+    SimulatorConfig,
+)
+from repro.experiments.config import PAPER_DAYS, paper_calibration
+from repro.logstore.store import AlertLogStore
+
+#: Default routine-access volume per day. Scaled down from the paper's
+#: ~192k/day (10.75M / 56); the game only consumes the calibrated alert
+#: stream, so this knob trades simulation time for access-log realism.
+DEFAULT_NORMAL_DAILY_MEAN = 4000.0
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A simulated dataset: raw days plus the detected-alert store."""
+
+    days: tuple[SimulatedDay, ...]
+    store: AlertLogStore
+
+    @property
+    def n_days(self) -> int:
+        return len(self.days)
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(len(day.events) for day in self.days)
+
+    @property
+    def n_alerts(self) -> int:
+        return len(self.store)
+
+
+def build_dataset(
+    seed: int = 7,
+    n_days: int = PAPER_DAYS,
+    normal_daily_mean: float = DEFAULT_NORMAL_DAILY_MEAN,
+    population_config: PopulationConfig | None = None,
+) -> Dataset:
+    """Simulate ``n_days`` of hospital traffic and detect all alerts."""
+    rng = np.random.default_rng(seed)
+    population = build_population(population_config, rng=rng)
+    simulator = AccessLogSimulator(
+        population,
+        SimulatorConfig(
+            calibration=paper_calibration(),
+            normal_daily_mean=normal_daily_mean,
+        ),
+        rng=rng,
+    )
+    days = tuple(simulator.simulate(n_days))
+    store = AlertLogStore()
+    for day in days:
+        for alert in day.alerts:
+            store.add_detected(alert)
+    return Dataset(days=days, store=store)
+
+
+@lru_cache(maxsize=4)
+def build_alert_store(
+    seed: int = 7,
+    n_days: int = PAPER_DAYS,
+    normal_daily_mean: float = DEFAULT_NORMAL_DAILY_MEAN,
+) -> AlertLogStore:
+    """Memoized alert store for the default population configuration."""
+    return build_dataset(
+        seed=seed, n_days=n_days, normal_daily_mean=normal_daily_mean
+    ).store

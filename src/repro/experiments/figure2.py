@@ -1,0 +1,97 @@
+"""Experiment E3 — Figure 2: single-type per-alert utility series.
+
+The simplified setting of Section 5.A: only "Same Last Name" (type 1)
+alerts, total budget 20, audit cost 1. For each of the first test days the
+OSSP, online-SSE and offline-SSE policies are run over the day's real-time
+alert stream, producing the auditor's per-alert expected utility series.
+
+Expected shape (the paper's findings): OSSP dominates both SSE baselines at
+essentially every point; the offline-SSE line is flat; utilities do not
+collapse at the end of the day thanks to knowledge rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.evaluation import EvaluationHarness
+from repro.audit.metrics import CycleResult
+from repro.audit.policies import OfflineSSEPolicy, OnlineSSEPolicy, OSSPPolicy
+from repro.experiments.config import (
+    PAPER_DAYS,
+    ROLLBACK_THRESHOLD,
+    SINGLE_TYPE_BUDGET,
+    SINGLE_TYPE_ID,
+    TABLE2_PAYOFFS,
+    paper_costs,
+)
+from repro.experiments.dataset import DEFAULT_NORMAL_DAILY_MEAN, build_alert_store
+from repro.experiments.report import render_series_table
+from repro.logstore.store import AlertLogStore
+
+#: The policies compared in Figure 2, by display order.
+FIGURE2_POLICIES = ("OSSP", "online SSE", "offline SSE")
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Per-test-day policy series for one figure."""
+
+    series: dict[int, dict[str, CycleResult]]
+
+    @property
+    def test_days(self) -> tuple[int, ...]:
+        return tuple(sorted(self.series))
+
+    def day(self, test_day: int) -> dict[str, CycleResult]:
+        return self.series[test_day]
+
+
+def run_figure2(
+    store: AlertLogStore | None = None,
+    n_test_days: int = 4,
+    seed: int = 7,
+    n_days: int = PAPER_DAYS,
+    budget: float = SINGLE_TYPE_BUDGET,
+    rollback_enabled: bool = True,
+    backend: str = "scipy",
+    normal_daily_mean: float = DEFAULT_NORMAL_DAILY_MEAN,
+    training_window: int | None = None,
+    budget_charging: str = "conditional",
+) -> FigureResult:
+    """Run the single-type comparison over the first ``n_test_days`` groups."""
+    if store is None:
+        store = build_alert_store(
+            seed=seed, n_days=n_days, normal_daily_mean=normal_daily_mean
+        )
+    harness = EvaluationHarness(
+        store,
+        payoffs={SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
+        costs={SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]},
+        budget=budget,
+        type_ids=(SINGLE_TYPE_ID,),
+        rollback_threshold=ROLLBACK_THRESHOLD,
+        rollback_enabled=rollback_enabled,
+        backend=backend,
+        seed=seed,
+        budget_charging=budget_charging,
+    )
+    policies = [OSSPPolicy(), OnlineSSEPolicy(), OfflineSSEPolicy()]
+    window = training_window if training_window is not None else min(41, len(store.days) - 1)
+    series = harness.run_all(policies, window=window, max_groups=n_test_days)
+    return FigureResult(series=series)
+
+
+def format_figure2(result: FigureResult, n_points: int = 12) -> str:
+    """Text rendering of each test day's utility series."""
+    chunks = []
+    for index, test_day in enumerate(result.test_days, start=1):
+        chunks.append(
+            render_series_table(
+                result.day(test_day),
+                n_points=n_points,
+                title=f"Figure 2({chr(96 + index)}) — day {test_day}: "
+                "auditor expected utility (single type: Same Last Name)",
+            )
+        )
+    return "\n\n".join(chunks)

@@ -1,0 +1,62 @@
+"""Fixed-width text rendering for tables and utility series."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.audit.metrics import CycleResult
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table (right-aligned numerics)."""
+    texts = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in texts)) if texts else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in texts:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    results: Mapping[str, CycleResult],
+    n_points: int = 12,
+    title: str | None = None,
+) -> str:
+    """Downsampled side-by-side utility series for a set of policies.
+
+    The day is divided into ``n_points`` equal time buckets; each cell is
+    the mean per-alert expected utility of the bucket (blank when no alert
+    fell in it) — a text rendering of the Figure 2/3 curves.
+    """
+    policies = list(results)
+    edges = np.linspace(0.0, 86_400.0, n_points + 1)
+    headers = ["time"] + policies
+    rows: list[list[object]] = []
+    for i in range(n_points):
+        label = f"{int(edges[i] // 3600):02d}:00"
+        row: list[object] = [label]
+        for policy in policies:
+            result = results[policy]
+            mask = (result.times >= edges[i]) & (result.times < edges[i + 1])
+            row.append(float(np.mean(result.values[mask])) if mask.any() else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

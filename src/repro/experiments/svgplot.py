@@ -1,0 +1,159 @@
+"""SVG figure writer (no plotting dependencies).
+
+Renders per-alert utility series as a standalone SVG file — the actual
+"Figure 2 / Figure 3" artifacts of the reproduction. Pure string assembly:
+no matplotlib required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.audit.metrics import CycleResult
+from repro.stats.diurnal import SECONDS_PER_DAY
+
+#: Line colors per policy, in insertion order (matplotlib's default cycle).
+COLORS = ("#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b")
+
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 20
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 50
+
+
+def render_svg(
+    results: Mapping[str, CycleResult],
+    width: int = 640,
+    height: int = 400,
+    title: str = "",
+    n_buckets: int = 96,
+) -> str:
+    """Build an SVG document for a set of utility series.
+
+    Series are bucketed (bucket means) to keep the polylines readable, as
+    the paper's figures effectively do by plotting one point per alert.
+    """
+    if not results:
+        raise ExperimentError("nothing to plot")
+    if width < 200 or height < 150:
+        raise ExperimentError("SVG must be at least 200x150")
+
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    all_values = np.concatenate([result.values for result in results.values()])
+    low = float(np.min(all_values))
+    high = float(np.max(all_values))
+    if high - low < 1e-9:
+        high = low + 1.0
+    pad = 0.05 * (high - low)
+    low -= pad
+    high += pad
+
+    def x_at(time_of_day: float) -> float:
+        return _MARGIN_LEFT + time_of_day / SECONDS_PER_DAY * plot_width
+
+    def y_at(value: float) -> float:
+        return _MARGIN_TOP + (high - value) / (high - low) * plot_height
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="13">{_escape(title)}</text>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{_MARGIN_TOP + plot_height}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_height}" '
+        f'x2="{_MARGIN_LEFT + plot_width}" y2="{_MARGIN_TOP + plot_height}" '
+        'stroke="black"/>'
+    )
+    # Y ticks.
+    for fraction in np.linspace(0.0, 1.0, 6):
+        value = high - fraction * (high - low)
+        y = y_at(value)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 4}" y1="{y:.1f}" x2="{_MARGIN_LEFT}" '
+            f'y2="{y:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.0f}</text>'
+        )
+    # X ticks at 3-hour marks.
+    for hour in range(0, 25, 3):
+        x = x_at(hour * 3600.0)
+        y = _MARGIN_TOP + plot_height
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y}" x2="{x:.1f}" y2="{y + 4}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{y + 16}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="10">{hour:02d}:00</text>'
+        )
+
+    # Series.
+    edges = np.linspace(0.0, SECONDS_PER_DAY, n_buckets + 1)
+    for (name, result), color in zip(results.items(), COLORS):
+        points = []
+        for bucket in range(n_buckets):
+            mask = (result.times >= edges[bucket]) & (result.times < edges[bucket + 1])
+            if not mask.any():
+                continue
+            center = (edges[bucket] + edges[bucket + 1]) / 2.0
+            value = float(np.mean(result.values[mask]))
+            points.append(f"{x_at(center):.1f},{y_at(value):.1f}")
+        if points:
+            parts.append(
+                f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+                f'points="{" ".join(points)}"/>'
+            )
+
+    # Legend.
+    legend_x = _MARGIN_LEFT + 10
+    legend_y = _MARGIN_TOP + 12
+    for index, ((name, _), color) in enumerate(zip(results.items(), COLORS)):
+        y = legend_y + index * 16
+        parts.append(
+            f'<line x1="{legend_x}" y1="{y - 4}" x2="{legend_x + 22}" '
+            f'y2="{y - 4}" stroke="{color}" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{y}" font-family="sans-serif" '
+            f'font-size="11">{_escape(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    results: Mapping[str, CycleResult],
+    path: str | Path,
+    width: int = 640,
+    height: int = 400,
+    title: str = "",
+) -> Path:
+    """Render and write the SVG to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(results, width=width, height=height, title=title))
+    return path
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

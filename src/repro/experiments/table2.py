@@ -1,0 +1,37 @@
+"""Experiment E2 — Table 2 (the payoff structures).
+
+Table 2 is an input, not a measurement; this module exists so every table
+in the paper has a regeneration entry point, and so the sign conditions and
+the Theorem 3 premise are verified for each published payoff.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import TABLE2_PAYOFFS
+from repro.experiments.report import render_table
+
+
+def run_table2() -> list[list[object]]:
+    """Rows of Table 2, plus the Theorem 3 condition check per type."""
+    rows: list[list[object]] = []
+    for type_id, payoff in sorted(TABLE2_PAYOFFS.items()):
+        rows.append(
+            [
+                type_id,
+                payoff.u_dc,
+                payoff.u_du,
+                payoff.u_ac,
+                payoff.u_au,
+                "yes" if payoff.satisfies_theorem3_condition() else "no",
+            ]
+        )
+    return rows
+
+
+def format_table2() -> str:
+    """Render Table 2 with the Theorem 3 premise column."""
+    return render_table(
+        headers=["Type ID", "Ud,c", "Ud,u", "Ua,c", "Ua,u", "Thm3 premise"],
+        rows=run_table2(),
+        title="Table 2 — payoff structures for the pre-defined alert types",
+    )

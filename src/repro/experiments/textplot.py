@@ -1,0 +1,88 @@
+"""ASCII line charts for utility time series.
+
+The paper's Figures 2 and 3 are per-alert utility curves over a day; this
+module renders the same curves in a terminal, one glyph per policy, so the
+reproduction's "figures" are directly eyeballable without matplotlib.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.audit.metrics import CycleResult
+from repro.stats.diurnal import SECONDS_PER_DAY
+
+#: Plot glyphs assigned to policies, in insertion order.
+GLYPHS = ("o", "x", "-", "*", "+", "#")
+
+
+def ascii_chart(
+    results: Mapping[str, CycleResult],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+) -> str:
+    """Render per-alert utility series as an ASCII chart.
+
+    Each policy's series is bucketed into ``width`` time columns (bucket
+    mean); rows span the pooled value range. Later policies overdraw
+    earlier ones where curves overlap, mirroring plot z-order.
+    """
+    if not results:
+        raise ExperimentError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ExperimentError("chart must be at least 8x4 characters")
+
+    # Pool the value range across policies.
+    all_values = np.concatenate([result.values for result in results.values()])
+    low = float(np.min(all_values))
+    high = float(np.max(all_values))
+    if high - low < 1e-9:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    edges = np.linspace(0.0, SECONDS_PER_DAY, width + 1)
+
+    for (name, result), glyph in zip(results.items(), GLYPHS):
+        del name
+        for column in range(width):
+            mask = (result.times >= edges[column]) & (result.times < edges[column + 1])
+            if not mask.any():
+                continue
+            value = float(np.mean(result.values[mask]))
+            row = int(round((high - value) / (high - low) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = glyph
+
+    label_width = 10
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        value = high - (high - low) * row_index / (height - 1)
+        label = f"{value:9.1f} "
+        lines.append(label.rjust(label_width) + "|" + "".join(row))
+    axis = " " * label_width + "+" + "-" * width
+    lines.append(axis)
+    hours = " " * label_width + " " + _hour_ruler(width)
+    lines.append(hours)
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(results.items(), GLYPHS)
+    )
+    lines.append(" " * label_width + " " + legend)
+    return "\n".join(lines)
+
+
+def _hour_ruler(width: int) -> str:
+    """Tick labels at 6-hour marks along a ``width``-column day axis."""
+    ruler = [" "] * width
+    for hour in (0, 6, 12, 18):
+        position = int(hour / 24 * width)
+        text = f"{hour:02d}h"
+        for offset, char in enumerate(text):
+            if position + offset < width:
+                ruler[position + offset] = char
+    return "".join(ruler)

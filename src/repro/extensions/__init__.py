@@ -1,0 +1,47 @@
+"""Extensions implementing the paper's "future investigations".
+
+The conclusion of the paper lists three directions; each has a module here:
+
+* :mod:`~repro.extensions.bayesian` — multiple attacker *payoff types* with
+  a prior ("SAG can be generalized into Bayesian setting").
+* :mod:`~repro.extensions.multi_attacker` — several simultaneous attackers
+  ("investigate the situation of multiple attackers").
+* :mod:`~repro.extensions.robust` — margins against boundedly rational
+  attackers ("a robust version of the SAG should be developed").
+"""
+
+from repro.extensions.bayesian import (
+    BayesianAttackerModel,
+    BayesianGame,
+    BayesianSignalingScheme,
+    BayesianSSESolution,
+    solve_bayesian_ossp,
+    solve_bayesian_sse,
+)
+from repro.extensions.multi_attacker import (
+    MultiAttackerSolution,
+    minimum_deterrence_budget,
+    solve_multi_attacker_sse,
+)
+from repro.extensions.robust import (
+    RobustEvaluation,
+    evaluate_against_quantal,
+    optimize_margin,
+    solve_robust_ossp,
+)
+
+__all__ = [
+    "BayesianAttackerModel",
+    "BayesianGame",
+    "BayesianSignalingScheme",
+    "BayesianSSESolution",
+    "solve_bayesian_ossp",
+    "solve_bayesian_sse",
+    "MultiAttackerSolution",
+    "minimum_deterrence_budget",
+    "solve_multi_attacker_sse",
+    "RobustEvaluation",
+    "evaluate_against_quantal",
+    "optimize_margin",
+    "solve_robust_ossp",
+]

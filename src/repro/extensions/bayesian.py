@@ -1,0 +1,366 @@
+"""Bayesian SAG: multiple attacker payoff types with a prior.
+
+The paper assumes one fixed attacker payoff structure and notes that "in
+practice, there may exist many types of attacker. Thus, SAG can be
+generalized into Bayesian setting." This module implements that
+generalization for both stages of the pipeline.
+
+**Signaling stage** (:func:`solve_bayesian_ossp`): the auditor knows a
+prior over attacker payoff profiles and chooses one joint warning/audit
+distribution optimal in expectation. The structural change from LP (3):
+each profile ``k`` reacts to the warning according to *its own*
+conditional utility, so the auditor effectively chooses which subset of
+profiles the warning deters. For each candidate subset ``S`` we solve an
+LP with
+
+* quit constraints  ``p1 U^k_ac + q1 U^k_au <= 0``  for ``k in S``,
+* proceed constraints ``p1 U^k_ac + q1 U^k_au >= 0`` for ``k not in S``,
+
+and an objective charging deterred profiles only on the silent branch.
+The best subset wins — ``2^K`` small LPs, exact and fast for the handful
+of profiles that occur in practice.
+
+**Marginal stage** (:func:`solve_bayesian_sse`): the Bayesian analogue of
+LP (2). Each attacker profile best-responds to the shared marginals with
+its own alert type, so the multiple-LP method enumerates *tuples* of
+candidate best responses, one per profile — ``|T|^K`` LPs (Bayesian
+Stackelberg games are NP-hard in general; exact enumeration is the honest
+baseline and is fine for the 2-3 profiles the domain motivates).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.errors import InfeasibleProblemError, ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme
+from repro.solvers import LPBuilder, solve
+from repro.solvers.registry import DEFAULT_BACKEND
+
+
+@dataclass(frozen=True)
+class BayesianAttackerModel:
+    """A prior over attacker payoff profiles for one alert type.
+
+    ``profiles[k]`` is the attacker payoff matrix of profile ``k`` and
+    ``prior[k]`` its probability. The auditor's own payoffs are shared
+    across profiles (she faces the same damage regardless of who attacks).
+    """
+
+    auditor_payoff: PayoffMatrix
+    profiles: tuple[PayoffMatrix, ...]
+    prior: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ModelError("at least one attacker profile is required")
+        if len(self.profiles) != len(self.prior):
+            raise ModelError("profiles and prior must have equal length")
+        if any(p < 0 for p in self.prior):
+            raise ModelError("prior probabilities must be non-negative")
+        total = sum(self.prior)
+        if abs(total - 1.0) > 1e-9:
+            raise ModelError(f"prior must sum to 1, got {total}")
+
+    @property
+    def n_profiles(self) -> int:
+        return len(self.profiles)
+
+
+@dataclass(frozen=True)
+class BayesianSignalingScheme:
+    """The optimal Bayesian scheme plus its supporting data."""
+
+    scheme: SignalingScheme
+    deterred_profiles: tuple[int, ...]
+    auditor_utility: float
+
+
+def solve_bayesian_ossp(
+    theta: float,
+    model: BayesianAttackerModel,
+    backend: str = DEFAULT_BACKEND,
+) -> BayesianSignalingScheme:
+    """Optimal signaling for one alert under attacker-profile uncertainty.
+
+    Enumerates every deterred-subset hypothesis and returns the best
+    feasible scheme. Reduces exactly to the classic OSSP when the model has
+    a single profile.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ModelError(f"theta must lie in [0, 1], got {theta}")
+    best: BayesianSignalingScheme | None = None
+    indices = range(model.n_profiles)
+    for size in range(model.n_profiles + 1):
+        for subset in combinations(indices, size):
+            candidate = _solve_for_subset(theta, model, frozenset(subset), backend)
+            if candidate is None:
+                continue
+            if best is None or candidate.auditor_utility > best.auditor_utility + 1e-12:
+                best = candidate
+    if best is None:
+        # Unreachable: the empty subset with p1 = q1 = 0 is always feasible.
+        raise ModelError("no feasible Bayesian signaling scheme found")
+    return best
+
+
+def _solve_for_subset(
+    theta: float,
+    model: BayesianAttackerModel,
+    deterred: frozenset[int],
+    backend: str,
+) -> BayesianSignalingScheme | None:
+    auditor = model.auditor_payoff
+    mass_deterred = sum(model.prior[k] for k in deterred)
+    mass_proceeding = 1.0 - mass_deterred
+
+    builder = LPBuilder()
+    builder.add_variable("p1", lower=0.0, upper=1.0)
+    builder.add_variable("q1", lower=0.0, upper=1.0)
+    # Deterred profiles are only exposed to the silent branch; proceeding
+    # profiles attack under both branches, contributing the full marginal.
+    builder.add_variable(
+        "p0", lower=0.0, upper=1.0, objective=mass_deterred * auditor.u_dc
+    )
+    builder.add_variable(
+        "q0", lower=0.0, upper=1.0, objective=mass_deterred * auditor.u_du
+    )
+    for k, profile in enumerate(model.profiles):
+        row = {"p1": profile.u_ac, "q1": profile.u_au}
+        if k in deterred:
+            builder.add_le(row, 0.0)
+            # Participation (see repro.core.signaling.solve_ossp_lp): a
+            # warning-deterred profile only attacks at all when its overall
+            # expected utility is non-negative.
+            builder.add_ge({"p0": profile.u_ac, "q0": profile.u_au}, 0.0)
+        else:
+            builder.add_ge(row, 0.0)
+    builder.add_eq({"p1": 1.0, "p0": 1.0}, theta)
+    builder.add_eq({"q1": 1.0, "q0": 1.0}, 1.0 - theta)
+
+    try:
+        solution = solve(builder.build(), backend=backend)
+    except InfeasibleProblemError:
+        return None
+    values = solution.as_dict(["p1", "q1", "p0", "q0"])
+    scheme = SignalingScheme(
+        p1=values["p1"], q1=values["q1"], p0=values["p0"], q0=values["q0"]
+    )
+    # Objective only covered the deterred mass; add the proceeding mass's
+    # constant contribution theta*U_dc + (1-theta)*U_du.
+    utility = solution.objective + mass_proceeding * auditor.auditor_utility(theta)
+    return BayesianSignalingScheme(
+        scheme=scheme,
+        deterred_profiles=tuple(sorted(deterred)),
+        auditor_utility=float(utility),
+    )
+
+
+@dataclass(frozen=True)
+class BayesianGame:
+    """A Bayesian SAG over shared alert types.
+
+    Attributes
+    ----------
+    auditor_payoffs:
+        Per-alert-type auditor payoff matrices (``u_dc``/``u_du`` used).
+    attacker_payoffs:
+        ``attacker_payoffs[k][t]`` is profile ``k``'s payoff matrix for
+        alert type ``t`` (``u_ac``/``u_au`` used).
+    prior:
+        Probability of each attacker profile.
+    """
+
+    auditor_payoffs: Mapping[int, PayoffMatrix]
+    attacker_payoffs: Sequence[Mapping[int, PayoffMatrix]]
+    prior: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attacker_payoffs:
+            raise ModelError("at least one attacker profile is required")
+        if len(self.attacker_payoffs) != len(self.prior):
+            raise ModelError("attacker_payoffs and prior must have equal length")
+        if any(p < 0 for p in self.prior):
+            raise ModelError("prior probabilities must be non-negative")
+        if abs(sum(self.prior) - 1.0) > 1e-9:
+            raise ModelError(f"prior must sum to 1, got {sum(self.prior)}")
+        types = set(self.auditor_payoffs)
+        if not types:
+            raise ModelError("at least one alert type is required")
+        for k, profile in enumerate(self.attacker_payoffs):
+            if set(profile) != types:
+                raise ModelError(
+                    f"profile {k} does not cover the auditor's alert types"
+                )
+        object.__setattr__(self, "auditor_payoffs", dict(self.auditor_payoffs))
+        object.__setattr__(
+            self,
+            "attacker_payoffs",
+            tuple(dict(profile) for profile in self.attacker_payoffs),
+        )
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.auditor_payoffs))
+
+    @property
+    def n_profiles(self) -> int:
+        return len(self.attacker_payoffs)
+
+
+@dataclass(frozen=True)
+class BayesianSSESolution:
+    """The Bayesian online SSE.
+
+    ``best_responses[k]`` is profile ``k``'s equilibrium alert type, and
+    ``attacker_utilities[k]`` its expected utility; ``auditor_utility`` is
+    the prior-weighted expectation over profiles.
+    """
+
+    thetas: dict[int, float]
+    allocations: dict[int, float]
+    best_responses: tuple[int, ...]
+    auditor_utility: float
+    attacker_utilities: tuple[float, ...]
+    lps_solved: int
+    lps_feasible: int
+
+
+def solve_bayesian_sse(
+    game: BayesianGame,
+    budget: float,
+    coefficient: Mapping[int, float],
+    backend: str = DEFAULT_BACKEND,
+    max_profiles: int = 4,
+) -> BayesianSSESolution:
+    """Bayesian analogue of LP (2) by best-response-tuple enumeration.
+
+    Parameters
+    ----------
+    game:
+        Profiles, priors, payoffs.
+    budget:
+        Remaining audit budget ``B_tau``.
+    coefficient:
+        ``theta^t = coefficient[t] * B^t`` — precompute with the Poisson
+        reciprocal moments exactly as :func:`repro.core.sse.solve_online_sse`
+        does (``r(lambda^t) / V^t``).
+    max_profiles:
+        Guard against accidental exponential blow-ups (``|T|^K`` LPs).
+    """
+    if budget < 0:
+        raise ModelError(f"budget must be non-negative, got {budget}")
+    if game.n_profiles > max_profiles:
+        raise ModelError(
+            f"{game.n_profiles} attacker profiles would require "
+            f"|T|^{game.n_profiles} LPs; raise max_profiles to force this"
+        )
+    type_ids = game.type_ids
+    for t in type_ids:
+        if t not in coefficient or coefficient[t] < 0:
+            raise ModelError(f"missing/invalid theta coefficient for type {t}")
+
+    best: BayesianSSESolution | None = None
+    solved = 0
+    feasible = 0
+    for tuple_candidate in product(type_ids, repeat=game.n_profiles):
+        solved += 1
+        solution = _solve_tuple_lp(
+            game, budget, coefficient, tuple_candidate, backend
+        )
+        if solution is None:
+            continue
+        feasible += 1
+        if best is None or solution.auditor_utility > best.auditor_utility + 1e-9:
+            best = solution
+    if best is None:
+        raise ModelError("no feasible best-response tuple; game is ill-formed")
+    return BayesianSSESolution(
+        thetas=best.thetas,
+        allocations=best.allocations,
+        best_responses=best.best_responses,
+        auditor_utility=best.auditor_utility,
+        attacker_utilities=best.attacker_utilities,
+        lps_solved=solved,
+        lps_feasible=feasible,
+    )
+
+
+def _solve_tuple_lp(
+    game: BayesianGame,
+    budget: float,
+    coefficient: Mapping[int, float],
+    responses: tuple[int, ...],
+    backend: str,
+) -> BayesianSSESolution | None:
+    """One LP assuming profile ``k`` best-responds with ``responses[k]``."""
+    import math
+
+    type_ids = game.type_ids
+    builder = LPBuilder()
+    for t in type_ids:
+        coef = coefficient[t]
+        upper = min(budget, 1.0 / coef if coef > 0 else math.inf)
+        builder.add_variable(f"B[{t}]", lower=0.0, upper=upper)
+
+    # Objective: sum_k mu_k * theta^{t_k} * (U_dc - U_du) at t_k. Multiple
+    # profiles may share a best-response type; accumulate coefficients.
+    objective: dict[str, float] = {}
+    constant = 0.0
+    for k, t_k in enumerate(responses):
+        auditor = game.auditor_payoffs[t_k]
+        weight = game.prior[k]
+        name = f"B[{t_k}]"
+        objective[name] = objective.get(name, 0.0) + (
+            weight * coefficient[t_k] * (auditor.u_dc - auditor.u_du)
+        )
+        constant += weight * auditor.u_du
+    for name, value in objective.items():
+        builder.set_objective(name, value)
+
+    # Best-response constraints per profile.
+    for k, t_k in enumerate(responses):
+        profile = game.attacker_payoffs[k]
+        pay_k = profile[t_k]
+        gap_k = pay_k.u_ac - pay_k.u_au
+        for t in type_ids:
+            if t == t_k:
+                continue
+            pay_t = profile[t]
+            gap_t = pay_t.u_ac - pay_t.u_au
+            builder.add_ge(
+                {
+                    f"B[{t_k}]": coefficient[t_k] * gap_k,
+                    f"B[{t}]": -coefficient[t] * gap_t,
+                },
+                pay_t.u_au - pay_k.u_au,
+            )
+
+    builder.add_le({f"B[{t}]": 1.0 for t in type_ids}, budget)
+
+    result = solve(builder.build(), backend=backend, raise_on_failure=False)
+    if not result.status.is_success:
+        return None
+    values = result.as_dict([f"B[{t}]" for t in type_ids])
+    allocations = {t: max(0.0, values[f"B[{t}]"]) for t in type_ids}
+    thetas = {t: min(1.0, coefficient[t] * allocations[t]) for t in type_ids}
+    auditor_utility = sum(
+        game.prior[k] * game.auditor_payoffs[t_k].auditor_utility(thetas[t_k])
+        for k, t_k in enumerate(responses)
+    )
+    attacker_utilities = tuple(
+        game.attacker_payoffs[k][t_k].attacker_utility(thetas[t_k])
+        for k, t_k in enumerate(responses)
+    )
+    return BayesianSSESolution(
+        thetas=thetas,
+        allocations=allocations,
+        best_responses=responses,
+        auditor_utility=float(auditor_utility),
+        attacker_utilities=attacker_utilities,
+        lps_solved=1,
+        lps_feasible=1,
+    )

@@ -1,0 +1,97 @@
+"""Multiple simultaneous attackers.
+
+The paper focuses "on the one attacker setting as a pilot study of SAG",
+flagging multiple attackers as the next step. This module implements the
+natural first model: ``m`` independent, symmetric, rational attackers who
+each observe the same committed marginals and independently best-respond.
+
+Because the attackers are symmetric and the marginal coverage of an alert
+type protects *each* alert of that type equally, the auditor's equilibrium
+marginals coincide with the single-attacker SSE; what changes is the
+auditor's aggregate exposure (``m`` times the per-attacker value) and the
+deterrence analysis: the budget needed to deter everyone must push *every*
+type below zero attacker utility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, SSESolution, solve_online_sse
+from repro.solvers.registry import DEFAULT_BACKEND
+from repro.stats.poisson import PoissonReciprocalMoment
+
+
+@dataclass(frozen=True)
+class MultiAttackerSolution:
+    """SSE marginals plus aggregate utilities for ``m`` attackers."""
+
+    base: SSESolution
+    n_attackers: int
+    total_auditor_utility: float
+    per_attacker_utility: float
+
+    @property
+    def deterred(self) -> bool:
+        """Whether every attacker prefers not to attack."""
+        return self.base.deterred
+
+
+def solve_multi_attacker_sse(
+    state: GameState,
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+    n_attackers: int,
+    backend: str = DEFAULT_BACKEND,
+) -> MultiAttackerSolution:
+    """The symmetric ``m``-attacker online SSE.
+
+    Marginals equal the single-attacker SSE; aggregate auditor utility is
+    the per-attacker effective value times ``m`` (independent attackers,
+    linear utilities).
+    """
+    if n_attackers <= 0:
+        raise ModelError(f"n_attackers must be positive, got {n_attackers}")
+    base = solve_online_sse(state, payoffs, costs, backend=backend)
+    per_attacker = base.effective_auditor_utility
+    return MultiAttackerSolution(
+        base=base,
+        n_attackers=n_attackers,
+        total_auditor_utility=n_attackers * per_attacker,
+        per_attacker_utility=per_attacker,
+    )
+
+
+def minimum_deterrence_budget(
+    lambdas: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    costs: Mapping[int, float],
+    moment: PoissonReciprocalMoment | None = None,
+) -> float:
+    """Budget needed to deter *all* rational attackers at this state.
+
+    An attacker is deterred only when every type's expected utility is
+    negative, i.e. every marginal strictly exceeds its type's deterrence
+    threshold ``U_au / (U_au - U_ac)``. With ``theta^t = B^t r(lambda^t)/V^t``
+    the cheapest way to reach threshold ``tau_t`` costs
+    ``tau_t V^t / r(lambda^t)``, so the total is the sum over types.
+
+    The returned budget achieves attacker utility exactly zero (the paper's
+    convention is that a zero-utility attacker still attacks, so any budget
+    strictly above this deters; see :meth:`SSESolution.deterred`).
+    """
+    if not lambdas:
+        raise ModelError("at least one alert type is required")
+    if moment is None:  # NB: an empty cache is falsy, so `or` would drop it
+        moment = PoissonReciprocalMoment()
+    total = 0.0
+    for type_id, lam in lambdas.items():
+        if type_id not in payoffs or type_id not in costs:
+            raise ModelError(f"missing payoffs/costs for type {type_id}")
+        threshold = payoffs[type_id].deterrence_threshold()
+        rate = moment(lam)
+        total += threshold * costs[type_id] / rate
+    return total

@@ -1,0 +1,142 @@
+"""Robust OSSP against boundedly rational attackers.
+
+The classic OSSP makes the warned attacker's conditional utility *exactly*
+zero (the quit constraint is tight at the optimum). A perfectly rational
+attacker quits at zero, but a noisy (quantal-response) attacker proceeds
+with probability ~1/2 at the boundary — the "unexpected loss in practice"
+the paper's conclusion warns about.
+
+The robust OSSP hardens the quit constraint to
+
+    p1 * U_ac + q1 * U_au <= -margin * |U_au|
+
+trading a little deterministic utility (the warning branch must be made
+genuinely unattractive, which costs silent-branch mass) for robustness.
+:func:`optimize_margin` picks the margin maximizing the auditor's expected
+utility against a :class:`~repro.audit.attacker.QuantalResponseAttacker`
+of known rationality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.audit.attacker import QuantalResponseAttacker
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme
+from repro.solvers import LPBuilder, solve
+from repro.solvers.registry import DEFAULT_BACKEND
+
+
+def solve_robust_ossp(
+    theta: float,
+    payoff: PayoffMatrix,
+    margin: float,
+    backend: str = DEFAULT_BACKEND,
+) -> SignalingScheme:
+    """LP (3) with a hardened quit constraint.
+
+    ``margin`` is expressed as a fraction of ``|U_au|``; 0 recovers the
+    classic OSSP.
+
+    The deepest credible margin is bounded by the audit mass available:
+    with the whole marginal behind the warning (``p1 = theta, q1 = 0``) the
+    warned attacker's utility is ``theta * U_ac``, so margins beyond
+    ``theta * |U_ac| / |U_au|`` are unattainable and are clamped to that
+    maximum (the scheme "hardens as much as the coverage supports").
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ModelError(f"theta must lie in [0, 1], got {theta}")
+    if margin < 0:
+        raise ModelError(f"margin must be non-negative, got {margin}")
+    max_margin = theta * abs(payoff.u_ac) / abs(payoff.u_au)
+    margin = min(margin, max(0.0, max_margin - 1e-12))
+    builder = LPBuilder()
+    builder.add_variable("p1", lower=0.0, upper=1.0)
+    builder.add_variable("q1", lower=0.0, upper=1.0)
+    builder.add_variable("p0", lower=0.0, upper=1.0, objective=payoff.u_dc)
+    builder.add_variable("q0", lower=0.0, upper=1.0, objective=payoff.u_du)
+    builder.add_le(
+        {"p1": payoff.u_ac, "q1": payoff.u_au}, -margin * abs(payoff.u_au)
+    )
+    # Participation (see solve_ossp_lp): the unwarned attacker must still be
+    # willing to attack, otherwise the objective value is vacuous.
+    builder.add_ge({"p0": payoff.u_ac, "q0": payoff.u_au}, 0.0)
+    builder.add_eq({"p1": 1.0, "p0": 1.0}, theta)
+    builder.add_eq({"q1": 1.0, "q0": 1.0}, 1.0 - theta)
+    solution = solve(builder.build(), backend=backend)
+    values = solution.as_dict(["p1", "q1", "p0", "q0"])
+    return SignalingScheme(
+        p1=values["p1"], q1=values["q1"], p0=values["p0"], q0=values["q0"]
+    )
+
+
+def evaluate_against_quantal(
+    scheme: SignalingScheme,
+    payoff: PayoffMatrix,
+    attacker: QuantalResponseAttacker,
+) -> float:
+    """Auditor expected utility when the warned attacker is noisy.
+
+    The attacker proceeds after a warning with the quantal probability
+    ``pi``; branch-by-branch:
+
+    * ``p1`` (warn, audit):   proceeds -> ``U_dc``, quits -> 0;
+    * ``q1`` (warn, free):    proceeds -> ``U_du``, quits -> 0;
+    * ``p0``/``q0`` (silent): always proceeds.
+    """
+    proceed = attacker.proceed_probability(scheme, payoff)
+    return (
+        proceed * (scheme.p1 * payoff.u_dc + scheme.q1 * payoff.u_du)
+        + scheme.p0 * payoff.u_dc
+        + scheme.q0 * payoff.u_du
+    )
+
+
+@dataclass(frozen=True)
+class RobustEvaluation:
+    """Outcome of a robust-margin search."""
+
+    margin: float
+    scheme: SignalingScheme
+    utility_vs_quantal: float
+    classic_utility_vs_quantal: float
+
+    @property
+    def robustness_gain(self) -> float:
+        """How much the hardened margin improves on the classic OSSP
+        against the noisy attacker."""
+        return self.utility_vs_quantal - self.classic_utility_vs_quantal
+
+
+def optimize_margin(
+    theta: float,
+    payoff: PayoffMatrix,
+    attacker: QuantalResponseAttacker,
+    margins: tuple[float, ...] = tuple(np.linspace(0.0, 0.5, 26)),
+    backend: str = DEFAULT_BACKEND,
+) -> RobustEvaluation:
+    """Grid-search the margin maximizing utility against ``attacker``."""
+    if not margins:
+        raise ModelError("margin grid must be non-empty")
+    classic = solve_robust_ossp(theta, payoff, 0.0, backend=backend)
+    classic_value = evaluate_against_quantal(classic, payoff, attacker)
+    best_margin = 0.0
+    best_scheme = classic
+    best_value = classic_value
+    for margin in margins:
+        scheme = solve_robust_ossp(theta, payoff, float(margin), backend=backend)
+        value = evaluate_against_quantal(scheme, payoff, attacker)
+        if value > best_value + 1e-12:
+            best_margin = float(margin)
+            best_scheme = scheme
+            best_value = value
+    return RobustEvaluation(
+        margin=best_margin,
+        scheme=best_scheme,
+        utility_vs_quantal=best_value,
+        classic_utility_vs_quantal=classic_value,
+    )

@@ -1,0 +1,42 @@
+"""Access/alert log storage substrate.
+
+A small, dependency-free log store with the indexes the auditing pipeline
+needs: by day, by type, and by time range. CSV and JSONL round-trip
+persistence lives in :mod:`repro.logstore.io`; aggregate statistics (the
+Table 1 regeneration queries) live in :mod:`repro.logstore.query`.
+"""
+
+from repro.logstore.schema import ALERT_COLUMNS, ACCESS_COLUMNS
+from repro.logstore.store import AlertLogStore, AlertRecord, AccessLogStore
+from repro.logstore.io import (
+    read_alerts_csv,
+    read_alerts_jsonl,
+    write_alerts_csv,
+    write_alerts_jsonl,
+    read_accesses_csv,
+    write_accesses_csv,
+)
+from repro.logstore.query import (
+    alerts_in_time_range,
+    daily_count_statistics,
+    hourly_histogram,
+    top_employees,
+)
+
+__all__ = [
+    "ALERT_COLUMNS",
+    "ACCESS_COLUMNS",
+    "AlertLogStore",
+    "AlertRecord",
+    "AccessLogStore",
+    "read_alerts_csv",
+    "read_alerts_jsonl",
+    "write_alerts_csv",
+    "write_alerts_jsonl",
+    "read_accesses_csv",
+    "write_accesses_csv",
+    "alerts_in_time_range",
+    "daily_count_statistics",
+    "hourly_histogram",
+    "top_employees",
+]

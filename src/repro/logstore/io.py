@@ -1,0 +1,137 @@
+"""CSV / JSONL persistence for the log stores."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import DataError
+from repro.emr.events import AccessEvent
+from repro.logstore.schema import ACCESS_COLUMNS, ALERT_COLUMNS
+from repro.logstore.store import AccessLogStore, AlertLogStore, AlertRecord
+
+
+def write_alerts_csv(store: AlertLogStore, path: str | Path) -> None:
+    """Persist an alert store as CSV with the :data:`ALERT_COLUMNS` header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(ALERT_COLUMNS)
+        for record in store.all_records():
+            writer.writerow(
+                [
+                    record.alert_id,
+                    record.day,
+                    repr(record.time_of_day),
+                    record.type_id,
+                    record.employee_id,
+                    record.patient_id,
+                ]
+            )
+
+
+def read_alerts_csv(path: str | Path) -> AlertLogStore:
+    """Load an alert store written by :func:`write_alerts_csv`."""
+    store = AlertLogStore()
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != ALERT_COLUMNS:
+            raise DataError(f"unexpected alert CSV header in {path}: {header}")
+        for row in reader:
+            if len(row) != len(ALERT_COLUMNS):
+                raise DataError(f"malformed alert CSV row in {path}: {row}")
+            store.add(
+                AlertRecord(
+                    alert_id=int(row[0]),
+                    day=int(row[1]),
+                    time_of_day=float(row[2]),
+                    type_id=int(row[3]),
+                    employee_id=int(row[4]),
+                    patient_id=int(row[5]),
+                )
+            )
+    return store
+
+
+def write_alerts_jsonl(store: AlertLogStore, path: str | Path) -> None:
+    """Persist an alert store as one JSON object per line."""
+    with open(path, "w") as handle:
+        for record in store.all_records():
+            handle.write(
+                json.dumps(
+                    {
+                        "alert_id": record.alert_id,
+                        "day": record.day,
+                        "time_of_day": record.time_of_day,
+                        "type_id": record.type_id,
+                        "employee_id": record.employee_id,
+                        "patient_id": record.patient_id,
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def read_alerts_jsonl(path: str | Path) -> AlertLogStore:
+    """Load an alert store written by :func:`write_alerts_jsonl`."""
+    store = AlertLogStore()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DataError(f"{path}:{line_number}: invalid JSON") from error
+            missing = set(ALERT_COLUMNS) - set(payload)
+            if missing:
+                raise DataError(
+                    f"{path}:{line_number}: missing fields {sorted(missing)}"
+                )
+            store.add(
+                AlertRecord(
+                    alert_id=int(payload["alert_id"]),
+                    day=int(payload["day"]),
+                    time_of_day=float(payload["time_of_day"]),
+                    type_id=int(payload["type_id"]),
+                    employee_id=int(payload["employee_id"]),
+                    patient_id=int(payload["patient_id"]),
+                )
+            )
+    return store
+
+
+def write_accesses_csv(store: AccessLogStore, path: str | Path) -> None:
+    """Persist an access store as CSV with the :data:`ACCESS_COLUMNS` header."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(ACCESS_COLUMNS)
+        for day in store.days:
+            for event in store.day_events(day):
+                writer.writerow(
+                    [event.day, repr(event.time_of_day), event.employee_id, event.patient_id]
+                )
+
+
+def read_accesses_csv(path: str | Path) -> AccessLogStore:
+    """Load an access store written by :func:`write_accesses_csv`."""
+    store = AccessLogStore()
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != ACCESS_COLUMNS:
+            raise DataError(f"unexpected access CSV header in {path}: {header}")
+        for row in reader:
+            if len(row) != len(ACCESS_COLUMNS):
+                raise DataError(f"malformed access CSV row in {path}: {row}")
+            store.add(
+                AccessEvent(
+                    day=int(row[0]),
+                    time_of_day=float(row[1]),
+                    employee_id=int(row[2]),
+                    patient_id=int(row[3]),
+                )
+            )
+    return store

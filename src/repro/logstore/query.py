@@ -1,0 +1,96 @@
+"""Aggregate queries over the alert store.
+
+These are the queries behind the evaluation section: per-type daily count
+statistics (Table 1) and the hour-of-day alert histogram (the 08:00-17:00
+peak the paper describes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.logstore.store import AlertLogStore
+
+
+def daily_count_statistics(
+    store: AlertLogStore,
+    type_ids: Iterable[int] | None = None,
+    days: Iterable[int] | None = None,
+) -> dict[int, tuple[float, float]]:
+    """Per-type ``(mean, std)`` of daily alert counts.
+
+    ``std`` is the sample standard deviation (ddof=1), matching how the
+    paper reports Table 1. Days with zero alerts of a type count as zero.
+    """
+    day_list = list(days) if days is not None else list(store.days)
+    if not day_list:
+        raise QueryError("no days to aggregate over")
+    counts_by_day = store.daily_counts(type_ids)
+    types = tuple(type_ids) if type_ids is not None else store.type_ids
+    out: dict[int, tuple[float, float]] = {}
+    for t in types:
+        counts = np.array(
+            [counts_by_day.get(day, {}).get(t, 0) for day in day_list],
+            dtype=float,
+        )
+        std = float(np.std(counts, ddof=1)) if counts.size > 1 else 0.0
+        out[t] = (float(np.mean(counts)), std)
+    return out
+
+
+def hourly_histogram(
+    store: AlertLogStore,
+    days: Iterable[int] | None = None,
+) -> np.ndarray:
+    """Counts of alerts per hour of day (length-24 array) over ``days``."""
+    day_list = list(days) if days is not None else list(store.days)
+    histogram = np.zeros(24, dtype=int)
+    for day in day_list:
+        for record in store.day_alerts(day):
+            hour = min(int(record.time_of_day // 3600), 23)
+            histogram[hour] += 1
+    return histogram
+
+
+def alerts_in_time_range(
+    store: AlertLogStore,
+    day: int,
+    start: float,
+    end: float,
+):
+    """Alerts of ``day`` with ``start <= time_of_day < end``, chronological.
+
+    Used by auditors reviewing a specific shift window.
+    """
+    if start > end:
+        raise QueryError(f"empty time range [{start}, {end})")
+    return tuple(
+        record
+        for record in store.day_alerts(day)
+        if start <= record.time_of_day < end
+    )
+
+
+def top_employees(
+    store: AlertLogStore,
+    limit: int = 10,
+    days: Iterable[int] | None = None,
+) -> list[tuple[int, int]]:
+    """Employees ranked by triggered-alert count, descending.
+
+    Returns ``(employee_id, count)`` pairs — the "repeat offender" view an
+    audit team uses to prioritize manual review. Ties break by employee id
+    for determinism.
+    """
+    if limit <= 0:
+        raise QueryError(f"limit must be positive, got {limit}")
+    day_list = list(days) if days is not None else list(store.days)
+    counts: dict[int, int] = {}
+    for day in day_list:
+        for record in store.day_alerts(day):
+            counts[record.employee_id] = counts.get(record.employee_id, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]

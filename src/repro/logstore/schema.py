@@ -1,0 +1,21 @@
+"""Column schemas for the persisted logs."""
+
+from __future__ import annotations
+
+#: Alert-log column order used by the CSV/JSONL codecs.
+ALERT_COLUMNS: tuple[str, ...] = (
+    "alert_id",
+    "day",
+    "time_of_day",
+    "type_id",
+    "employee_id",
+    "patient_id",
+)
+
+#: Access-log column order used by the CSV codec.
+ACCESS_COLUMNS: tuple[str, ...] = (
+    "day",
+    "time_of_day",
+    "employee_id",
+    "patient_id",
+)

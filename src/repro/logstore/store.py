@@ -1,0 +1,193 @@
+"""In-memory indexed stores for access events and alerts."""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError, QueryError
+from repro.emr.engine import DetectedAlert
+from repro.emr.events import AccessEvent
+from repro.stats.diurnal import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True, order=True)
+class AlertRecord:
+    """One stored alert. Ordering is chronological within a day."""
+
+    day: int
+    time_of_day: float
+    type_id: int
+    employee_id: int
+    patient_id: int
+    alert_id: int = field(compare=False, default=-1)
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise DataError(f"day must be non-negative, got {self.day}")
+        if not 0 <= self.time_of_day < SECONDS_PER_DAY:
+            raise DataError(f"time_of_day out of range: {self.time_of_day}")
+        if self.type_id <= 0:
+            raise DataError(f"type_id must be positive, got {self.type_id}")
+
+
+class AlertLogStore:
+    """Alert log with by-day and by-type indexes.
+
+    The store is the single source the estimator, the experiments, and the
+    Table 1 regeneration all read from, mirroring the role of the alert
+    database in the deployed system.
+    """
+
+    def __init__(self, records: Iterable[AlertRecord] = ()) -> None:
+        self._by_day: dict[int, list[AlertRecord]] = {}
+        self._count_by_type: dict[int, int] = {}
+        self._next_id = 0
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return sum(len(day) for day in self._by_day.values())
+
+    def add(self, record: AlertRecord) -> AlertRecord:
+        """Insert one record (assigns an ``alert_id`` when missing)."""
+        if record.alert_id < 0:
+            record = AlertRecord(
+                day=record.day,
+                time_of_day=record.time_of_day,
+                type_id=record.type_id,
+                employee_id=record.employee_id,
+                patient_id=record.patient_id,
+                alert_id=self._next_id,
+            )
+        self._next_id = max(self._next_id, record.alert_id) + 1
+        insort(self._by_day.setdefault(record.day, []), record)
+        self._count_by_type[record.type_id] = (
+            self._count_by_type.get(record.type_id, 0) + 1
+        )
+        return record
+
+    def add_detected(self, alert: DetectedAlert) -> AlertRecord:
+        """Insert a :class:`~repro.emr.engine.DetectedAlert`."""
+        return self.add(
+            AlertRecord(
+                day=alert.event.day,
+                time_of_day=alert.event.time_of_day,
+                type_id=alert.type_id,
+                employee_id=alert.event.employee_id,
+                patient_id=alert.event.patient_id,
+            )
+        )
+
+    @property
+    def days(self) -> tuple[int, ...]:
+        """Sorted days present in the store."""
+        return tuple(sorted(self._by_day))
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        """Sorted alert types present in the store."""
+        return tuple(sorted(self._count_by_type))
+
+    def day_alerts(self, day: int) -> tuple[AlertRecord, ...]:
+        """All alerts of ``day``, chronological."""
+        if day not in self._by_day:
+            raise QueryError(f"no alerts stored for day {day}")
+        return tuple(self._by_day[day])
+
+    def has_day(self, day: int) -> bool:
+        """Whether any alert is stored for ``day``."""
+        return day in self._by_day
+
+    def count(self, day: int | None = None, type_id: int | None = None) -> int:
+        """Number of stored alerts, optionally filtered by day and/or type."""
+        if day is None and type_id is None:
+            return len(self)
+        if day is None:
+            return self._count_by_type.get(type_id, 0)
+        records = self._by_day.get(day, [])
+        if type_id is None:
+            return len(records)
+        return sum(1 for record in records if record.type_id == type_id)
+
+    def times_by_type(
+        self,
+        days: Iterable[int],
+        type_ids: Iterable[int] | None = None,
+    ) -> dict[int, list[np.ndarray]]:
+        """Per-type, per-day sorted arrival-time arrays.
+
+        This is exactly the ``history`` input of
+        :class:`repro.stats.estimator.FutureAlertEstimator`: every requested
+        type gets one array per requested day (empty when the type did not
+        fire that day).
+        """
+        day_list = list(days)
+        for day in day_list:
+            if day not in self._by_day:
+                raise QueryError(f"no alerts stored for day {day}")
+        types = tuple(type_ids) if type_ids is not None else self.type_ids
+        history: dict[int, list[np.ndarray]] = {t: [] for t in types}
+        for day in day_list:
+            per_type: dict[int, list[float]] = {t: [] for t in types}
+            for record in self._by_day[day]:
+                if record.type_id in per_type:
+                    per_type[record.type_id].append(record.time_of_day)
+            for t in types:
+                history[t].append(np.asarray(per_type[t]))
+        return history
+
+    def daily_counts(self, type_ids: Iterable[int] | None = None) -> dict[int, dict[int, int]]:
+        """``{day: {type_id: count}}`` over the requested types."""
+        types = tuple(type_ids) if type_ids is not None else self.type_ids
+        out: dict[int, dict[int, int]] = {}
+        for day, records in self._by_day.items():
+            counts = {t: 0 for t in types}
+            for record in records:
+                if record.type_id in counts:
+                    counts[record.type_id] += 1
+            out[day] = counts
+        return dict(sorted(out.items()))
+
+    def all_records(self) -> tuple[AlertRecord, ...]:
+        """Every record, sorted by (day, time)."""
+        out: list[AlertRecord] = []
+        for day in self.days:
+            out.extend(self._by_day[day])
+        return tuple(out)
+
+
+class AccessLogStore:
+    """Raw access-event log, indexed by day."""
+
+    def __init__(self, events: Iterable[AccessEvent] = ()) -> None:
+        self._by_day: dict[int, list[AccessEvent]] = {}
+        for event in events:
+            self.add(event)
+
+    def __len__(self) -> int:
+        return sum(len(day) for day in self._by_day.values())
+
+    def add(self, event: AccessEvent) -> None:
+        """Insert one access event."""
+        insort(self._by_day.setdefault(event.day, []), event)
+
+    @property
+    def days(self) -> tuple[int, ...]:
+        """Sorted days present in the store."""
+        return tuple(sorted(self._by_day))
+
+    def day_events(self, day: int) -> tuple[AccessEvent, ...]:
+        """All events of ``day``, chronological."""
+        if day not in self._by_day:
+            raise QueryError(f"no accesses stored for day {day}")
+        return tuple(self._by_day[day])
+
+    def count(self, day: int | None = None) -> int:
+        """Number of stored events (optionally of one day)."""
+        if day is None:
+            return len(self)
+        return len(self._by_day.get(day, []))

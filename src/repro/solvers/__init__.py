@@ -1,0 +1,35 @@
+"""Linear-programming substrate.
+
+The SAG algorithms (LP (2) and LP (3) in the paper) are solved on top of a
+small solver-agnostic layer:
+
+* :class:`~repro.solvers.problem.LinearProgram` — immutable problem statement
+  (maximize ``c . x`` subject to ``A_ub x <= b_ub``, ``A_eq x = b_eq`` and
+  per-variable bounds).
+* :class:`~repro.solvers.problem.LPBuilder` — incremental builder with named
+  variables, used by the game-theoretic layers.
+* :mod:`~repro.solvers.simplex` — a dependency-free two-phase dense simplex
+  with Bland's anti-cycling rule.
+* :mod:`~repro.solvers.scipy_backend` — ``scipy.optimize.linprog`` (HiGHS).
+* :mod:`~repro.solvers.registry` — backend lookup and cross-checking.
+"""
+
+from repro.solvers.problem import LinearProgram, LPBuilder
+from repro.solvers.result import LPSolution, SolveStatus
+from repro.solvers.registry import (
+    available_backends,
+    cross_check,
+    get_backend,
+    solve,
+)
+
+__all__ = [
+    "LinearProgram",
+    "LPBuilder",
+    "LPSolution",
+    "SolveStatus",
+    "available_backends",
+    "cross_check",
+    "get_backend",
+    "solve",
+]

@@ -1,0 +1,229 @@
+"""Immutable LP statement and an incremental builder.
+
+The canonical form used throughout the package is a *maximization*:
+
+    maximize    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x  = b_eq
+                lo_i <= x_i <= hi_i      for every variable i
+
+``hi_i`` may be ``+inf``; ``lo_i`` may be ``-inf`` (the simplex backend
+splits such variables internally).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+def _as_matrix(rows: object, n_vars: int) -> np.ndarray:
+    """Coerce ``rows`` into a dense ``(m, n_vars)`` float matrix."""
+    matrix = np.asarray(rows, dtype=float)
+    if matrix.size == 0:
+        return np.zeros((0, n_vars))
+    if matrix.ndim != 2 or matrix.shape[1] != n_vars:
+        raise SolverError(
+            f"constraint matrix must be (m, {n_vars}); got shape {matrix.shape}"
+        )
+    return matrix
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in canonical maximization form.
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients (maximize ``c . x``).
+    a_ub, b_ub:
+        Inequality block ``A_ub x <= b_ub``.
+    a_eq, b_eq:
+        Equality block ``A_eq x = b_eq``.
+    bounds:
+        One ``(lo, hi)`` pair per variable.
+    names:
+        Optional human-readable variable names (used in diagnostics and in
+        :meth:`repro.solvers.result.LPSolution.as_dict`).
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    b_ub: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    a_eq: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    b_eq: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    bounds: tuple[tuple[float, float], ...] = ()
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.c, dtype=float)
+        if c.ndim != 1 or c.size == 0:
+            raise SolverError("objective must be a non-empty 1-D vector")
+        n = c.size
+        a_ub = _as_matrix(self.a_ub, n)
+        b_ub = np.asarray(self.b_ub, dtype=float).reshape(-1)
+        a_eq = _as_matrix(self.a_eq, n)
+        b_eq = np.asarray(self.b_eq, dtype=float).reshape(-1)
+        if a_ub.shape[0] != b_ub.size:
+            raise SolverError("A_ub and b_ub row counts differ")
+        if a_eq.shape[0] != b_eq.size:
+            raise SolverError("A_eq and b_eq row counts differ")
+
+        bounds = tuple(self.bounds) if self.bounds else tuple((0.0, math.inf) for _ in range(n))
+        if len(bounds) != n:
+            raise SolverError(f"expected {n} bounds, got {len(bounds)}")
+        for i, (lo, hi) in enumerate(bounds):
+            if math.isnan(lo) or math.isnan(hi) or lo > hi:
+                raise SolverError(f"invalid bounds for variable {i}: ({lo}, {hi})")
+
+        names = tuple(self.names) if self.names else tuple(f"x{i}" for i in range(n))
+        if len(names) != n:
+            raise SolverError(f"expected {n} names, got {len(names)}")
+
+        for label, data in (("c", c), ("A_ub", a_ub), ("b_ub", b_ub),
+                            ("A_eq", a_eq), ("b_eq", b_eq)):
+            if not np.all(np.isfinite(data)):
+                raise SolverError(f"{label} contains non-finite entries")
+
+        for arr in (c, a_ub, b_ub, a_eq, b_eq):
+            arr.setflags(write=False)
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "a_ub", a_ub)
+        object.__setattr__(self, "b_ub", b_ub)
+        object.__setattr__(self, "a_eq", a_eq)
+        object.__setattr__(self, "b_eq", b_eq)
+        object.__setattr__(self, "bounds", bounds)
+        object.__setattr__(self, "names", names)
+
+    @property
+    def n_vars(self) -> int:
+        """Number of decision variables."""
+        return self.c.size
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of (in)equality rows, excluding bounds."""
+        return self.a_ub.shape[0] + self.a_eq.shape[0]
+
+    def objective_at(self, x: np.ndarray) -> float:
+        """Evaluate the (maximization) objective at ``x``."""
+        return float(np.dot(self.c, np.asarray(x, dtype=float)))
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check whether ``x`` satisfies every constraint within ``tol``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_vars,):
+            return False
+        if self.a_ub.shape[0] and np.any(self.a_ub @ x > self.b_ub + tol):
+            return False
+        if self.a_eq.shape[0] and np.any(np.abs(self.a_eq @ x - self.b_eq) > tol):
+            return False
+        for value, (lo, hi) in zip(x, self.bounds):
+            if value < lo - tol or value > hi + tol:
+                return False
+        return True
+
+
+class LPBuilder:
+    """Incrementally assemble a :class:`LinearProgram` with named variables.
+
+    Example
+    -------
+    >>> builder = LPBuilder()
+    >>> builder.add_variable("p0", lower=0.0, upper=1.0, objective=2.0)
+    0
+    >>> builder.add_variable("q0", lower=0.0, upper=1.0, objective=-1.0)
+    1
+    >>> builder.add_le({"p0": 1.0, "q0": 1.0}, 1.0)
+    >>> program = builder.build()
+    >>> program.n_vars
+    2
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._objective: list[float] = []
+        self._bounds: list[tuple[float, float]] = []
+        self._le_rows: list[dict[str, float]] = []
+        self._le_rhs: list[float] = []
+        self._eq_rows: list[dict[str, float]] = []
+        self._eq_rhs: list[float] = []
+
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = math.inf,
+        objective: float = 0.0,
+    ) -> int:
+        """Register a variable; returns its column index."""
+        if name in self._index:
+            raise SolverError(f"duplicate variable name: {name!r}")
+        index = len(self._names)
+        self._names.append(name)
+        self._index[name] = index
+        self._objective.append(float(objective))
+        self._bounds.append((float(lower), float(upper)))
+        return index
+
+    def set_objective(self, name: str, coefficient: float) -> None:
+        """Overwrite the objective coefficient of an existing variable."""
+        self._objective[self._require(name)] = float(coefficient)
+
+    def add_le(self, coefficients: dict[str, float], rhs: float) -> None:
+        """Add ``sum coefficients[name] * name <= rhs``."""
+        self._validate_row(coefficients)
+        self._le_rows.append(dict(coefficients))
+        self._le_rhs.append(float(rhs))
+
+    def add_ge(self, coefficients: dict[str, float], rhs: float) -> None:
+        """Add ``sum coefficients[name] * name >= rhs`` (stored negated)."""
+        self._validate_row(coefficients)
+        self._le_rows.append({name: -value for name, value in coefficients.items()})
+        self._le_rhs.append(-float(rhs))
+
+    def add_eq(self, coefficients: dict[str, float], rhs: float) -> None:
+        """Add ``sum coefficients[name] * name == rhs``."""
+        self._validate_row(coefficients)
+        self._eq_rows.append(dict(coefficients))
+        self._eq_rhs.append(float(rhs))
+
+    def build(self) -> LinearProgram:
+        """Freeze the accumulated statement into a :class:`LinearProgram`."""
+        if not self._names:
+            raise SolverError("cannot build an LP with no variables")
+        n = len(self._names)
+
+        def rows_to_matrix(rows: list[dict[str, float]]) -> np.ndarray:
+            matrix = np.zeros((len(rows), n))
+            for r, row in enumerate(rows):
+                for name, value in row.items():
+                    matrix[r, self._index[name]] = value
+            return matrix
+
+        return LinearProgram(
+            c=np.array(self._objective),
+            a_ub=rows_to_matrix(self._le_rows),
+            b_ub=np.array(self._le_rhs),
+            a_eq=rows_to_matrix(self._eq_rows),
+            b_eq=np.array(self._eq_rhs),
+            bounds=tuple(self._bounds),
+            names=tuple(self._names),
+        )
+
+    def _require(self, name: str) -> int:
+        if name not in self._index:
+            raise SolverError(f"unknown variable name: {name!r}")
+        return self._index[name]
+
+    def _validate_row(self, coefficients: dict[str, float]) -> None:
+        if not coefficients:
+            raise SolverError("constraint row must reference at least one variable")
+        for name in coefficients:
+            self._require(name)

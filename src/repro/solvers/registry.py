@@ -1,0 +1,96 @@
+"""Backend lookup and cross-checking utilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import (
+    InfeasibleProblemError,
+    SolverConvergenceError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.solvers import scipy_backend, simplex
+from repro.solvers.problem import LinearProgram
+from repro.solvers.result import LPSolution, SolveStatus
+
+
+class SolverBackend(Protocol):
+    """Callable signature every backend satisfies."""
+
+    def __call__(self, program: LinearProgram, **options: object) -> LPSolution:
+        ...
+
+
+_BACKENDS: dict[str, Callable[..., LPSolution]] = {
+    simplex.BACKEND_NAME: simplex.solve,
+    scipy_backend.BACKEND_NAME: scipy_backend.solve,
+}
+
+DEFAULT_BACKEND = scipy_backend.BACKEND_NAME
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> Callable[..., LPSolution]:
+    """Look up a backend by ``name`` (``"scipy"`` or ``"simplex"``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def solve(
+    program: LinearProgram,
+    backend: str = DEFAULT_BACKEND,
+    raise_on_failure: bool = True,
+    **options: object,
+) -> LPSolution:
+    """Solve ``program`` with the named backend.
+
+    With ``raise_on_failure`` (the default) a non-optimal status is converted
+    into the matching :mod:`repro.errors` exception, so call sites that
+    expect feasibility can stay linear.
+    """
+    solution = get_backend(backend)(program, **options)
+    if raise_on_failure and not solution.status.is_success:
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleProblemError(f"LP infeasible (backend={backend})")
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedProblemError(f"LP unbounded (backend={backend})")
+        raise SolverConvergenceError(
+            f"LP solve failed with status {solution.status.value} (backend={backend})"
+        )
+    return solution
+
+
+def cross_check(
+    program: LinearProgram,
+    tol: float = 1e-6,
+) -> tuple[LPSolution, LPSolution]:
+    """Solve with both backends and assert they agree on the optimum.
+
+    Returns ``(scipy_solution, simplex_solution)``. Only objective values are
+    compared — LPs routinely have multiple optimal vertices.
+    """
+    first = solve(program, backend=scipy_backend.BACKEND_NAME, raise_on_failure=False)
+    second = solve(program, backend=simplex.BACKEND_NAME, raise_on_failure=False)
+    if first.status != second.status:
+        raise SolverError(
+            "backend status disagreement: "
+            f"scipy={first.status.value} simplex={second.status.value}"
+        )
+    if first.status.is_success:
+        gap = abs(first.objective - second.objective)
+        scale = max(1.0, abs(first.objective))
+        if gap > tol * scale:
+            raise SolverError(
+                f"backend objective disagreement: scipy={first.objective} "
+                f"simplex={second.objective}"
+            )
+    return first, second

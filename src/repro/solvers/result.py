@@ -1,0 +1,69 @@
+"""Solver result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Terminal status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL_ERROR = "numerical_error"
+
+    @property
+    def is_success(self) -> bool:
+        """Whether the solve produced a usable optimal solution."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Outcome of solving a :class:`~repro.solvers.problem.LinearProgram`.
+
+    Attributes
+    ----------
+    status:
+        Terminal :class:`SolveStatus`.
+    x:
+        Optimal point in the original variable space (empty array unless
+        ``status.is_success``).
+    objective:
+        Optimal objective value in the *maximization* sense the problem was
+        stated in (``nan`` unless successful).
+    iterations:
+        Number of pivots / solver iterations, when the backend reports it.
+    backend:
+        Name of the backend that produced this solution.
+    """
+
+    status: SolveStatus
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    objective: float = float("nan")
+    iterations: int = 0
+    backend: str = ""
+
+    def __post_init__(self) -> None:
+        # Normalize to a read-only float array so downstream indexing and
+        # `dict(zip(names, x))` work regardless of the producing backend.
+        arr = np.asarray(self.x, dtype=float)
+        arr.setflags(write=False)
+        object.__setattr__(self, "x", arr)
+
+    def value_of(self, index: int) -> float:
+        """Value of variable ``index`` at the optimum."""
+        return float(self.x[index])
+
+    def as_dict(self, names: list[str]) -> dict[str, float]:
+        """Map variable ``names`` to their optimal values."""
+        if len(names) != self.x.shape[0]:
+            raise ValueError(
+                f"expected {self.x.shape[0]} names, got {len(names)}"
+            )
+        return {name: float(value) for name, value in zip(names, self.x)}

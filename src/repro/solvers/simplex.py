@@ -1,0 +1,340 @@
+"""Pure-Python two-phase dense simplex.
+
+This backend exists so the reproduction does not *depend* on SciPy for its
+core math: the game-theoretic LPs (LP (2) and LP (3) of the paper) are tiny,
+and a dependency-free exact solver doubles as a cross-check for the HiGHS
+backend in tests.
+
+The implementation is a classic two-phase tableau simplex:
+
+1.  General variables are reduced to non-negative ones (finite lower bounds
+    are shifted out; free variables are split into positive/negative parts;
+    finite upper bounds become explicit rows).
+2.  Rows are normalized to non-negative right-hand sides; ``<=`` rows get
+    slacks, ``>=`` rows get surplus+artificial, ``==`` rows get artificials.
+3.  Phase one minimizes the sum of artificials (infeasible if positive);
+    phase two minimizes the negated objective.
+
+Bland's anti-cycling rule (smallest-index entering and leaving variables) is
+used throughout, so the method terminates on every input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.problem import LinearProgram
+from repro.solvers.result import LPSolution, SolveStatus
+
+BACKEND_NAME = "simplex"
+
+_DEFAULT_TOL = 1e-9
+_DEFAULT_MAX_ITERATIONS = 20_000
+
+
+@dataclass
+class _StandardForm:
+    """LP rewritten over non-negative variables.
+
+    ``x_original = shift + positive_part(y) - negative_part(y)`` where the
+    mapping from original variable ``i`` to standard columns is recorded in
+    ``plus_col`` / ``minus_col`` (``minus_col[i] < 0`` when unused).
+    """
+
+    objective: np.ndarray
+    rows: np.ndarray          # (m, n_std) coefficients
+    rhs: np.ndarray           # (m,)
+    kinds: list[str]          # "le" or "eq" per row
+    shift: np.ndarray         # per original variable
+    plus_col: np.ndarray      # per original variable
+    minus_col: np.ndarray     # per original variable (-1 when absent)
+    offset: float             # objective constant from the shift
+
+
+def _standardize(program: LinearProgram) -> _StandardForm:
+    n = program.n_vars
+    shift = np.zeros(n)
+    plus_col = np.zeros(n, dtype=int)
+    minus_col = np.full(n, -1, dtype=int)
+    upper_rows: list[tuple[int, float]] = []  # (std column, bound on y)
+
+    next_col = 0
+    for i, (lo, hi) in enumerate(program.bounds):
+        if math.isfinite(lo):
+            shift[i] = lo
+            plus_col[i] = next_col
+            next_col += 1
+            if math.isfinite(hi):
+                upper_rows.append((plus_col[i], hi - lo))
+        else:
+            plus_col[i] = next_col
+            minus_col[i] = next_col + 1
+            next_col += 2
+            if math.isfinite(hi):
+                # y_plus - y_minus <= hi  (handled as a general row below)
+                upper_rows.append((-(i + 1), hi))  # marker: original var index
+
+    n_std = next_col
+
+    def expand(matrix: np.ndarray) -> np.ndarray:
+        out = np.zeros((matrix.shape[0], n_std))
+        for i in range(n):
+            out[:, plus_col[i]] = matrix[:, i]
+            if minus_col[i] >= 0:
+                out[:, minus_col[i]] = -matrix[:, i]
+        return out
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    kinds: list[str] = []
+
+    if program.a_ub.shape[0]:
+        expanded = expand(program.a_ub)
+        adjusted = program.b_ub - program.a_ub @ shift
+        for r in range(expanded.shape[0]):
+            rows.append(expanded[r])
+            rhs.append(float(adjusted[r]))
+            kinds.append("le")
+    if program.a_eq.shape[0]:
+        expanded = expand(program.a_eq)
+        adjusted = program.b_eq - program.a_eq @ shift
+        for r in range(expanded.shape[0]):
+            rows.append(expanded[r])
+            rhs.append(float(adjusted[r]))
+            kinds.append("eq")
+
+    for marker, bound in upper_rows:
+        row = np.zeros(n_std)
+        if marker >= 0:
+            row[marker] = 1.0
+        else:
+            original = -marker - 1
+            row[plus_col[original]] = 1.0
+            row[minus_col[original]] = -1.0
+        rows.append(row)
+        rhs.append(float(bound))
+        kinds.append("le")
+
+    objective = np.zeros(n_std)
+    offset = float(np.dot(program.c, shift))
+    for i in range(n):
+        objective[plus_col[i]] = program.c[i]
+        if minus_col[i] >= 0:
+            objective[minus_col[i]] = -program.c[i]
+
+    row_matrix = np.array(rows) if rows else np.zeros((0, n_std))
+    return _StandardForm(
+        objective=objective,
+        rows=row_matrix,
+        rhs=np.array(rhs),
+        kinds=kinds,
+        shift=shift,
+        plus_col=plus_col,
+        minus_col=minus_col,
+        offset=offset,
+    )
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > 0.0:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_phase(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    allowed: np.ndarray,
+    tol: float,
+    max_iterations: int,
+) -> tuple[str, int]:
+    """Minimize ``cost . y`` over the current tableau.
+
+    Returns ``(outcome, iterations)`` with outcome one of ``"optimal"``,
+    ``"unbounded"``, ``"iteration_limit"``.
+    """
+    m = tableau.shape[0]
+    for iteration in range(max_iterations):
+        cost_basis = cost[basis]
+        reduced = cost - cost_basis @ tableau[:, :-1]
+        entering = -1
+        for j in np.flatnonzero(allowed):
+            if reduced[j] < -tol:
+                entering = int(j)
+                break  # Bland: smallest eligible index
+        if entering < 0:
+            return "optimal", iteration
+
+        column = tableau[:, entering]
+        leaving = -1
+        best_ratio = math.inf
+        for r in range(m):
+            if column[r] > tol:
+                ratio = tableau[r, -1] / column[r]
+                if (
+                    ratio < best_ratio - tol
+                    or (abs(ratio - best_ratio) <= tol
+                        and (leaving < 0 or basis[r] < basis[leaving]))
+                ):
+                    best_ratio = ratio
+                    leaving = r
+        if leaving < 0:
+            return "unbounded", iteration
+        _pivot(tableau, basis, leaving, entering)
+    return "iteration_limit", max_iterations
+
+
+def solve(
+    program: LinearProgram,
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+    tol: float = _DEFAULT_TOL,
+) -> LPSolution:
+    """Solve ``program`` with the two-phase simplex method."""
+    form = _standardize(program)
+    m, n_std = form.rows.shape
+
+    if m == 0:
+        return _solve_unconstrained(program, form)
+
+    # Normalize right-hand sides to be non-negative.
+    rows = form.rows.copy()
+    rhs = form.rhs.copy()
+    kinds = list(form.kinds)
+    for r in range(m):
+        if rhs[r] < 0:
+            rows[r] = -rows[r]
+            rhs[r] = -rhs[r]
+            kinds[r] = {"le": "ge", "ge": "le", "eq": "eq"}[kinds[r]]
+
+    n_slack = sum(1 for kind in kinds if kind in ("le", "ge"))
+    n_artificial = sum(1 for kind in kinds if kind in ("ge", "eq"))
+    total = n_std + n_slack + n_artificial
+
+    tableau = np.zeros((m, total + 1))
+    tableau[:, :n_std] = rows
+    tableau[:, -1] = rhs
+    basis = np.zeros(m, dtype=int)
+    artificial_cols: list[int] = []
+
+    slack_cursor = n_std
+    artificial_cursor = n_std + n_slack
+    for r, kind in enumerate(kinds):
+        if kind == "le":
+            tableau[r, slack_cursor] = 1.0
+            basis[r] = slack_cursor
+            slack_cursor += 1
+        elif kind == "ge":
+            tableau[r, slack_cursor] = -1.0
+            slack_cursor += 1
+            tableau[r, artificial_cursor] = 1.0
+            basis[r] = artificial_cursor
+            artificial_cols.append(artificial_cursor)
+            artificial_cursor += 1
+        else:  # eq
+            tableau[r, artificial_cursor] = 1.0
+            basis[r] = artificial_cursor
+            artificial_cols.append(artificial_cursor)
+            artificial_cursor += 1
+
+    iterations = 0
+    allowed = np.ones(total, dtype=bool)
+
+    if artificial_cols:
+        phase1_cost = np.zeros(total)
+        phase1_cost[artificial_cols] = 1.0
+        outcome, used = _run_phase(
+            tableau, basis, phase1_cost, allowed, tol, max_iterations
+        )
+        iterations += used
+        if outcome == "iteration_limit":
+            return LPSolution(SolveStatus.ITERATION_LIMIT, backend=BACKEND_NAME,
+                              iterations=iterations)
+        infeasibility = float(phase1_cost[basis] @ tableau[:, -1])
+        if infeasibility > math.sqrt(tol):
+            return LPSolution(SolveStatus.INFEASIBLE, backend=BACKEND_NAME,
+                              iterations=iterations)
+        _evict_artificials(tableau, basis, artificial_cols, n_std + n_slack, tol)
+        allowed[artificial_cols] = False
+
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n_std] = -form.objective  # maximize c.y == minimize -c.y
+    outcome, used = _run_phase(
+        tableau, basis, phase2_cost, allowed, tol, max_iterations
+    )
+    iterations += used
+    if outcome == "unbounded":
+        return LPSolution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME,
+                          iterations=iterations)
+    if outcome == "iteration_limit":
+        return LPSolution(SolveStatus.ITERATION_LIMIT, backend=BACKEND_NAME,
+                          iterations=iterations)
+
+    y = np.zeros(total)
+    y[basis] = tableau[:, -1]
+    x = np.empty(program.n_vars)
+    for i in range(program.n_vars):
+        value = form.shift[i] + y[form.plus_col[i]]
+        if form.minus_col[i] >= 0:
+            value -= y[form.minus_col[i]]
+        x[i] = value
+    objective = program.objective_at(x)
+    return LPSolution(
+        SolveStatus.OPTIMAL,
+        x=x,
+        objective=objective,
+        iterations=iterations,
+        backend=BACKEND_NAME,
+    )
+
+
+def _evict_artificials(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    artificial_cols: list[int],
+    n_real: int,
+    tol: float,
+) -> None:
+    """Pivot basic artificial variables (at level zero) out of the basis.
+
+    Rows where no real column can take over are redundant constraints; they
+    are left in place with the artificial pinned at zero, which is harmless
+    because phase two never lets a disallowed column re-enter.
+    """
+    artificial_set = set(artificial_cols)
+    for r in range(tableau.shape[0]):
+        if basis[r] in artificial_set:
+            for j in range(n_real):
+                if abs(tableau[r, j]) > tol:
+                    _pivot(tableau, basis, r, j)
+                    break
+
+
+def _solve_unconstrained(
+    program: LinearProgram, form: _StandardForm
+) -> LPSolution:
+    """Handle the degenerate case of an LP whose only constraints are bounds."""
+    x = np.empty(program.n_vars)
+    for i, (lo, hi) in enumerate(program.bounds):
+        coefficient = program.c[i]
+        if coefficient > 0:
+            if not math.isfinite(hi):
+                return LPSolution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+            x[i] = hi
+        elif coefficient < 0:
+            if not math.isfinite(lo):
+                return LPSolution(SolveStatus.UNBOUNDED, backend=BACKEND_NAME)
+            x[i] = lo
+        else:
+            x[i] = lo if math.isfinite(lo) else (hi if math.isfinite(hi) else 0.0)
+    return LPSolution(
+        SolveStatus.OPTIMAL,
+        x=x,
+        objective=program.objective_at(x),
+        backend=BACKEND_NAME,
+    )

@@ -1,0 +1,29 @@
+"""Stochastic substrate: Poisson machinery, diurnal arrival profiles, and the
+historical future-alert estimator (with the paper's knowledge-rollback
+technique)."""
+
+from repro.stats.poisson import (
+    PoissonReciprocalMoment,
+    expected_reciprocal,
+    poisson_cdf,
+    poisson_pmf,
+)
+from repro.stats.diurnal import DiurnalProfile, SECONDS_PER_DAY, hospital_profile
+from repro.stats.estimator import (
+    FutureAlertEstimator,
+    RollbackEstimator,
+    build_estimator,
+)
+
+__all__ = [
+    "PoissonReciprocalMoment",
+    "expected_reciprocal",
+    "poisson_cdf",
+    "poisson_pmf",
+    "DiurnalProfile",
+    "SECONDS_PER_DAY",
+    "hospital_profile",
+    "FutureAlertEstimator",
+    "RollbackEstimator",
+    "build_estimator",
+]

@@ -1,0 +1,194 @@
+"""Estimation of future alert volumes from historical logs.
+
+The online solvers need, at any time-of-day ``s`` during the audit cycle, an
+estimate of how many more alerts of each type will arrive before the cycle
+ends. Following the paper (footnote 3: "The vast majority of alerts are
+false positives. Consequently, we can estimate d^t_tau from alert log
+data."), the estimate is the empirical mean over historical days of the
+number of alerts of that type arriving after ``s``. That mean is used as
+the rate ``lambda`` of the Poisson distribution ``D^t_tau`` in LP (2).
+
+Knowledge rollback (paper §5): near the end of the day the means collapse
+towards zero, which would let a late attacker strike after the budget model
+believes the day is over. When the *total* remaining mean drops below a
+threshold (4.0 in both of the paper's experiments), the estimator re-uses
+the estimate anchored at the last alert that arrived while knowledge was
+still above the threshold, keeping budget consumption steady.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.stats.diurnal import SECONDS_PER_DAY
+
+#: Threshold used in both of the paper's experiments.
+DEFAULT_ROLLBACK_THRESHOLD = 4.0
+
+
+class FutureAlertEstimator:
+    """Empirical remaining-day alert-count estimator.
+
+    Parameters
+    ----------
+    history:
+        Mapping from alert-type id to a list of per-day arrival-time arrays
+        (seconds within the day). Every type must supply the same number of
+        historical days.
+    """
+
+    def __init__(self, history: Mapping[int, Sequence[Iterable[float]]]) -> None:
+        if not history:
+            raise EstimationError("history must cover at least one alert type")
+        self._days: int | None = None
+        self._times: dict[int, list[np.ndarray]] = {}
+        for type_id, day_lists in history.items():
+            arrays = [np.sort(np.asarray(list(day), dtype=float)) for day in day_lists]
+            if self._days is None:
+                self._days = len(arrays)
+            elif len(arrays) != self._days:
+                raise EstimationError(
+                    f"type {type_id} has {len(arrays)} historical days, "
+                    f"expected {self._days}"
+                )
+            for day_index, array in enumerate(arrays):
+                if array.size and (array[0] < 0 or array[-1] > SECONDS_PER_DAY):
+                    raise EstimationError(
+                        f"type {type_id} day {day_index}: times outside a day"
+                    )
+            self._times[type_id] = arrays
+        if self._days == 0:
+            raise EstimationError("history must contain at least one day")
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        """Alert types covered by this estimator."""
+        return tuple(sorted(self._times))
+
+    @property
+    def n_days(self) -> int:
+        """Number of historical days backing the estimates."""
+        return int(self._days or 0)
+
+    def remaining_mean(self, type_id: int, time_of_day: float) -> float:
+        """Mean number of type-``type_id`` alerts arriving strictly after ``time_of_day``."""
+        arrays = self._require(type_id)
+        remaining = 0
+        for array in arrays:
+            remaining += array.size - int(np.searchsorted(array, time_of_day, side="right"))
+        return remaining / len(arrays)
+
+    def remaining_means(self, time_of_day: float) -> dict[int, float]:
+        """``remaining_mean`` for every covered type."""
+        return {
+            type_id: self.remaining_mean(type_id, time_of_day)
+            for type_id in self.type_ids
+        }
+
+    def total_remaining_mean(self, time_of_day: float) -> float:
+        """Sum of remaining means across all types."""
+        return sum(self.remaining_means(time_of_day).values())
+
+    def daily_mean(self, type_id: int) -> float:
+        """Mean daily count of ``type_id`` over the historical days."""
+        arrays = self._require(type_id)
+        return float(np.mean([array.size for array in arrays]))
+
+    def daily_std(self, type_id: int) -> float:
+        """Sample standard deviation of the daily count of ``type_id``."""
+        arrays = self._require(type_id)
+        counts = np.array([array.size for array in arrays], dtype=float)
+        if counts.size < 2:
+            return 0.0
+        return float(np.std(counts, ddof=1))
+
+    def _require(self, type_id: int) -> list[np.ndarray]:
+        if type_id not in self._times:
+            raise EstimationError(f"estimator has no history for alert type {type_id}")
+        return self._times[type_id]
+
+
+class RollbackEstimator:
+    """Knowledge-rollback wrapper around a :class:`FutureAlertEstimator`.
+
+    The wrapper is stateful within a single audit cycle: call
+    :meth:`observe_alert` as each alert arrives, then query
+    :meth:`remaining_means` / :meth:`remaining_mean`. When the total
+    remaining mean at the most recent alert falls below ``threshold``, the
+    query time is frozen at the anchor — the last alert time at which the
+    total mean was still at or above the threshold — exactly the paper's
+    "apply the estimation of the number of future alerts in the time point
+    when the last alert was triggered".
+    """
+
+    def __init__(
+        self,
+        base: FutureAlertEstimator,
+        threshold: float = DEFAULT_ROLLBACK_THRESHOLD,
+        enabled: bool = True,
+    ) -> None:
+        if threshold < 0:
+            raise EstimationError(f"threshold must be non-negative, got {threshold}")
+        self._base = base
+        self._threshold = float(threshold)
+        self._enabled = bool(enabled)
+        self._anchor = 0.0
+
+    @property
+    def base(self) -> FutureAlertEstimator:
+        """The wrapped estimator."""
+        return self._base
+
+    @property
+    def enabled(self) -> bool:
+        """Whether rollback is active (disable for ablations)."""
+        return self._enabled
+
+    @property
+    def anchor_time(self) -> float:
+        """Current frozen anchor time-of-day."""
+        return self._anchor
+
+    def reset(self) -> None:
+        """Start a fresh audit cycle."""
+        self._anchor = 0.0
+
+    def observe_alert(self, time_of_day: float) -> None:
+        """Record an alert arrival; advances the anchor while knowledge is rich."""
+        if self._base.total_remaining_mean(time_of_day) >= self._threshold:
+            self._anchor = float(time_of_day)
+
+    def effective_time(self, time_of_day: float) -> float:
+        """The time actually used for estimation queries at ``time_of_day``."""
+        if not self._enabled:
+            return float(time_of_day)
+        if self._base.total_remaining_mean(time_of_day) >= self._threshold:
+            return float(time_of_day)
+        return self._anchor
+
+    def remaining_mean(self, type_id: int, time_of_day: float) -> float:
+        """Rollback-aware remaining mean for one type."""
+        return self._base.remaining_mean(type_id, self.effective_time(time_of_day))
+
+    def remaining_means(self, time_of_day: float) -> dict[int, float]:
+        """Rollback-aware remaining means for every type."""
+        return self._base.remaining_means(self.effective_time(time_of_day))
+
+    @property
+    def type_ids(self) -> tuple[int, ...]:
+        """Alert types covered by the wrapped estimator."""
+        return self._base.type_ids
+
+
+def build_estimator(
+    history: Mapping[int, Sequence[Iterable[float]]],
+    rollback: bool = True,
+    threshold: float = DEFAULT_ROLLBACK_THRESHOLD,
+) -> RollbackEstimator:
+    """Convenience constructor: historical times -> rollback estimator."""
+    return RollbackEstimator(
+        FutureAlertEstimator(history), threshold=threshold, enabled=rollback
+    )

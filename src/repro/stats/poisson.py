@@ -1,0 +1,106 @@
+"""Poisson probability helpers and the truncated reciprocal moment.
+
+LP (2) in the paper sets the marginal audit probability of alert type ``t'``
+to ``theta = E_{d ~ Poisson(lambda)}[ B / (V d) ]``. The expectation makes
+the constraint *linear* in the budget share ``B`` because
+
+    E[ B / (V d) ] = (B / V) * E[1/d]
+
+and ``E[1/d]`` depends only on ``lambda``. Since an audited alert must
+exist for the expectation to matter (and ``1/d`` is undefined at ``d = 0``),
+we use the moment conditioned on at least one arrival:
+
+    r(lambda) = E[ 1/d | d >= 1 ]
+              = sum_{k>=1} (1/k) * pmf(k; lambda) / (1 - pmf(0; lambda)).
+
+``r`` is continuous with ``r(0+) = 1`` and decreases towards ``1/lambda``
+for large ``lambda``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+
+_SERIES_TOL = 1e-14
+_MAX_TERMS = 100_000
+_TINY_LAMBDA = 1e-12
+
+
+def poisson_pmf(k: int, lam: float) -> float:
+    """``P[X = k]`` for ``X ~ Poisson(lam)``."""
+    if k < 0:
+        return 0.0
+    if lam < 0:
+        raise EstimationError(f"Poisson rate must be non-negative, got {lam}")
+    if lam == 0:
+        return 1.0 if k == 0 else 0.0
+    return math.exp(k * math.log(lam) - lam - math.lgamma(k + 1))
+
+
+def poisson_cdf(k: int, lam: float) -> float:
+    """``P[X <= k]`` for ``X ~ Poisson(lam)``."""
+    if k < 0:
+        return 0.0
+    total = 0.0
+    for i in range(k + 1):
+        total += poisson_pmf(i, lam)
+    return min(total, 1.0)
+
+
+def expected_reciprocal(lam: float, tol: float = _SERIES_TOL) -> float:
+    """The conditional reciprocal moment ``E[1/d | d >= 1]``, ``d ~ Poisson(lam)``.
+
+    Computed by direct series summation. Terms ``(1/k) pmf(k)`` decay
+    super-geometrically once ``k > lam``; summation stops when the running
+    term falls below ``tol`` times the accumulated mass *and* ``k`` has
+    passed the mode, which bounds the discarded tail by ``tol``.
+    """
+    if lam < 0:
+        raise EstimationError(f"Poisson rate must be non-negative, got {lam}")
+    if lam <= _TINY_LAMBDA:
+        # Conditioned on d >= 1, Poisson(0+) is a point mass at 1.
+        return 1.0
+
+    mass_above_zero = -math.expm1(-lam)  # 1 - e^{-lam}, stable for small lam
+    total = 0.0
+    term = lam * math.exp(-lam)  # pmf(1)
+    k = 1
+    while k < _MAX_TERMS:
+        total += term / k
+        if k > lam and term / k < tol * max(total, 1e-300):
+            break
+        term *= lam / (k + 1)
+        k += 1
+    else:  # pragma: no cover - series always converges well before the cap
+        raise EstimationError(f"reciprocal-moment series did not converge (lam={lam})")
+    return total / mass_above_zero
+
+
+class PoissonReciprocalMoment:
+    """Memoized ``expected_reciprocal`` lookup.
+
+    The online solvers evaluate the moment for the same handful of rates
+    thousands of times per simulated day; caching on a rounded key keeps the
+    estimator exact to ``decimals`` digits while making lookups O(1).
+    """
+
+    def __init__(self, decimals: int = 9) -> None:
+        self._decimals = decimals
+        self._cache: dict[float, float] = {}
+
+    def __call__(self, lam: float) -> float:
+        key = round(float(lam), self._decimals)
+        value = self._cache.get(key)
+        if value is None:
+            value = expected_reciprocal(key if key > 0 else max(key, 0.0))
+            self._cache[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all memoized values."""
+        self._cache.clear()

@@ -1,0 +1,106 @@
+"""Tests for the attacker models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme, solve_ossp
+
+PAY1 = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+PAY2 = PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=600.0)
+
+
+class TestRationalAttacker:
+    def test_picks_best_type(self):
+        attacker = RationalAttacker()
+        plan = attacker.choose_type({1: 0.5, 2: 0.0}, {1: PAY1, 2: PAY2})
+        # Type 1 at theta 0.5 is deeply negative; type 2 uncovered pays 600.
+        assert plan.type_id == 2
+        assert plan.expected_utility == pytest.approx(600.0)
+        assert plan.attacks
+
+    def test_no_attack_when_all_negative(self):
+        attacker = RationalAttacker()
+        plan = attacker.choose_type({1: 0.9, 2: 0.9}, {1: PAY1, 2: PAY2})
+        assert not plan.attacks
+        assert plan.expected_utility == 0.0
+
+    def test_attacks_at_exactly_zero(self):
+        # Paper convention: attack when expected utility >= 0.
+        attacker = RationalAttacker()
+        threshold = PAY1.deterrence_threshold()
+        plan = attacker.choose_type({1: threshold}, {1: PAY1})
+        assert plan.attacks
+
+    def test_empty_thetas_rejected(self):
+        with pytest.raises(ModelError):
+            RationalAttacker().choose_type({}, {})
+
+    def test_quits_on_ossp_warning(self):
+        attacker = RationalAttacker()
+        scheme = solve_ossp(0.1, PAY1)
+        assert not attacker.proceeds_after_warning(scheme, PAY1)
+
+    def test_proceeds_when_warning_is_cheap_talk(self):
+        attacker = RationalAttacker()
+        # Warning with no audit mass behind it: p1=0, q1>0.
+        scheme = SignalingScheme(p1=0.0, q1=0.5, p0=0.1, q0=0.4)
+        assert attacker.proceeds_after_warning(scheme, PAY1)
+
+
+class TestQuantalResponseAttacker:
+    def test_zero_rationality_uniform(self):
+        attacker = QuantalResponseAttacker(0.0)
+        distribution = attacker.type_distribution(
+            {1: 0.1, 2: 0.9}, {1: PAY1, 2: PAY2}
+        )
+        assert distribution[1] == pytest.approx(0.5)
+        assert distribution[2] == pytest.approx(0.5)
+
+    def test_high_rationality_concentrates_on_best(self):
+        attacker = QuantalResponseAttacker(200.0)
+        distribution = attacker.type_distribution(
+            {1: 0.0, 2: 0.9}, {1: PAY1, 2: PAY2}
+        )
+        best = max(distribution, key=distribution.get)
+        rational = RationalAttacker().choose_type(
+            {1: 0.0, 2: 0.9}, {1: PAY1, 2: PAY2}
+        )
+        assert best == rational.type_id
+        assert distribution[best] > 0.95
+
+    def test_distribution_sums_to_one(self):
+        attacker = QuantalResponseAttacker(3.0)
+        distribution = attacker.type_distribution(
+            {1: 0.2, 2: 0.4}, {1: PAY1, 2: PAY2}
+        )
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_negative_rationality_rejected(self):
+        with pytest.raises(ModelError):
+            QuantalResponseAttacker(-1.0)
+
+    def test_proceed_probability_half_at_boundary(self):
+        # The OSSP keeps the warned attacker exactly indifferent, so the
+        # quantal attacker proceeds with probability ~1/2.
+        attacker = QuantalResponseAttacker(10.0)
+        scheme = solve_ossp(0.1, PAY1)
+        assert attacker.proceed_probability(scheme, PAY1) == pytest.approx(0.5, abs=0.02)
+
+    def test_proceed_probability_extremes_saturate(self):
+        attacker = QuantalResponseAttacker(1e6)
+        bad_for_attacker = SignalingScheme(p1=0.5, q1=0.0, p0=0.0, q0=0.5)
+        assert attacker.proceed_probability(bad_for_attacker, PAY1) < 1e-6
+
+    def test_auditor_expected_utility_blends(self):
+        attacker = QuantalResponseAttacker(0.0)
+        value = attacker.auditor_expected_utility(
+            {1: 0.0, 2: 0.0}, {1: PAY1, 2: PAY2}
+        )
+        expected = 0.5 * PAY1.auditor_utility(0.0) + 0.5 * PAY2.auditor_utility(0.0)
+        assert value == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            QuantalResponseAttacker(1.0).type_distribution({}, {})

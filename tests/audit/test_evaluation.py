@@ -1,0 +1,97 @@
+"""Tests for the rolling train/test evaluation harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.evaluation import (
+    EvaluationHarness,
+    TrainTestSplit,
+    rolling_splits,
+)
+from repro.audit.policies import OfflineSSEPolicy, OSSPPolicy
+from repro.experiments.config import TABLE2_PAYOFFS, paper_costs
+
+
+class TestRollingSplits:
+    def test_paper_construction(self):
+        # 56 days, window 41 -> exactly 15 groups (the paper's protocol).
+        splits = rolling_splits(range(56), window=41)
+        assert len(splits) == 15
+        assert splits[0].train_days == tuple(range(41))
+        assert splits[0].test_day == 41
+        assert splits[-1].test_day == 55
+
+    def test_windows_are_consecutive(self):
+        splits = rolling_splits(range(10), window=4)
+        for split in splits:
+            assert len(split.train_days) == 4
+            assert split.test_day == split.train_days[-1] + 1
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(ExperimentError):
+            rolling_splits(range(5), window=5)
+
+    def test_split_validation(self):
+        with pytest.raises(ExperimentError):
+            TrainTestSplit(train_days=(), test_day=1)
+        with pytest.raises(ExperimentError):
+            TrainTestSplit(train_days=(1, 2), test_day=2)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def harness(self, small_store):
+        return EvaluationHarness(
+            small_store,
+            payoffs=TABLE2_PAYOFFS,
+            costs=paper_costs(),
+            budget=10.0,
+            type_ids=tuple(sorted(TABLE2_PAYOFFS)),
+            seed=1,
+        )
+
+    def test_splits_over_store(self, harness, small_store):
+        splits = harness.splits(window=6)
+        assert len(splits) == len(small_store.days) - 6
+
+    def test_context_history_shape(self, harness):
+        split = harness.splits(window=6)[0]
+        context = harness.context_for(split)
+        assert set(context.history) == set(TABLE2_PAYOFFS)
+        for arrays in context.history.values():
+            assert len(arrays) == 6
+
+    def test_test_alerts_filtered_and_sorted(self, harness):
+        split = harness.splits(window=6)[0]
+        alerts = harness.test_alerts(split)
+        assert alerts, "test day should have alerts"
+        times = [a.time_of_day for a in alerts]
+        assert times == sorted(times)
+        assert all(a.type_id in TABLE2_PAYOFFS for a in alerts)
+
+    def test_run_group(self, harness):
+        split = harness.splits(window=6)[0]
+        results = harness.run_group(split, [OfflineSSEPolicy()])
+        assert set(results) == {"offline SSE"}
+        assert results["offline SSE"].day == split.test_day
+
+    def test_run_all_max_groups(self, harness):
+        results = harness.run_all([OfflineSSEPolicy()], window=6, max_groups=2)
+        assert len(results) == 2
+
+    def test_unknown_type_request_rejected(self, small_store):
+        with pytest.raises(ExperimentError):
+            EvaluationHarness(
+                small_store,
+                payoffs=TABLE2_PAYOFFS,
+                costs=paper_costs(),
+                budget=10.0,
+                type_ids=(1, 999),
+            )
+
+    def test_ossp_runs_over_group(self, harness):
+        split = harness.splits(window=6)[0]
+        results = harness.run_group(split, [OSSPPolicy()])
+        result = results["OSSP"]
+        assert len(result.points) > 0
+        assert result.budget_final <= result.budget_initial

@@ -1,0 +1,111 @@
+"""Tests for utility metrics and the cycle runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.cycle import run_cycle
+from repro.audit.metrics import CycleResult, UtilityPoint, summarize
+from repro.audit.policies import CycleContext, OSSPPolicy, UniformRandomPolicy
+from repro.core.payoffs import PayoffMatrix
+from repro.logstore.store import AlertRecord
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+def make_result(policy="p", day=0, values=(1.0, 2.0, 3.0)):
+    points = tuple(
+        UtilityPoint(time_of_day=i * 100.0, value=v, type_id=1)
+        for i, v in enumerate(values)
+    )
+    return CycleResult(
+        policy=policy, day=day, points=points,
+        budget_initial=10.0, budget_final=5.0,
+        solve_seconds=tuple(0.01 for _ in values),
+    )
+
+
+def make_context(n_train_days=3, budget=5.0, seed=0):
+    times = np.linspace(1000, 80000, 15)
+    return CycleContext(
+        history={1: [times.copy() for _ in range(n_train_days)]},
+        budget=budget,
+        payoffs={1: PAY},
+        costs={1: 1.0},
+        seed=seed,
+    )
+
+
+def make_alerts(n=10, day=0):
+    return [
+        AlertRecord(day=day, time_of_day=float(t), type_id=1,
+                    employee_id=0, patient_id=0, alert_id=i)
+        for i, t in enumerate(np.linspace(1000, 80000, n))
+    ]
+
+
+class TestCycleResult:
+    def test_statistics(self):
+        result = make_result(values=(1.0, -2.0, 4.0))
+        assert result.mean_utility() == pytest.approx(1.0)
+        assert result.final_utility() == 4.0
+        assert result.min_utility() == -2.0
+        np.testing.assert_allclose(result.times, [0.0, 100.0, 200.0])
+
+    def test_empty_points_raise(self):
+        result = CycleResult(policy="p", day=0, points=(),
+                             budget_initial=1.0, budget_final=1.0)
+        with pytest.raises(ExperimentError):
+            result.mean_utility()
+
+
+class TestSummarize:
+    def test_aggregates_across_days(self):
+        results = [make_result(values=(1.0, 3.0)), make_result(day=1, values=(5.0,))]
+        summary = summarize(results)
+        assert summary.n_days == 2
+        assert summary.n_alerts == 3
+        assert summary.mean_utility == pytest.approx(3.0)
+        assert summary.mean_final_utility == pytest.approx((3.0 + 5.0) / 2)
+        assert summary.worst_utility == 1.0
+        assert summary.mean_solve_seconds == pytest.approx(0.01)
+
+    def test_mixed_policies_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([make_result(policy="a"), make_result(policy="b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+
+class TestRunCycle:
+    def test_full_cycle(self):
+        result = run_cycle(OSSPPolicy(), make_alerts(8), make_context())
+        assert result.policy == "OSSP"
+        assert len(result.points) == 8
+        assert result.budget_final <= result.budget_initial
+        assert len(result.solve_seconds) == 8
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_cycle(OSSPPolicy(), [], make_context())
+
+    def test_multi_day_stream_rejected(self):
+        alerts = make_alerts(3) + make_alerts(3, day=1)
+        with pytest.raises(ExperimentError):
+            run_cycle(OSSPPolicy(), alerts, make_context())
+
+    def test_unsorted_stream_rejected(self):
+        alerts = list(reversed(make_alerts(3)))
+        with pytest.raises(ExperimentError):
+            run_cycle(OSSPPolicy(), alerts, make_context())
+
+    def test_warnings_counted(self):
+        result = run_cycle(OSSPPolicy(), make_alerts(20), make_context())
+        assert 0 <= result.warnings_sent <= 20
+
+    def test_uniform_policy_runs(self):
+        result = run_cycle(UniformRandomPolicy(), make_alerts(8), make_context())
+        assert result.policy == "uniform"
+        assert all(p.value <= 0.0 + 100.0 for p in result.points)

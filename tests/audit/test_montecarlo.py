@@ -1,0 +1,191 @@
+"""Tests for the attacker-in-the-loop Monte Carlo validator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.montecarlo import (
+    MonteCarloResult,
+    TIMING_LATE,
+    TIMING_UNIFORM,
+    run_attacker_in_the_loop,
+)
+from repro.audit.policies import CycleContext
+from repro.core.payoffs import PayoffMatrix
+from repro.logstore.store import AlertRecord
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+# A workload whose coverage stays well below the deterrence threshold all
+# day (theta ~ budget/alerts ~ 0.05), mirroring the paper's regime where
+# attacks happen and signaling matters.
+_N_ALERTS = 60
+_BUDGET = 3.0
+
+
+def make_context(budget=_BUDGET, n_per_day=_N_ALERTS):
+    times = np.linspace(1000, 80000, n_per_day)
+    return CycleContext(
+        history={1: [times.copy(), times.copy(), times.copy()]},
+        budget=budget,
+        payoffs={1: PAY},
+        costs={1: 1.0},
+        budget_charging="expected",
+        seed=11,
+    )
+
+
+def make_alerts(n=_N_ALERTS):
+    return [
+        AlertRecord(day=0, time_of_day=float(t), type_id=1,
+                    employee_id=0, patient_id=0, alert_id=i)
+        for i, t in enumerate(np.linspace(1000, 80000, n))
+    ]
+
+
+@pytest.fixture(scope="module")
+def uniform_result():
+    return run_attacker_in_the_loop(
+        make_alerts(), make_context(), n_trials=120, timing=TIMING_UNIFORM,
+    )
+
+
+class TestValidation:
+    def test_empty_alerts_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_attacker_in_the_loop([], make_context(), n_trials=1)
+
+    def test_unknown_timing_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_attacker_in_the_loop(
+                make_alerts(), make_context(), n_trials=1, timing="random"
+            )
+
+
+class TestUniformTiming:
+    def test_rates_are_probabilities(self, uniform_result):
+        for rate in (
+            uniform_result.attack_rate,
+            uniform_result.warned_rate,
+            uniform_result.quit_rate,
+            uniform_result.audit_rate,
+        ):
+            assert 0.0 <= rate <= 1.0
+
+    def test_warned_attacker_always_quits_under_ossp(self, uniform_result):
+        # The OSSP's quit constraint binds: warnings always deter.
+        assert uniform_result.quit_rate == pytest.approx(
+            uniform_result.warned_rate
+        )
+
+    def test_empirical_matches_expected(self, uniform_result):
+        # Realized mean converges to the predicted game value. With ~120
+        # trials and payoffs spanning [-400, 100] the MC standard error is
+        # about 20; allow 4 sigma.
+        assert uniform_result.expectation_gap < 80.0
+
+    def test_signaling_beats_no_signaling_empirically(self):
+        alerts = make_alerts()
+        context = make_context()
+        with_signal = run_attacker_in_the_loop(
+            alerts, context, n_trials=120, signaling_enabled=True, seed=5
+        )
+        without = run_attacker_in_the_loop(
+            alerts, context, n_trials=120, signaling_enabled=False, seed=5
+        )
+        assert (
+            with_signal.mean_auditor_utility
+            > without.mean_auditor_utility
+        )
+
+    def test_deterministic_given_seed(self):
+        alerts = make_alerts()
+        a = run_attacker_in_the_loop(alerts, make_context(), n_trials=30, seed=3)
+        b = run_attacker_in_the_loop(alerts, make_context(), n_trials=30, seed=3)
+        assert a == b
+
+
+class TestLateTiming:
+    def test_late_attacks_land_late(self):
+        result = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=40, timing=TIMING_LATE,
+        )
+        assert isinstance(result, MonteCarloResult)
+        assert result.timing == TIMING_LATE
+
+    def test_rollback_limits_late_attacker(self):
+        # The paper's motivation for rollback: a late attacker should not
+        # get a (much) better deal than a uniform-time attacker.
+        alerts = make_alerts()
+        context = make_context()
+        late = run_attacker_in_the_loop(
+            alerts, context, n_trials=80, timing=TIMING_LATE, seed=2
+        )
+        uniform = run_attacker_in_the_loop(
+            alerts, context, n_trials=80, timing=TIMING_UNIFORM, seed=2
+        )
+        assert (
+            late.mean_attacker_utility
+            <= uniform.mean_attacker_utility + 150.0
+        )
+
+
+class TestHugeBudgetDeterrence:
+    def test_full_deterrence(self):
+        result = run_attacker_in_the_loop(
+            make_alerts(), make_context(budget=500.0), n_trials=20,
+        )
+        assert result.attack_rate == 0.0
+        assert result.mean_auditor_utility == 0.0
+        assert result.mean_expected_utility == 0.0
+
+
+class TestQuantalAndRobustPaths:
+    def test_quantal_attacker_runs(self):
+        from repro.audit.attacker import QuantalResponseAttacker
+
+        result = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=30,
+            attacker=QuantalResponseAttacker(20.0), seed=4,
+        )
+        assert result.attack_rate == 1.0  # quantal attackers always act
+        assert 0.0 <= result.quit_rate <= result.warned_rate + 1e-9
+
+    def test_quantal_sometimes_proceeds_after_warning(self):
+        from repro.audit.attacker import QuantalResponseAttacker
+
+        result = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=60,
+            attacker=QuantalResponseAttacker(5.0), seed=4,
+        )
+        # At the classic OSSP boundary a noisy attacker proceeds ~half the
+        # time, so quits must be strictly fewer than warnings.
+        if result.warned_rate > 0.1:
+            assert result.quit_rate < result.warned_rate
+
+    def test_robust_margin_restores_quitting(self):
+        from repro.audit.attacker import QuantalResponseAttacker
+
+        attacker = QuantalResponseAttacker(20.0)
+        classic = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=60,
+            attacker=attacker, seed=4, robust_margin=0.0,
+        )
+        hardened = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=60,
+            attacker=attacker, seed=4, robust_margin=0.2,
+        )
+        if classic.warned_rate > 0.1 and hardened.warned_rate > 0.1:
+            assert (
+                hardened.quit_rate / max(hardened.warned_rate, 1e-9)
+                >= classic.quit_rate / max(classic.warned_rate, 1e-9) - 0.05
+            )
+
+    def test_rational_with_robust_margin(self):
+        result = run_attacker_in_the_loop(
+            make_alerts(), make_context(), n_trials=20,
+            robust_margin=0.1, seed=4,
+        )
+        # Rational attackers quit on every (hardened) warning.
+        assert result.quit_rate == pytest.approx(result.warned_rate)

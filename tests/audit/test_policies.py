@@ -1,0 +1,124 @@
+"""Tests for the audit policies (OSSP, SSE variants, baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.policies import (
+    CycleContext,
+    OfflineSSEPolicy,
+    OnlineSSEPolicy,
+    OSSPPolicy,
+    UniformRandomPolicy,
+)
+from repro.core.payoffs import PayoffMatrix
+from repro.logstore.store import AlertRecord
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+def make_context(budget=5.0, rollback=True):
+    times = np.linspace(1000, 80000, 20)
+    return CycleContext(
+        history={1: [times.copy(), times.copy(), times.copy()]},
+        budget=budget,
+        payoffs={1: PAY},
+        costs={1: 1.0},
+        rollback_enabled=rollback,
+        seed=3,
+    )
+
+
+def alert(time, alert_id=0, day=0):
+    return AlertRecord(day=day, time_of_day=time, type_id=1,
+                       employee_id=0, patient_id=0, alert_id=alert_id)
+
+
+class TestContext:
+    def test_build_estimator(self):
+        context = make_context()
+        estimator = context.build_estimator()
+        assert estimator.type_ids == (1,)
+        assert estimator.enabled
+
+    def test_daily_means(self):
+        context = make_context()
+        assert context.daily_means() == {1: 20.0}
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize(
+        "policy_cls",
+        [OSSPPolicy, OnlineSSEPolicy, OfflineSSEPolicy, UniformRandomPolicy],
+    )
+    def test_handle_before_begin_raises(self, policy_cls):
+        with pytest.raises(ExperimentError):
+            policy_cls().handle_alert(alert(100.0))
+
+    @pytest.mark.parametrize(
+        "policy_cls",
+        [OSSPPolicy, OnlineSSEPolicy, OfflineSSEPolicy, UniformRandomPolicy],
+    )
+    def test_begin_then_handle(self, policy_cls):
+        policy = policy_cls()
+        policy.begin_cycle(make_context())
+        outcome = policy.handle_alert(alert(5000.0))
+        assert outcome.type_id == 1
+        assert 0.0 <= outcome.theta <= 1.0
+        assert 0.0 <= outcome.audit_probability <= 1.0
+        assert outcome.budget_after <= 5.0 + 1e-9
+
+
+class TestPolicySemantics:
+    def test_ossp_beats_online_sse_pointwise(self):
+        # Theorem 2 at the policy level, alert by alert.
+        ossp = OSSPPolicy()
+        sse = OnlineSSEPolicy()
+        ossp.begin_cycle(make_context())
+        sse.begin_cycle(make_context())
+        for i, time in enumerate(np.linspace(1000, 80000, 15)):
+            value_ossp = ossp.handle_alert(alert(float(time), i)).expected_utility
+            value_sse = sse.handle_alert(alert(float(time), i)).expected_utility
+            assert value_ossp >= value_sse - 1e-6
+
+    def test_online_sse_never_warns(self):
+        policy = OnlineSSEPolicy()
+        policy.begin_cycle(make_context())
+        outcome = policy.handle_alert(alert(5000.0))
+        assert outcome.warned is None
+
+    def test_offline_sse_flat(self):
+        policy = OfflineSSEPolicy()
+        policy.begin_cycle(make_context())
+        values = [
+            policy.handle_alert(alert(float(t), i)).expected_utility
+            for i, t in enumerate(np.linspace(1000, 80000, 10))
+        ]
+        assert max(values) - min(values) < 1e-9
+
+    def test_offline_sse_budget_clamps(self):
+        # A large theta with a tiny budget must stop auditing once drained.
+        policy = OfflineSSEPolicy()
+        policy.begin_cycle(make_context(budget=0.05))
+        outcomes = [
+            policy.handle_alert(alert(float(t), i))
+            for i, t in enumerate(np.linspace(1000, 80000, 30))
+        ]
+        assert outcomes[-1].budget_after >= -1e-12
+        assert outcomes[-1].audit_probability <= outcomes[0].audit_probability + 1e-12
+
+    def test_uniform_policy_spreads_budget(self):
+        policy = UniformRandomPolicy()
+        policy.begin_cycle(make_context(budget=5.0))
+        first = policy.handle_alert(alert(1000.0, 0))
+        # 20 expected alerts, budget 5 -> theta about 0.25.
+        assert first.theta == pytest.approx(5.0 / 20.0, abs=0.05)
+
+    def test_ossp_fresh_state_each_cycle(self):
+        policy = OSSPPolicy()
+        policy.begin_cycle(make_context())
+        policy.handle_alert(alert(5000.0))
+        budget_mid = policy.handle_alert(alert(6000.0, 1)).budget_after
+        policy.begin_cycle(make_context())
+        outcome = policy.handle_alert(alert(5000.0))
+        assert outcome.budget_after >= budget_mid

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.payoffs import PayoffMatrix
+from repro.emr.population import PopulationConfig, build_population
+from repro.experiments.config import TABLE2_PAYOFFS, paper_costs
+from repro.experiments.dataset import build_dataset
+
+
+@pytest.fixture(scope="session")
+def payoffs() -> dict[int, PayoffMatrix]:
+    """The paper's Table 2 payoffs."""
+    return dict(TABLE2_PAYOFFS)
+
+
+@pytest.fixture(scope="session")
+def costs() -> dict[int, float]:
+    """Unit audit costs for all seven types."""
+    return paper_costs()
+
+
+@pytest.fixture(scope="session")
+def small_population_config() -> PopulationConfig:
+    """A reduced population that still fills every relationship pool."""
+    return PopulationConfig(
+        n_employees=400,
+        n_family_patients=600,
+        n_roommate_patients=700,
+        n_neighbor_patients=600,
+        n_namesake_neighbor_patients=250,
+        n_namesake_far_patients=600,
+        n_coworker_pairs=250,
+        n_general_patients=1500,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_population(small_population_config):
+    """A deterministic small population."""
+    return build_population(small_population_config, rng=np.random.default_rng(123))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_population_config):
+    """Ten simulated days with light routine traffic (fast)."""
+    return build_dataset(
+        seed=3,
+        n_days=10,
+        normal_daily_mean=300,
+        population_config=small_population_config,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_store(small_dataset):
+    """Alert store of the small dataset."""
+    return small_dataset.store

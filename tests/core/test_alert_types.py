@@ -1,0 +1,68 @@
+"""Tests for alert-type specs and the registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.alert_types import AlertTypeRegistry, AlertTypeSpec
+
+
+class TestAlertTypeSpec:
+    def test_valid(self):
+        spec = AlertTypeSpec(type_id=1, name="Same Last Name", audit_cost=1.0)
+        assert spec.audit_cost == 1.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ModelError):
+            AlertTypeSpec(type_id=-1, name="x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            AlertTypeSpec(type_id=1, name="")
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ModelError):
+            AlertTypeSpec(type_id=1, name="x", audit_cost=0.0)
+
+
+class TestRegistry:
+    def make(self):
+        return AlertTypeRegistry(
+            [
+                AlertTypeSpec(2, "b", audit_cost=2.0),
+                AlertTypeSpec(1, "a"),
+                AlertTypeSpec(3, "c"),
+            ]
+        )
+
+    def test_iteration_sorted(self):
+        registry = self.make()
+        assert [spec.type_id for spec in registry] == [1, 2, 3]
+
+    def test_lookup(self):
+        registry = self.make()
+        assert registry[2].name == "b"
+        assert 2 in registry
+        assert 9 not in registry
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ModelError):
+            self.make()[99]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ModelError):
+            AlertTypeRegistry([AlertTypeSpec(1, "a"), AlertTypeSpec(1, "b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            AlertTypeRegistry([])
+
+    def test_audit_costs(self):
+        assert self.make().audit_costs() == {1: 1.0, 2: 2.0, 3: 1.0}
+
+    def test_subset(self):
+        subset = self.make().subset([3, 1])
+        assert subset.type_ids == (1, 3)
+        assert len(subset) == 2
+
+    def test_len(self):
+        assert len(self.make()) == 3

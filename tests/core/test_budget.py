@@ -1,0 +1,77 @@
+"""Tests for the budget ledger."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BudgetError
+from repro.core.budget import BudgetLedger
+
+
+class TestBudgetLedger:
+    def test_initial_state(self):
+        ledger = BudgetLedger(20.0)
+        assert ledger.remaining == 20.0
+        assert ledger.spent == 0.0
+        assert ledger.records == ()
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetLedger(-1.0)
+
+    def test_zero_initial_allowed(self):
+        ledger = BudgetLedger(0.0)
+        assert ledger.remaining == 0.0
+        assert ledger.spend(1.0) == 0.0
+
+    def test_spend_reduces_remaining(self):
+        ledger = BudgetLedger(10.0)
+        charged = ledger.spend(3.0, time_of_day=100.0, label="t1")
+        assert charged == 3.0
+        assert ledger.remaining == 7.0
+        assert ledger.spent == 3.0
+        assert ledger.records[0].label == "t1"
+
+    def test_overdraft_clamped(self):
+        ledger = BudgetLedger(2.0)
+        charged = ledger.spend(5.0)
+        assert charged == 2.0
+        assert ledger.remaining == 0.0
+
+    def test_negative_spend_rejected(self):
+        ledger = BudgetLedger(10.0)
+        with pytest.raises(BudgetError):
+            ledger.spend(-0.5)
+
+    def test_can_afford(self):
+        ledger = BudgetLedger(5.0)
+        assert ledger.can_afford(5.0)
+        assert not ledger.can_afford(5.1)
+
+    def test_reset(self):
+        ledger = BudgetLedger(5.0)
+        ledger.spend(3.0)
+        ledger.reset()
+        assert ledger.remaining == 5.0
+        assert ledger.records == ()
+
+    def test_records_chronological(self):
+        ledger = BudgetLedger(10.0)
+        ledger.spend(1.0, time_of_day=10.0)
+        ledger.spend(2.0, time_of_day=20.0)
+        assert [record.time_of_day for record in ledger.records] == [10.0, 20.0]
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        max_size=50,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_ledger_never_negative_and_conserves(initial, spends):
+    ledger = BudgetLedger(initial)
+    total_charged = sum(ledger.spend(amount) for amount in spends)
+    assert ledger.remaining >= 0.0
+    assert ledger.remaining + total_charged == pytest.approx(initial)
+    assert total_charged <= initial + 1e-9

@@ -1,0 +1,182 @@
+"""Tests for the per-alert SAG decision pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.core.game import (
+    SAGConfig,
+    SCOPE_ALL,
+    SCOPE_BEST_RESPONSE,
+    SignalingAuditGame,
+)
+from repro.core.payoffs import PayoffMatrix
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+def make_estimator(n_per_day=20, types=(1,)):
+    times = np.linspace(1000, 80000, n_per_day)
+    history = {t: [times, times] for t in types}
+    return RollbackEstimator(FutureAlertEstimator(history), threshold=2.0)
+
+
+def make_game(budget=5.0, signaling=True, scope=SCOPE_BEST_RESPONSE, types=(1,), payoffs=None):
+    payoffs = payoffs or {t: PAY for t in types}
+    config = SAGConfig(
+        payoffs=payoffs,
+        costs={t: 1.0 for t in types},
+        budget=budget,
+        signaling_enabled=signaling,
+        scope=scope,
+    )
+    return SignalingAuditGame(config, make_estimator(types=types), rng=np.random.default_rng(0))
+
+
+class TestConfig:
+    def test_mismatched_payoffs_costs(self):
+        with pytest.raises(ModelError):
+            SAGConfig(payoffs={1: PAY}, costs={2: 1.0}, budget=1.0)
+
+    def test_negative_budget(self):
+        with pytest.raises(ModelError):
+            SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=-1.0)
+
+    def test_unknown_scope(self):
+        with pytest.raises(ModelError):
+            SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=1.0, scope="sometimes")
+
+
+class TestProcessAlert:
+    def test_basic_decision_fields(self):
+        game = make_game()
+        decision = game.process_alert(1, 5000.0)
+        assert decision.type_id == 1
+        assert 0.0 <= decision.theta <= 1.0
+        assert decision.budget_after <= decision.budget_before
+        assert decision.scheme is not None
+        assert decision.signaling_applied
+        assert decision.solve_seconds > 0
+
+    def test_unknown_type_rejected(self):
+        game = make_game()
+        with pytest.raises(ModelError):
+            game.process_alert(99, 5000.0)
+
+    def test_estimator_type_coverage_checked(self):
+        config = SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=1.0)
+        with pytest.raises(ModelError):
+            SignalingAuditGame(config, make_estimator(types=(1, 2)))
+
+    def test_budget_decreases_monotonically(self):
+        game = make_game(budget=3.0)
+        remaining = [game.budget_remaining]
+        for time in np.linspace(1000, 80000, 15):
+            game.process_alert(1, float(time))
+            remaining.append(game.budget_remaining)
+        assert all(b <= a + 1e-12 for a, b in zip(remaining, remaining[1:]))
+        assert remaining[-1] >= 0.0
+
+    def test_charge_matches_conditional_probability(self):
+        game = make_game(budget=5.0)
+        decision = game.process_alert(1, 5000.0)
+        assert decision.charged == pytest.approx(
+            min(decision.audit_probability * 1.0, decision.budget_before)
+        )
+
+    def test_signaling_disabled_charges_theta(self):
+        game = make_game(signaling=False)
+        decision = game.process_alert(1, 5000.0)
+        assert decision.scheme is None
+        assert not decision.signaling_applied
+        assert decision.audit_probability == pytest.approx(decision.theta)
+        assert decision.game_value == pytest.approx(
+            decision.sse.effective_auditor_utility
+        )
+
+    def test_game_value_with_signaling_beats_sse(self):
+        # Theorem 2 at the game level, on every decision.
+        game = make_game(budget=2.0)
+        for time in np.linspace(1000, 60000, 10):
+            decision = game.process_alert(1, float(time))
+            assert (
+                decision.game_value
+                >= decision.sse.effective_auditor_utility - 1e-7
+            )
+
+    def test_scope_best_response_skips_other_types(self):
+        weak = PayoffMatrix(u_dc=1.0, u_du=-1.0, u_ac=-1000.0, u_au=1.0)
+        payoffs = {1: PAY, 2: weak}
+        game = make_game(types=(1, 2), payoffs=payoffs, scope=SCOPE_BEST_RESPONSE)
+        decision = game.process_alert(2, 5000.0)
+        if decision.sse.best_response != 2:
+            assert not decision.signaling_applied
+            assert decision.scheme is None
+
+    def test_scope_all_signals_every_type(self):
+        weak = PayoffMatrix(u_dc=1.0, u_du=-1.0, u_ac=-1000.0, u_au=1.0)
+        payoffs = {1: PAY, 2: weak}
+        game = make_game(types=(1, 2), payoffs=payoffs, scope=SCOPE_ALL)
+        decision = game.process_alert(2, 5000.0)
+        assert decision.signaling_applied
+        assert decision.scheme is not None
+
+    def test_decisions_recorded_and_reset(self):
+        game = make_game()
+        game.process_alert(1, 5000.0)
+        game.process_alert(1, 6000.0)
+        assert len(game.decisions) == 2
+        game.reset()
+        assert game.decisions == ()
+        assert game.budget_remaining == game.config.budget
+
+    def test_deterministic_given_seed(self):
+        a = make_game()
+        b = make_game()
+        times = np.linspace(1000, 70000, 12)
+        warned_a = [a.process_alert(1, float(t)).warned for t in times]
+        warned_b = [b.process_alert(1, float(t)).warned for t in times]
+        assert warned_a == warned_b
+
+    def test_zero_budget_never_audits(self):
+        game = make_game(budget=0.0)
+        decision = game.process_alert(1, 5000.0)
+        assert decision.theta == pytest.approx(0.0, abs=1e-9)
+        assert decision.charged == 0.0
+
+
+class TestRobustMarginConfig:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ModelError):
+            SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=1.0,
+                      robust_margin=-0.1)
+
+    def test_unknown_charging_rejected(self):
+        with pytest.raises(ModelError):
+            SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=1.0,
+                      budget_charging="stochastic")
+
+    def test_robust_margin_hardens_warning(self):
+        config = SAGConfig(
+            payoffs={1: PAY}, costs={1: 1.0}, budget=5.0, robust_margin=0.1,
+        )
+        game = SignalingAuditGame(
+            config, make_estimator(), rng=np.random.default_rng(0)
+        )
+        decision = game.process_alert(1, 5000.0)
+        assert decision.scheme is not None
+        conditional = decision.scheme.attacker_proceed_utility_given_warning(PAY)
+        # Hardened: strictly negative (clamped to what theta affords).
+        assert conditional < -1e-9
+
+    def test_expected_charging_spends_theta(self):
+        config = SAGConfig(
+            payoffs={1: PAY}, costs={1: 1.0}, budget=5.0,
+            budget_charging="expected",
+        )
+        game = SignalingAuditGame(
+            config, make_estimator(), rng=np.random.default_rng(0)
+        )
+        decision = game.process_alert(1, 5000.0)
+        assert decision.charged == pytest.approx(decision.theta)

@@ -1,0 +1,117 @@
+"""Golden-value regression tests.
+
+These pin exact numerical outputs at the paper's parameter points so any
+accidental semantic drift in the solvers (moment computation, LP
+formulation, closed forms) shows up as a hard failure rather than a subtle
+shape change in the figures.
+"""
+
+import pytest
+
+from repro.core.offline import solve_offline_sse
+from repro.core.signaling import solve_ossp
+from repro.core.sse import GameState, solve_online_sse
+from repro.experiments.config import (
+    SINGLE_TYPE_BUDGET,
+    SINGLE_TYPE_ID,
+    TABLE1_STATISTICS,
+    TABLE2_PAYOFFS,
+    paper_costs,
+)
+from repro.stats.poisson import expected_reciprocal
+
+
+class TestGoldenSingleType:
+    """Type 1 (Same Last Name), budget 20, lambda = 196.57 — the exact
+    day-start state of every Figure 2 run."""
+
+    @pytest.fixture(scope="class")
+    def sse(self):
+        state = GameState(
+            budget=SINGLE_TYPE_BUDGET,
+            lambdas={SINGLE_TYPE_ID: TABLE1_STATISTICS[SINGLE_TYPE_ID][0]},
+        )
+        return solve_online_sse(
+            state,
+            {SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
+            {SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]},
+        )
+
+    def test_reciprocal_moment(self):
+        assert expected_reciprocal(196.57) == pytest.approx(
+            0.0051134, rel=1e-4
+        )
+
+    def test_theta(self, sse):
+        assert sse.theta_of(SINGLE_TYPE_ID) == pytest.approx(0.1022679, rel=1e-4)
+
+    def test_sse_auditor_utility(self, sse):
+        assert sse.auditor_utility == pytest.approx(-348.8661, rel=1e-4)
+
+    def test_sse_attacker_utility(self, sse):
+        assert sse.attacker_utility == pytest.approx(154.5571, rel=1e-4)
+
+    def test_ossp_scheme(self, sse):
+        payoff = TABLE2_PAYOFFS[SINGLE_TYPE_ID]
+        scheme = solve_ossp(sse.theta_of(SINGLE_TYPE_ID), payoff)
+        assert scheme.p1 == pytest.approx(0.1022679, rel=1e-4)
+        assert scheme.p0 == 0.0
+        assert scheme.q0 == pytest.approx(0.3863927, rel=1e-4)
+        assert scheme.warning_probability == pytest.approx(0.6136073, rel=1e-4)
+        assert scheme.auditor_utility(payoff) == pytest.approx(
+            -154.5571, rel=1e-4
+        )
+
+    def test_signaling_gain(self, sse):
+        payoff = TABLE2_PAYOFFS[SINGLE_TYPE_ID]
+        scheme = solve_ossp(sse.theta_of(SINGLE_TYPE_ID), payoff)
+        gain = scheme.auditor_utility(payoff) - sse.auditor_utility
+        assert gain == pytest.approx(194.3090, rel=1e-4)
+
+
+class TestGoldenMultiType:
+    """All 7 types, budget 50, Table 1 day-start lambdas — the exact
+    day-start state of every Figure 3 run."""
+
+    @pytest.fixture(scope="class")
+    def sse(self):
+        state = GameState(
+            budget=50.0,
+            lambdas={t: mean for t, (mean, _) in TABLE1_STATISTICS.items()},
+        )
+        return solve_online_sse(state, TABLE2_PAYOFFS, paper_costs())
+
+    def test_best_response(self, sse):
+        assert sse.best_response == 1
+
+    def test_auditor_utility(self, sse):
+        assert sse.auditor_utility == pytest.approx(-344.40, abs=0.05)
+
+    def test_attacker_utility(self, sse):
+        assert sse.attacker_utility == pytest.approx(133.12, abs=0.05)
+
+    def test_marginals(self, sse):
+        expected = {
+            1: 0.1112, 2: 0.1007, 3: 0.1074, 4: 0.1506,
+            5: 0.1416, 6: 0.0995, 7: 0.0981,
+        }
+        for type_id, value in expected.items():
+            assert sse.theta_of(type_id) == pytest.approx(value, abs=2e-4)
+
+    def test_budget_fully_used(self, sse):
+        assert sum(sse.allocations.values()) == pytest.approx(50.0, rel=1e-6)
+
+
+class TestGoldenOffline:
+    def test_offline_single_type(self):
+        solution = solve_offline_sse(
+            SINGLE_TYPE_BUDGET,
+            {SINGLE_TYPE_ID: TABLE1_STATISTICS[SINGLE_TYPE_ID][0]},
+            {SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
+            {SINGLE_TYPE_ID: 1.0},
+        )
+        # theta = 20 / 196.57 exactly (deterministic counts).
+        assert solution.theta_of(SINGLE_TYPE_ID) == pytest.approx(
+            20.0 / 196.57, rel=1e-9
+        )
+        assert solution.auditor_utility == pytest.approx(-349.1146, rel=1e-4)

@@ -1,0 +1,61 @@
+"""Tests for the offline-SSE baseline."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.offline import solve_offline_sse
+from repro.core.payoffs import PayoffMatrix
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+class TestOfflineSSE:
+    def test_single_type_theta(self):
+        solution = solve_offline_sse(20.0, {1: 200.0}, {1: PAY}, {1: 1.0})
+        assert solution.theta_of(1) == pytest.approx(0.1, rel=1e-9)
+        assert solution.best_response == 1
+
+    def test_counts_below_one_clamped(self):
+        solution = solve_offline_sse(0.5, {1: 0.0}, {1: PAY}, {1: 1.0})
+        # d = max(0, 1) = 1 -> theta = budget.
+        assert solution.theta_of(1) == pytest.approx(0.5, rel=1e-9)
+
+    def test_multi_type_budget_respected(self, payoffs, costs):
+        counts = {t: 50.0 for t in payoffs}
+        solution = solve_offline_sse(30.0, counts, payoffs, costs)
+        assert sum(solution.allocations.values()) <= 30.0 + 1e-6
+        for theta in solution.thetas.values():
+            assert -1e-9 <= theta <= 1 + 1e-9
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ModelError):
+            solve_offline_sse(-1.0, {1: 10.0}, {1: PAY}, {1: 1.0})
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ModelError):
+            solve_offline_sse(1.0, {}, {1: PAY}, {1: 1.0})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            solve_offline_sse(1.0, {1: -5.0}, {1: PAY}, {1: 1.0})
+
+    def test_missing_payoff_rejected(self):
+        with pytest.raises(ModelError):
+            solve_offline_sse(1.0, {2: 5.0}, {1: PAY}, {2: 1.0})
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(ModelError):
+            solve_offline_sse(1.0, {1: 5.0}, {1: PAY}, {})
+
+    def test_matches_paper_scale(self, payoffs, costs):
+        # Paper setting: budget 50, Table 1 daily means -> flat value in
+        # the -400..0 band (Figure 3's offline line).
+        counts = {1: 196.57, 2: 29.02, 3: 140.46, 4: 10.84, 5: 25.43, 6: 15.14, 7: 43.27}
+        solution = solve_offline_sse(50.0, counts, payoffs, costs)
+        assert -450.0 < solution.auditor_utility < 0.0
+
+    def test_backends_agree(self, payoffs, costs):
+        counts = {t: 30.0 + t for t in payoffs}
+        a = solve_offline_sse(15.0, counts, payoffs, costs, backend="scipy")
+        b = solve_offline_sse(15.0, counts, payoffs, costs, backend="simplex")
+        assert a.auditor_utility == pytest.approx(b.auditor_utility, abs=1e-5)

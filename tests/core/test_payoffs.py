@@ -1,0 +1,112 @@
+"""Tests for payoff matrices and their sign conventions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PayoffError
+from repro.core.payoffs import PayoffMatrix
+
+
+VALID = dict(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+class TestValidation:
+    def test_valid_matrix(self):
+        payoff = PayoffMatrix(**VALID)
+        assert payoff.u_dc == 100.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("u_ac", 1.0),    # must be negative
+            ("u_ac", 0.0),
+            ("u_au", -1.0),   # must be positive
+            ("u_au", 0.0),
+            ("u_dc", -1.0),   # must be non-negative
+            ("u_du", 1.0),    # must be negative
+            ("u_du", 0.0),
+        ],
+    )
+    def test_sign_violations_rejected(self, field, value):
+        payload = dict(VALID)
+        payload[field] = value
+        with pytest.raises(PayoffError):
+            PayoffMatrix(**payload)
+
+    def test_zero_u_dc_allowed(self):
+        payload = dict(VALID)
+        payload["u_dc"] = 0.0
+        PayoffMatrix(**payload)  # U_d,c >= 0 per the paper
+
+
+class TestUtilities:
+    def test_auditor_utility_endpoints(self):
+        payoff = PayoffMatrix(**VALID)
+        assert payoff.auditor_utility(0.0) == -400.0
+        assert payoff.auditor_utility(1.0) == 100.0
+
+    def test_attacker_utility_endpoints(self):
+        payoff = PayoffMatrix(**VALID)
+        assert payoff.attacker_utility(0.0) == 400.0
+        assert payoff.attacker_utility(1.0) == -2000.0
+
+    def test_theta_out_of_range(self):
+        payoff = PayoffMatrix(**VALID)
+        with pytest.raises(PayoffError):
+            payoff.auditor_utility(1.5)
+        with pytest.raises(PayoffError):
+            payoff.attacker_utility(-0.5)
+
+    def test_deterrence_threshold(self):
+        payoff = PayoffMatrix(**VALID)
+        threshold = payoff.deterrence_threshold()
+        assert threshold == pytest.approx(400.0 / 2400.0)
+        assert payoff.attacker_utility(threshold) == pytest.approx(0.0, abs=1e-9)
+
+    def test_theorem3_condition_table2(self):
+        # Every paper payoff satisfies the Theorem 3 premise.
+        payoff = PayoffMatrix(**VALID)
+        assert payoff.satisfies_theorem3_condition()
+
+    def test_theorem3_condition_violated(self):
+        # Huge auditor reward, tiny attacker penalty.
+        payoff = PayoffMatrix(u_dc=10_000.0, u_du=-1.0, u_ac=-0.1, u_au=500.0)
+        assert not payoff.satisfies_theorem3_condition()
+
+    def test_scaled_preserves_structure(self):
+        payoff = PayoffMatrix(**VALID)
+        scaled = payoff.scaled(2.5)
+        assert scaled.u_dc == 250.0
+        assert scaled.satisfies_theorem3_condition() == payoff.satisfies_theorem3_condition()
+        assert scaled.deterrence_threshold() == pytest.approx(
+            payoff.deterrence_threshold()
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        payoff = PayoffMatrix(**VALID)
+        with pytest.raises(PayoffError):
+            payoff.scaled(0.0)
+
+
+payoff_strategy = st.builds(
+    PayoffMatrix,
+    u_dc=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    u_du=st.floats(min_value=-5000.0, max_value=-1.0, allow_nan=False),
+    u_ac=st.floats(min_value=-10000.0, max_value=-1.0, allow_nan=False),
+    u_au=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+)
+
+
+@given(payoff_strategy, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_attacker_utility_decreasing_in_theta(payoff, theta):
+    # More coverage never helps the attacker.
+    lower = max(0.0, theta - 0.1)
+    assert payoff.attacker_utility(theta) <= payoff.attacker_utility(lower) + 1e-9
+
+
+@given(payoff_strategy)
+@settings(max_examples=100, deadline=None)
+def test_deterrence_threshold_in_unit_interval(payoff):
+    threshold = payoff.deterrence_threshold()
+    assert 0.0 < threshold < 1.0

@@ -1,0 +1,170 @@
+"""Tests for the OSSP: LP (3), Theorem 3's closed form, and their agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError, PayoffError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import (
+    SignalingScheme,
+    solve_ossp,
+    solve_ossp_closed_form,
+    solve_ossp_lp,
+)
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+class TestSignalingScheme:
+    def test_partition(self):
+        scheme = SignalingScheme(p1=0.1, q1=0.5, p0=0.0, q0=0.4)
+        assert scheme.theta == pytest.approx(0.1)
+        assert scheme.warning_probability == pytest.approx(0.6)
+        assert scheme.audit_given_warning == pytest.approx(0.1 / 0.6)
+        assert scheme.audit_given_silence == 0.0
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            SignalingScheme(p1=0.5, q1=0.5, p0=0.5, q0=0.5)
+
+    def test_probabilities_in_range(self):
+        with pytest.raises(ModelError):
+            SignalingScheme(p1=1.5, q1=-0.5, p0=0.0, q0=0.0)
+
+    def test_tiny_negative_snapped(self):
+        scheme = SignalingScheme(p1=-1e-12, q1=0.5, p0=0.0, q0=0.5)
+        assert scheme.p1 == 0.0
+
+    def test_degenerate_branches(self):
+        all_silent = SignalingScheme(p1=0.0, q1=0.0, p0=0.3, q0=0.7)
+        assert all_silent.audit_given_warning == 0.0
+        assert all_silent.attacker_proceed_utility_given_warning(PAY) == 0.0
+
+    def test_utilities(self):
+        scheme = SignalingScheme(p1=0.0, q1=0.0, p0=0.3, q0=0.7)
+        assert scheme.auditor_utility(PAY) == pytest.approx(0.3 * 100 - 0.7 * 400)
+        assert scheme.attacker_utility(PAY) == pytest.approx(-0.3 * 2000 + 0.7 * 400)
+
+
+class TestClosedForm:
+    def test_beta_positive_case(self):
+        theta = 0.1  # beta = -200 + 360 = 160 > 0
+        scheme = solve_ossp_closed_form(theta, PAY)
+        beta = PAY.attacker_utility(theta)
+        assert scheme.p1 == pytest.approx(theta)
+        assert scheme.p0 == 0.0
+        assert scheme.q0 == pytest.approx(beta / PAY.u_au)
+        assert scheme.q1 == pytest.approx(1 - theta - beta / PAY.u_au)
+        # The quit constraint is tight.
+        assert scheme.p1 * PAY.u_ac + scheme.q1 * PAY.u_au == pytest.approx(0.0, abs=1e-9)
+
+    def test_beta_nonpositive_case(self):
+        theta = 0.5  # beta = -1000 + 200 = -800 <= 0
+        scheme = solve_ossp_closed_form(theta, PAY)
+        assert scheme.p1 == pytest.approx(theta)
+        assert scheme.q1 == pytest.approx(1 - theta)
+        assert scheme.p0 == 0.0
+        assert scheme.q0 == 0.0
+        assert scheme.auditor_utility(PAY) == 0.0
+
+    def test_theta_zero(self):
+        scheme = solve_ossp_closed_form(0.0, PAY)
+        assert scheme.q0 == pytest.approx(1.0)
+        assert scheme.auditor_utility(PAY) == pytest.approx(PAY.u_du)
+
+    def test_theta_one(self):
+        scheme = solve_ossp_closed_form(1.0, PAY)
+        assert scheme.theta == pytest.approx(1.0)
+        assert scheme.auditor_utility(PAY) == pytest.approx(0.0)
+
+    def test_condition_violation_raises(self):
+        bad = PayoffMatrix(u_dc=10_000.0, u_du=-1.0, u_ac=-0.1, u_au=500.0)
+        with pytest.raises(PayoffError):
+            solve_ossp_closed_form(0.1, bad)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ModelError):
+            solve_ossp_closed_form(1.2, PAY)
+
+
+class TestLPPath:
+    @pytest.mark.parametrize("theta", [0.0, 0.05, 0.1, 0.1667, 0.3, 0.9, 1.0])
+    def test_lp_matches_closed_form(self, theta):
+        lp = solve_ossp_lp(theta, PAY)
+        cf = solve_ossp_closed_form(theta, PAY)
+        assert lp.auditor_utility(PAY) == pytest.approx(
+            cf.auditor_utility(PAY), abs=1e-6
+        )
+
+    def test_lp_handles_condition_violation(self):
+        # LP works even when the closed form's premise fails.
+        bad = PayoffMatrix(u_dc=10_000.0, u_du=-1.0, u_ac=-0.1, u_au=500.0)
+        scheme = solve_ossp_lp(0.1, bad)
+        assert scheme.theta == pytest.approx(0.1, abs=1e-9)
+        # With such payoffs silent auditing can be optimal (p0 > 0).
+        assert scheme.p0 >= 0.0
+
+    def test_lp_simplex_backend(self):
+        scheme = solve_ossp_lp(0.1, PAY, backend="simplex")
+        assert scheme.auditor_utility(PAY) == pytest.approx(
+            solve_ossp_closed_form(0.1, PAY).auditor_utility(PAY), abs=1e-6
+        )
+
+    def test_quit_constraint_satisfied(self):
+        for theta in (0.01, 0.08, 0.15, 0.4):
+            scheme = solve_ossp_lp(theta, PAY)
+            assert (
+                scheme.p1 * PAY.u_ac + scheme.q1 * PAY.u_au <= 1e-9
+            )
+
+
+class TestDispatch:
+    def test_default_uses_closed_form(self):
+        scheme = solve_ossp(0.1, PAY)
+        assert scheme.p0 == 0.0
+
+    def test_falls_back_to_lp_when_premise_fails(self):
+        bad = PayoffMatrix(u_dc=10_000.0, u_du=-1.0, u_ac=-0.1, u_au=500.0)
+        scheme = solve_ossp(0.1, bad)  # must not raise
+        assert scheme.theta == pytest.approx(0.1, abs=1e-9)
+
+    def test_lp_method(self):
+        scheme = solve_ossp(0.1, PAY, method="lp")
+        assert scheme.theta == pytest.approx(0.1, abs=1e-9)
+
+    def test_unknown_method(self):
+        with pytest.raises(ModelError):
+            solve_ossp(0.1, PAY, method="magic")
+
+
+payoff_strategy = st.builds(
+    PayoffMatrix,
+    u_dc=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    u_du=st.floats(min_value=-5000.0, max_value=-1.0, allow_nan=False),
+    u_ac=st.floats(min_value=-10000.0, max_value=-1.0, allow_nan=False),
+    u_au=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+)
+theta_strategy = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=120, deadline=None)
+def test_closed_form_equals_lp_for_any_valid_payoff(payoff, theta):
+    lp_value = solve_ossp_lp(theta, payoff).auditor_utility(payoff)
+    dispatched = solve_ossp(theta, payoff).auditor_utility(payoff)
+    scale = max(1.0, abs(lp_value))
+    assert abs(lp_value - dispatched) <= 1e-6 * scale
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=120, deadline=None)
+def test_ossp_scheme_invariants(payoff, theta):
+    scheme = solve_ossp(theta, payoff, method="lp")
+    # Marginal consistency.
+    assert scheme.theta == pytest.approx(theta, abs=1e-6)
+    # Partition of probability mass.
+    assert scheme.p1 + scheme.q1 + scheme.p0 + scheme.q0 == pytest.approx(
+        1.0, abs=1e-6
+    )
+    # Warned attacker prefers to quit.
+    assert scheme.attacker_proceed_utility_given_warning(payoff) <= 1e-6

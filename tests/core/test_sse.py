@@ -1,0 +1,160 @@
+"""Tests for the online SSE (LP (2), multiple-LP method)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, solve_multiple_lp, solve_online_sse
+from repro.stats.poisson import PoissonReciprocalMoment, expected_reciprocal
+
+
+PAY1 = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+PAY2 = PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=400.0)
+
+
+class TestGameState:
+    def test_valid(self):
+        state = GameState(budget=5.0, lambdas={1: 3.0})
+        assert state.lambdas == {1: 3.0}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ModelError):
+            GameState(budget=-1.0, lambdas={1: 3.0})
+
+    def test_empty_lambdas_rejected(self):
+        with pytest.raises(ModelError):
+            GameState(budget=1.0, lambdas={})
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ModelError):
+            GameState(budget=1.0, lambdas={1: -2.0})
+
+
+class TestSingleType:
+    def test_theta_formula(self):
+        # One type: theta = min(1, budget * r(lambda) / V).
+        lam, budget = 50.0, 10.0
+        state = GameState(budget=budget, lambdas={1: lam})
+        solution = solve_online_sse(state, {1: PAY1}, {1: 1.0})
+        expected = min(1.0, budget * expected_reciprocal(lam))
+        assert solution.theta_of(1) == pytest.approx(expected, rel=1e-6)
+        assert solution.best_response == 1
+
+    def test_zero_budget(self):
+        state = GameState(budget=0.0, lambdas={1: 50.0})
+        solution = solve_online_sse(state, {1: PAY1}, {1: 1.0})
+        assert solution.theta_of(1) == pytest.approx(0.0, abs=1e-9)
+        assert solution.auditor_utility == pytest.approx(PAY1.u_du)
+        assert solution.attacker_utility == pytest.approx(PAY1.u_au)
+        assert not solution.deterred
+
+    def test_huge_budget_caps_theta_at_one(self):
+        state = GameState(budget=1000.0, lambdas={1: 5.0})
+        solution = solve_online_sse(state, {1: PAY1}, {1: 1.0})
+        assert solution.theta_of(1) <= 1.0 + 1e-9
+        assert solution.deterred
+        assert solution.effective_auditor_utility == 0.0
+
+    def test_zero_lambda_uses_unit_moment(self):
+        # No future alerts expected: the attacker's own alert is the only
+        # one, so theta = budget (capped at 1).
+        state = GameState(budget=0.3, lambdas={1: 0.0})
+        solution = solve_online_sse(state, {1: PAY1}, {1: 1.0})
+        assert solution.theta_of(1) == pytest.approx(0.3, rel=1e-6)
+
+    def test_audit_cost_scales_theta(self):
+        lam, budget = 50.0, 10.0
+        cheap = solve_online_sse(
+            GameState(budget=budget, lambdas={1: lam}), {1: PAY1}, {1: 1.0}
+        )
+        expensive = solve_online_sse(
+            GameState(budget=budget, lambdas={1: lam}), {1: PAY1}, {1: 2.0}
+        )
+        assert expensive.theta_of(1) == pytest.approx(
+            cheap.theta_of(1) / 2.0, rel=1e-6
+        )
+
+
+class TestMultipleTypes:
+    def test_best_response_is_argmax_attacker_utility(self, payoffs, costs):
+        lambdas = {t: 30.0 for t in payoffs}
+        state = GameState(budget=10.0, lambdas=lambdas)
+        solution = solve_online_sse(state, payoffs, costs)
+        values = {
+            t: payoffs[t].attacker_utility(solution.thetas[t]) for t in payoffs
+        }
+        best_value = values[solution.best_response]
+        assert best_value == pytest.approx(max(values.values()), abs=1e-6)
+
+    def test_budget_constraint_respected(self, payoffs, costs):
+        budget = 12.0
+        state = GameState(budget=budget, lambdas={t: 40.0 for t in payoffs})
+        solution = solve_online_sse(state, payoffs, costs)
+        assert sum(solution.allocations.values()) <= budget + 1e-6
+
+    def test_thetas_are_probabilities(self, payoffs, costs):
+        state = GameState(budget=100.0, lambdas={t: 20.0 for t in payoffs})
+        solution = solve_online_sse(state, payoffs, costs)
+        for theta in solution.thetas.values():
+            assert -1e-9 <= theta <= 1.0 + 1e-9
+
+    def test_backends_agree(self, payoffs, costs):
+        state = GameState(
+            budget=25.0,
+            lambdas={1: 196.0, 2: 29.0, 3: 140.0, 4: 11.0, 5: 25.0, 6: 15.0, 7: 43.0},
+        )
+        a = solve_online_sse(state, payoffs, costs, backend="scipy")
+        b = solve_online_sse(state, payoffs, costs, backend="simplex")
+        assert a.auditor_utility == pytest.approx(b.auditor_utility, abs=1e-5)
+        assert a.best_response == b.best_response
+
+    def test_lp_counters(self, payoffs, costs):
+        state = GameState(budget=10.0, lambdas={t: 30.0 for t in payoffs})
+        solution = solve_online_sse(state, payoffs, costs)
+        assert solution.lps_solved == len(payoffs)
+        assert 1 <= solution.lps_feasible <= solution.lps_solved
+
+    def test_more_budget_never_hurts(self, payoffs, costs):
+        lambdas = {t: 35.0 for t in payoffs}
+        previous = None
+        for budget in (0.0, 5.0, 15.0, 40.0, 100.0):
+            state = GameState(budget=budget, lambdas=lambdas)
+            solution = solve_online_sse(state, payoffs, costs)
+            value = solution.effective_auditor_utility
+            if previous is not None:
+                assert value >= previous - 1e-6
+            previous = value
+
+    def test_missing_payoff_raises(self, payoffs, costs):
+        state = GameState(budget=1.0, lambdas={1: 2.0, 99: 3.0})
+        with pytest.raises(ModelError):
+            solve_online_sse(state, payoffs, costs)
+
+    def test_missing_cost_raises(self):
+        state = GameState(budget=1.0, lambdas={1: 2.0})
+        with pytest.raises(ModelError):
+            solve_online_sse(state, {1: PAY1}, {})
+
+    def test_theta_of_unknown_type(self):
+        state = GameState(budget=1.0, lambdas={1: 2.0})
+        solution = solve_online_sse(state, {1: PAY1}, {1: 1.0})
+        with pytest.raises(ModelError):
+            solution.theta_of(42)
+
+
+class TestSolveMultipleLP:
+    def test_deterministic_coefficients(self):
+        # Offline-style deterministic coefficients: theta = B / d.
+        solution = solve_multiple_lp(
+            budget=10.0,
+            coefficient={1: 1.0 / 100.0, 2: 1.0 / 10.0},
+            payoffs={1: PAY1, 2: PAY2},
+        )
+        assert sum(solution.allocations.values()) <= 10.0 + 1e-9
+        assert solution.best_response in (1, 2)
+
+    def test_moment_cache_reused(self):
+        moment = PoissonReciprocalMoment()
+        state = GameState(budget=5.0, lambdas={1: 10.0, 2: 10.0})
+        solve_online_sse(state, {1: PAY1, 2: PAY2}, {1: 1.0, 2: 1.0}, moment=moment)
+        assert len(moment) == 1  # both types share lambda=10

@@ -1,0 +1,148 @@
+"""Property-based tests of Theorems 1-4 over random payoffs and states.
+
+These are the paper's theoretical results turned into executable
+invariants: any counterexample found by hypothesis would falsify either the
+theory or our implementation of LP (2)/LP (3).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp, solve_ossp_lp
+from repro.core.sse import GameState, solve_online_sse
+from repro.core.theory import (
+    check_theorem_1,
+    check_theorem_2,
+    check_theorem_3,
+    check_theorem_4,
+    ossp_auditor_utility,
+    signaling_value,
+    sse_auditor_utility,
+)
+
+payoff_strategy = st.builds(
+    PayoffMatrix,
+    u_dc=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    u_du=st.floats(min_value=-5000.0, max_value=-1.0, allow_nan=False),
+    u_ac=st.floats(min_value=-10000.0, max_value=-1.0, allow_nan=False),
+    u_au=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+)
+theta_strategy = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=150, deadline=None)
+def test_theorem_2_signaling_never_hurts(payoff, theta):
+    assert check_theorem_2(theta, payoff)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=150, deadline=None)
+def test_theorem_3_no_silent_audits(payoff, theta):
+    assert check_theorem_3(theta, payoff)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=150, deadline=None)
+def test_theorem_4_attacker_indifferent(payoff, theta):
+    assert check_theorem_4(theta, payoff)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=100, deadline=None)
+def test_signaling_value_nonnegative(payoff, theta):
+    assert signaling_value(theta, payoff) >= -1e-7
+
+
+@given(
+    payoff_strategy,
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=300.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_theorem_1_single_type(payoff, budget, lam):
+    state = GameState(budget=budget, lambdas={1: lam})
+    assert check_theorem_1(state, {1: payoff}, {1: 1.0})
+
+
+@st.composite
+def multi_type_games(draw):
+    n = draw(st.integers(min_value=2, max_value=4))
+    payoffs = {t: draw(payoff_strategy) for t in range(1, n + 1)}
+    lambdas = {
+        t: draw(st.floats(min_value=0.5, max_value=200.0, allow_nan=False))
+        for t in payoffs
+    }
+    budget = draw(st.floats(min_value=0.0, max_value=60.0, allow_nan=False))
+    return GameState(budget=budget, lambdas=lambdas), payoffs
+
+
+@given(multi_type_games())
+@settings(max_examples=40, deadline=None)
+def test_theorem_1_multi_type(game):
+    state, payoffs = game
+    costs = {t: 1.0 for t in payoffs}
+    assert check_theorem_1(state, payoffs, costs)
+
+
+@given(multi_type_games())
+@settings(max_examples=40, deadline=None)
+def test_theorems_2_to_4_at_equilibrium_marginals(game):
+    # The theorems specifically hold at the SSE marginals the OSSP inherits.
+    state, payoffs = game
+    costs = {t: 1.0 for t in payoffs}
+    solution = solve_online_sse(state, payoffs, costs)
+    theta = solution.theta_of(solution.best_response)
+    payoff = payoffs[solution.best_response]
+    assert check_theorem_2(theta, payoff)
+    assert check_theorem_3(theta, payoff)
+    assert check_theorem_4(theta, payoff)
+
+
+@given(payoff_strategy, theta_strategy)
+@settings(max_examples=80, deadline=None)
+def test_ossp_utility_monotone_in_theta(payoff, theta):
+    # The heart of Theorem 1's executable form: granting the best-response
+    # type a larger marginal never hurts the signaling stage. Holds under
+    # the paper's domain assumptions (the Theorem 3 payoff condition).
+    if not payoff.satisfies_theorem3_condition():
+        return
+    smaller = max(0.0, theta - 0.05)
+    assert (
+        ossp_auditor_utility(theta, payoff)
+        >= ossp_auditor_utility(smaller, payoff) - 1e-7
+    )
+
+
+@given(payoff_strategy)
+@settings(max_examples=60, deadline=None)
+def test_deterrence_gives_zero_utility(payoff):
+    # Above the deterrence threshold the attacker stays out, so (under the
+    # Theorem 3 condition, i.e. the paper's domain assumptions) both the
+    # OSSP and the plain SSE are worth exactly 0 to the auditor.
+    if not payoff.satisfies_theorem3_condition():
+        return
+    theta = min(1.0, payoff.deterrence_threshold() + 0.05)
+    assert sse_auditor_utility(theta, payoff) == 0.0
+    assert ossp_auditor_utility(theta, payoff) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_theorem_2_worked_example():
+    # Type 1 at theta = 0.1: SSE = -350, OSSP = -160 (beta = 160).
+    payoff = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+    assert sse_auditor_utility(0.1, payoff) == pytest.approx(-350.0)
+    assert ossp_auditor_utility(0.1, payoff) == pytest.approx(-160.0)
+    assert signaling_value(0.1, payoff) == pytest.approx(190.0)
+
+
+def test_theorem_4_worked_example():
+    payoff = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+    scheme = solve_ossp(0.1, payoff)
+    assert scheme.attacker_utility(payoff) == pytest.approx(
+        payoff.attacker_utility(0.1)
+    )
+    lp_scheme = solve_ossp_lp(0.1, payoff)
+    assert lp_scheme.attacker_utility(payoff) == pytest.approx(
+        payoff.attacker_utility(0.1), abs=1e-6
+    )

@@ -1,0 +1,170 @@
+"""Tests for the alert detection engine and the calibrated simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.emr.engine import (
+    AlertDetectionEngine,
+    PAPER_COMBINATIONS,
+    PAPER_TYPE_NAMES,
+)
+from repro.emr.rules import BaseRule, evaluate_rules
+from repro.emr.simulator import (
+    AccessLogSimulator,
+    FULL_SCALE_DAILY_ACCESSES,
+    SimulatorConfig,
+    TypeCalibration,
+)
+
+
+class TestPaperCombinations:
+    def test_seven_types(self):
+        assert sorted(PAPER_COMBINATIONS.values()) == [1, 2, 3, 4, 5, 6, 7]
+        assert set(PAPER_TYPE_NAMES) == set(PAPER_COMBINATIONS.values())
+
+    def test_combination_semantics(self):
+        L, D, A, N = (
+            BaseRule.SAME_LAST_NAME,
+            BaseRule.DEPARTMENT_COWORKER,
+            BaseRule.SAME_ADDRESS,
+            BaseRule.NEIGHBOR,
+        )
+        assert PAPER_COMBINATIONS[frozenset({L})] == 1
+        assert PAPER_COMBINATIONS[frozenset({D})] == 2
+        assert PAPER_COMBINATIONS[frozenset({N})] == 3
+        assert PAPER_COMBINATIONS[frozenset({A})] == 4
+        assert PAPER_COMBINATIONS[frozenset({L, N})] == 5
+        assert PAPER_COMBINATIONS[frozenset({L, A})] == 6
+        assert PAPER_COMBINATIONS[frozenset({L, A, N})] == 7
+
+
+class TestEngine:
+    def test_classification_matches_rules(self, small_population):
+        engine = AlertDetectionEngine(small_population)
+        for employee_id, patient_id in small_population.candidate_pairs[:400]:
+            type_id, rules = engine.classify_pair(employee_id, patient_id)
+            assert rules == evaluate_rules(small_population, employee_id, patient_id)
+            if not rules:
+                assert type_id == 0
+            elif rules in PAPER_COMBINATIONS:
+                assert type_id == PAPER_COMBINATIONS[rules]
+            else:
+                assert type_id >= 100
+
+    def test_extra_combination_ids_stable(self, small_population):
+        engine = AlertDetectionEngine(small_population)
+        # Find a pair with a non-paper combination (address+neighbor).
+        target = None
+        for employee_id, patient_id in small_population.candidate_pairs:
+            _, rules = engine.classify_pair(employee_id, patient_id)
+            if rules and rules not in PAPER_COMBINATIONS:
+                target = (employee_id, patient_id, rules)
+                break
+        if target is None:
+            pytest.skip("no extra combination in this population")
+        employee_id, patient_id, rules = target
+        first, _ = engine.classify_pair(employee_id, patient_id)
+        second, _ = engine.classify_pair(employee_id, patient_id)
+        assert first == second >= 100
+        assert engine.extra_combinations[rules] == first
+
+    def test_detect_returns_none_for_clean_access(self, small_population):
+        from repro.emr.events import AccessEvent
+
+        engine = AlertDetectionEngine(small_population)
+        for patient_id in small_population.general_patient_ids[:200]:
+            event = AccessEvent(
+                day=0, time_of_day=100.0, employee_id=0, patient_id=patient_id
+            )
+            alert = engine.detect(event)
+            if alert is None:
+                return
+        pytest.fail("every general access triggered an alert (implausible)")
+
+
+class TestSimulatorConfig:
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(DataError):
+            SimulatorConfig(calibration={})
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(DataError):
+            SimulatorConfig(
+                calibration={1: TypeCalibration(5.0, 1.0)},
+                normal_daily_mean=-1.0,
+            )
+
+    def test_negative_calibration_rejected(self):
+        with pytest.raises(DataError):
+            TypeCalibration(daily_mean=-1.0, daily_std=0.0)
+
+    def test_full_scale_constant(self):
+        # 10.75M accesses over 56 days.
+        assert FULL_SCALE_DAILY_ACCESSES * 56 == pytest.approx(10.75e6, rel=0.01)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self, small_population):
+        calibration = {
+            1: TypeCalibration(30.0, 3.0),
+            3: TypeCalibration(20.0, 2.0),
+            7: TypeCalibration(10.0, 1.0),
+        }
+        return AccessLogSimulator(
+            small_population,
+            SimulatorConfig(calibration=calibration, normal_daily_mean=200),
+            rng=np.random.default_rng(5),
+        )
+
+    def test_pools_match_detection(self, simulator):
+        engine = simulator.engine
+        for type_id, pairs in simulator.pools.items():
+            for employee_id, patient_id in pairs[:50]:
+                detected, _ = engine.classify_pair(employee_id, patient_id)
+                assert detected == type_id
+
+    def test_day_counts_near_calibration(self, simulator):
+        days = simulator.simulate(6)
+        counts = {1: [], 3: [], 7: []}
+        for day in days:
+            day_counts = day.alert_counts()
+            for t in counts:
+                counts[t].append(day_counts.get(t, 0))
+        assert np.mean(counts[1]) == pytest.approx(30.0, abs=6.0)
+        assert np.mean(counts[3]) == pytest.approx(20.0, abs=5.0)
+        assert np.mean(counts[7]) == pytest.approx(10.0, abs=4.0)
+
+    def test_events_sorted_and_typed(self, simulator):
+        day = simulator.simulate_day(0)
+        times = [event.time_of_day for event in day.events]
+        assert times == sorted(times)
+        for alert in day.alerts:
+            assert alert.type_id != 0
+
+    def test_alerts_are_detectable_events(self, simulator):
+        day = simulator.simulate_day(1)
+        event_set = set(day.events)
+        for alert in day.alerts:
+            assert alert.event in event_set
+
+    def test_missing_pool_rejected(self, small_population):
+        with pytest.raises(DataError, match="no relationship pairs"):
+            AccessLogSimulator(
+                small_population,
+                SimulatorConfig(
+                    calibration={42: TypeCalibration(5.0, 1.0)},
+                    normal_daily_mean=10,
+                ),
+            )
+
+    def test_invalid_n_days(self, simulator):
+        with pytest.raises(DataError):
+            simulator.simulate(0)
+
+    def test_diurnal_concentration(self, simulator):
+        day = simulator.simulate_day(2)
+        times = np.array([event.time_of_day for event in day.events])
+        in_peak = np.mean((times >= 8 * 3600) & (times <= 17 * 3600))
+        assert in_peak > 0.5

@@ -1,0 +1,97 @@
+"""Tests for surname sampling and the household/geocode model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.emr.geo import (
+    CITY_SIZE_MILES,
+    Household,
+    NEIGHBOR_RADIUS_MILES,
+    distance_miles,
+    geocode,
+    make_household,
+)
+from repro.emr.names import SURNAMES, sample_surname, sample_surnames
+
+
+class TestNames:
+    def test_sample_from_list(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert sample_surname(rng) in SURNAMES
+
+    def test_batch_sampling(self):
+        rng = np.random.default_rng(0)
+        names = sample_surnames(rng, 200)
+        assert len(names) == 200
+        assert set(names) <= set(SURNAMES)
+
+    def test_zipf_head_heavier_than_tail(self):
+        rng = np.random.default_rng(1)
+        names = sample_surnames(rng, 20_000)
+        head = sum(1 for n in names if n == SURNAMES[0])
+        tail = sum(1 for n in names if n == SURNAMES[-1])
+        assert head > tail
+
+    def test_collisions_happen(self):
+        # Name collisions between unrelated people must be possible — they
+        # are the organic false positives of type 1.
+        rng = np.random.default_rng(2)
+        names = sample_surnames(rng, 500)
+        assert len(set(names)) < len(names)
+
+
+class TestHouseholds:
+    def test_make_household_in_city(self):
+        rng = np.random.default_rng(0)
+        household = make_household(7, rng)
+        assert household.household_id == 7
+        assert 0 <= household.x <= CITY_SIZE_MILES
+        assert 0 <= household.y <= CITY_SIZE_MILES
+        assert household.address
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(DataError):
+            Household(household_id=0, address="", x=0.0, y=0.0)
+
+    def test_distance(self):
+        assert distance_miles((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+        assert distance_miles((1.0, 1.0), (1.0, 1.0)) == 0.0
+
+    def test_neighbor_radius_constant(self):
+        assert NEIGHBOR_RADIUS_MILES == 0.5  # paper: "less than 0.5 miles"
+
+
+class TestGeocode:
+    def test_noise_centered_on_household(self):
+        rng = np.random.default_rng(0)
+        household = Household(0, "1 Oak St", x=10.0, y=10.0)
+        points = np.array(
+            [geocode(household, rng, noise_std_miles=0.1, blunder_probability=0.0)
+             for _ in range(500)]
+        )
+        assert np.mean(points[:, 0]) == pytest.approx(10.0, abs=0.05)
+        assert np.std(points[:, 0]) == pytest.approx(0.1, abs=0.03)
+
+    def test_blunders_produce_outliers(self):
+        rng = np.random.default_rng(1)
+        household = Household(0, "1 Oak St", x=10.0, y=10.0)
+        distances = [
+            distance_miles(
+                geocode(household, rng, noise_std_miles=0.05,
+                        blunder_probability=0.5, blunder_std_miles=3.0),
+                (household.x, household.y),
+            )
+            for _ in range(300)
+        ]
+        far = sum(1 for d in distances if d > NEIGHBOR_RADIUS_MILES)
+        assert far > 50  # blunders regularly break the neighbor predicate
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(0)
+        household = Household(0, "1 Oak St", x=0.0, y=0.0)
+        with pytest.raises(DataError):
+            geocode(household, rng, noise_std_miles=-0.1)
+        with pytest.raises(DataError):
+            geocode(household, rng, blunder_probability=1.5)

@@ -1,0 +1,163 @@
+"""Tests for population synthesis and the four base alert predicates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.emr.events import AccessEvent
+from repro.emr.population import DEPARTMENTS, PopulationConfig
+from repro.emr.rules import (
+    BaseRule,
+    evaluate_rules,
+    is_department_coworker,
+    is_neighbor,
+    is_same_address,
+    is_same_last_name,
+)
+
+
+class TestPopulationConfig:
+    def test_defaults_valid(self):
+        PopulationConfig()
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(DataError):
+            PopulationConfig(n_employees=0)
+
+    def test_too_many_departments_rejected(self):
+        with pytest.raises(DataError):
+            PopulationConfig(n_departments=len(DEPARTMENTS) + 1)
+
+
+class TestPopulationStructure:
+    def test_entity_counts(self, small_population, small_population_config):
+        config = small_population_config
+        assert small_population.n_employees == config.n_employees
+        expected_min_patients = (
+            config.n_family_patients
+            + config.n_roommate_patients
+            + config.n_neighbor_patients
+            + config.n_namesake_neighbor_patients
+            + config.n_namesake_far_patients
+            + config.n_general_patients
+        )
+        assert small_population.n_patients >= expected_min_patients
+
+    def test_ids_are_positions(self, small_population):
+        for i in (0, 5, small_population.n_employees - 1):
+            assert small_population.employee(i).employee_id == i
+        for i in (0, 7, small_population.n_patients - 1):
+            assert small_population.patient(i).patient_id == i
+
+    def test_unknown_ids_raise(self, small_population):
+        with pytest.raises(DataError):
+            small_population.employee(10**6)
+        with pytest.raises(DataError):
+            small_population.patient(10**6)
+        with pytest.raises(DataError):
+            small_population.household(10**6)
+
+    def test_candidate_pairs_reference_valid_entities(self, small_population):
+        for employee_id, patient_id in small_population.candidate_pairs[:500]:
+            small_population.employee(employee_id)
+            small_population.patient(patient_id)
+
+    def test_general_patients_exist(self, small_population, small_population_config):
+        assert (
+            len(small_population.general_patient_ids)
+            == small_population_config.n_general_patients
+        )
+
+    def test_deterministic_given_seed(self, small_population_config):
+        from repro.emr.population import build_population
+
+        a = build_population(small_population_config, rng=np.random.default_rng(9))
+        b = build_population(small_population_config, rng=np.random.default_rng(9))
+        assert a.employees[0] == b.employees[0]
+        assert a.candidate_pairs[:50] == b.candidate_pairs[:50]
+
+
+class TestRules:
+    def find_pair(self, population, predicate, sample=3000):
+        for employee_id, patient_id in population.candidate_pairs[:sample]:
+            if predicate(population, employee_id, patient_id):
+                return employee_id, patient_id
+        pytest.fail("no candidate pair satisfies the predicate")
+
+    def test_same_last_name_fires(self, small_population):
+        e, p = self.find_pair(small_population, is_same_last_name)
+        assert (
+            small_population.employee(e).surname
+            == small_population.patient(p).surname
+        )
+
+    def test_department_coworker_fires(self, small_population):
+        e, p = self.find_pair(small_population, is_department_coworker)
+        patient = small_population.patient(p)
+        assert patient.employee_id is not None
+        assert (
+            small_population.employee(patient.employee_id).department_id
+            == small_population.employee(e).department_id
+        )
+
+    def test_same_address_fires(self, small_population):
+        e, p = self.find_pair(small_population, is_same_address)
+        employee = small_population.employee(e)
+        patient = small_population.patient(p)
+        assert (
+            small_population.household(employee.household_id).address
+            == small_population.household(patient.household_id).address
+            or employee.household_id == patient.household_id
+        )
+
+    def test_neighbor_fires(self, small_population):
+        from repro.emr.geo import NEIGHBOR_RADIUS_MILES, distance_miles
+
+        e, p = self.find_pair(small_population, is_neighbor)
+        assert (
+            distance_miles(
+                small_population.employee(e).geocode,
+                small_population.patient(p).geocode,
+            )
+            <= NEIGHBOR_RADIUS_MILES
+        )
+
+    def test_self_access_not_coworker(self, small_population):
+        # An employee accessing their own record never fires the rule.
+        for patient in small_population.patients:
+            if patient.employee_id is not None:
+                assert not is_department_coworker(
+                    small_population, patient.employee_id, patient.patient_id
+                )
+                break
+        else:
+            pytest.skip("population has no employee-patients")
+
+    def test_evaluate_rules_consistency(self, small_population):
+        for employee_id, patient_id in small_population.candidate_pairs[:300]:
+            rules = evaluate_rules(small_population, employee_id, patient_id)
+            assert (BaseRule.SAME_LAST_NAME in rules) == is_same_last_name(
+                small_population, employee_id, patient_id
+            )
+            assert (BaseRule.NEIGHBOR in rules) == is_neighbor(
+                small_population, employee_id, patient_id
+            )
+
+
+class TestAccessEvent:
+    def test_valid(self):
+        AccessEvent(day=0, time_of_day=0.0, employee_id=1, patient_id=2)
+
+    def test_ordering_chronological(self):
+        early = AccessEvent(day=0, time_of_day=10.0, employee_id=5, patient_id=5)
+        late = AccessEvent(day=0, time_of_day=20.0, employee_id=1, patient_id=1)
+        next_day = AccessEvent(day=1, time_of_day=0.0, employee_id=1, patient_id=1)
+        assert early < late < next_day
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(DataError):
+            AccessEvent(day=-1, time_of_day=0.0, employee_id=0, patient_id=0)
+        with pytest.raises(DataError):
+            AccessEvent(day=0, time_of_day=90000.0, employee_id=0, patient_id=0)
+        with pytest.raises(DataError):
+            AccessEvent(day=0, time_of_day=0.0, employee_id=-1, patient_id=0)

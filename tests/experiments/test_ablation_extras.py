@@ -1,0 +1,75 @@
+"""Tests for the charging and scope ablations (reduced workloads)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_charging_ablation,
+    run_rollback_ablation,
+    run_scope_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def rollback_result():
+    return run_rollback_ablation(seed=3, n_days=10, n_test_days=1)
+
+
+@pytest.fixture(scope="module")
+def charging_result():
+    return run_charging_ablation(seed=3, n_days=10, n_test_days=1)
+
+
+@pytest.fixture(scope="module")
+def scope_result():
+    return run_scope_ablation(seed=3, n_days=10, n_test_days=1)
+
+
+class TestRollbackAblation:
+    def test_rollback_preserves_late_coverage(self, rollback_result):
+        assert (
+            rollback_result.late_min_theta_with
+            >= rollback_result.late_min_theta_without - 1e-9
+        )
+
+    def test_rollback_limits_late_attacker(self, rollback_result):
+        assert (
+            rollback_result.late_max_attacker_utility_with
+            <= rollback_result.late_max_attacker_utility_without + 1e-6
+        )
+
+    def test_metrics_are_finite(self, rollback_result):
+        assert rollback_result.late_min_theta_with >= 0.0
+        assert rollback_result.late_max_attacker_utility_with <= 400.0
+
+
+class TestChargingAblation:
+    def test_full_day_means_agree(self, charging_result):
+        gap = abs(
+            charging_result.full_mean_utility_conditional
+            - charging_result.full_mean_utility_expected
+        )
+        assert gap < 60.0
+
+    def test_budgets_nonnegative(self, charging_result):
+        assert charging_result.final_budget_conditional >= 0.0
+        assert charging_result.final_budget_expected >= 0.0
+
+
+class TestScopeAblation:
+    def test_game_values_close(self, scope_result):
+        # Theorem 1: the equilibrium marginals (hence game values) do not
+        # depend on which alerts receive the signaling treatment; only the
+        # realized budget path differs.
+        gap = abs(
+            scope_result.mean_game_value_best_only
+            - scope_result.mean_game_value_all
+        )
+        assert gap < 80.0
+
+    def test_all_scope_warns_more(self, scope_result):
+        # Warning every alert type strictly increases warning volume.
+        assert scope_result.warnings_all >= scope_result.warnings_best_only
+
+    def test_budgets_nonnegative(self, scope_result):
+        assert scope_result.final_budget_best_only >= 0.0
+        assert scope_result.final_budget_all >= 0.0

@@ -1,0 +1,89 @@
+"""Tests for the experiment constants and the dataset builder."""
+
+import pytest
+
+from repro.experiments.config import (
+    AUDIT_COST,
+    MULTI_TYPE_BUDGET,
+    PAPER_DAYS,
+    PAPER_GROUPS,
+    SINGLE_TYPE_BUDGET,
+    SINGLE_TYPE_ID,
+    TABLE1_STATISTICS,
+    TABLE2_PAYOFFS,
+    paper_calibration,
+    paper_costs,
+    paper_registry,
+)
+
+
+class TestPaperConstants:
+    def test_table1_values(self):
+        # Exact values from the paper's Table 1.
+        assert TABLE1_STATISTICS[1] == (196.57, 17.30)
+        assert TABLE1_STATISTICS[4] == (10.84, 3.73)
+        assert TABLE1_STATISTICS[7] == (43.27, 6.45)
+        assert len(TABLE1_STATISTICS) == 7
+
+    def test_table2_values(self):
+        # Exact values from the paper's Table 2.
+        assert TABLE2_PAYOFFS[1].u_dc == 100.0
+        assert TABLE2_PAYOFFS[1].u_du == -400.0
+        assert TABLE2_PAYOFFS[1].u_ac == -2000.0
+        assert TABLE2_PAYOFFS[1].u_au == 400.0
+        assert TABLE2_PAYOFFS[7].u_dc == 700.0
+        assert TABLE2_PAYOFFS[7].u_au == 800.0
+
+    def test_table2_satisfies_theorem3_condition(self):
+        for payoff in TABLE2_PAYOFFS.values():
+            assert payoff.satisfies_theorem3_condition()
+
+    def test_experiment_parameters(self):
+        assert SINGLE_TYPE_BUDGET == 20.0
+        assert MULTI_TYPE_BUDGET == 50.0
+        assert AUDIT_COST == 1.0
+        assert SINGLE_TYPE_ID == 1
+        assert PAPER_DAYS == 56
+        assert PAPER_GROUPS == 15
+
+    def test_calibration_mirrors_table1(self):
+        calibration = paper_calibration()
+        for type_id, (mean, std) in TABLE1_STATISTICS.items():
+            assert calibration[type_id].daily_mean == mean
+            assert calibration[type_id].daily_std == std
+
+    def test_costs_all_one(self):
+        assert set(paper_costs().values()) == {1.0}
+
+    def test_registry(self):
+        registry = paper_registry()
+        assert registry.type_ids == (1, 2, 3, 4, 5, 6, 7)
+        assert registry[1].name == "Same Last Name"
+
+
+class TestDataset:
+    def test_small_dataset_shape(self, small_dataset):
+        assert small_dataset.n_days == 10
+        assert small_dataset.n_accesses > 0
+        assert small_dataset.n_alerts > 0
+        assert small_dataset.store.days == tuple(range(10))
+
+    def test_all_seven_types_present(self, small_dataset):
+        present = set(small_dataset.store.type_ids)
+        assert set(range(1, 8)) <= present
+
+    def test_deterministic(self, small_population_config):
+        from repro.experiments.dataset import build_dataset
+
+        a = build_dataset(seed=5, n_days=2, normal_daily_mean=100,
+                          population_config=small_population_config)
+        b = build_dataset(seed=5, n_days=2, normal_daily_mean=100,
+                          population_config=small_population_config)
+        assert a.store.all_records() == b.store.all_records()
+
+    def test_memoized_store(self):
+        from repro.experiments.dataset import build_alert_store
+
+        first = build_alert_store(seed=19, n_days=2, normal_daily_mean=50.0)
+        second = build_alert_store(seed=19, n_days=2, normal_daily_mean=50.0)
+        assert first is second

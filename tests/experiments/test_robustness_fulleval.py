@@ -1,0 +1,104 @@
+"""Tests for the robustness experiment and the all-group evaluation."""
+
+import pytest
+
+from repro.experiments.full_eval import (
+    FullEvaluationResult,
+    format_full_evaluation,
+    run_full_evaluation,
+)
+from repro.experiments.robustness import format_robustness, run_robustness
+
+
+@pytest.fixture(scope="module")
+def robustness_rows(small_store):
+    return run_robustness(
+        store=small_store, n_trials=25, margins=(0.0, 0.1), rationality=20.0
+    )
+
+
+class TestRobustness:
+    def test_grid_shape(self, robustness_rows):
+        cells = {(row.attacker, row.margin) for row in robustness_rows}
+        assert cells == {
+            ("rational", 0.0), ("quantal", 0.0),
+            ("rational", 0.1), ("quantal", 0.1),
+        }
+
+    def test_rational_attacker_always_quits(self, robustness_rows):
+        # With any margin >= 0 a rational warned attacker quits, so his
+        # realized quit rate equals his warned rate; the table only stores
+        # quit rate, which must be a probability.
+        for row in robustness_rows:
+            assert 0.0 <= row.quit_rate <= 1.0
+
+    def test_margin_helps_against_quantal(self, robustness_rows):
+        by_cell = {(r.attacker, r.margin): r for r in robustness_rows}
+        hardened = by_cell[("quantal", 0.1)].mean_auditor_utility
+        classic = by_cell[("quantal", 0.0)].mean_auditor_utility
+        # The hardened margin converts half-proceeding warned attackers into
+        # quitters; with modest trial counts allow generous MC noise but the
+        # direction must not invert grossly.
+        assert hardened >= classic - 60.0
+
+    def test_quantal_quits_more_with_margin(self, robustness_rows):
+        by_cell = {(r.attacker, r.margin): r for r in robustness_rows}
+        assert (
+            by_cell[("quantal", 0.1)].quit_rate
+            >= by_cell[("quantal", 0.0)].quit_rate - 0.1
+        )
+
+    def test_format(self, robustness_rows):
+        text = format_robustness(robustness_rows)
+        assert "quantal" in text
+        assert "margin" in text
+
+
+class TestFullEvaluation:
+    @pytest.fixture(scope="class")
+    def single_result(self, small_store):
+        return run_full_evaluation(
+            store=small_store, setting="single", training_window=7,
+            max_groups=2,
+        )
+
+    def test_groups_counted(self, single_result):
+        assert single_result.n_groups == 2
+        assert single_result.setting == "single"
+
+    def test_policies_present(self, single_result):
+        assert set(single_result.summaries) == {
+            "OSSP", "online SSE", "offline SSE"
+        }
+
+    def test_paper_ordering_across_groups(self, single_result):
+        summaries = single_result.summaries
+        assert (
+            summaries["OSSP"].mean_utility
+            > summaries["online SSE"].mean_utility
+        )
+        assert (
+            summaries["OSSP"].mean_utility
+            > summaries["offline SSE"].mean_utility
+        )
+
+    def test_unknown_setting_rejected(self, small_store):
+        with pytest.raises(ValueError):
+            run_full_evaluation(store=small_store, setting="both")
+
+    def test_format(self, single_result):
+        text = format_full_evaluation(single_result)
+        assert "all-group summary" in text
+        assert "OSSP" in text
+
+    def test_multi_setting_runs(self, small_store):
+        result = run_full_evaluation(
+            store=small_store, setting="multi", training_window=7,
+            max_groups=1,
+        )
+        assert isinstance(result, FullEvaluationResult)
+        assert result.n_groups == 1
+        assert (
+            result.summaries["OSSP"].mean_utility
+            >= result.summaries["online SSE"].mean_utility
+        )

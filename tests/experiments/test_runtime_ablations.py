@@ -1,0 +1,66 @@
+"""Tests for the runtime experiment and the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_budget_sweep,
+    run_backend_comparison,
+    run_budget_sweep,
+)
+from repro.experiments.runtime import (
+    PAPER_SECONDS_PER_ALERT,
+    RuntimeResult,
+    format_runtime,
+    run_runtime,
+)
+
+
+class TestRuntime:
+    def test_measures_latency(self, small_store):
+        result = run_runtime(store=small_store, max_alerts=30)
+        assert result.n_alerts == 30
+        assert 0.0 < result.mean_seconds < 1.0
+        assert result.median_seconds <= result.p95_seconds <= result.max_seconds
+        assert result.paper_seconds == PAPER_SECONDS_PER_ALERT
+
+    def test_format(self):
+        result = RuntimeResult(
+            n_alerts=10, mean_seconds=0.015, median_seconds=0.014,
+            p95_seconds=0.02, max_seconds=0.05,
+        )
+        text = format_runtime(result)
+        assert "15.00 ms" in text
+        assert "paper" in text
+
+
+class TestBudgetSweep:
+    def test_rows_and_monotonicity(self):
+        rows = run_budget_sweep(budgets=(5.0, 20.0, 40.0))
+        assert [row.budget for row in rows] == [5.0, 20.0, 40.0]
+        # Theta grows with budget; signaling gain is never negative.
+        thetas = [row.theta for row in rows]
+        assert thetas == sorted(thetas)
+        for row in rows:
+            assert row.signaling_gain >= -1e-9
+            assert row.ossp_utility >= row.sse_utility - 1e-9
+
+    def test_gain_vanishes_after_deterrence(self):
+        rows = run_budget_sweep(budgets=(200.0,))
+        assert rows[0].sse_utility == 0.0
+        assert rows[0].ossp_utility == pytest.approx(0.0, abs=1e-9)
+        assert rows[0].signaling_gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_format(self):
+        text = format_budget_sweep(run_budget_sweep(budgets=(10.0,)))
+        assert "signaling gain" in text
+
+
+class TestBackendComparison:
+    def test_backends_agree_on_real_states(self, small_store):
+        # Build a tiny comparison directly over the shared fixture store by
+        # monkey-free reuse of the public API with few states.
+        result = run_backend_comparison(seed=3, n_days=10, n_states=5)
+        assert result.n_states == 5
+        assert result.max_objective_gap < 1e-5
+        assert result.scipy_seconds > 0
+        assert result.simplex_seconds > 0

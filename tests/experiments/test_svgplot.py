@@ -1,0 +1,69 @@
+"""Tests for the SVG figure writer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.metrics import CycleResult, UtilityPoint
+from repro.experiments.svgplot import render_svg, write_svg
+
+
+def make_result(name, values, start=1000.0, step=4000.0):
+    points = tuple(
+        UtilityPoint(time_of_day=start + i * step, value=v, type_id=1)
+        for i, v in enumerate(values)
+    )
+    return CycleResult(
+        policy=name, day=0, points=points,
+        budget_initial=1.0, budget_final=0.5,
+    )
+
+
+@pytest.fixture
+def results():
+    return {
+        "OSSP": make_result("OSSP", [-150.0, -140.0, -160.0, -145.0]),
+        "online SSE": make_result("online SSE", [-350.0, -348.0, -352.0, -349.0]),
+    }
+
+
+class TestRenderSvg:
+    def test_valid_xml(self, results):
+        document = render_svg(results, title="Figure 2(a)")
+        xml.dom.minidom.parseString(document)
+
+    def test_contains_polylines_and_legend(self, results):
+        document = render_svg(results)
+        assert document.count("<polyline") == 2
+        assert "OSSP" in document
+        assert "online SSE" in document
+
+    def test_title_escaped(self, results):
+        document = render_svg(results, title="a < b & c")
+        assert "a &lt; b &amp; c" in document
+        xml.dom.minidom.parseString(document)
+
+    def test_axis_ticks(self, results):
+        document = render_svg(results)
+        assert "00:00" in document
+        assert "12:00" in document
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_svg({})
+
+    def test_too_small_rejected(self, results):
+        with pytest.raises(ExperimentError):
+            render_svg(results, width=100, height=80)
+
+    def test_flat_series_ok(self):
+        document = render_svg({"flat": make_result("flat", [-5.0, -5.0])})
+        xml.dom.minidom.parseString(document)
+
+
+class TestWriteSvg:
+    def test_round_trip(self, results, tmp_path):
+        path = write_svg(results, tmp_path / "figure.svg", title="t")
+        assert path.exists()
+        xml.dom.minidom.parse(str(path))

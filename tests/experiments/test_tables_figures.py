@@ -1,0 +1,127 @@
+"""Tests for the table/figure regeneration pipelines (reduced workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure2 import FIGURE2_POLICIES, format_figure2, run_figure2
+from repro.experiments.figure3 import FIGURE3_POLICIES, format_figure3, run_figure3
+from repro.experiments.report import render_series_table, render_table
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+
+
+class TestTable1:
+    def test_rows_against_store(self, small_store):
+        rows = run_table1(store=small_store)
+        assert [row.type_id for row in rows] == [1, 2, 3, 4, 5, 6, 7]
+        for row in rows:
+            # Small dataset tracks Table 1 within sampling noise.
+            tolerance = max(4 * row.paper_std, 10.0)
+            assert row.measured_mean == pytest.approx(row.paper_mean, abs=tolerance)
+
+    def test_format(self, small_store):
+        text = format_table1(run_table1(store=small_store))
+        assert "Same Last Name" in text
+        assert "Paper Mean" in text
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = run_table2()
+        assert len(rows) == 7
+        assert rows[0][:5] == [1, 100.0, -400.0, -2000.0, 400.0]
+        assert all(row[5] == "yes" for row in rows)
+
+    def test_format(self):
+        text = format_table2()
+        assert "Ud,c" in text
+        assert "700.0" in text
+
+
+@pytest.fixture(scope="module")
+def figure2_result(small_store):
+    return run_figure2(store=small_store, n_test_days=2, training_window=7)
+
+
+@pytest.fixture(scope="module")
+def figure3_result(small_store):
+    return run_figure3(store=small_store, n_test_days=1, training_window=7)
+
+
+class TestFigure2:
+    def test_policies_present(self, figure2_result):
+        for day_results in figure2_result.series.values():
+            assert set(day_results) == set(FIGURE2_POLICIES)
+
+    def test_two_test_days(self, figure2_result):
+        assert len(figure2_result.test_days) == 2
+
+    def test_paper_ordering_on_average(self, figure2_result):
+        # The paper's headline: OSSP >= online SSE, per test day on average.
+        for day_results in figure2_result.series.values():
+            ossp = day_results["OSSP"].mean_utility()
+            online = day_results["online SSE"].mean_utility()
+            assert ossp >= online - 1e-6
+
+    def test_ossp_dominates_pointwise_early_day(self, figure2_result):
+        # Theorem 2 guarantees domination at *equal* game states (covered in
+        # tests/core/test_game.py). Across two independently-run policies the
+        # budget paths diverge by end of day, so compare the first half,
+        # where both still track the equilibrium pacing.
+        for day_results in figure2_result.series.values():
+            ossp = day_results["OSSP"].values
+            online = day_results["online SSE"].values
+            half = len(ossp) // 2
+            assert np.all(ossp[:half] >= online[:half] - 1e-6)
+
+    def test_offline_flat(self, figure2_result):
+        for day_results in figure2_result.series.values():
+            offline = day_results["offline SSE"].values
+            assert np.ptp(offline) < 1e-9
+
+    def test_series_aligned(self, figure2_result):
+        for day_results in figure2_result.series.values():
+            lengths = {len(result.points) for result in day_results.values()}
+            assert len(lengths) == 1
+
+    def test_format(self, figure2_result):
+        text = format_figure2(figure2_result, n_points=6)
+        assert "Figure 2(a)" in text
+        assert "OSSP" in text
+
+
+class TestFigure3:
+    def test_policies_present(self, figure3_result):
+        for day_results in figure3_result.series.values():
+            assert set(day_results) == set(FIGURE3_POLICIES)
+
+    def test_paper_ordering_on_average(self, figure3_result):
+        for day_results in figure3_result.series.values():
+            ossp = day_results["OSSP"].mean_utility()
+            online = day_results["online SSE"].mean_utility()
+            assert ossp >= online - 1e-6
+
+    def test_values_in_paper_band(self, figure3_result):
+        # Figures 2/3 plot utilities in roughly [-450, 50].
+        for day_results in figure3_result.series.values():
+            for result in day_results.values():
+                assert np.all(result.values <= 50.0)
+                assert np.all(result.values >= -800.0)
+
+    def test_format(self, figure3_result):
+        text = format_figure3(figure3_result, n_points=6)
+        assert "Figure 3(a)" in text
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series_empty_buckets_blank(self, figure2_result):
+        day_results = figure2_result.series[figure2_result.test_days[0]]
+        text = render_series_table(day_results, n_points=24)
+        assert "00:00" in text

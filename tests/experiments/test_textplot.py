@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.metrics import CycleResult, UtilityPoint
+from repro.experiments.textplot import GLYPHS, ascii_chart
+
+
+def make_result(name, values, start=1000.0, step=3000.0):
+    points = tuple(
+        UtilityPoint(time_of_day=start + i * step, value=v, type_id=1)
+        for i, v in enumerate(values)
+    )
+    return CycleResult(
+        policy=name, day=0, points=points,
+        budget_initial=1.0, budget_final=0.5,
+    )
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        results = {
+            "OSSP": make_result("OSSP", [-100.0, -120.0, -110.0]),
+            "SSE": make_result("SSE", [-300.0, -310.0, -305.0]),
+        }
+        chart = ascii_chart(results, width=40, height=10, title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        # 10 rows + axis + ruler + legend + title
+        assert len(lines) == 14
+        assert "o=OSSP" in lines[-1]
+        assert "x=SSE" in lines[-1]
+
+    def test_glyphs_placed(self):
+        results = {"OSSP": make_result("OSSP", [-100.0] * 5)}
+        chart = ascii_chart(results, width=30, height=8)
+        assert "o" in chart
+
+    def test_higher_values_on_higher_rows(self):
+        results = {
+            "high": make_result("high", [0.0] * 4),
+            "low": make_result("low", [-400.0] * 4),
+        }
+        chart = ascii_chart(results, width=30, height=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_high = next(i for i, row in enumerate(rows) if "o" in row)
+        first_low = next(i for i, row in enumerate(rows) if "x" in row)
+        assert first_high < first_low
+
+    def test_flat_series_does_not_crash(self):
+        results = {"flat": make_result("flat", [-5.0, -5.0])}
+        chart = ascii_chart(results, width=20, height=6)
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({})
+
+    def test_too_small_rejected(self):
+        results = {"p": make_result("p", [1.0])}
+        with pytest.raises(ExperimentError):
+            ascii_chart(results, width=4, height=2)
+
+    def test_hour_ruler_present(self):
+        results = {"p": make_result("p", [1.0, 2.0])}
+        chart = ascii_chart(results, width=48, height=6)
+        assert "00h" in chart
+        assert "12h" in chart
+
+    def test_glyph_count_sufficient(self):
+        assert len(GLYPHS) >= 3  # three paper policies fit

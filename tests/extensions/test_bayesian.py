@@ -1,0 +1,129 @@
+"""Tests for the Bayesian SAG extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp
+from repro.extensions.bayesian import (
+    BayesianAttackerModel,
+    solve_bayesian_ossp,
+)
+
+AUDITOR = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+TIMID = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-5000.0, u_au=300.0)
+BOLD = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-500.0, u_au=800.0)
+
+
+class TestModelValidation:
+    def test_valid(self):
+        BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.5, 0.5)
+        )
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ModelError):
+            BayesianAttackerModel(auditor_payoff=AUDITOR, profiles=(), prior=())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            BayesianAttackerModel(
+                auditor_payoff=AUDITOR, profiles=(TIMID,), prior=(0.5, 0.5)
+            )
+
+    def test_prior_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            BayesianAttackerModel(
+                auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.5, 0.6)
+            )
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ModelError):
+            BayesianAttackerModel(
+                auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(-0.5, 1.5)
+            )
+
+
+class TestSingleProfileReduction:
+    @pytest.mark.parametrize("theta", [0.0, 0.05, 0.1, 0.3, 0.8])
+    def test_reduces_to_classic_ossp(self, theta):
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(AUDITOR,), prior=(1.0,)
+        )
+        bayesian = solve_bayesian_ossp(theta, model)
+        classic = solve_ossp(theta, AUDITOR)
+        assert bayesian.auditor_utility == pytest.approx(
+            classic.auditor_utility(AUDITOR), abs=1e-6
+        )
+
+
+class TestTwoProfiles:
+    def test_invalid_theta_rejected(self):
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID,), prior=(1.0,)
+        )
+        with pytest.raises(ModelError):
+            solve_bayesian_ossp(1.5, model)
+
+    def test_scheme_marginal_consistent(self):
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.7, 0.3)
+        )
+        result = solve_bayesian_ossp(0.1, model)
+        assert result.scheme.theta == pytest.approx(0.1, abs=1e-6)
+
+    def test_deterring_both_dominates_mixtures_when_possible(self):
+        # With theta large enough to scare even the bold profile, deterring
+        # everyone yields 0 loss on the warning branch.
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.5, 0.5)
+        )
+        result = solve_bayesian_ossp(0.9, model)
+        assert result.auditor_utility >= AUDITOR.auditor_utility(0.9) - 1e-6
+
+    def test_never_worse_than_ignoring_uncertainty(self):
+        # The Bayesian optimum is at least as good as the no-signaling value
+        # (choose p1 = q1 = 0, nobody is deterred).
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.4, 0.6)
+        )
+        for theta in (0.0, 0.05, 0.15, 0.4):
+            result = solve_bayesian_ossp(theta, model)
+            assert result.auditor_utility >= AUDITOR.auditor_utility(theta) - 1e-6
+
+    def test_timid_profile_easier_to_deter(self):
+        model = BayesianAttackerModel(
+            auditor_payoff=AUDITOR, profiles=(TIMID, BOLD), prior=(0.5, 0.5)
+        )
+        result = solve_bayesian_ossp(0.12, model)
+        # At moderate coverage the timid profile (index 0) is deterred
+        # whenever anyone is.
+        if result.deterred_profiles:
+            assert 0 in result.deterred_profiles
+
+
+profile_strategy = st.builds(
+    PayoffMatrix,
+    u_dc=st.just(100.0),
+    u_du=st.just(-400.0),
+    u_ac=st.floats(min_value=-8000.0, max_value=-10.0, allow_nan=False),
+    u_au=st.floats(min_value=10.0, max_value=1500.0, allow_nan=False),
+)
+
+
+@given(
+    profile_strategy,
+    profile_strategy,
+    st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_bayesian_value_dominates_no_signaling(profile_a, profile_b, weight, theta):
+    model = BayesianAttackerModel(
+        auditor_payoff=AUDITOR,
+        profiles=(profile_a, profile_b),
+        prior=(weight, 1.0 - weight),
+    )
+    result = solve_bayesian_ossp(theta, model)
+    assert result.auditor_utility >= AUDITOR.auditor_utility(theta) - 1e-6

@@ -1,0 +1,128 @@
+"""Tests for the Bayesian online SSE (best-response-tuple enumeration)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, solve_online_sse
+from repro.extensions.bayesian import BayesianGame, solve_bayesian_sse
+from repro.stats.poisson import PoissonReciprocalMoment
+
+AUD1 = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+AUD2 = PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=400.0)
+
+# Attacker profile payoffs (u_ac/u_au are what matter).
+TIMID = {
+    1: PayoffMatrix(100.0, -400.0, -5000.0, 300.0),
+    2: PayoffMatrix(150.0, -500.0, -6000.0, 250.0),
+}
+BOLD = {
+    1: PayoffMatrix(100.0, -400.0, -600.0, 700.0),
+    2: PayoffMatrix(150.0, -500.0, -500.0, 900.0),
+}
+AUDITOR = {1: AUD1, 2: AUD2}
+
+
+def coefficients(lambdas, costs=None):
+    moment = PoissonReciprocalMoment()
+    costs = costs or {t: 1.0 for t in lambdas}
+    return {t: moment(lam) / costs[t] for t, lam in lambdas.items()}
+
+
+class TestValidation:
+    def test_prior_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            BayesianGame(AUDITOR, (TIMID, BOLD), prior=(0.5, 0.6))
+
+    def test_profiles_must_cover_types(self):
+        with pytest.raises(ModelError):
+            BayesianGame(AUDITOR, ({1: TIMID[1]},), prior=(1.0,))
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ModelError):
+            BayesianGame(AUDITOR, (), prior=())
+
+    def test_negative_budget_rejected(self):
+        game = BayesianGame(AUDITOR, (TIMID,), prior=(1.0,))
+        with pytest.raises(ModelError):
+            solve_bayesian_sse(game, -1.0, coefficients({1: 10.0, 2: 10.0}))
+
+    def test_profile_cap(self):
+        game = BayesianGame(
+            AUDITOR, (TIMID, BOLD, TIMID, BOLD, TIMID),
+            prior=(0.2,) * 5,
+        )
+        with pytest.raises(ModelError):
+            solve_bayesian_sse(
+                game, 5.0, coefficients({1: 10.0, 2: 10.0}), max_profiles=4
+            )
+
+    def test_missing_coefficient_rejected(self):
+        game = BayesianGame(AUDITOR, (TIMID,), prior=(1.0,))
+        with pytest.raises(ModelError):
+            solve_bayesian_sse(game, 5.0, {1: 0.1})
+
+
+class TestSingleProfileReduction:
+    @pytest.mark.parametrize("budget", [0.0, 3.0, 10.0, 40.0])
+    def test_reduces_to_classic_sse(self, budget):
+        # One profile whose attacker payoffs equal the auditor-table ones.
+        lambdas = {1: 50.0, 2: 20.0}
+        game = BayesianGame(AUDITOR, (dict(AUDITOR),), prior=(1.0,))
+        bayesian = solve_bayesian_sse(game, budget, coefficients(lambdas))
+        classic = solve_online_sse(
+            GameState(budget=budget, lambdas=lambdas),
+            AUDITOR,
+            {1: 1.0, 2: 1.0},
+        )
+        assert bayesian.auditor_utility == pytest.approx(
+            classic.auditor_utility, abs=1e-5
+        )
+        assert bayesian.best_responses[0] == classic.best_response
+
+
+class TestTwoProfiles:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        game = BayesianGame(AUDITOR, (TIMID, BOLD), prior=(0.5, 0.5))
+        return solve_bayesian_sse(game, 8.0, coefficients({1: 50.0, 2: 20.0}))
+
+    def test_enumeration_size(self, solution):
+        assert solution.lps_solved == 4  # |T|^K = 2^2
+        assert 1 <= solution.lps_feasible <= 4
+
+    def test_budget_respected(self, solution):
+        assert sum(solution.allocations.values()) <= 8.0 + 1e-6
+
+    def test_thetas_are_probabilities(self, solution):
+        for theta in solution.thetas.values():
+            assert -1e-9 <= theta <= 1.0 + 1e-9
+
+    def test_best_responses_consistent(self, solution):
+        # Each profile's chosen type must actually maximize its utility.
+        for k, profile in enumerate((TIMID, BOLD)):
+            chosen = solution.best_responses[k]
+            chosen_value = profile[chosen].attacker_utility(
+                solution.thetas[chosen]
+            )
+            for t, payoff in profile.items():
+                assert chosen_value >= payoff.attacker_utility(
+                    solution.thetas[t]
+                ) - 1e-6
+
+    def test_utility_is_prior_blend(self, solution):
+        blended = sum(
+            0.5 * AUDITOR[t_k].auditor_utility(solution.thetas[t_k])
+            for t_k in solution.best_responses
+        )
+        assert solution.auditor_utility == pytest.approx(blended, abs=1e-9)
+
+    def test_more_budget_never_hurts(self):
+        game = BayesianGame(AUDITOR, (TIMID, BOLD), prior=(0.5, 0.5))
+        coeffs = coefficients({1: 50.0, 2: 20.0})
+        previous = None
+        for budget in (0.0, 2.0, 6.0, 15.0):
+            value = solve_bayesian_sse(game, budget, coeffs).auditor_utility
+            if previous is not None:
+                assert value >= previous - 1e-6
+            previous = value

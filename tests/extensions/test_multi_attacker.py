@@ -1,0 +1,80 @@
+"""Tests for the multi-attacker extension."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, solve_online_sse
+from repro.extensions.multi_attacker import (
+    minimum_deterrence_budget,
+    solve_multi_attacker_sse,
+)
+from repro.stats.poisson import expected_reciprocal
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+class TestMultiAttackerSSE:
+    def test_marginals_match_single_attacker(self, payoffs, costs):
+        state = GameState(budget=20.0, lambdas={t: 50.0 for t in payoffs})
+        single = solve_online_sse(state, payoffs, costs)
+        multi = solve_multi_attacker_sse(state, payoffs, costs, n_attackers=4)
+        assert multi.base.thetas == single.thetas
+        assert multi.base.best_response == single.best_response
+
+    def test_total_scales_linearly(self):
+        state = GameState(budget=5.0, lambdas={1: 50.0})
+        result = solve_multi_attacker_sse(state, {1: PAY}, {1: 1.0}, n_attackers=3)
+        assert result.total_auditor_utility == pytest.approx(
+            3 * result.per_attacker_utility
+        )
+
+    def test_nonpositive_attackers_rejected(self):
+        state = GameState(budget=5.0, lambdas={1: 50.0})
+        with pytest.raises(ModelError):
+            solve_multi_attacker_sse(state, {1: PAY}, {1: 1.0}, n_attackers=0)
+
+    def test_deterrence_propagates(self):
+        state = GameState(budget=500.0, lambdas={1: 10.0})
+        result = solve_multi_attacker_sse(state, {1: PAY}, {1: 1.0}, n_attackers=5)
+        assert result.deterred
+        assert result.total_auditor_utility == 0.0
+
+
+class TestDeterrenceBudget:
+    def test_single_type_formula(self):
+        lam = 50.0
+        budget = minimum_deterrence_budget({1: lam}, {1: PAY}, {1: 1.0})
+        expected = PAY.deterrence_threshold() / expected_reciprocal(lam)
+        assert budget == pytest.approx(expected)
+
+    def test_budget_slightly_above_deters(self):
+        lam = 50.0
+        budget = minimum_deterrence_budget({1: lam}, {1: PAY}, {1: 1.0})
+        state = GameState(budget=budget * 1.02, lambdas={1: lam})
+        solution = solve_online_sse(state, {1: PAY}, {1: 1.0})
+        assert solution.deterred
+
+    def test_budget_below_does_not_deter(self):
+        lam = 50.0
+        budget = minimum_deterrence_budget({1: lam}, {1: PAY}, {1: 1.0})
+        state = GameState(budget=budget * 0.5, lambdas={1: lam})
+        solution = solve_online_sse(state, {1: PAY}, {1: 1.0})
+        assert not solution.deterred
+
+    def test_sums_over_types(self, payoffs, costs):
+        lambdas = {t: 30.0 for t in payoffs}
+        total = minimum_deterrence_budget(lambdas, payoffs, costs)
+        parts = sum(
+            minimum_deterrence_budget({t: 30.0}, {t: payoffs[t]}, {t: costs[t]})
+            for t in payoffs
+        )
+        assert total == pytest.approx(parts)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            minimum_deterrence_budget({}, {}, {})
+
+    def test_missing_payoff_rejected(self):
+        with pytest.raises(ModelError):
+            minimum_deterrence_budget({1: 5.0}, {}, {1: 1.0})

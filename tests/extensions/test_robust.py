@@ -1,0 +1,86 @@
+"""Tests for the robust OSSP extension."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.audit.attacker import QuantalResponseAttacker
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp
+from repro.extensions.robust import (
+    evaluate_against_quantal,
+    optimize_margin,
+    solve_robust_ossp,
+)
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+THETA = 0.1
+
+
+class TestRobustScheme:
+    def test_zero_margin_recovers_classic(self):
+        robust = solve_robust_ossp(THETA, PAY, margin=0.0)
+        classic = solve_ossp(THETA, PAY, method="lp")
+        assert robust.auditor_utility(PAY) == pytest.approx(
+            classic.auditor_utility(PAY), abs=1e-6
+        )
+
+    def test_margin_makes_warning_strictly_unattractive(self):
+        robust = solve_robust_ossp(THETA, PAY, margin=0.1)
+        conditional = robust.attacker_proceed_utility_given_warning(PAY)
+        assert conditional < -1e-6
+
+    def test_margin_costs_deterministic_utility(self):
+        classic_value = solve_robust_ossp(THETA, PAY, 0.0).auditor_utility(PAY)
+        robust_value = solve_robust_ossp(THETA, PAY, 0.2).auditor_utility(PAY)
+        assert robust_value <= classic_value + 1e-9
+
+    def test_marginal_consistency(self):
+        for margin in (0.0, 0.05, 0.3):
+            scheme = solve_robust_ossp(THETA, PAY, margin)
+            assert scheme.theta == pytest.approx(THETA, abs=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            solve_robust_ossp(1.5, PAY, 0.0)
+        with pytest.raises(ModelError):
+            solve_robust_ossp(0.5, PAY, -0.1)
+
+
+class TestQuantalEvaluation:
+    def test_rational_attacker_limit_matches_ossp(self):
+        # Against an (almost) rational attacker the classic OSSP value is
+        # recovered up to the 1/2 boundary effect handled by the margin.
+        attacker = QuantalResponseAttacker(1e6)
+        robust = solve_robust_ossp(THETA, PAY, margin=0.01)
+        value = evaluate_against_quantal(robust, PAY, attacker)
+        # Warned attacker (strictly negative conditional) quits: the value
+        # equals the scheme's deterministic auditor utility.
+        assert value == pytest.approx(robust.auditor_utility(PAY), abs=1e-3)
+
+    def test_noisy_attacker_erodes_classic_value(self):
+        attacker = QuantalResponseAttacker(20.0)
+        classic = solve_robust_ossp(THETA, PAY, 0.0)
+        value = evaluate_against_quantal(classic, PAY, attacker)
+        # Proceeding half the time after a warning is worse than the
+        # idealized OSSP value.
+        assert value < classic.auditor_utility(PAY) - 1.0
+
+
+class TestOptimizeMargin:
+    def test_gain_nonnegative(self):
+        result = optimize_margin(THETA, PAY, QuantalResponseAttacker(20.0))
+        assert result.robustness_gain >= -1e-9
+
+    def test_positive_gain_for_noisy_attacker(self):
+        result = optimize_margin(THETA, PAY, QuantalResponseAttacker(20.0))
+        assert result.robustness_gain > 10.0
+        assert result.margin > 0.0
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ModelError):
+            optimize_margin(THETA, PAY, QuantalResponseAttacker(1.0), margins=())
+
+    def test_more_rational_attacker_needs_smaller_margin(self):
+        noisy = optimize_margin(THETA, PAY, QuantalResponseAttacker(5.0))
+        sharp = optimize_margin(THETA, PAY, QuantalResponseAttacker(500.0))
+        assert sharp.margin <= noisy.margin + 1e-9

@@ -1,0 +1,189 @@
+"""Tests for log persistence and aggregate queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, QueryError
+from repro.emr.events import AccessEvent
+from repro.logstore.io import (
+    read_accesses_csv,
+    read_alerts_csv,
+    read_alerts_jsonl,
+    write_accesses_csv,
+    write_alerts_csv,
+    write_alerts_jsonl,
+)
+from repro.logstore.query import daily_count_statistics, hourly_histogram
+from repro.logstore.store import AccessLogStore, AlertLogStore, AlertRecord
+
+
+@pytest.fixture
+def sample_store():
+    store = AlertLogStore()
+    rng = np.random.default_rng(0)
+    for day in range(3):
+        for _ in range(10):
+            store.add(
+                AlertRecord(
+                    day=day,
+                    time_of_day=float(rng.uniform(0, 86399)),
+                    type_id=int(rng.integers(1, 4)),
+                    employee_id=int(rng.integers(100)),
+                    patient_id=int(rng.integers(100)),
+                )
+            )
+    return store
+
+
+class TestCsvRoundTrip:
+    def test_alerts_csv(self, sample_store, tmp_path):
+        path = tmp_path / "alerts.csv"
+        write_alerts_csv(sample_store, path)
+        loaded = read_alerts_csv(path)
+        assert loaded.all_records() == sample_store.all_records()
+
+    def test_alerts_jsonl(self, sample_store, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        write_alerts_jsonl(sample_store, path)
+        loaded = read_alerts_jsonl(path)
+        assert loaded.all_records() == sample_store.all_records()
+
+    def test_accesses_csv(self, tmp_path):
+        store = AccessLogStore()
+        store.add(AccessEvent(day=0, time_of_day=42.5, employee_id=1, patient_id=2))
+        store.add(AccessEvent(day=1, time_of_day=3.25, employee_id=3, patient_id=4))
+        path = tmp_path / "accesses.csv"
+        write_accesses_csv(store, path)
+        loaded = read_accesses_csv(path)
+        assert loaded.day_events(0) == store.day_events(0)
+        assert loaded.day_events(1) == store.day_events(1)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(DataError):
+            read_alerts_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "alert_id,day,time_of_day,type_id,employee_id,patient_id\n1,2\n"
+        )
+        with pytest.raises(DataError):
+            read_alerts_csv(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DataError):
+            read_alerts_jsonl(path)
+
+    def test_missing_json_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"alert_id": 1}\n')
+        with pytest.raises(DataError):
+            read_alerts_jsonl(path)
+
+    def test_blank_jsonl_lines_skipped(self, sample_store, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        write_alerts_jsonl(sample_store, path)
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        loaded = read_alerts_jsonl(path)
+        assert len(loaded) == len(sample_store)
+
+
+class TestQueries:
+    def test_daily_count_statistics(self):
+        store = AlertLogStore()
+        # Type 1: counts 2, 4 across two days.
+        for time in (100.0, 200.0):
+            store.add(AlertRecord(day=0, time_of_day=time, type_id=1,
+                                  employee_id=0, patient_id=0))
+        for time in (100.0, 200.0, 300.0, 400.0):
+            store.add(AlertRecord(day=1, time_of_day=time, type_id=1,
+                                  employee_id=0, patient_id=0))
+        stats = daily_count_statistics(store, type_ids=[1])
+        mean, std = stats[1]
+        assert mean == pytest.approx(3.0)
+        assert std == pytest.approx(np.std([2, 4], ddof=1))
+
+    def test_absent_type_counts_zero(self, sample_store):
+        stats = daily_count_statistics(sample_store, type_ids=[99])
+        assert stats[99] == (0.0, 0.0)
+
+    def test_single_day_std_zero(self):
+        store = AlertLogStore([
+            AlertRecord(day=0, time_of_day=1.0, type_id=1, employee_id=0, patient_id=0)
+        ])
+        stats = daily_count_statistics(store)
+        assert stats[1][1] == 0.0
+
+    def test_empty_days_rejected(self, sample_store):
+        with pytest.raises(QueryError):
+            daily_count_statistics(sample_store, days=[])
+
+    def test_hourly_histogram(self):
+        store = AlertLogStore()
+        for hour in (8, 8, 14):
+            store.add(AlertRecord(day=0, time_of_day=hour * 3600.0 + 1, type_id=1,
+                                  employee_id=0, patient_id=0))
+        histogram = hourly_histogram(store)
+        assert histogram.shape == (24,)
+        assert histogram[8] == 2
+        assert histogram[14] == 1
+        assert histogram.sum() == 3
+
+
+class TestRangeAndRanking:
+    def make_store(self):
+        from repro.logstore.store import AlertLogStore, AlertRecord
+
+        store = AlertLogStore()
+        for i, (time, employee) in enumerate(
+            [(100.0, 1), (200.0, 2), (300.0, 1), (400.0, 3), (500.0, 1)]
+        ):
+            store.add(AlertRecord(day=0, time_of_day=time, type_id=1,
+                                  employee_id=employee, patient_id=0))
+        return store
+
+    def test_alerts_in_time_range(self):
+        from repro.logstore.query import alerts_in_time_range
+
+        store = self.make_store()
+        window = alerts_in_time_range(store, day=0, start=200.0, end=400.0)
+        assert [record.time_of_day for record in window] == [200.0, 300.0]
+
+    def test_time_range_boundaries(self):
+        from repro.logstore.query import alerts_in_time_range
+
+        store = self.make_store()
+        # start inclusive, end exclusive
+        window = alerts_in_time_range(store, day=0, start=100.0, end=100.0)
+        assert window == ()
+
+    def test_invalid_range_rejected(self):
+        from repro.errors import QueryError
+        from repro.logstore.query import alerts_in_time_range
+
+        with pytest.raises(QueryError):
+            alerts_in_time_range(self.make_store(), day=0, start=5.0, end=1.0)
+
+    def test_top_employees(self):
+        from repro.logstore.query import top_employees
+
+        ranking = top_employees(self.make_store())
+        assert ranking[0] == (1, 3)
+        assert ranking[1:] == [(2, 1), (3, 1)]  # tie broken by id
+
+    def test_top_employees_limit(self):
+        from repro.logstore.query import top_employees
+
+        assert len(top_employees(self.make_store(), limit=1)) == 1
+
+    def test_top_employees_invalid_limit(self):
+        from repro.errors import QueryError
+        from repro.logstore.query import top_employees
+
+        with pytest.raises(QueryError):
+            top_employees(self.make_store(), limit=0)

@@ -1,0 +1,131 @@
+"""Tests for the in-memory alert/access stores."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, QueryError
+from repro.emr.events import AccessEvent
+from repro.logstore.store import AccessLogStore, AlertLogStore, AlertRecord
+
+
+def record(day=0, time=100.0, type_id=1, employee=1, patient=2, alert_id=-1):
+    return AlertRecord(
+        day=day, time_of_day=time, type_id=type_id,
+        employee_id=employee, patient_id=patient, alert_id=alert_id,
+    )
+
+
+class TestAlertRecord:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            record(day=-1)
+        with pytest.raises(DataError):
+            record(time=86400.0)
+        with pytest.raises(DataError):
+            record(type_id=0)
+
+    def test_ordering(self):
+        assert record(time=10.0) < record(time=20.0)
+        assert record(day=0, time=50000.0) < record(day=1, time=10.0)
+
+
+class TestAlertLogStore:
+    def test_add_assigns_ids(self):
+        store = AlertLogStore()
+        first = store.add(record())
+        second = store.add(record(time=200.0))
+        assert first.alert_id == 0
+        assert second.alert_id == 1
+
+    def test_explicit_ids_preserved(self):
+        store = AlertLogStore()
+        stored = store.add(record(alert_id=42))
+        assert stored.alert_id == 42
+        assert store.add(record(time=300.0)).alert_id == 43
+
+    def test_day_alerts_sorted(self):
+        store = AlertLogStore()
+        store.add(record(time=500.0))
+        store.add(record(time=100.0))
+        store.add(record(time=300.0))
+        times = [r.time_of_day for r in store.day_alerts(0)]
+        assert times == [100.0, 300.0, 500.0]
+
+    def test_missing_day_raises(self):
+        with pytest.raises(QueryError):
+            AlertLogStore().day_alerts(3)
+
+    def test_has_day_and_days(self):
+        store = AlertLogStore([record(day=2), record(day=0)])
+        assert store.days == (0, 2)
+        assert store.has_day(2)
+        assert not store.has_day(1)
+
+    def test_counts(self):
+        store = AlertLogStore(
+            [record(day=0, type_id=1), record(day=0, type_id=2),
+             record(day=1, type_id=1)]
+        )
+        assert store.count() == 3
+        assert store.count(day=0) == 2
+        assert store.count(type_id=1) == 2
+        assert store.count(day=1, type_id=1) == 1
+        assert store.count(day=1, type_id=2) == 0
+
+    def test_times_by_type_shape(self):
+        store = AlertLogStore(
+            [record(day=0, type_id=1, time=100.0),
+             record(day=0, type_id=1, time=200.0),
+             record(day=1, type_id=2, time=50.0)]
+        )
+        history = store.times_by_type([0, 1], type_ids=[1, 2])
+        assert set(history) == {1, 2}
+        assert [a.size for a in history[1]] == [2, 0]
+        assert [a.size for a in history[2]] == [0, 1]
+        np.testing.assert_allclose(history[1][0], [100.0, 200.0])
+
+    def test_times_by_type_missing_day(self):
+        store = AlertLogStore([record(day=0)])
+        with pytest.raises(QueryError):
+            store.times_by_type([0, 5])
+
+    def test_daily_counts(self):
+        store = AlertLogStore(
+            [record(day=0, type_id=1), record(day=0, type_id=1),
+             record(day=1, type_id=2)]
+        )
+        counts = store.daily_counts()
+        assert counts[0] == {1: 2, 2: 0}
+        assert counts[1] == {1: 0, 2: 1}
+
+    def test_all_records_global_order(self):
+        store = AlertLogStore(
+            [record(day=1, time=10.0), record(day=0, time=50.0)]
+        )
+        records = store.all_records()
+        assert [(r.day, r.time_of_day) for r in records] == [(0, 50.0), (1, 10.0)]
+
+    def test_add_detected(self, small_dataset):
+        from repro.logstore.store import AlertLogStore
+
+        store = AlertLogStore()
+        alert = small_dataset.days[0].alerts[0]
+        stored = store.add_detected(alert)
+        assert stored.type_id == alert.type_id
+        assert stored.day == alert.event.day
+
+
+class TestAccessLogStore:
+    def test_add_and_query(self):
+        store = AccessLogStore()
+        store.add(AccessEvent(day=0, time_of_day=50.0, employee_id=1, patient_id=2))
+        store.add(AccessEvent(day=0, time_of_day=10.0, employee_id=3, patient_id=4))
+        events = store.day_events(0)
+        assert [event.time_of_day for event in events] == [10.0, 50.0]
+        assert store.count() == 2
+        assert store.count(day=0) == 2
+        assert store.count(day=9) == 0
+
+    def test_missing_day_raises(self):
+        with pytest.raises(QueryError):
+            AccessLogStore().day_events(0)

@@ -1,0 +1,129 @@
+"""Unit tests for the LP problem statement and builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solvers import LinearProgram, LPBuilder
+
+
+class TestLinearProgram:
+    def test_minimal_problem(self):
+        lp = LinearProgram(c=np.array([1.0, 2.0]))
+        assert lp.n_vars == 2
+        assert lp.n_constraints == 0
+        assert lp.bounds == ((0.0, math.inf), (0.0, math.inf))
+        assert lp.names == ("x0", "x1")
+
+    def test_objective_at(self):
+        lp = LinearProgram(c=np.array([1.0, -3.0]))
+        assert lp.objective_at(np.array([2.0, 1.0])) == pytest.approx(-1.0)
+
+    def test_rejects_empty_objective(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([]))
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(SolverError):
+            LinearProgram(
+                c=np.array([1.0]),
+                a_ub=np.array([[1.0]]),
+                b_ub=np.array([1.0, 2.0]),
+            )
+
+    def test_rejects_wrong_matrix_width(self):
+        with pytest.raises(SolverError):
+            LinearProgram(
+                c=np.array([1.0, 1.0]),
+                a_ub=np.array([[1.0]]),
+                b_ub=np.array([1.0]),
+            )
+
+    def test_rejects_invalid_bounds(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([1.0]), bounds=((2.0, 1.0),))
+
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([1.0]), bounds=((math.nan, 1.0),))
+
+    def test_rejects_nonfinite_coefficients(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([math.inf]))
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([1.0, 2.0]), names=("only_one",))
+
+    def test_is_feasible_checks_all_blocks(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.0]),
+            a_eq=np.array([[1.0, -1.0]]),
+            b_eq=np.array([0.0]),
+            bounds=((0.0, 1.0), (0.0, 1.0)),
+        )
+        assert lp.is_feasible(np.array([0.5, 0.5]))
+        assert not lp.is_feasible(np.array([0.6, 0.5]))   # eq violated
+        assert not lp.is_feasible(np.array([0.8, 0.8]))   # ub violated
+        assert not lp.is_feasible(np.array([-0.1, -0.1]))  # bounds violated
+        assert not lp.is_feasible(np.array([0.5]))        # wrong shape
+
+    def test_arrays_are_read_only(self):
+        lp = LinearProgram(c=np.array([1.0]))
+        with pytest.raises(ValueError):
+            lp.c[0] = 5.0
+
+
+class TestLPBuilder:
+    def test_builds_named_problem(self):
+        builder = LPBuilder()
+        builder.add_variable("a", lower=0.0, upper=2.0, objective=3.0)
+        builder.add_variable("b", objective=-1.0)
+        builder.add_le({"a": 1.0, "b": 2.0}, 4.0)
+        builder.add_eq({"a": 1.0}, 1.5)
+        lp = builder.build()
+        assert lp.names == ("a", "b")
+        assert lp.c.tolist() == [3.0, -1.0]
+        assert lp.a_ub.tolist() == [[1.0, 2.0]]
+        assert lp.a_eq.tolist() == [[1.0, 0.0]]
+        assert lp.bounds[0] == (0.0, 2.0)
+
+    def test_add_ge_negates(self):
+        builder = LPBuilder()
+        builder.add_variable("x")
+        builder.add_ge({"x": 2.0}, 3.0)
+        lp = builder.build()
+        assert lp.a_ub.tolist() == [[-2.0]]
+        assert lp.b_ub.tolist() == [-3.0]
+
+    def test_duplicate_variable_rejected(self):
+        builder = LPBuilder()
+        builder.add_variable("x")
+        with pytest.raises(SolverError):
+            builder.add_variable("x")
+
+    def test_unknown_variable_in_row_rejected(self):
+        builder = LPBuilder()
+        builder.add_variable("x")
+        with pytest.raises(SolverError):
+            builder.add_le({"y": 1.0}, 0.0)
+
+    def test_empty_row_rejected(self):
+        builder = LPBuilder()
+        builder.add_variable("x")
+        with pytest.raises(SolverError):
+            builder.add_le({}, 0.0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(SolverError):
+            LPBuilder().build()
+
+    def test_set_objective_overwrites(self):
+        builder = LPBuilder()
+        builder.add_variable("x", objective=1.0)
+        builder.set_objective("x", 9.0)
+        assert builder.build().c.tolist() == [9.0]

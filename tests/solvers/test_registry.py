@@ -1,0 +1,98 @@
+"""Tests for backend lookup, error mapping, and cross-checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.solvers import (
+    LinearProgram,
+    available_backends,
+    cross_check,
+    get_backend,
+    solve,
+)
+from repro.solvers.result import SolveStatus
+
+
+@pytest.fixture
+def simple_lp():
+    return LinearProgram(
+        c=np.array([1.0, 1.0]),
+        a_ub=np.array([[1.0, 1.0]]),
+        b_ub=np.array([1.0]),
+        bounds=((0.0, 1.0), (0.0, 1.0)),
+    )
+
+
+def test_available_backends():
+    assert available_backends() == ("scipy", "simplex")
+
+
+def test_get_backend_unknown():
+    with pytest.raises(SolverError, match="unknown solver backend"):
+        get_backend("gurobi")
+
+
+@pytest.mark.parametrize("backend", ["scipy", "simplex"])
+def test_solve_both_backends(simple_lp, backend):
+    solution = solve(simple_lp, backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(1.0)
+    assert solution.backend == backend
+
+
+def test_infeasible_raises():
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0], [-1.0]]),
+        b_ub=np.array([1.0, -2.0]),
+    )
+    with pytest.raises(InfeasibleProblemError):
+        solve(lp)
+
+
+def test_unbounded_raises():
+    lp = LinearProgram(c=np.array([1.0]))
+    with pytest.raises(UnboundedProblemError):
+        solve(lp, backend="simplex")
+
+
+def test_raise_on_failure_false_returns_status():
+    lp = LinearProgram(c=np.array([1.0]))
+    solution = solve(lp, backend="simplex", raise_on_failure=False)
+    assert solution.status is SolveStatus.UNBOUNDED
+
+
+def test_cross_check_agreement(simple_lp):
+    first, second = cross_check(simple_lp)
+    assert first.backend == "scipy"
+    assert second.backend == "simplex"
+    assert first.objective == pytest.approx(second.objective)
+
+
+def test_cross_check_on_infeasible():
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0], [-1.0]]),
+        b_ub=np.array([1.0, -2.0]),
+    )
+    first, second = cross_check(lp)
+    assert first.status is SolveStatus.INFEASIBLE
+    assert second.status is SolveStatus.INFEASIBLE
+
+
+def test_solution_as_dict(simple_lp):
+    solution = solve(simple_lp)
+    named = solution.as_dict(["a", "b"])
+    assert set(named) == {"a", "b"}
+    assert named["a"] + named["b"] == pytest.approx(1.0)
+
+
+def test_solution_as_dict_wrong_length(simple_lp):
+    solution = solve(simple_lp)
+    with pytest.raises(ValueError):
+        solution.as_dict(["only_one"])

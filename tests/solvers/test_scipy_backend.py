@@ -1,0 +1,65 @@
+"""Direct tests of the SciPy backend's status mapping and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import LinearProgram
+from repro.solvers.result import SolveStatus
+from repro.solvers.scipy_backend import solve
+
+
+class TestScipyBackend:
+    def test_optimal_negates_objective_back(self):
+        # maximize 2x with x <= 3: the backend must report +6, not -6.
+        lp = LinearProgram(c=np.array([2.0]), bounds=((0.0, 3.0),))
+        solution = solve(lp)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(6.0)
+        assert solution.backend == "scipy"
+
+    def test_infeasible_status(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[1.0], [-1.0]]),
+            b_ub=np.array([1.0, -2.0]),
+        )
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_status(self):
+        lp = LinearProgram(c=np.array([1.0]))
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_equality_and_bounds(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 0.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([1.0]),
+            bounds=((0.0, 0.4), (0.0, 1.0)),
+        )
+        solution = solve(lp)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.x[0] == pytest.approx(0.4)
+        assert solution.x[1] == pytest.approx(0.6)
+
+    def test_reports_iterations(self):
+        lp = LinearProgram(
+            c=np.array([3.0, 5.0]),
+            a_ub=np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]]),
+            b_ub=np.array([4.0, 12.0, 18.0]),
+        )
+        solution = solve(lp)
+        assert solution.iterations >= 0
+
+    def test_solution_feasible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(1, 5))
+            lp = LinearProgram(
+                c=rng.normal(size=n),
+                a_ub=rng.normal(size=(3, n)),
+                b_ub=np.abs(rng.normal(size=3)) + 0.5,
+                bounds=tuple((0.0, float(u)) for u in rng.uniform(0.5, 3.0, n)),
+            )
+            solution = solve(lp)
+            assert solution.status is SolveStatus.OPTIMAL
+            assert lp.is_feasible(solution.x, tol=1e-6)

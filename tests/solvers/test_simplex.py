@@ -1,0 +1,153 @@
+"""Unit tests for the pure-Python two-phase simplex."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solvers import LinearProgram
+from repro.solvers.result import SolveStatus
+from repro.solvers.simplex import solve
+
+
+def assert_optimal(solution, objective, x=None, tol=1e-7):
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(objective, abs=tol)
+    if x is not None:
+        assert solution.x == pytest.approx(x, abs=1e-6)
+
+
+class TestBasicProblems:
+    def test_single_variable_upper_bound(self):
+        lp = LinearProgram(c=np.array([3.0]), bounds=((0.0, 4.0),))
+        assert_optimal(solve(lp), 12.0, [4.0])
+
+    def test_classic_two_variable(self):
+        # max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18
+        lp = LinearProgram(
+            c=np.array([3.0, 5.0]),
+            a_ub=np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]]),
+            b_ub=np.array([4.0, 12.0, 18.0]),
+        )
+        assert_optimal(solve(lp), 36.0, [2.0, 6.0])
+
+    def test_equality_constraint(self):
+        # max x + y st x + y = 1, x,y in [0,1]
+        lp = LinearProgram(
+            c=np.array([2.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([1.0]),
+            bounds=((0.0, 1.0), (0.0, 1.0)),
+        )
+        assert_optimal(solve(lp), 2.0, [1.0, 0.0])
+
+    def test_negative_rhs_row(self):
+        # max -x st -x <= -2  (i.e. x >= 2)
+        lp = LinearProgram(
+            c=np.array([-1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([-2.0]),
+        )
+        assert_optimal(solve(lp), -2.0, [2.0])
+
+    def test_shifted_lower_bounds(self):
+        # max x + y st x + y <= 10, x >= 3, y >= 2
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([10.0]),
+            bounds=((3.0, math.inf), (2.0, math.inf)),
+        )
+        assert_optimal(solve(lp), 10.0)
+
+    def test_free_variable(self):
+        # max -x st x >= -5 unbounded below without constraint; here
+        # constraint x >= -5 via bounds=(-inf) and row.
+        lp = LinearProgram(
+            c=np.array([-1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([5.0]),
+            bounds=((-math.inf, math.inf),),
+        )
+        assert_optimal(solve(lp), 5.0, [-5.0])
+
+    def test_free_variable_with_upper_bound(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            bounds=((-math.inf, 7.5),),
+            a_ub=np.array([[1.0]]),
+            b_ub=np.array([100.0]),
+        )
+        assert_optimal(solve(lp), 7.5, [7.5])
+
+    def test_degenerate_zero_rhs(self):
+        # Degenerate vertex at the origin; Bland's rule must terminate.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, -1.0], [-1.0, 1.0], [1.0, 1.0]]),
+            b_ub=np.array([0.0, 0.0, 2.0]),
+        )
+        assert_optimal(solve(lp), 2.0, [1.0, 1.0])
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        # x <= 1 and x >= 2
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[1.0], [-1.0]]),
+            b_ub=np.array([1.0, -2.0]),
+        )
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            b_eq=np.array([1.0, 2.0]),
+        )
+        assert solve(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([0.0]),
+        )
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_unbounded_without_constraints(self):
+        lp = LinearProgram(c=np.array([1.0]))
+        assert solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_unconstrained_bounded_by_bounds(self):
+        lp = LinearProgram(
+            c=np.array([1.0, -2.0]), bounds=((0.0, 3.0), (1.0, 5.0))
+        )
+        assert_optimal(solve(lp), 3.0 - 2.0, [3.0, 1.0])
+
+    def test_redundant_equalities_ok(self):
+        # Duplicate equality rows leave a basic artificial at zero level.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0], [2.0, 2.0]]),
+            b_eq=np.array([1.0, 2.0]),
+            bounds=((0.0, 1.0), (0.0, 1.0)),
+        )
+        assert_optimal(solve(lp), 1.0)
+
+
+class TestSolutionFeasibility:
+    def test_solution_is_feasible_for_paper_shaped_lp(self):
+        # An LP (3)-shaped instance.
+        lp = LinearProgram(
+            c=np.array([0.0, 0.0, 100.0, -400.0]),
+            a_ub=np.array([[-2000.0, 400.0, 0.0, 0.0]]),
+            b_ub=np.array([0.0]),
+            a_eq=np.array([[1.0, 0.0, 1.0, 0.0], [0.0, 1.0, 0.0, 1.0]]),
+            b_eq=np.array([0.1, 0.9]),
+            bounds=tuple((0.0, 1.0) for _ in range(4)),
+        )
+        solution = solve(lp)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert lp.is_feasible(solution.x)

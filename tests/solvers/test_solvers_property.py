@@ -1,0 +1,84 @@
+"""Property-based cross-validation of the two LP backends.
+
+Random LPs with a guaranteed-feasible interior point are solved by both the
+pure-Python simplex and SciPy/HiGHS; optimal objectives must agree, and the
+simplex's optimal point must be feasible.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import LinearProgram
+from repro.solvers.result import SolveStatus
+from repro.solvers import scipy_backend, simplex
+
+
+@st.composite
+def feasible_lps(draw):
+    """LPs of the form max c.x, A x <= b, 0 <= x <= u with b >= 0.
+
+    The origin is always feasible, and finite upper bounds keep the problem
+    bounded, so both backends must return OPTIMAL.
+    """
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=0, max_value=6))
+    finite = st.floats(
+        min_value=-10.0, max_value=10.0,
+        allow_nan=False, allow_infinity=False,
+    )
+    c = np.array(draw(st.lists(finite, min_size=n, max_size=n)))
+    rows = [
+        draw(st.lists(finite, min_size=n, max_size=n)) for _ in range(m)
+    ]
+    b = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            )
+        )
+    )
+    uppers = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return LinearProgram(
+        c=c,
+        a_ub=np.array(rows) if m else np.zeros((0, n)),
+        b_ub=b,
+        bounds=tuple((0.0, u) for u in uppers),
+    )
+
+
+@given(feasible_lps())
+@settings(max_examples=60, deadline=None)
+def test_backends_agree_on_feasible_bounded_lps(lp):
+    first = scipy_backend.solve(lp)
+    second = simplex.solve(lp)
+    assert first.status is SolveStatus.OPTIMAL
+    assert second.status is SolveStatus.OPTIMAL
+    scale = max(1.0, abs(first.objective))
+    assert abs(first.objective - second.objective) <= 1e-6 * scale
+
+
+@given(feasible_lps())
+@settings(max_examples=60, deadline=None)
+def test_simplex_solutions_are_feasible(lp):
+    solution = simplex.solve(lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert lp.is_feasible(solution.x, tol=1e-6)
+
+
+@given(feasible_lps())
+@settings(max_examples=40, deadline=None)
+def test_simplex_never_beats_scipy_and_vice_versa(lp):
+    # Both claim optimality, so neither objective can strictly dominate.
+    first = scipy_backend.solve(lp)
+    second = simplex.solve(lp)
+    scale = max(1.0, abs(first.objective))
+    assert first.objective <= second.objective + 1e-6 * scale
+    assert second.objective <= first.objective + 1e-6 * scale

@@ -1,0 +1,117 @@
+"""Tests for the diurnal arrival profile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DataError
+from repro.stats.diurnal import (
+    DiurnalProfile,
+    SECONDS_PER_DAY,
+    hospital_profile,
+)
+
+
+class TestConstruction:
+    def test_weights_normalized(self):
+        profile = DiurnalProfile(tuple([2.0] * 24))
+        assert sum(profile.weights) == pytest.approx(1.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DataError):
+            DiurnalProfile((1.0, 2.0))
+
+    def test_negative_weight_rejected(self):
+        weights = [1.0] * 24
+        weights[3] = -0.5
+        with pytest.raises(DataError):
+            DiurnalProfile(tuple(weights))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(DataError):
+            DiurnalProfile(tuple([0.0] * 24))
+
+
+class TestFractions:
+    def test_fraction_endpoints(self):
+        profile = hospital_profile()
+        assert profile.fraction_before(0.0) == 0.0
+        assert profile.fraction_before(SECONDS_PER_DAY) == pytest.approx(1.0)
+        assert profile.fraction_after(0.0) == pytest.approx(1.0)
+        assert profile.fraction_after(SECONDS_PER_DAY) == pytest.approx(0.0)
+
+    def test_fraction_monotone(self):
+        profile = hospital_profile()
+        times = np.linspace(0, SECONDS_PER_DAY, 97)
+        values = [profile.fraction_before(t) for t in times]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_uniform_profile_linear(self):
+        profile = DiurnalProfile.uniform()
+        assert profile.fraction_before(SECONDS_PER_DAY / 2) == pytest.approx(0.5)
+        assert profile.fraction_before(SECONDS_PER_DAY / 4) == pytest.approx(0.25)
+
+    def test_out_of_range_time_rejected(self):
+        profile = DiurnalProfile.uniform()
+        with pytest.raises(DataError):
+            profile.fraction_before(-1.0)
+        with pytest.raises(DataError):
+            profile.intensity(SECONDS_PER_DAY + 1.0)
+
+    def test_intensity_integrates_to_one(self):
+        profile = hospital_profile()
+        hours = np.arange(24) * 3600.0 + 1.0
+        total = sum(profile.intensity(h) * 3600.0 for h in hours)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSampling:
+    def test_sample_count_and_range(self):
+        profile = hospital_profile()
+        rng = np.random.default_rng(0)
+        times = profile.sample_times(500, rng)
+        assert times.shape == (500,)
+        assert np.all(times >= 0) and np.all(times <= SECONDS_PER_DAY)
+        assert np.all(np.diff(times) >= 0)  # sorted
+
+    def test_sample_zero(self):
+        profile = hospital_profile()
+        assert profile.sample_times(0, np.random.default_rng(0)).size == 0
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(DataError):
+            hospital_profile().sample_times(-1, np.random.default_rng(0))
+
+    def test_hospital_peak_concentration(self):
+        # The paper: "the majority of alerts were triggered between 8:00 AM
+        # and 5:00 PM".
+        profile = hospital_profile()
+        rng = np.random.default_rng(1)
+        times = profile.sample_times(20_000, rng)
+        in_peak = np.mean((times >= 8 * 3600) & (times <= 17 * 3600))
+        assert in_peak > 0.5
+
+    def test_empirical_matches_fractions(self):
+        profile = hospital_profile()
+        rng = np.random.default_rng(2)
+        times = profile.sample_times(50_000, rng)
+        for t in (6 * 3600.0, 12 * 3600.0, 20 * 3600.0):
+            empirical = float(np.mean(times < t))
+            assert empirical == pytest.approx(profile.fraction_before(t), abs=0.01)
+
+    def test_zero_weight_hours_never_sampled(self):
+        weights = [0.0] * 24
+        weights[10] = 1.0
+        profile = DiurnalProfile(tuple(weights))
+        times = profile.sample_times(1000, np.random.default_rng(3))
+        assert np.all(times >= 10 * 3600)
+        assert np.all(times <= 11 * 3600)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_sampling_properties(count, seed):
+    profile = hospital_profile()
+    times = profile.sample_times(count, np.random.default_rng(seed))
+    assert times.size == count
+    assert np.all((0 <= times) & (times <= SECONDS_PER_DAY))

@@ -1,0 +1,138 @@
+"""Tests for the future-alert estimator and knowledge rollback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.stats.estimator import (
+    FutureAlertEstimator,
+    RollbackEstimator,
+    build_estimator,
+)
+
+
+@pytest.fixture
+def two_type_history():
+    # Type 1: three alerts/day at fixed times; type 2: varying counts.
+    return {
+        1: [np.array([100.0, 200.0, 300.0]), np.array([150.0, 250.0, 350.0])],
+        2: [np.array([120.0]), np.array([130.0, 140.0, 160.0])],
+    }
+
+
+class TestFutureAlertEstimator:
+    def test_remaining_mean_counts_strictly_after(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        assert estimator.remaining_mean(1, 0.0) == pytest.approx(3.0)
+        assert estimator.remaining_mean(1, 200.0) == pytest.approx(
+            (1 + 2) / 2
+        )  # day1: 300 remains; day2: 250, 350
+        assert estimator.remaining_mean(1, 1000.0) == 0.0
+
+    def test_boundary_exclusive(self):
+        estimator = FutureAlertEstimator({1: [np.array([100.0])]})
+        assert estimator.remaining_mean(1, 100.0) == 0.0
+        assert estimator.remaining_mean(1, 99.999) == 1.0
+
+    def test_remaining_means_all_types(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        means = estimator.remaining_means(0.0)
+        assert set(means) == {1, 2}
+        assert means[2] == pytest.approx(2.0)
+
+    def test_total_remaining_mean(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        assert estimator.total_remaining_mean(0.0) == pytest.approx(5.0)
+
+    def test_daily_statistics(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        assert estimator.daily_mean(1) == pytest.approx(3.0)
+        assert estimator.daily_std(1) == pytest.approx(0.0)
+        assert estimator.daily_mean(2) == pytest.approx(2.0)
+        assert estimator.daily_std(2) == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_unknown_type_raises(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        with pytest.raises(EstimationError):
+            estimator.remaining_mean(99, 0.0)
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(EstimationError):
+            FutureAlertEstimator({})
+
+    def test_mismatched_day_counts_rejected(self):
+        with pytest.raises(EstimationError):
+            FutureAlertEstimator({1: [np.array([1.0])], 2: []})
+
+    def test_times_outside_day_rejected(self):
+        with pytest.raises(EstimationError):
+            FutureAlertEstimator({1: [np.array([-5.0])]})
+
+    def test_unsorted_input_is_sorted(self):
+        estimator = FutureAlertEstimator({1: [np.array([300.0, 100.0])]})
+        assert estimator.remaining_mean(1, 200.0) == pytest.approx(1.0)
+
+    def test_monotone_in_time(self, two_type_history):
+        estimator = FutureAlertEstimator(two_type_history)
+        times = np.linspace(0, 400, 40)
+        values = [estimator.remaining_mean(1, t) for t in times]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+class TestRollbackEstimator:
+    def make(self, threshold=4.0, enabled=True):
+        # 10 alerts/day, one every 1000 seconds starting at 1000.
+        times = np.arange(1, 11) * 1000.0
+        base = FutureAlertEstimator({1: [times, times]})
+        return RollbackEstimator(base, threshold=threshold, enabled=enabled)
+
+    def test_no_rollback_while_rich(self):
+        estimator = self.make()
+        estimator.observe_alert(1000.0)  # 9 remaining
+        assert estimator.effective_time(1000.0) == 1000.0
+        assert estimator.remaining_mean(1, 1000.0) == pytest.approx(9.0)
+
+    def test_anchor_freezes_when_poor(self):
+        estimator = self.make(threshold=4.0)
+        estimator.observe_alert(6000.0)  # 4 remaining -> still rich (>= 4)
+        assert estimator.anchor_time == 6000.0
+        estimator.observe_alert(7000.0)  # 3 remaining -> below threshold
+        assert estimator.anchor_time == 6000.0
+        # Queries past the threshold roll back to the anchor.
+        assert estimator.effective_time(8000.0) == 6000.0
+        assert estimator.remaining_mean(1, 8000.0) == pytest.approx(4.0)
+
+    def test_disabled_rollback_passthrough(self):
+        estimator = self.make(enabled=False)
+        estimator.observe_alert(9000.0)
+        assert estimator.effective_time(9500.0) == 9500.0
+        assert estimator.remaining_mean(1, 9500.0) == pytest.approx(1.0)
+
+    def test_reset_restores_anchor(self):
+        estimator = self.make()
+        estimator.observe_alert(6000.0)
+        estimator.reset()
+        assert estimator.anchor_time == 0.0
+
+    def test_negative_threshold_rejected(self):
+        base = FutureAlertEstimator({1: [np.array([1.0])]})
+        with pytest.raises(EstimationError):
+            RollbackEstimator(base, threshold=-1.0)
+
+    def test_type_ids_exposed(self):
+        estimator = self.make()
+        assert estimator.type_ids == (1,)
+
+    def test_remaining_means_rolled_back(self):
+        estimator = self.make()
+        estimator.observe_alert(6000.0)
+        estimator.observe_alert(9900.0)
+        means_late = estimator.remaining_means(9950.0)
+        assert means_late[1] == pytest.approx(4.0)  # anchored at 6000
+
+
+def test_build_estimator_convenience():
+    estimator = build_estimator({1: [np.array([10.0, 20.0])]}, threshold=1.0)
+    assert isinstance(estimator, RollbackEstimator)
+    assert estimator.enabled
+    assert estimator.base.n_days == 1

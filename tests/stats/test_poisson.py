@@ -1,0 +1,118 @@
+"""Tests for Poisson helpers and the conditional reciprocal moment."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.stats.poisson import (
+    PoissonReciprocalMoment,
+    expected_reciprocal,
+    poisson_cdf,
+    poisson_pmf,
+)
+
+
+class TestPmfCdf:
+    def test_pmf_sums_to_one(self):
+        lam = 3.7
+        total = sum(poisson_pmf(k, lam) for k in range(200))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_zero_rate(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_pmf_negative_k(self):
+        assert poisson_pmf(-1, 2.0) == 0.0
+
+    def test_pmf_negative_rate_raises(self):
+        with pytest.raises(EstimationError):
+            poisson_pmf(1, -1.0)
+
+    def test_cdf_monotone(self):
+        lam = 5.0
+        values = [poisson_cdf(k, lam) for k in range(30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_negative_k(self):
+        assert poisson_cdf(-1, 2.0) == 0.0
+
+    def test_pmf_matches_known_value(self):
+        # Poisson(2): P[X=2] = 2^2 e^-2 / 2! = 2 e^-2
+        assert poisson_pmf(2, 2.0) == pytest.approx(2 * math.exp(-2))
+
+
+class TestExpectedReciprocal:
+    def brute_force(self, lam: float, terms: int = 3000) -> float:
+        numerator = sum(poisson_pmf(k, lam) / k for k in range(1, terms))
+        return numerator / (1.0 - poisson_pmf(0, lam))
+
+    @pytest.mark.parametrize("lam", [0.01, 0.5, 1.0, 4.0, 25.0, 196.57])
+    def test_matches_brute_force(self, lam):
+        assert expected_reciprocal(lam) == pytest.approx(
+            self.brute_force(lam), rel=1e-9
+        )
+
+    def test_zero_rate_limit(self):
+        assert expected_reciprocal(0.0) == 1.0
+        assert expected_reciprocal(1e-15) == 1.0
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(EstimationError):
+            expected_reciprocal(-0.1)
+
+    def test_large_lambda_approaches_one_over_lambda(self):
+        lam = 500.0
+        value = expected_reciprocal(lam)
+        # E[1/d] ~ 1/lam * (1 + 1/lam + ...) for large lam.
+        assert value == pytest.approx(1.0 / lam, rel=0.01)
+
+    @given(st.floats(min_value=0.0, max_value=300.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_between_inverse_mean_and_one(self, lam):
+        value = expected_reciprocal(lam)
+        assert 0.0 < value <= 1.0
+        if lam > 1e-9:
+            # Jensen: E[1/d | d>=1] >= 1/E[d | d>=1] >= 1/(lam+1)
+            assert value >= 1.0 / (lam + 1.0) - 1e-12
+
+    @given(
+        st.floats(min_value=0.001, max_value=200.0, allow_nan=False),
+        st.floats(min_value=1.01, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_decreasing_in_lambda(self, lam, factor):
+        assert expected_reciprocal(lam * factor) <= expected_reciprocal(lam) + 1e-12
+
+    def test_monte_carlo_agreement(self):
+        lam = 7.0
+        rng = np.random.default_rng(0)
+        draws = rng.poisson(lam, size=400_000)
+        draws = draws[draws >= 1]
+        empirical = float(np.mean(1.0 / draws))
+        assert expected_reciprocal(lam) == pytest.approx(empirical, rel=0.01)
+
+
+class TestMemoization:
+    def test_caches_by_rounded_key(self):
+        moment = PoissonReciprocalMoment(decimals=6)
+        first = moment(3.14159265)
+        second = moment(3.14159265)
+        assert first == second
+        assert len(moment) == 1
+
+    def test_clear(self):
+        moment = PoissonReciprocalMoment()
+        moment(2.0)
+        assert len(moment) == 1
+        moment.clear()
+        assert len(moment) == 0
+
+    def test_matches_uncached(self):
+        moment = PoissonReciprocalMoment()
+        for lam in (0.0, 0.3, 4.0, 50.0):
+            assert moment(lam) == pytest.approx(expected_reciprocal(lam))

@@ -1,0 +1,39 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_help_lists_experiments(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "figure2", "figure3", "runtime"):
+            assert name in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "700.0" in out
+
+    def test_ablation_budget(self, capsys):
+        assert main(["ablation-budget"]) == 0
+        out = capsys.readouterr().out
+        assert "signaling gain" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["--seed", "3", "--days", "4", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Same Last Name" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])

@@ -1,0 +1,118 @@
+"""Cross-module property-based tests.
+
+These exercise invariants that span subsystem boundaries: storage round
+trips feeding the estimator, the estimator feeding the game, and the
+signaling LP's behaviour outside Theorem 3's premise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp_lp
+from repro.logstore.io import read_alerts_csv, write_alerts_csv
+from repro.logstore.store import AlertLogStore, AlertRecord
+from repro.stats.estimator import FutureAlertEstimator
+
+
+records_strategy = st.lists(
+    st.builds(
+        AlertRecord,
+        day=st.integers(min_value=0, max_value=3),
+        time_of_day=st.floats(min_value=0.0, max_value=86399.0, allow_nan=False),
+        type_id=st.integers(min_value=1, max_value=5),
+        employee_id=st.integers(min_value=0, max_value=50),
+        patient_id=st.integers(min_value=0, max_value=50),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(records_strategy)
+@settings(max_examples=40, deadline=None)
+def test_csv_round_trip_preserves_everything(tmp_path_factory, records):
+    # hypothesis + tmp_path need a per-example directory.
+    directory = tmp_path_factory.mktemp("roundtrip")
+    store = AlertLogStore(records)
+    path = directory / "alerts.csv"
+    write_alerts_csv(store, path)
+    reloaded = read_alerts_csv(path)
+    assert reloaded.all_records() == store.all_records()
+    assert reloaded.days == store.days
+    assert reloaded.type_ids == store.type_ids
+
+
+@given(records_strategy)
+@settings(max_examples=40, deadline=None)
+def test_store_history_matches_estimator_counts(records):
+    store = AlertLogStore(records)
+    days = store.days
+    history = store.times_by_type(days)
+    estimator = FutureAlertEstimator(history)
+    # The estimator's remaining mean at time 0 equals the mean daily count
+    # the store reports (alerts at exactly t=0.0 are excluded by the
+    # strictly-after convention, matching searchsorted 'right').
+    counts_by_day = store.daily_counts()
+    for type_id in store.type_ids:
+        expected = float(
+            np.mean(
+                [
+                    sum(
+                        1
+                        for record in store.day_alerts(day)
+                        if record.type_id == type_id and record.time_of_day > 0.0
+                    )
+                    for day in days
+                ]
+            )
+        )
+        assert estimator.remaining_mean(type_id, 0.0) == pytest.approx(expected)
+        assert estimator.daily_mean(type_id) == pytest.approx(
+            float(np.mean([counts_by_day[day][type_id] for day in days]))
+        )
+
+
+condition_violating_payoffs = st.builds(
+    PayoffMatrix,
+    u_dc=st.floats(min_value=5000.0, max_value=50000.0, allow_nan=False),
+    u_du=st.floats(min_value=-10.0, max_value=-0.1, allow_nan=False),
+    u_ac=st.floats(min_value=-5.0, max_value=-0.01, allow_nan=False),
+    u_au=st.floats(min_value=100.0, max_value=2000.0, allow_nan=False),
+)
+
+
+@given(
+    condition_violating_payoffs,
+    st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_theorem3_inverse_silent_audits_can_pay(payoff, theta):
+    """The contrapositive of Theorem 3: when the payoff condition fails
+    badly (catching pays the auditor far more than missing costs), the
+    optimal scheme *does* audit silently (p0 > 0)."""
+    if payoff.satisfies_theorem3_condition():
+        return  # only interested in the violated-premise regime
+    scheme = solve_ossp_lp(theta, payoff)
+    # With the objective slope below the constraint slope, the LP pushes
+    # audit mass onto the silent branch whenever participation allows it.
+    assert scheme.p0 > 1e-9
+    # The optimum still respects marginal consistency and the quit rule.
+    assert scheme.theta == pytest.approx(theta, abs=1e-6)
+    assert scheme.attacker_proceed_utility_given_warning(payoff) <= 1e-6
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=86399.0, allow_nan=False),
+        min_size=0,
+        max_size=30,
+    ),
+    st.floats(min_value=0.0, max_value=86400.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimator_counts_exactly(times, query):
+    estimator = FutureAlertEstimator({1: [np.array(times)]})
+    expected = sum(1 for t in times if t > query)
+    assert estimator.remaining_mean(1, query) == pytest.approx(float(expected))

@@ -1,0 +1,28 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.InfeasibleProblemError, errors.SolverError)
+    assert issubclass(errors.UnboundedProblemError, errors.SolverError)
+    assert issubclass(errors.SolverConvergenceError, errors.SolverError)
+    assert issubclass(errors.PayoffError, errors.ModelError)
+    assert issubclass(errors.BudgetError, errors.ModelError)
+    assert issubclass(errors.QueryError, errors.DataError)
+
+
+def test_catch_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.PayoffError("bad payoff")
+    with pytest.raises(errors.ModelError):
+        raise errors.BudgetError("bad budget")

@@ -1,0 +1,109 @@
+"""End-to-end integration tests across the whole stack.
+
+Raw accesses -> rule engine -> alert store -> estimator -> online game ->
+per-alert decisions, exercised exactly as a deployment would.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    SAGConfig,
+    SignalingAuditGame,
+    solve_online_sse,
+)
+from repro.core.sse import GameState
+from repro.experiments.config import TABLE2_PAYOFFS, paper_costs
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+
+def test_public_api_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def game_over_store(self, small_store):
+        train_days = small_store.days[:-1]
+        live_day = small_store.days[-1]
+        history = small_store.times_by_type(train_days, sorted(TABLE2_PAYOFFS))
+        estimator = RollbackEstimator(FutureAlertEstimator(history))
+        game = SignalingAuditGame(
+            SAGConfig(
+                payoffs=TABLE2_PAYOFFS, costs=paper_costs(), budget=15.0
+            ),
+            estimator,
+            rng=np.random.default_rng(0),
+        )
+        alerts = small_store.day_alerts(live_day)
+        decisions = [
+            game.process_alert(alert.type_id, alert.time_of_day)
+            for alert in alerts
+        ]
+        return game, decisions
+
+    def test_processes_every_alert(self, game_over_store, small_store):
+        game, decisions = game_over_store
+        assert len(decisions) == small_store.count(day=small_store.days[-1])
+
+    def test_budget_conserved(self, game_over_store):
+        game, decisions = game_over_store
+        total_charged = sum(decision.charged for decision in decisions)
+        assert total_charged + game.budget_remaining == pytest.approx(15.0)
+
+    def test_theorem2_holds_throughout_day(self, game_over_store):
+        _, decisions = game_over_store
+        for decision in decisions:
+            assert (
+                decision.game_value
+                >= decision.sse.effective_auditor_utility - 1e-6
+            )
+
+    def test_warnings_only_with_signaling(self, game_over_store):
+        _, decisions = game_over_store
+        for decision in decisions:
+            if decision.warned:
+                assert decision.signaling_applied
+                assert decision.scheme is not None
+
+    def test_schemes_satisfy_quit_constraint(self, game_over_store):
+        _, decisions = game_over_store
+        for decision in decisions:
+            if decision.scheme is None:
+                continue
+            payoff = TABLE2_PAYOFFS[decision.type_id]
+            assert (
+                decision.scheme.attacker_proceed_utility_given_warning(payoff)
+                <= 1e-6
+            )
+
+    def test_marginals_cover_all_types(self, game_over_store):
+        # Every recorded equilibrium covers all 7 types with probabilities.
+        _, decisions = game_over_store
+        sample = decisions[len(decisions) // 2]
+        assert set(sample.sse.thetas) == set(TABLE2_PAYOFFS)
+        for theta in sample.sse.thetas.values():
+            assert -1e-9 <= theta <= 1.0 + 1e-9
+        assert sample.budget_before >= sample.budget_after
+
+
+def test_persistence_round_trip_through_game(small_store, tmp_path):
+    """Store -> CSV -> store -> estimator -> SSE solve."""
+    from repro.logstore.io import read_alerts_csv, write_alerts_csv
+
+    path = tmp_path / "alerts.csv"
+    write_alerts_csv(small_store, path)
+    reloaded = read_alerts_csv(path)
+    history = reloaded.times_by_type(reloaded.days[:-1], sorted(TABLE2_PAYOFFS))
+    estimator = FutureAlertEstimator(history)
+    lambdas = estimator.remaining_means(8 * 3600.0)
+    solution = solve_online_sse(
+        GameState(budget=20.0, lambdas=lambdas), TABLE2_PAYOFFS, paper_costs()
+    )
+    assert solution.best_response in TABLE2_PAYOFFS
