@@ -1,0 +1,106 @@
+"""Benchmark — batch engine (analytic solver + solution cache) vs per-alert LP.
+
+Reproduces: the engine acceptance target — replaying a 5-type, 1000-alert
+stream through the :class:`~repro.engine.stream.BatchAuditEngine` (analytic
+SSE backend + quantized solution cache) must be at least 5x faster than the
+per-alert scipy/HiGHS path. The run writes its measurements to
+``BENCH_engine.json`` (``speedup`` and ``cache_hit_rate`` fields), which CI
+uploads as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.runtime import run_engine_comparison
+
+#: Acceptance floor for the full-size run.
+MIN_SPEEDUP = 5.0
+
+
+def run_bench(
+    n_alerts: int = 1000,
+    n_types: int = 5,
+    seed: int = 7,
+    baseline_backend: str = "scipy",
+) -> dict:
+    """One engine-vs-baseline comparison as a JSON-ready dict."""
+    result = run_engine_comparison(
+        n_types=n_types,
+        n_alerts=n_alerts,
+        seed=seed,
+        baseline_backend=baseline_backend,
+    )
+    return {
+        "n_types": result.n_types,
+        "n_alerts": result.n_alerts,
+        "baseline_backend": result.baseline_backend,
+        "baseline_seconds": result.baseline_seconds,
+        "engine_seconds": result.engine_seconds,
+        "speedup": result.speedup,
+        "cache_hit_rate": result.cache_hit_rate,
+        "sse_solves": result.sse_solves,
+        "cache_entries": result.cache_entries,
+        "budget_step": result.budget_step,
+        "rate_step": result.rate_step,
+        "mean_game_value_gap": result.mean_game_value_gap,
+        "max_game_value_gap": result.max_game_value_gap,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced stream (200 alerts) for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", metavar="PATH",
+        help="where to write the JSON measurements",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--baseline-backend", choices=("scipy", "simplex"), default="scipy",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        n_alerts=200 if args.quick else 1000,
+        seed=args.seed,
+        baseline_backend=args.baseline_backend,
+    )
+    payload["quick"] = bool(args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(_format(payload))
+    print(f"wrote {args.out}")
+    if not args.quick and payload["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {payload['speedup']:.1f}x below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _format(payload: dict) -> str:
+    return (
+        f"Batch engine vs per-alert {payload['baseline_backend']} "
+        f"({payload['n_types']} types, {payload['n_alerts']} alerts)\n"
+        f"  baseline : {payload['baseline_seconds']:.3f} s\n"
+        f"  engine   : {payload['engine_seconds']:.3f} s\n"
+        f"  speedup  : {payload['speedup']:.1f}x "
+        f"(cache hit rate {payload['cache_hit_rate']:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,12 @@ Stackelberg signaling policy (OSSP), the online/offline SSE baselines, the
 synthetic EMR substrate calibrated to the paper's Table 1, and the full
 evaluation harness for every table and figure.
 
+The solve stack is layered — solvers → engine → core game →
+audit/experiments; ``ARCHITECTURE.md`` at the repository root describes
+the layers, the solver-backend choices (``"scipy"``, ``"simplex"``, and
+the vectorized ``"analytic"`` fast path of :mod:`repro.engine`), and the
+solution-cache quantization trade-offs.
+
 Quickstart
 ----------
 >>> from repro import GameState, PayoffMatrix, solve_online_sse, solve_ossp
@@ -45,6 +51,12 @@ from repro.audit import (
     rolling_splits,
     run_cycle,
 )
+from repro.engine import (
+    BatchAuditEngine,
+    EngineStats,
+    SSESolutionCache,
+    StreamResult,
+)
 from repro.stats import (
     DiurnalProfile,
     FutureAlertEstimator,
@@ -73,6 +85,10 @@ __all__ = [
     "solve_ossp",
     "solve_ossp_closed_form",
     "solve_ossp_lp",
+    "BatchAuditEngine",
+    "EngineStats",
+    "SSESolutionCache",
+    "StreamResult",
     "EvaluationHarness",
     "OfflineSSEPolicy",
     "OnlineSSEPolicy",

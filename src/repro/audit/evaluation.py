@@ -16,6 +16,7 @@ from repro.audit.cycle import run_cycle
 from repro.audit.metrics import CycleResult
 from repro.audit.policies import AuditPolicy, CycleContext
 from repro.core.payoffs import PayoffMatrix
+from repro.engine.cache import SSESolutionCache
 from repro.logstore.store import AlertLogStore
 from repro.solvers.registry import DEFAULT_BACKEND
 from repro.stats.estimator import DEFAULT_ROLLBACK_THRESHOLD
@@ -64,7 +65,15 @@ def rolling_splits(
 
 
 class EvaluationHarness:
-    """Runs audit policies over the rolling groups of an alert store."""
+    """Runs audit policies over the rolling groups of an alert store.
+
+    ``backend`` selects the per-alert solver for every game-backed policy
+    (``"scipy"``, ``"simplex"``, or the vectorized ``"analytic"`` fast
+    path); ``use_engine_cache`` additionally shares one exact-mode
+    :class:`~repro.engine.cache.SSESolutionCache` per evaluation group, so
+    policies replaying the same test day hit the cache instead of
+    re-solving identical states.
+    """
 
     def __init__(
         self,
@@ -78,6 +87,7 @@ class EvaluationHarness:
         backend: str = DEFAULT_BACKEND,
         seed: int = 0,
         budget_charging: str = "conditional",
+        use_engine_cache: bool = False,
     ) -> None:
         self._store = store
         self._payoffs = dict(payoffs)
@@ -94,6 +104,7 @@ class EvaluationHarness:
         self._backend = backend
         self._seed = seed
         self._budget_charging = budget_charging
+        self._use_engine_cache = use_engine_cache
 
     def splits(self, window: int = PAPER_TRAINING_DAYS) -> list[TrainTestSplit]:
         """Rolling groups over every day in the store."""
@@ -112,6 +123,7 @@ class EvaluationHarness:
             backend=self._backend,
             seed=self._seed + split.test_day,
             budget_charging=self._budget_charging,
+            sse_cache=SSESolutionCache() if self._use_engine_cache else None,
         )
 
     def test_alerts(self, split: TrainTestSplit):

@@ -28,7 +28,9 @@ from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
 from repro.audit.policies import CycleContext
 from repro.core.game import SAGConfig, SignalingAuditGame
 from repro.core.signaling import SignalingScheme, solve_ossp
+from repro.engine.cache import SSESolutionCache
 from repro.logstore.store import AlertRecord
+from repro.stats.poisson import PoissonReciprocalMoment
 
 #: Attack-timing strategies.
 TIMING_UNIFORM = "uniform"      # attack at a uniformly random alert slot
@@ -84,6 +86,7 @@ def run_attacker_in_the_loop(
     seed: int = 0,
     attacker: RationalAttacker | QuantalResponseAttacker | None = None,
     robust_margin: float = 0.0,
+    solution_cache: SSESolutionCache | None = None,
 ) -> MonteCarloResult:
     """Simulate ``n_trials`` independent attack days.
 
@@ -111,6 +114,11 @@ def run_attacker_in_the_loop(
     robust_margin:
         Forwarded to the game: > 0 hardens the warning's quit constraint
         (the robust-SAG extension).
+    solution_cache:
+        Optional :class:`~repro.engine.cache.SSESolutionCache` shared by
+        every trial. Trials replay the same background stream, so even the
+        exact (step-0) mode converts most repeat solves into lookups
+        without changing any result.
     """
     if not alerts:
         raise ExperimentError("need a non-empty alert stream")
@@ -118,6 +126,9 @@ def run_attacker_in_the_loop(
         raise ExperimentError(f"unknown timing strategy {timing!r}")
     rng = np.random.default_rng(seed)
     attacker = attacker or RationalAttacker()
+    # One reciprocal-moment memo for the whole run: the rates repeat across
+    # trials, so a per-game (empty) memo would redo identical series sums.
+    moment = PoissonReciprocalMoment()
 
     outcomes: list[TrialOutcome] = []
     for trial in range(n_trials):
@@ -133,6 +144,8 @@ def run_attacker_in_the_loop(
             ),
             context.build_estimator(),
             rng=np.random.default_rng(seed + 1000 + trial),
+            moment=moment,
+            solution_cache=solution_cache,
         )
         if timing == TIMING_UNIFORM:
             slot = int(rng.integers(len(alerts)))

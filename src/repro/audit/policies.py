@@ -25,6 +25,7 @@ from repro.core.game import (
 from repro.core.offline import solve_offline_sse
 from repro.core.payoffs import PayoffMatrix
 from repro.core.sse import SSESolution
+from repro.engine.cache import SSESolutionCache
 from repro.logstore.store import AlertRecord
 from repro.solvers.registry import DEFAULT_BACKEND
 from repro.stats.estimator import (
@@ -32,6 +33,7 @@ from repro.stats.estimator import (
     FutureAlertEstimator,
     RollbackEstimator,
 )
+from repro.stats.poisson import PoissonReciprocalMoment
 
 
 @dataclass(frozen=True)
@@ -50,12 +52,15 @@ class CycleContext:
     rollback_threshold / rollback_enabled:
         Knowledge-rollback configuration (paper Section 5).
     backend:
-        LP backend name.
+        Solver backend name (``"scipy"``, ``"simplex"``, or ``"analytic"``).
     seed:
         Seed for the policy's private signal-sampling generator.
     budget_charging:
         ``"conditional"`` (paper-faithful) or ``"expected"`` — see
         :mod:`repro.core.game`.
+    sse_cache:
+        Optional :class:`~repro.engine.cache.SSESolutionCache` shared by
+        the game-backed policies running under this context.
     """
 
     history: Mapping[int, list[np.ndarray]]
@@ -67,6 +72,7 @@ class CycleContext:
     backend: str = DEFAULT_BACKEND
     seed: int = 0
     budget_charging: str = "conditional"
+    sse_cache: SSESolutionCache | None = None
 
     def build_estimator(self) -> RollbackEstimator:
         """Fresh rollback estimator over this context's history."""
@@ -113,14 +119,26 @@ class AuditPolicy(Protocol):
 
 
 class _GameBackedPolicy:
-    """Shared implementation for the two online policies (OSSP / SSE)."""
+    """Shared implementation for the two online policies (OSSP / SSE).
+
+    The policy owns one :class:`PoissonReciprocalMoment` memo for its whole
+    lifetime — the per-rate series sums survive across cycles instead of
+    being recomputed from an empty table every day.
+    """
 
     name = "game"
     _signaling_enabled = True
 
-    def __init__(self, scope: str = SCOPE_BEST_RESPONSE, signaling_method: str = "closed_form") -> None:
+    def __init__(
+        self,
+        scope: str = SCOPE_BEST_RESPONSE,
+        signaling_method: str = "closed_form",
+        solution_cache: SSESolutionCache | None = None,
+    ) -> None:
         self._scope = scope
         self._signaling_method = signaling_method
+        self._solution_cache = solution_cache
+        self._moment = PoissonReciprocalMoment()
         self._game: SignalingAuditGame | None = None
 
     def begin_cycle(self, context: CycleContext) -> None:
@@ -134,10 +152,17 @@ class _GameBackedPolicy:
             scope=self._scope,
             budget_charging=context.budget_charging,
         )
+        cache = (
+            self._solution_cache
+            if self._solution_cache is not None
+            else context.sse_cache
+        )
         self._game = SignalingAuditGame(
             config,
             context.build_estimator(),
             rng=np.random.default_rng(context.seed),
+            moment=self._moment,
+            solution_cache=cache,
         )
 
     def handle_alert(self, alert: AlertRecord) -> AlertOutcome:

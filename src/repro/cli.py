@@ -25,8 +25,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--test-days", type=int, default=4, help="test days for the figures"
     )
     parser.add_argument(
-        "--backend", choices=("scipy", "simplex"), default="scipy",
-        help="LP backend",
+        "--backend", choices=("scipy", "simplex", "analytic"), default="scipy",
+        help="solver backend (analytic = vectorized LP (2) fast path)",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -39,6 +39,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         ("figure2", "single-type utility series (budget 20)"),
         ("figure3", "seven-type utility series (budget 50)"),
         ("runtime", "per-alert optimization latency"),
+        ("engine", "batch engine (analytic+cache) vs per-alert LP speedup"),
         ("ablation-rollback", "knowledge-rollback ablation"),
         ("ablation-budget", "signaling value vs budget sweep"),
         ("ablation-backend", "LP backend agreement and speed"),
@@ -86,6 +87,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.runtime import format_runtime, run_runtime
 
         print(format_runtime(run_runtime(seed=args.seed, backend=args.backend)))
+    elif args.experiment == "engine":
+        from repro.experiments.runtime import (
+            format_engine_comparison,
+            run_engine_comparison,
+        )
+
+        print(format_engine_comparison(run_engine_comparison(seed=args.seed)))
     elif args.experiment == "ablation-rollback":
         from repro.experiments.ablations import run_rollback_ablation
 

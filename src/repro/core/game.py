@@ -20,6 +20,7 @@ from __future__ import annotations
 import time as _time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.core.sse import GameState, SSESolution, solve_online_sse
 from repro.solvers.registry import DEFAULT_BACKEND
 from repro.stats.estimator import RollbackEstimator
 from repro.stats.poisson import PoissonReciprocalMoment
+
+if TYPE_CHECKING:  # engine builds on core; import for annotations only
+    from repro.engine.cache import SSESolutionCache
 
 #: Apply signaling only to alerts of the attacker's best-response type
 #: (the multi-type evaluation rule of Section 5.B).
@@ -63,7 +67,8 @@ class SAGConfig:
     budget:
         Total audit budget for the cycle.
     backend:
-        LP backend (``"scipy"`` or ``"simplex"``).
+        Solver backend (``"scipy"``, ``"simplex"``, or ``"analytic"`` —
+        the vectorized LP (2) fast path of :mod:`repro.engine.analytic`).
     signaling_method:
         ``"closed_form"`` (Theorem 3, default) or ``"lp"``.
     signaling_enabled:
@@ -155,6 +160,13 @@ class SignalingAuditGame:
     rng:
         Source of randomness for signal sampling; defaults to a fresh
         deterministic generator.
+    moment:
+        Optional shared Poisson reciprocal-moment memo. Pass one instance
+        across games (e.g. Monte Carlo trials over the same workload) so
+        the per-rate series sums are computed once, not once per game.
+    solution_cache:
+        Optional :class:`~repro.engine.cache.SSESolutionCache`; when given,
+        the per-alert SSE solve is served through it.
     """
 
     def __init__(
@@ -162,6 +174,8 @@ class SignalingAuditGame:
         config: SAGConfig,
         estimator: RollbackEstimator,
         rng: np.random.Generator | None = None,
+        moment: PoissonReciprocalMoment | None = None,
+        solution_cache: "SSESolutionCache | None" = None,
     ) -> None:
         missing = set(estimator.type_ids) - set(config.payoffs)
         if missing:
@@ -170,13 +184,34 @@ class SignalingAuditGame:
         self._estimator = estimator
         self._rng = rng or np.random.default_rng(0)
         self._ledger = BudgetLedger(config.budget)
-        self._moment = PoissonReciprocalMoment()
+        self._moment = moment if moment is not None else PoissonReciprocalMoment()
+        if solution_cache is not None:
+            # Cache keys cover only (budget, lambdas); everything else that
+            # determines a solution must stay fixed for the cache lifetime.
+            solution_cache.bind(
+                (
+                    config.backend,
+                    tuple(sorted(config.payoffs.items())),
+                    tuple(sorted(config.costs.items())),
+                )
+            )
+        self._cache = solution_cache
         self._decisions: list[AlertDecision] = []
 
     @property
     def config(self) -> SAGConfig:
         """The static game configuration."""
         return self._config
+
+    @property
+    def moment(self) -> PoissonReciprocalMoment:
+        """The reciprocal-moment memo backing the SSE solves."""
+        return self._moment
+
+    @property
+    def solution_cache(self) -> "SSESolutionCache | None":
+        """The SSE solution cache, when one was injected."""
+        return self._cache
 
     @property
     def budget_remaining(self) -> float:
@@ -203,13 +238,10 @@ class SignalingAuditGame:
         self._estimator.observe_alert(time_of_day)
         lambdas = self._estimator.remaining_means(time_of_day)
         state = GameState(budget=self._ledger.remaining, lambdas=lambdas)
-        sse = solve_online_sse(
-            state,
-            self._config.payoffs,
-            self._config.costs,
-            moment=self._moment,
-            backend=self._config.backend,
-        )
+        if self._cache is not None:
+            sse = self._cache.get_or_solve(state, self._solve_state)
+        else:
+            sse = self._solve_state(state)
 
         payoff = self._config.payoffs[type_id]
         theta = sse.theta_of(type_id)
@@ -276,6 +308,16 @@ class SignalingAuditGame:
         )
         self._decisions.append(decision)
         return decision
+
+    def _solve_state(self, state: GameState) -> SSESolution:
+        """One online-SSE solve at ``state`` with this game's configuration."""
+        return solve_online_sse(
+            state,
+            self._config.payoffs,
+            self._config.costs,
+            moment=self._moment,
+            backend=self._config.backend,
+        )
 
     def _solve_scheme(self, theta: float, payoff: PayoffMatrix) -> SignalingScheme:
         """The signaling scheme for one (theta, payoff): classic or robust."""

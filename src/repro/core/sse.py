@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.errors import ModelError
 from repro.core.payoffs import PayoffMatrix
 from repro.solvers import LPBuilder, solve
-from repro.solvers.registry import DEFAULT_BACKEND
+from repro.solvers.registry import ANALYTIC_BACKEND, DEFAULT_BACKEND
 from repro.stats.poisson import PoissonReciprocalMoment
 
 _THETA_TOL = 1e-9
@@ -129,9 +129,11 @@ def solve_online_sse(
     costs:
         Per-type audit costs ``V^{t'}`` (must cover every type in ``state``).
     moment:
-        Optional memoized Poisson reciprocal-moment table.
+        Optional memoized Poisson reciprocal-moment table. Pass a shared
+        instance when solving many states: the memo persists across calls.
     backend:
-        LP backend name (``"scipy"`` or ``"simplex"``).
+        Solver backend name — ``"scipy"``, ``"simplex"``, or ``"analytic"``
+        (the vectorized fast path of :mod:`repro.engine.analytic`).
     """
     type_ids = sorted(state.lambdas)
     _validate_coverage(type_ids, payoffs, costs)
@@ -160,7 +162,18 @@ def solve_multiple_lp(
     baseline uses deterministic whole-day counts. Everything else — the
     candidate enumeration, best-response constraints and tie-breaking — is
     shared.
+
+    With ``backend="analytic"`` the whole candidate family is solved in one
+    vectorized pass (:mod:`repro.engine.analytic`) instead of |T| generic LP
+    solves. Objective value, best response, and the best-response marginal
+    match the LP path; non-best-response marginals are degenerate and may
+    differ (see the equivalence caveat in :mod:`repro.engine.analytic`).
     """
+    if backend == ANALYTIC_BACKEND:
+        # Imported lazily: the engine layer builds on top of this module.
+        from repro.engine.analytic import solve_multiple_lp_analytic
+
+        return solve_multiple_lp_analytic(budget, coefficient, payoffs)
     type_ids = sorted(coefficient)
     best: SSESolution | None = None
     feasible = 0

@@ -20,6 +20,11 @@ from repro.stats.poisson import PoissonReciprocalMoment
 
 _TOL = 1e-7
 
+#: Shared reciprocal-moment memo: the theorem checkers are invoked over many
+#: states in the property suites, and the memo is keyed purely by the rate,
+#: so one process-wide table serves every call.
+_SHARED_MOMENT = PoissonReciprocalMoment()
+
 
 def ossp_auditor_utility(theta: float, payoff: PayoffMatrix) -> float:
     """Auditor's expected utility under the OSSP at marginal ``theta``."""
@@ -42,6 +47,7 @@ def check_theorem_1(
     backend: str = DEFAULT_BACKEND,
     grid: int = 21,
     tol: float = _TOL,
+    moment: PoissonReciprocalMoment | None = None,
 ) -> bool:
     """Theorem 1: the OSSP uses exactly the online-SSE marginals.
 
@@ -59,18 +65,23 @@ def check_theorem_1(
     check is vacuously true (the theorem's premise does not apply).
     """
     solution = solve_online_sse(
-        state, payoffs, costs, moment=PoissonReciprocalMoment(), backend=backend
+        state,
+        payoffs,
+        costs,
+        moment=moment if moment is not None else _SHARED_MOMENT,
+        backend=backend,
     )
     payoff = payoffs[solution.best_response]
     if not payoff.satisfies_theorem3_condition():
         return True
     theta_star = solution.theta_of(solution.best_response)
     thetas = np.linspace(0.0, theta_star, grid)
-    utilities = [ossp_auditor_utility(float(t), payoff) for t in thetas]
-    return all(
-        later >= earlier - tol
-        for earlier, later in zip(utilities, utilities[1:])
-    )
+    # The premise guarantees the Theorem 3 closed form applies, so the whole
+    # grid evaluates in one vectorized pass.
+    from repro.engine.stream import batch_ossp_auditor_utility
+
+    utilities = batch_ossp_auditor_utility(thetas, payoff)
+    return bool(np.all(np.diff(utilities) >= -tol))
 
 
 def check_theorem_2(theta: float, payoff: PayoffMatrix, tol: float = _TOL) -> bool:

@@ -1,0 +1,41 @@
+"""The vectorized solving engine.
+
+Three layers stacked on top of :mod:`repro.core` and :mod:`repro.solvers`
+(see ``ARCHITECTURE.md`` at the repository root):
+
+* :mod:`repro.engine.analytic` — the ``"analytic"`` solver backend: all |T|
+  candidate LPs of the multiple-LP SSE method evaluated as stacked NumPy
+  arrays in one closed-form water-filling pass.
+* :mod:`repro.engine.cache` — a state-keyed :class:`SSESolutionCache` with
+  configurable ``(budget, lambdas)`` quantization (step 0 = exact hits) and
+  reconciling hit/miss counters.
+* :mod:`repro.engine.stream` — :class:`BatchAuditEngine`, which consumes
+  whole alert streams, drives the game with the cached analytic solver,
+  evaluates the Theorem-3 closed-form OSSP over alert batches, and reports
+  per-cycle :class:`EngineStats`.
+"""
+
+from repro.engine.analytic import solve_multiple_lp_analytic
+from repro.engine.cache import CacheStats, SSESolutionCache
+from repro.engine.stream import (
+    BatchAuditEngine,
+    EngineStats,
+    StreamResult,
+    analytic_config,
+    batch_closed_form_ossp,
+    batch_ossp_auditor_utility,
+    batch_sse_auditor_utility,
+)
+
+__all__ = [
+    "BatchAuditEngine",
+    "CacheStats",
+    "EngineStats",
+    "SSESolutionCache",
+    "StreamResult",
+    "analytic_config",
+    "batch_closed_form_ossp",
+    "batch_ossp_auditor_utility",
+    "batch_sse_auditor_utility",
+    "solve_multiple_lp_analytic",
+]

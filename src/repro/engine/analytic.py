@@ -1,0 +1,182 @@
+"""Vectorized analytic fast path for LP (2) — every candidate LP in one pass.
+
+The per-candidate LP of the multiple-LP method has small, fixed structure.
+Writing ``theta^t = coef_t * B^t`` (``coef_t`` maps a budget share to the
+induced marginal), candidate ``c``'s LP is
+
+    maximize   theta^c * (U_dc^c - U_du^c)
+    subject to A_t(theta^t) <= A_c(theta^c)   for every t != c
+               sum_t theta^t / coef_t <= budget
+               0 <= theta^t <= min(1, coef_t * budget)
+
+where ``A_t(x) = U_au^t + x * (U_ac^t - U_au^t)`` is the attacker's expected
+utility against coverage ``x`` of type ``t`` (strictly decreasing: getting
+caught hurts). Two observations turn this into a closed-form water-filling:
+
+1. The objective is strictly increasing in ``theta^c`` alone
+   (``U_dc >= 0 > U_du``), so the optimum maximizes ``theta^c`` and grants
+   every other type exactly its cheapest feasible coverage.
+2. Each best-response constraint is a *lower* bound on ``theta^t`` that
+   rises linearly with ``theta^c``:
+
+       theta^t >= L_t(theta^c) = a_t + b_t * theta^c,
+       a_t = (U_au^t - U_au^c) / (U_au^t - U_ac^t),
+       b_t = (U_ac^c - U_au^c) / (U_ac^t - U_au^t) > 0.
+
+   Hence the minimum budget needed to support coverage ``x`` of the
+   candidate,
+
+       g(x) = x / coef_c + sum_{t != c} max(0, L_t(x)) / coef_t,
+
+   is piecewise-linear and non-decreasing, the feasible ``x`` form an
+   interval ``[0, x*]``, and ``x*`` is found *exactly* by evaluating ``g``
+   at its breakpoints (where some ``L_t`` crosses zero) and interpolating
+   on the crossing segment.
+
+All |T| candidate LPs share the same data, so the whole computation stacks
+into (|T| x |T|) arrays — one NumPy pass replaces |T| generic LP solves.
+The result is a regular :class:`~repro.core.sse.SSESolution` with the same
+feasibility accounting and tie-breaking as the LP path, and the property
+suite cross-validates objective values, best responses, and best-response
+marginals against scipy/HiGHS.
+
+Equivalence caveat: only the *best-response* marginal is pinned by the
+optimum. The other types' marginals are degenerate (the objective ignores
+them, the budget constraint is an inequality), so LP vertices may spread
+slack budget over them arbitrarily while this solver grants each exactly
+its minimal supporting coverage. Equilibrium value, best response, and
+feasibility coincide; the audit probability committed to a
+*non-best-response* alert can differ between backends — both choices are
+optimal, but they are different optima.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import SSESolution
+
+#: Feasibility slack, matching the LP path's tolerance scale.
+_FEAS_TOL = 1e-9
+#: Tie-break tolerance on auditor utility (same as ``repro.core.sse``).
+_THETA_TOL = 1e-9
+
+
+def solve_multiple_lp_analytic(
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+) -> SSESolution:
+    """Solve the multiple-LP SSE analytically, all candidates stacked.
+
+    Drop-in replacement for the per-candidate LP loop of
+    :func:`repro.core.sse.solve_multiple_lp`: same inputs, same
+    :class:`~repro.core.sse.SSESolution` semantics (feasibility counters,
+    strong-Stackelberg tie-breaking), computed without a generic LP solver.
+    """
+    type_ids = sorted(coefficient)
+    n = len(type_ids)
+    coef = np.array([float(coefficient[t]) for t in type_ids])
+    if np.any(coef < 0) or not np.all(np.isfinite(coef)):
+        raise ModelError("theta coefficients must be finite and non-negative")
+    u_dc = np.array([payoffs[t].u_dc for t in type_ids])
+    u_du = np.array([payoffs[t].u_du for t in type_ids])
+    u_ac = np.array([payoffs[t].u_ac for t in type_ids])
+    u_au = np.array([payoffs[t].u_au for t in type_ids])
+    gap = u_ac - u_au  # strictly negative under the sign conventions
+
+    # Budget share per unit of coverage; a zero coefficient pins theta at 0
+    # (its budget shares buy no coverage), encoded as a zero inverse.
+    positive = coef > 0.0
+    inv_coef = np.where(positive, 1.0 / np.where(positive, coef, 1.0), 0.0)
+
+    # Row c, column t: theta^t >= a[c, t] + b[c, t] * theta^c  (t != c).
+    a = (u_au[None, :] - u_au[:, None]) / (-gap)[None, :]
+    b = gap[:, None] / gap[None, :]
+    off = ~np.eye(n, dtype=bool)
+
+    # Box feasibility caps on theta^c: the candidate's own bound, plus for
+    # every other type the point where its required coverage would exceed
+    # what its box allows (1, or 0 when its coefficient cannot buy any).
+    own_cap = np.minimum(1.0, coef * budget)
+    theta_box = np.where(positive, 1.0, 0.0)
+    cross_cap = np.where(off, (theta_box[None, :] - a) / b, np.inf)
+    x_cap = np.minimum(own_cap, cross_cap.min(axis=1, initial=np.inf))
+
+    feasible = x_cap >= -_FEAS_TOL
+    x_cap = np.clip(x_cap, 0.0, None)
+
+    # Breakpoints of g: where each support requirement L_t activates.
+    act = np.where(off & (a < 0.0), -a / b, 0.0)
+    act = np.clip(act, 0.0, x_cap[:, None])
+    points = np.sort(
+        np.concatenate([np.zeros((n, 1)), act, x_cap[:, None]], axis=1), axis=1
+    )
+
+    # g at every breakpoint, every candidate at once: (n, n + 2).
+    support = np.clip(a[:, None, :] + b[:, None, :] * points[:, :, None], 0.0, None)
+    support = np.where(off[:, None, :], support, 0.0)
+    g = points * inv_coef[:, None] + np.einsum("ckt,t->ck", support, inv_coef)
+
+    feasible &= g[:, 0] <= budget + _FEAS_TOL
+
+    # Largest breakpoint still within budget, then interpolate on the
+    # crossing segment (g is linear between consecutive breakpoints).
+    n_points = points.shape[1]
+    k = np.clip(np.sum(g <= budget + _FEAS_TOL, axis=1) - 1, 0, n_points - 1)
+    rows = np.arange(n)
+    x_lo, g_lo = points[rows, k], g[rows, k]
+    k_next = np.minimum(k + 1, n_points - 1)
+    x_hi, g_hi = points[rows, k_next], g[rows, k_next]
+    dg = g_hi - g_lo
+    with np.errstate(divide="ignore", invalid="ignore"):
+        step = np.where(dg > 0.0, (budget - g_lo) * (x_hi - x_lo) / dg, 0.0)
+    x_star = np.where(
+        k == n_points - 1, x_lo, np.clip(x_lo + step, x_lo, x_hi)
+    )
+    x_star = np.where(feasible, x_star, 0.0)
+
+    auditor = u_du + x_star * (u_dc - u_du)
+    attacker = u_au + x_star * gap
+
+    best = _select_candidate(feasible, auditor, attacker)
+    if best is None:
+        # Unreachable in a well-formed game: the all-zero allocation is
+        # always feasible for the type maximizing the uncovered payoff.
+        raise ModelError("no feasible best-response LP; game is ill-formed")
+
+    thetas = np.clip(a[best] + b[best] * x_star[best], 0.0, 1.0)
+    thetas[best] = x_star[best]
+    allocations = thetas * inv_coef
+    return SSESolution(
+        thetas={t: float(thetas[i]) for i, t in enumerate(type_ids)},
+        allocations={t: float(allocations[i]) for i, t in enumerate(type_ids)},
+        best_response=type_ids[best],
+        auditor_utility=float(auditor[best]),
+        attacker_utility=float(attacker[best]),
+        lps_solved=n,
+        lps_feasible=int(np.count_nonzero(feasible)),
+    )
+
+
+def _select_candidate(
+    feasible: np.ndarray, auditor: np.ndarray, attacker: np.ndarray
+) -> int | None:
+    """The LP path's winner rule: best auditor utility, ties broken towards
+    the outcome the attacker likes less, scanning types in sorted order."""
+    best: int | None = None
+    for i in range(feasible.size):
+        if not feasible[i]:
+            continue
+        if best is None or auditor[i] > auditor[best] + _THETA_TOL:
+            best = i
+        elif (
+            abs(auditor[i] - auditor[best]) <= _THETA_TOL
+            and attacker[i] < attacker[best]
+        ):
+            best = i
+    return best

@@ -1,0 +1,195 @@
+"""State-keyed cache of online-SSE solutions.
+
+An audit cycle revisits near-identical game states thousands of times: the
+remaining budget drifts by tiny per-alert charges and the Poisson rate
+estimates move slowly between alerts. This module turns repeated
+``solve_online_sse`` calls at such states into dictionary lookups.
+
+Keys are built from ``(budget, lambdas)`` with configurable quantization:
+
+* ``budget_step == 0`` / ``rate_step == 0`` (the default) keys on the exact
+  float values — a hit requires a byte-identical state, so cached results
+  are indistinguishable from uncached solving (used by replayed cycles,
+  repeated Monte Carlo trials, and the correctness tests);
+* positive steps snap budgets / rates to grid buckets, trading a bounded
+  approximation error (the solution of a state up to half a step away) for
+  hits *within* a single cycle. The error is controlled: the SSE marginals
+  are Lipschitz in the budget (slope ``<= max_t coef_t``) and in each rate
+  (through the smooth reciprocal moment), so a step of ``s`` perturbs
+  thetas by ``O(s)``.
+
+Keys cover the *state* only — the game configuration (payoffs, costs,
+backend) is assumed fixed for the cache's lifetime. Consumers that inject a
+cache into a game declare that configuration via :meth:`SSESolutionCache.bind`,
+which raises if the same cache is later attached to a differing
+configuration (sharing across configurations would silently return the
+wrong equilibria).
+
+Counters reconcile by construction: ``hits + misses == calls``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # imported for type checking only; no runtime dependency
+    from repro.core.sse import GameState, SSESolution
+
+#: A cache key: the quantized budget plus the quantized per-type rates.
+CacheKey = tuple[float, tuple[tuple[int, float], ...]]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def calls(self) -> int:
+        """Total lookups served (``hits + misses``)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        return self.hits / self.calls if self.calls else 0.0
+
+
+class SSESolutionCache:
+    """Quantizing ``GameState -> SSESolution`` memo with LRU-ish eviction.
+
+    Parameters
+    ----------
+    budget_step:
+        Quantization step for the remaining budget; 0 keys on the exact
+        value.
+    rate_step:
+        Quantization step for each per-type Poisson rate; 0 keys exactly.
+    max_entries:
+        Optional size bound; the oldest entry is evicted once exceeded
+        (insertion order — within a cycle, states drift monotonically, so
+        old entries are the least likely to recur).
+    """
+
+    def __init__(
+        self,
+        budget_step: float = 0.0,
+        rate_step: float = 0.0,
+        max_entries: int | None = None,
+    ) -> None:
+        if budget_step < 0 or rate_step < 0:
+            raise ModelError("quantization steps must be non-negative")
+        if max_entries is not None and max_entries <= 0:
+            raise ModelError(f"max_entries must be positive, got {max_entries}")
+        self._budget_step = float(budget_step)
+        self._rate_step = float(rate_step)
+        self._max_entries = max_entries
+        self._data: dict[CacheKey, "SSESolution"] = {}
+        self._hits = 0
+        self._misses = 0
+        self._fingerprint: object | None = None
+
+    @property
+    def budget_step(self) -> float:
+        """Budget quantization step (0 = exact)."""
+        return self._budget_step
+
+    @property
+    def rate_step(self) -> float:
+        """Rate quantization step (0 = exact)."""
+        return self._rate_step
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a fresh solve."""
+        return self._misses
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def bind(self, fingerprint: object) -> None:
+        """Tie this cache to one solve configuration.
+
+        The first call records ``fingerprint`` (any equality-comparable
+        description of what determines a solution besides the state —
+        payoffs, costs, backend). Later calls with an *equal* fingerprint
+        are no-ops; a differing one raises, because cached entries keyed
+        only on ``(budget, lambdas)`` would be wrong answers under the new
+        configuration. :meth:`clear` resets the binding along with the
+        entries.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+        elif self._fingerprint != fingerprint:
+            raise ModelError(
+                "SSESolutionCache is bound to a different solve "
+                "configuration; use a fresh cache (or clear() this one) "
+                "when payoffs, costs, or the backend change"
+            )
+
+    def key_for(self, state: "GameState") -> CacheKey:
+        """The quantized key under which ``state`` is cached."""
+        return (
+            _quantize(state.budget, self._budget_step),
+            tuple(
+                (type_id, _quantize(lam, self._rate_step))
+                for type_id, lam in sorted(state.lambdas.items())
+            ),
+        )
+
+    def get_or_solve(
+        self,
+        state: "GameState",
+        solve: Callable[["GameState"], "SSESolution"],
+    ) -> "SSESolution":
+        """The cached solution for ``state``'s bucket, solving on a miss.
+
+        Misses solve at the *actual* state (not the bucket center), so
+        exact-mode caching reproduces the uncached results byte for byte.
+        """
+        key = self.key_for(state)
+        cached = self._data.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        solution = solve(state)
+        if self._max_entries is not None and len(self._data) >= self._max_entries:
+            del self._data[next(iter(self._data))]
+        self._data[key] = solution
+        return solution
+
+    def clear(self) -> None:
+        """Drop all entries, the counters, and the configuration binding."""
+        self._data.clear()
+        self._hits = 0
+        self._misses = 0
+        self._fingerprint = None
+
+
+def _quantize(value: float, step: float) -> float:
+    """Exact float identity for step 0; otherwise the grid-bucket index.
+
+    Returning the *index* (not ``index * step``) keeps keys free of
+    floating-point grid noise.
+    """
+    if step <= 0.0:
+        return float(value)
+    return float(round(value / step))

@@ -29,6 +29,7 @@ from repro.experiments.dataset import build_alert_store
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.report import render_table
 from repro.stats.diurnal import SECONDS_PER_DAY
+from repro.stats.poisson import PoissonReciprocalMoment
 
 
 @dataclass(frozen=True)
@@ -182,10 +183,13 @@ def run_budget_sweep(
     payoff = TABLE2_PAYOFFS[SINGLE_TYPE_ID]
     costs = {SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]}
     lam = TABLE1_STATISTICS[SINGLE_TYPE_ID][0]
+    moment = PoissonReciprocalMoment()  # one memo across the whole sweep
     rows = []
     for budget in budgets:
         state = GameState(budget=budget, lambdas={SINGLE_TYPE_ID: lam})
-        sse = solve_online_sse(state, {SINGLE_TYPE_ID: payoff}, costs)
+        sse = solve_online_sse(
+            state, {SINGLE_TYPE_ID: payoff}, costs, moment=moment
+        )
         theta = sse.theta_of(SINGLE_TYPE_ID)
         sse_value = sse_auditor_utility(theta, payoff)
         ossp_value = ossp_auditor_utility(theta, payoff)
@@ -322,11 +326,16 @@ def run_backend_comparison(
 
     gaps = []
     timings = {"scipy": 0.0, "simplex": 0.0}
+    # Shared memo: both backends see identical theta coefficients and the
+    # timings compare LP work, not reciprocal-moment recomputation.
+    moment = PoissonReciprocalMoment()
     for state in states:
         values = {}
         for backend in ("scipy", "simplex"):
             started = time.perf_counter()
-            solution = solve_online_sse(state, payoffs, costs, backend=backend)
+            solution = solve_online_sse(
+                state, payoffs, costs, moment=moment, backend=backend
+            )
             timings[backend] += time.perf_counter() - started
             values[backend] = solution.auditor_utility
         gaps.append(abs(values["scipy"] - values["simplex"]))

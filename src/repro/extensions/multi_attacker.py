@@ -46,16 +46,18 @@ def solve_multi_attacker_sse(
     costs: Mapping[int, float],
     n_attackers: int,
     backend: str = DEFAULT_BACKEND,
+    moment: PoissonReciprocalMoment | None = None,
 ) -> MultiAttackerSolution:
     """The symmetric ``m``-attacker online SSE.
 
     Marginals equal the single-attacker SSE; aggregate auditor utility is
     the per-attacker effective value times ``m`` (independent attackers,
-    linear utilities).
+    linear utilities). Pass a shared ``moment`` memo when solving many
+    states so the reciprocal-moment table persists across calls.
     """
     if n_attackers <= 0:
         raise ModelError(f"n_attackers must be positive, got {n_attackers}")
-    base = solve_online_sse(state, payoffs, costs, backend=backend)
+    base = solve_online_sse(state, payoffs, costs, moment=moment, backend=backend)
     per_attacker = base.effective_auditor_utility
     return MultiAttackerSolution(
         base=base,

@@ -29,16 +29,32 @@ _BACKENDS: dict[str, Callable[..., LPSolution]] = {
 
 DEFAULT_BACKEND = scipy_backend.BACKEND_NAME
 
+#: The vectorized analytic backend (:mod:`repro.engine.analytic`). It is a
+#: *structured* backend: it solves the SSE multiple-LP family (LP (2)) as
+#: stacked arrays in one pass instead of via generic LP machinery, so only
+#: the game-theoretic layers dispatch on it. Generic :class:`LinearProgram`
+#: solves requested under this name fall back to the backend named in
+#: ``_STRUCTURED_FALLBACK`` (HiGHS, the analytic path's cross-check partner).
+ANALYTIC_BACKEND = "analytic"
+
+_STRUCTURED_FALLBACK = {ANALYTIC_BACKEND: scipy_backend.BACKEND_NAME}
+
 
 def available_backends() -> tuple[str, ...]:
-    """Names of the registered backends."""
-    return tuple(sorted(_BACKENDS))
+    """Names of the registered backends (generic and structured)."""
+    return tuple(sorted((*_BACKENDS, *_STRUCTURED_FALLBACK)))
 
 
 def get_backend(name: str = DEFAULT_BACKEND) -> Callable[..., LPSolution]:
-    """Look up a backend by ``name`` (``"scipy"`` or ``"simplex"``)."""
+    """Look up a generic-LP backend by ``name``.
+
+    ``"scipy"`` and ``"simplex"`` resolve to themselves; the structured
+    ``"analytic"`` backend resolves to its generic fallback (``"scipy"``)
+    because arbitrary linear programs carry none of the SSE structure the
+    analytic solver exploits.
+    """
     try:
-        return _BACKENDS[name]
+        return _BACKENDS[_STRUCTURED_FALLBACK.get(name, name)]
     except KeyError:
         raise SolverError(
             f"unknown solver backend {name!r}; available: {available_backends()}"
@@ -59,12 +75,18 @@ def solve(
     """
     solution = get_backend(backend)(program, **options)
     if raise_on_failure and not solution.status.is_success:
+        detail = f": {solution.message}" if solution.message else ""
         if solution.status is SolveStatus.INFEASIBLE:
-            raise InfeasibleProblemError(f"LP infeasible (backend={backend})")
+            raise InfeasibleProblemError(
+                f"LP infeasible (backend={backend}){detail}"
+            )
         if solution.status is SolveStatus.UNBOUNDED:
-            raise UnboundedProblemError(f"LP unbounded (backend={backend})")
+            raise UnboundedProblemError(
+                f"LP unbounded (backend={backend}){detail}"
+            )
         raise SolverConvergenceError(
-            f"LP solve failed with status {solution.status.value} (backend={backend})"
+            f"LP solve failed with status {solution.status.value} "
+            f"(backend={backend}){detail}"
         )
     return solution
 

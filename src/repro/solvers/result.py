@@ -41,6 +41,10 @@ class LPSolution:
         Number of pivots / solver iterations, when the backend reports it.
     backend:
         Name of the backend that produced this solution.
+    message:
+        Human-readable diagnostic from the backend (empty when the backend
+        has nothing to add). Populated on non-optimal statuses so callers
+        can triage infeasibility without re-running the solver.
     """
 
     status: SolveStatus
@@ -48,6 +52,7 @@ class LPSolution:
     objective: float = float("nan")
     iterations: int = 0
     backend: str = ""
+    message: str = ""
 
     def __post_init__(self) -> None:
         # Normalize to a read-only float array so downstream indexing and

@@ -37,7 +37,8 @@ def solve(program: LinearProgram, **_ignored: object) -> LPSolution:
     status = _STATUS_MAP.get(result.status, SolveStatus.NUMERICAL_ERROR)
     if status is not SolveStatus.OPTIMAL:
         return LPSolution(status, backend=BACKEND_NAME,
-                          iterations=int(getattr(result, "nit", 0) or 0))
+                          iterations=int(getattr(result, "nit", 0) or 0),
+                          message=str(getattr(result, "message", "") or ""))
     return LPSolution(
         SolveStatus.OPTIMAL,
         x=np.asarray(result.x, dtype=float),

@@ -62,6 +62,15 @@ class FutureAlertEstimator:
             self._times[type_id] = arrays
         if self._days == 0:
             raise EstimationError("history must contain at least one day")
+        # Remaining-mean queries are the per-alert hot path. The mean over
+        # days of "arrivals after s" equals the count of arrivals after `s`
+        # in the *merged* history divided by the number of days, so one
+        # searchsorted over a per-type concatenated sorted array replaces a
+        # searchsorted per historical day.
+        self._merged: dict[int, np.ndarray] = {
+            type_id: np.sort(np.concatenate(arrays))
+            for type_id, arrays in self._times.items()
+        }
 
     @property
     def type_ids(self) -> tuple[int, ...]:
@@ -75,11 +84,12 @@ class FutureAlertEstimator:
 
     def remaining_mean(self, type_id: int, time_of_day: float) -> float:
         """Mean number of type-``type_id`` alerts arriving strictly after ``time_of_day``."""
-        arrays = self._require(type_id)
-        remaining = 0
-        for array in arrays:
-            remaining += array.size - int(np.searchsorted(array, time_of_day, side="right"))
-        return remaining / len(arrays)
+        self._require(type_id)
+        merged = self._merged[type_id]
+        remaining = merged.size - int(
+            np.searchsorted(merged, time_of_day, side="right")
+        )
+        return remaining / int(self._days or 1)
 
     def remaining_means(self, time_of_day: float) -> dict[int, float]:
         """``remaining_mean`` for every covered type."""

@@ -1,0 +1,141 @@
+"""Cross-validation of the analytic SSE backend against the LP path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, solve_multiple_lp, solve_online_sse
+from repro.engine.analytic import solve_multiple_lp_analytic
+from repro.stats.poisson import expected_reciprocal
+
+PAY1 = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+def _random_instance(rng, n_types):
+    payoffs, costs, lambdas = {}, {}, {}
+    for t in range(1, n_types + 1):
+        payoffs[t] = PayoffMatrix(
+            u_dc=float(rng.uniform(0.0, 200.0)),
+            u_du=float(-rng.uniform(1.0, 500.0)),
+            u_ac=float(-rng.uniform(1.0, 3000.0)),
+            u_au=float(rng.uniform(1.0, 500.0)),
+        )
+        costs[t] = float(rng.uniform(0.5, 3.0))
+        lambdas[t] = float(rng.uniform(0.0, 300.0))
+    return payoffs, costs, lambdas
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_types=st.integers(min_value=1, max_value=6),
+    budget=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_analytic_matches_scipy_on_random_instances(seed, n_types, budget):
+    """The satellite property: objectives within 1e-6, same best response."""
+    rng = np.random.default_rng(seed)
+    payoffs, costs, lambdas = _random_instance(rng, n_types)
+    state = GameState(budget=budget, lambdas=lambdas)
+    lp = solve_online_sse(state, payoffs, costs, backend="scipy")
+    fast = solve_online_sse(state, payoffs, costs, backend="analytic")
+    scale = max(1.0, abs(lp.auditor_utility))
+    assert abs(fast.auditor_utility - lp.auditor_utility) <= 1e-6 * scale
+    assert fast.best_response == lp.best_response
+    assert fast.lps_solved == lp.lps_solved
+    assert fast.lps_feasible == lp.lps_feasible
+    assert abs(fast.attacker_utility - lp.attacker_utility) <= 1e-6 * max(
+        1.0, abs(lp.attacker_utility)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_types=st.integers(min_value=1, max_value=6),
+    budget=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_analytic_solution_is_lp_feasible(seed, n_types, budget):
+    """Thetas are probabilities, allocations fit the budget, and the winning
+    type really is the attacker's best response."""
+    rng = np.random.default_rng(seed)
+    payoffs, costs, lambdas = _random_instance(rng, n_types)
+    state = GameState(budget=budget, lambdas=lambdas)
+    solution = solve_online_sse(state, payoffs, costs, backend="analytic")
+    assert sum(solution.allocations.values()) <= budget + 1e-6
+    for theta in solution.thetas.values():
+        assert -1e-9 <= theta <= 1.0 + 1e-9
+    values = {
+        t: payoffs[t].attacker_utility(min(1.0, max(0.0, solution.thetas[t])))
+        for t in payoffs
+    }
+    assert values[solution.best_response] == pytest.approx(
+        max(values.values()), abs=1e-6
+    )
+
+
+def test_single_type_theta_formula():
+    lam, budget = 50.0, 10.0
+    state = GameState(budget=budget, lambdas={1: lam})
+    solution = solve_online_sse(state, {1: PAY1}, {1: 1.0}, backend="analytic")
+    assert solution.theta_of(1) == pytest.approx(
+        min(1.0, budget * expected_reciprocal(lam)), rel=1e-9
+    )
+    assert solution.best_response == 1
+
+
+def test_zero_budget():
+    state = GameState(budget=0.0, lambdas={1: 50.0})
+    solution = solve_online_sse(state, {1: PAY1}, {1: 1.0}, backend="analytic")
+    assert solution.theta_of(1) == pytest.approx(0.0, abs=1e-12)
+    assert solution.auditor_utility == pytest.approx(PAY1.u_du)
+
+
+def test_huge_budget_caps_theta_and_deters():
+    state = GameState(budget=1000.0, lambdas={1: 5.0})
+    solution = solve_online_sse(state, {1: PAY1}, {1: 1.0}, backend="analytic")
+    assert solution.theta_of(1) <= 1.0 + 1e-12
+    assert solution.deterred
+
+
+def test_table2_state_matches_scipy(payoffs, costs):
+    state = GameState(
+        budget=25.0,
+        lambdas={1: 196.0, 2: 29.0, 3: 140.0, 4: 11.0, 5: 25.0, 6: 15.0, 7: 43.0},
+    )
+    lp = solve_online_sse(state, payoffs, costs, backend="scipy")
+    fast = solve_online_sse(state, payoffs, costs, backend="analytic")
+    assert fast.auditor_utility == pytest.approx(lp.auditor_utility, abs=1e-8)
+    assert fast.best_response == lp.best_response
+    for t in payoffs:
+        assert fast.thetas[t] == pytest.approx(lp.thetas[t], abs=1e-7)
+
+
+def test_deterministic_coefficients_dispatch():
+    """solve_multiple_lp(backend="analytic") covers the offline-style path."""
+    coefficient = {1: 1.0 / 100.0, 2: 1.0 / 10.0}
+    payoffs = {
+        1: PAY1,
+        2: PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=400.0),
+    }
+    lp = solve_multiple_lp(10.0, coefficient, payoffs, backend="scipy")
+    fast = solve_multiple_lp(10.0, coefficient, payoffs, backend="analytic")
+    assert fast.auditor_utility == pytest.approx(lp.auditor_utility, abs=1e-8)
+    assert fast.best_response == lp.best_response
+    assert sum(fast.allocations.values()) <= 10.0 + 1e-9
+
+
+def test_zero_coefficient_type_pins_theta_at_zero():
+    """A type whose shares buy no coverage stays at theta 0 in any SSE."""
+    coefficient = {1: 0.1, 2: 0.0}
+    payoffs = {
+        1: PAY1,
+        2: PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=300.0),
+    }
+    solution = solve_multiple_lp_analytic(5.0, coefficient, payoffs)
+    assert solution.thetas[2] == 0.0
+    assert solution.allocations[2] == 0.0
+    lp = solve_multiple_lp(5.0, coefficient, payoffs, backend="scipy")
+    assert solution.auditor_utility == pytest.approx(lp.auditor_utility, abs=1e-8)
+    assert solution.best_response == lp.best_response

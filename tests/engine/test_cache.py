@@ -1,0 +1,176 @@
+"""Cache correctness: exact-mode transparency, counters, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.core.game import CHARGE_EXPECTED, SAGConfig, SignalingAuditGame
+from repro.core.sse import GameState
+from repro.engine.cache import SSESolutionCache
+from repro.experiments.runtime import synthetic_stream_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_stream_workload(
+        n_types=3, n_alerts=120, seed=11, n_history_days=6
+    )
+
+
+def _game(workload, cache, budget_charging="conditional"):
+    payoffs, costs, history, _, _ = workload
+    from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+    config = SAGConfig(
+        payoffs=payoffs,
+        costs=costs,
+        budget=30.0,
+        backend="analytic",
+        budget_charging=budget_charging,
+    )
+    return SignalingAuditGame(
+        config,
+        RollbackEstimator(FutureAlertEstimator(history)),
+        rng=np.random.default_rng(5),
+        solution_cache=cache,
+    )
+
+
+class TestExactMode:
+    def test_full_day_byte_identical_and_counters_reconcile(self, workload):
+        """Satellite acceptance: step-0 caching reproduces the uncached day
+        exactly, and hits + misses == calls."""
+        _, _, _, types, times = workload
+        cache = SSESolutionCache()  # exact: both steps 0
+        cached_game = _game(workload, cache)
+        plain_game = _game(workload, None)
+
+        for t, s in zip(types, times):
+            cached = cached_game.process_alert(int(t), float(s))
+            plain = plain_game.process_alert(int(t), float(s))
+            # SSESolution is a frozen dataclass of floats/dicts: equality is
+            # bitwise on every field.
+            assert cached.sse == plain.sse
+            assert cached.audit_probability == plain.audit_probability
+            assert cached.budget_after == plain.budget_after
+
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.calls == len(types)
+
+    def test_replayed_cycle_hits_every_state(self, workload):
+        _, _, _, types, times = workload
+        cache = SSESolutionCache()
+        game = _game(workload, cache, budget_charging=CHARGE_EXPECTED)
+        first = [game.process_alert(int(t), float(s)) for t, s in zip(types, times)]
+        game.reset()
+        second = [game.process_alert(int(t), float(s)) for t, s in zip(types, times)]
+
+        # Expected charging + same stream => identical states on the replay,
+        # so every second-pass solve is a cache hit and decisions coincide.
+        assert cache.hits == len(types)
+        assert cache.misses == len(types)
+        for a, b in zip(first, second):
+            assert a.sse == b.sse
+            assert a.game_value == b.game_value
+
+    def test_distinct_states_never_collide(self):
+        cache = SSESolutionCache()
+        key_a = cache.key_for(GameState(budget=1.0, lambdas={1: 2.0}))
+        key_b = cache.key_for(GameState(budget=1.0 + 1e-12, lambdas={1: 2.0}))
+        key_c = cache.key_for(GameState(budget=1.0, lambdas={1: 2.0 + 1e-12}))
+        assert key_a != key_b
+        assert key_a != key_c
+
+
+class TestQuantizedMode:
+    def test_nearby_states_share_a_bucket(self):
+        cache = SSESolutionCache(budget_step=0.5, rate_step=1.0)
+        base = GameState(budget=10.0, lambdas={1: 50.0})
+        near = GameState(budget=10.2, lambdas={1: 50.4})
+        far = GameState(budget=12.0, lambdas={1: 50.0})
+        assert cache.key_for(base) == cache.key_for(near)
+        assert cache.key_for(base) != cache.key_for(far)
+
+    def test_quantized_day_produces_hits(self, workload):
+        _, _, _, types, times = workload
+        cache = SSESolutionCache(budget_step=1.0, rate_step=2.0)
+        game = _game(workload, cache)
+        for t, s in zip(types, times):
+            game.process_alert(int(t), float(s))
+        stats = cache.stats
+        assert stats.hits > 0
+        assert stats.hits + stats.misses == len(types)
+        assert stats.entries == stats.misses
+        assert 0.0 < stats.hit_rate < 1.0
+
+
+class TestCacheMechanics:
+    def test_miss_solves_at_actual_state(self):
+        cache = SSESolutionCache(budget_step=10.0)
+        seen = []
+
+        def fake_solve(state):
+            seen.append(state)
+            return "solution"
+
+        state = GameState(budget=7.3, lambdas={1: 2.0})
+        assert cache.get_or_solve(state, fake_solve) == "solution"
+        assert seen[0] is state  # not the bucket center
+
+    def test_max_entries_evicts_oldest(self):
+        cache = SSESolutionCache(max_entries=2)
+        states = [GameState(budget=float(b), lambdas={1: 1.0}) for b in (1, 2, 3)]
+        for index, state in enumerate(states):
+            cache.get_or_solve(state, lambda s, i=index: f"sol{i}")
+        assert len(cache) == 2
+        # Oldest (budget=1) evicted: a repeat lookup re-solves.
+        assert cache.get_or_solve(states[0], lambda s: "again") == "again"
+        # Newest still cached.
+        assert cache.get_or_solve(states[2], lambda s: "fresh") == "sol2"
+
+    def test_clear_resets_counters(self):
+        cache = SSESolutionCache()
+        state = GameState(budget=1.0, lambdas={1: 1.0})
+        cache.get_or_solve(state, lambda s: "x")
+        cache.get_or_solve(state, lambda s: "x")
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ModelError):
+            SSESolutionCache(budget_step=-1.0)
+        with pytest.raises(ModelError):
+            SSESolutionCache(rate_step=-0.1)
+        with pytest.raises(ModelError):
+            SSESolutionCache(max_entries=0)
+
+    def test_bind_rejects_differing_configuration(self):
+        cache = SSESolutionCache()
+        cache.bind(("analytic", "payoffs-a"))
+        cache.bind(("analytic", "payoffs-a"))  # same fingerprint: no-op
+        with pytest.raises(ModelError, match="different solve configuration"):
+            cache.bind(("analytic", "payoffs-b"))
+        cache.clear()  # clearing resets the binding
+        cache.bind(("analytic", "payoffs-b"))
+
+    def test_game_binds_cache_to_its_configuration(self, workload):
+        """Sharing one cache across games is allowed only when the games
+        solve the same configuration."""
+        payoffs, costs, history, _, _ = workload
+        cache = SSESolutionCache()
+        _game(workload, cache)
+        _game(workload, cache)  # identical configuration: fine
+
+        from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+        scaled = {t: p.scaled(2.0) for t, p in payoffs.items()}
+        other = SAGConfig(
+            payoffs=scaled, costs=costs, budget=30.0, backend="analytic"
+        )
+        with pytest.raises(ModelError, match="different solve configuration"):
+            SignalingAuditGame(
+                other,
+                RollbackEstimator(FutureAlertEstimator(history)),
+                solution_cache=cache,
+            )

@@ -1,0 +1,194 @@
+"""BatchAuditEngine: equivalence with the per-alert path, stats, batching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, PayoffError
+from repro.core.game import CHARGE_EXPECTED, SAGConfig, SignalingAuditGame
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp, solve_ossp_closed_form
+from repro.engine.cache import SSESolutionCache
+from repro.engine.stream import (
+    BatchAuditEngine,
+    analytic_config,
+    batch_closed_form_ossp,
+    batch_ossp_auditor_utility,
+    batch_sse_auditor_utility,
+)
+from repro.experiments.runtime import synthetic_stream_workload
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_stream_workload(
+        n_types=3, n_alerts=100, seed=13, n_history_days=6
+    )
+
+
+def _config(workload, backend="analytic"):
+    payoffs, costs, _, _, _ = workload
+    return SAGConfig(
+        payoffs=payoffs,
+        costs=costs,
+        budget=30.0,
+        backend=backend,
+        budget_charging=CHARGE_EXPECTED,
+    )
+
+
+def _estimator(workload):
+    _, _, history, _, _ = workload
+    return RollbackEstimator(FutureAlertEstimator(history))
+
+
+class TestBatchOSSP:
+    def test_matches_closed_form_componentwise(self):
+        thetas = np.linspace(0.0, 1.0, 33)
+        p1, q1, p0, q0 = batch_closed_form_ossp(thetas, PAY)
+        for i, theta in enumerate(thetas):
+            scheme = solve_ossp_closed_form(float(theta), PAY)
+            assert p1[i] == pytest.approx(scheme.p1, abs=1e-12)
+            assert q1[i] == pytest.approx(scheme.q1, abs=1e-12)
+            assert p0[i] == pytest.approx(scheme.p0, abs=1e-12)
+            assert q0[i] == pytest.approx(scheme.q0, abs=1e-12)
+
+    def test_auditor_utility_matches_scheme(self):
+        thetas = np.linspace(0.0, 1.0, 33)
+        values = batch_ossp_auditor_utility(thetas, PAY)
+        for i, theta in enumerate(thetas):
+            scheme = solve_ossp(float(theta), PAY)
+            assert values[i] == pytest.approx(scheme.auditor_utility(PAY), abs=1e-9)
+
+    def test_sse_utility_matches_payoff(self):
+        thetas = np.linspace(0.0, 1.0, 9)
+        values = batch_sse_auditor_utility(thetas, PAY)
+        for i, theta in enumerate(thetas):
+            assert values[i] == pytest.approx(PAY.auditor_utility(float(theta)))
+
+    def test_condition_violation_rejected(self):
+        bad = PayoffMatrix(u_dc=500.0, u_du=-1.0, u_ac=-1.0, u_au=500.0)
+        assert not bad.satisfies_theorem3_condition()
+        with pytest.raises(PayoffError):
+            batch_closed_form_ossp(np.array([0.5]), bad)
+        with pytest.raises(PayoffError):
+            batch_ossp_auditor_utility(np.array([0.5]), bad)
+
+
+class TestEngineEquivalence:
+    def test_transparent_over_per_alert_game(self, workload):
+        """The engine is a pure wrapper: same backend, same rng — identical
+        decisions to driving the game alert by alert."""
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(
+            _config(workload, backend="analytic"),
+            _estimator(workload),
+            rng=np.random.default_rng(3),
+        )
+        result = engine.process_stream(types, times)
+
+        game = SignalingAuditGame(
+            _config(workload, backend="analytic"),
+            _estimator(workload),
+            rng=np.random.default_rng(3),
+        )
+        for i, (t, s) in enumerate(zip(types, times)):
+            decision = game.process_alert(int(t), float(s))
+            assert result.game_values[i] == decision.game_value
+            assert result.thetas[i] == decision.theta
+            assert result.budget_path[i] == decision.budget_after
+            assert result.warned[i] == decision.warned
+
+    def test_first_alert_agrees_with_scipy_game(self, workload):
+        """Before any budget-path divergence the two backends see the same
+        state; the game values they commit to must coincide. (Later alerts
+        may legitimately differ: LP vertices distribute slack budget over
+        non-best-response types arbitrarily, the analytic optimum grants
+        minimal support — same objective, different degenerate marginals.)"""
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(
+            _config(workload, backend="analytic"),
+            _estimator(workload),
+            rng=np.random.default_rng(3),
+        )
+        result = engine.process_stream(types[:1], times[:1])
+        game = SignalingAuditGame(
+            _config(workload, backend="scipy"),
+            _estimator(workload),
+            rng=np.random.default_rng(3),
+        )
+        decision = game.process_alert(int(types[0]), float(times[0]))
+        assert result.game_values[0] == pytest.approx(decision.game_value, abs=1e-6)
+        assert result.decisions[0].sse.best_response == decision.sse.best_response
+
+    def test_batched_ossp_matches_per_decision_values(self, workload):
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        result = engine.process_stream(types, times)
+        recorded = np.array([d.ossp_utility for d in result.decisions])
+        np.testing.assert_allclose(result.ossp_utilities, recorded, atol=1e-9)
+
+
+class TestEngineStats:
+    def test_counters_reconcile(self, workload):
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        result = engine.process_stream(types, times)
+        stats = result.stats
+        assert stats.alerts == len(types)
+        assert stats.sse_solves + stats.cache_hits == stats.alerts
+        assert stats.backend == "analytic"
+        assert stats.wall_seconds > 0
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert stats.alerts_per_second > 0
+
+    def test_exact_cache_hits_on_second_cycle(self, workload):
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        first = engine.process_stream(types, times)
+        engine.reset()  # cache intentionally survives the cycle boundary
+        second = engine.process_stream(types, times)
+        assert first.stats.cache_hits == 0
+        assert second.stats.cache_hits == len(types)
+        assert second.stats.sse_solves == 0
+        np.testing.assert_array_equal(first.thetas, second.thetas)
+
+    def test_cache_disabled(self, workload):
+        _, _, _, types, times = workload
+        engine = BatchAuditEngine(
+            _config(workload), _estimator(workload), cache=None
+        )
+        assert engine.cache is None
+        result = engine.process_stream(types, times)
+        assert result.stats.cache_hits == 0
+        assert result.stats.sse_solves == len(types)
+
+
+class TestValidation:
+    def test_empty_stream_rejected(self, workload):
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        with pytest.raises(ExperimentError):
+            engine.process_stream([], [])
+
+    def test_mismatched_arrays_rejected(self, workload):
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        with pytest.raises(ExperimentError):
+            engine.process_stream([1, 1], [0.0])
+
+    def test_non_chronological_rejected(self, workload):
+        engine = BatchAuditEngine(_config(workload), _estimator(workload))
+        with pytest.raises(ExperimentError):
+            engine.process_stream([1, 1], [100.0, 50.0])
+
+    def test_invalid_cache_argument_rejected(self, workload):
+        with pytest.raises(ExperimentError, match="SSESolutionCache or None"):
+            BatchAuditEngine(
+                _config(workload), _estimator(workload), cache={"not": "a cache"}
+            )
+
+    def test_analytic_config_switches_backend(self, workload):
+        config = _config(workload, backend="scipy")
+        assert analytic_config(config).backend == "analytic"
+        assert analytic_config(config).budget == config.budget

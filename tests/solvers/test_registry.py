@@ -29,12 +29,31 @@ def simple_lp():
 
 
 def test_available_backends():
-    assert available_backends() == ("scipy", "simplex")
+    assert available_backends() == ("analytic", "scipy", "simplex")
 
 
 def test_get_backend_unknown():
     with pytest.raises(SolverError, match="unknown solver backend"):
         get_backend("gurobi")
+
+
+def test_analytic_generic_lp_falls_back_to_scipy(simple_lp):
+    # "analytic" is a structured backend: generic programs resolve to HiGHS.
+    solution = get_backend("analytic")(simple_lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.backend == "scipy"
+
+
+def test_infeasible_error_surfaces_backend_message():
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0], [-1.0]]),
+        b_ub=np.array([1.0, -2.0]),
+    )
+    direct = solve(lp, backend="scipy", raise_on_failure=False)
+    assert direct.message  # HiGHS explains the failure
+    with pytest.raises(InfeasibleProblemError, match="infeasible"):
+        solve(lp, backend="scipy")
 
 
 @pytest.mark.parametrize("backend", ["scipy", "simplex"])
