@@ -1,0 +1,147 @@
+"""Benchmark — scenario-suite throughput vs worker count.
+
+Reproduces: the orchestrator acceptance target — running a 4-scenario
+matrix (2 budgets x 2 attack timings) through the
+:class:`~repro.scenarios.runner.ParallelRunner` must scale: at least 2x
+wall-clock speedup at 4 workers versus serial, with the merged results
+bit-identical at every worker count. The run writes its measurements to
+``BENCH_suite.json`` (per-worker-count seconds, ``speedup_at_4``,
+``deterministic``), which CI uploads as an artifact alongside
+``BENCH_engine.json``.
+
+The speedup floor is only enforced when the machine actually has >= 4
+CPUs and multiprocessing uses the ``fork`` start method (pool workers
+then inherit the parent's warmed dataset memo; under ``spawn`` each
+timed parallel run would re-simulate the dataset the serial run gets
+for free, skewing the ratio) — and never in ``--quick`` mode.
+Determinism is enforced always.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+
+from repro.scenarios import ParallelRunner, ScenarioMatrix, ScenarioSpec
+
+#: Acceptance floor for the full-size run on a >= 4-CPU machine.
+MIN_SPEEDUP = 2.0
+
+#: Worker counts measured, in order.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_matrix(seed: int, n_trials: int) -> tuple[ScenarioSpec, ...]:
+    """The benchmark's 4-scenario matrix (2 budgets x 2 timings)."""
+    base = ScenarioSpec(
+        name="bench",
+        seed=seed,
+        n_days=10,
+        training_window=8,
+        normal_daily_mean=800.0,
+        n_trials=n_trials,
+    )
+    return ScenarioMatrix(
+        base, {"budget": (10.0, 20.0), "timing": ("uniform", "late")}
+    ).expand()
+
+
+def run_bench(seed: int = 7, n_trials: int = 48) -> dict:
+    """Measure the matrix at each worker count; verify determinism."""
+    specs = build_matrix(seed=seed, n_trials=n_trials)
+    # Warm the memoized dataset outside the timed region so the first
+    # worker count doesn't pay for simulation the others skip.
+    for spec in specs:
+        spec.build_world()
+
+    seconds: dict[str, float] = {}
+    payloads: dict[int, str] = {}
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        suite = ParallelRunner(workers=workers).run(specs)
+        seconds[str(workers)] = time.perf_counter() - started
+        payloads[workers] = json.dumps(suite.scenarios_payload(), sort_keys=True)
+
+    reference = payloads[WORKER_COUNTS[0]]
+    deterministic = all(payload == reference for payload in payloads.values())
+    return {
+        "n_scenarios": len(specs),
+        "trials_per_scenario": n_trials,
+        "cpu_count": os.cpu_count(),
+        "seconds_by_workers": seconds,
+        "speedup_at_4": seconds["1"] / seconds["4"] if seconds["4"] > 0 else 0.0,
+        "deterministic": deterministic,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced trial count for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_suite.json", metavar="PATH",
+        help="where to write the JSON measurements",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="trials per scenario (default 48, quick 12)",
+    )
+    args = parser.parse_args(argv)
+
+    n_trials = args.trials if args.trials is not None else (12 if args.quick else 48)
+    payload = run_bench(seed=args.seed, n_trials=n_trials)
+    payload["quick"] = bool(args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(_format(payload))
+    print(f"wrote {args.out}")
+    if not payload["deterministic"]:
+        print(
+            "FAIL: merged results differ across worker counts",
+            file=sys.stderr,
+        )
+        return 1
+    enforce = (
+        not args.quick
+        and (payload["cpu_count"] or 1) >= 4
+        and multiprocessing.get_start_method() == "fork"
+    )
+    if enforce and payload["speedup_at_4"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {payload['speedup_at_4']:.2f}x at 4 workers "
+            f"below the {MIN_SPEEDUP:.0f}x acceptance floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _format(payload: dict) -> str:
+    lines = [
+        f"Scenario suite scaling ({payload['n_scenarios']} scenarios, "
+        f"{payload['trials_per_scenario']} trials each, "
+        f"{payload['cpu_count']} CPUs)",
+    ]
+    for workers, seconds in payload["seconds_by_workers"].items():
+        lines.append(f"  {workers} worker(s): {seconds:7.3f} s")
+    lines.append(
+        f"  speedup at 4 workers: {payload['speedup_at_4']:.2f}x  "
+        f"(results deterministic: {payload['deterministic']})"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,14 @@ synthetic EMR substrate calibrated to the paper's Table 1, and the full
 evaluation harness for every table and figure.
 
 The solve stack is layered — solvers → engine → core game →
-audit/experiments; ``ARCHITECTURE.md`` at the repository root describes
-the layers, the solver-backend choices (``"scipy"``, ``"simplex"``, and
-the vectorized ``"analytic"`` fast path of :mod:`repro.engine`), and the
-solution-cache quantization trade-offs.
+audit/experiments → scenarios; ``ARCHITECTURE.md`` at the repository root
+describes the layers, the solver-backend choices (``"scipy"``,
+``"simplex"``, and the vectorized ``"analytic"`` fast path of
+:mod:`repro.engine`), the solution-cache quantization trade-offs, and the
+scenario suite's deterministic-seeding contract
+(:mod:`repro.scenarios` — declarative specs, matrix sweeps, and a
+sharded parallel Monte Carlo runner whose merged results are
+bit-identical to serial runs).
 
 Quickstart
 ----------
@@ -64,6 +68,14 @@ from repro.stats import (
     build_estimator,
     hospital_profile,
 )
+from repro.scenarios import (
+    ParallelRunner,
+    ScenarioMatrix,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -102,6 +114,12 @@ __all__ = [
     "RollbackEstimator",
     "build_estimator",
     "hospital_profile",
+    "ParallelRunner",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "ReproError",
     "__version__",
 ]

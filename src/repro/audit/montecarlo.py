@@ -14,12 +14,27 @@ It also implements the paper's *late attacker* thought experiment
 an audit cycle"): attack timing can be uniform over the day or pinned to
 the final alerts, which is exactly the scenario knowledge rollback exists
 to defuse.
+
+Seeding contract
+----------------
+Trials are mutually independent by construction: a master ``seed``
+expands into one ``uint64`` root per trial via
+``numpy.random.SeedSequence(seed).generate_state(n_trials)``
+(:func:`spawn_trial_seeds`), and each trial derives its simulation and
+game streams by spawning its own ``SeedSequence``. Consequences the rest
+of the codebase relies on:
+
+* any contiguous (or even arbitrary) slice of the trial-seed list can be
+  evaluated on a different worker process and the merged outcome list is
+  bit-identical to a serial run (:meth:`MonteCarloResult.merge`);
+* any single trial can be replayed in isolation from the seed recorded in
+  :attr:`MonteCarloResult.trial_seeds` (:func:`run_single_trial`).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -37,13 +52,33 @@ TIMING_UNIFORM = "uniform"      # attack at a uniformly random alert slot
 TIMING_LATE = "late"            # attack within the last alert slots
 
 
+def spawn_trial_seeds(seed: int, n_trials: int) -> tuple[int, ...]:
+    """Expand a master seed into one independent root seed per trial.
+
+    Uses ``SeedSequence.generate_state`` (not sequential offsets), so the
+    per-trial streams are decorrelated regardless of how close master seeds
+    are, and the expansion of ``n`` trials is a prefix of the expansion of
+    ``m > n`` trials — growing a run keeps every existing trial unchanged.
+    """
+    if n_trials <= 0:
+        raise ExperimentError(f"n_trials must be positive, got {n_trials}")
+    state = np.random.SeedSequence(seed).generate_state(n_trials, dtype=np.uint64)
+    return tuple(int(word) for word in state)
+
+
 @dataclass(frozen=True)
 class TrialOutcome:
     """One simulated attack against one audit day.
 
     ``expected_auditor_utility`` is the solver-predicted game value at the
     attacked state — what the figures plot; ``auditor_utility`` is the
-    realized payoff of this trial's lottery.
+    realized payoff of this trial's lottery. With multiple attackers
+    (``n_attackers > 1``) the utilities are summed over attackers,
+    ``attacked``/``warned``/``audited`` report whether the event happened
+    for *any* of them, ``proceeded`` keeps ``warned and not proceeded``
+    meaning "some warned attacker quit" (see ``_combine_attacks``), and
+    ``attack_type``/``attack_time`` describe the chronologically first
+    launched attack.
     """
 
     attacked: bool
@@ -59,7 +94,13 @@ class TrialOutcome:
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Aggregate of attacker-in-the-loop trials."""
+    """Aggregate of attacker-in-the-loop trials.
+
+    The payload is shard-mergeable and replayable: ``outcomes`` holds every
+    trial in order and ``trial_seeds`` the per-trial RNG roots, so
+    :meth:`merge` can stitch worker shards back into the serial result and
+    :func:`run_single_trial` can re-derive any single trial in isolation.
+    """
 
     n_trials: int
     timing: str
@@ -70,11 +111,225 @@ class MonteCarloResult:
     warned_rate: float
     quit_rate: float
     audit_rate: float
+    trial_seeds: tuple[int, ...] = ()
+    outcomes: tuple[TrialOutcome, ...] = ()
+    master_seed: int | None = None
 
     @property
     def expectation_gap(self) -> float:
         """|empirical mean - predicted expectation| for the auditor."""
         return abs(self.mean_auditor_utility - self.mean_expected_utility)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        timing: str,
+        outcomes: Sequence[TrialOutcome],
+        trial_seeds: Sequence[int] = (),
+        master_seed: int | None = None,
+    ) -> "MonteCarloResult":
+        """Aggregate an ordered list of trial outcomes.
+
+        This is the *only* aggregation code path (serial runs and shard
+        merges both land here), so identical outcome lists always produce
+        identical floating-point aggregates.
+        """
+        if not outcomes:
+            raise ExperimentError("cannot aggregate zero trial outcomes")
+        if trial_seeds and len(trial_seeds) != len(outcomes):
+            raise ExperimentError(
+                f"got {len(trial_seeds)} trial seeds for {len(outcomes)} outcomes"
+            )
+        return cls(
+            n_trials=len(outcomes),
+            timing=timing,
+            mean_auditor_utility=float(
+                np.mean([o.auditor_utility for o in outcomes])
+            ),
+            mean_attacker_utility=float(
+                np.mean([o.attacker_utility for o in outcomes])
+            ),
+            mean_expected_utility=float(
+                np.mean([o.expected_auditor_utility for o in outcomes])
+            ),
+            attack_rate=float(np.mean([o.attacked for o in outcomes])),
+            warned_rate=float(np.mean([o.warned for o in outcomes])),
+            quit_rate=float(
+                np.mean([o.warned and not o.proceeded for o in outcomes])
+            ),
+            audit_rate=float(np.mean([o.audited for o in outcomes])),
+            trial_seeds=tuple(int(s) for s in trial_seeds),
+            outcomes=tuple(outcomes),
+            master_seed=master_seed,
+        )
+
+    @classmethod
+    def merge(cls, shards: Sequence["MonteCarloResult"]) -> "MonteCarloResult":
+        """Concatenate shard results (in shard order) into one aggregate.
+
+        Shards produced by slicing one :func:`spawn_trial_seeds` expansion
+        merge back into exactly the serial result: outcomes and seeds are
+        concatenated, and the aggregates are recomputed through
+        :meth:`from_outcomes` over the full ordered list.
+        """
+        if not shards:
+            raise ExperimentError("cannot merge zero Monte Carlo shards")
+        timings = {shard.timing for shard in shards}
+        if len(timings) != 1:
+            raise ExperimentError(
+                f"cannot merge shards with differing timings: {sorted(timings)}"
+            )
+        for shard in shards:
+            if not shard.outcomes:
+                raise ExperimentError(
+                    "cannot merge a shard without per-trial outcomes"
+                )
+        outcomes = [o for shard in shards for o in shard.outcomes]
+        seeds = [s for shard in shards for s in shard.trial_seeds]
+        masters = {shard.master_seed for shard in shards}
+        master = masters.pop() if len(masters) == 1 else None
+        return cls.from_outcomes(
+            timing=shards[0].timing,
+            outcomes=outcomes,
+            trial_seeds=seeds,
+            master_seed=master,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (aggregates, per-trial seeds, and outcomes)."""
+        return {
+            "n_trials": self.n_trials,
+            "timing": self.timing,
+            "master_seed": self.master_seed,
+            "mean_auditor_utility": self.mean_auditor_utility,
+            "mean_attacker_utility": self.mean_attacker_utility,
+            "mean_expected_utility": self.mean_expected_utility,
+            "expectation_gap": self.expectation_gap,
+            "attack_rate": self.attack_rate,
+            "warned_rate": self.warned_rate,
+            "quit_rate": self.quit_rate,
+            "audit_rate": self.audit_rate,
+            "trial_seeds": list(self.trial_seeds),
+            "trials": [asdict(outcome) for outcome in self.outcomes],
+        }
+
+
+def run_single_trial(
+    alerts: Sequence[AlertRecord],
+    context: CycleContext,
+    trial_seed: int,
+    timing: str = TIMING_UNIFORM,
+    signaling_enabled: bool = True,
+    attacker: RationalAttacker | QuantalResponseAttacker | None = None,
+    robust_margin: float = 0.0,
+    solution_cache: SSESolutionCache | None = None,
+    moment: PoissonReciprocalMoment | None = None,
+    n_attackers: int = 1,
+) -> TrialOutcome:
+    """Simulate one independent attack day from its recorded root seed.
+
+    ``trial_seed`` fully determines the trial: the simulation stream (slot
+    choice, warning/audit lotteries) and the game's signal-sampling stream
+    are both spawned from ``SeedSequence(trial_seed)``. Replaying a trial
+    from :attr:`MonteCarloResult.trial_seeds` therefore reproduces its
+    :class:`TrialOutcome` exactly, with no other trials run.
+    """
+    if not alerts:
+        raise ExperimentError("need a non-empty alert stream")
+    if timing not in (TIMING_UNIFORM, TIMING_LATE):
+        raise ExperimentError(f"unknown timing strategy {timing!r}")
+    if n_attackers < 1:
+        raise ExperimentError(f"n_attackers must be >= 1, got {n_attackers}")
+    if n_attackers > len(alerts):
+        raise ExperimentError(
+            f"{n_attackers} attackers need at least as many alert slots, "
+            f"got {len(alerts)}"
+        )
+    attacker = attacker or RationalAttacker()
+    sim_sequence, game_sequence = np.random.SeedSequence(trial_seed).spawn(2)
+    rng = np.random.default_rng(sim_sequence)
+    game = SignalingAuditGame(
+        SAGConfig(
+            payoffs=context.payoffs,
+            costs=context.costs,
+            budget=context.budget,
+            backend=context.backend,
+            signaling_enabled=signaling_enabled,
+            budget_charging=context.budget_charging,
+            robust_margin=robust_margin,
+        ),
+        context.build_estimator(),
+        rng=np.random.default_rng(game_sequence),
+        moment=moment,
+        solution_cache=solution_cache,
+    )
+    if timing == TIMING_UNIFORM:
+        pool = len(alerts)
+        offset = 0
+    else:
+        pool = max(n_attackers, len(alerts) // 20)
+        offset = len(alerts) - pool
+    slots = offset + rng.choice(pool, size=n_attackers, replace=False)
+    slot_set = set(int(s) for s in slots)
+
+    attacks: list[TrialOutcome] = []
+    for index, alert in enumerate(alerts):
+        if index in slot_set:
+            attacks.append(
+                _attack_at_slot(
+                    game, alert.time_of_day, context, attacker, rng,
+                    signaling_enabled, robust_margin,
+                )
+            )
+        else:
+            game.process_alert(alert.type_id, alert.time_of_day)
+    return _combine_attacks(attacks)
+
+
+def run_trials(
+    alerts: Sequence[AlertRecord],
+    context: CycleContext,
+    trial_seeds: Sequence[int],
+    timing: str = TIMING_UNIFORM,
+    signaling_enabled: bool = True,
+    attacker: RationalAttacker | QuantalResponseAttacker | None = None,
+    robust_margin: float = 0.0,
+    solution_cache: SSESolutionCache | None = None,
+    cache_factory: Callable[[], SSESolutionCache | None] | None = None,
+    n_attackers: int = 1,
+) -> list[TrialOutcome]:
+    """Run one trial per seed, in order (a shard's worth of work).
+
+    Trials share one reciprocal-moment memo (the rates repeat across
+    trials) and, optionally, one solution cache; neither changes any
+    outcome — the memo is exact and an exact-mode cache returns the
+    identical solution a fresh solve would.
+
+    ``cache_factory`` overrides ``solution_cache`` when given: it is
+    called once per trial to build that trial's private cache (the hook
+    the scenario runner's quantized ``per-trial`` mode uses — a quantized
+    cache confined to one trial cannot couple trials, so sharding stays
+    result-invariant; the factory may retain references for stats).
+    """
+    moment = PoissonReciprocalMoment()
+    attacker = attacker or RationalAttacker()
+    return [
+        run_single_trial(
+            alerts,
+            context,
+            trial_seed,
+            timing=timing,
+            signaling_enabled=signaling_enabled,
+            attacker=attacker,
+            robust_margin=robust_margin,
+            solution_cache=(
+                cache_factory() if cache_factory is not None else solution_cache
+            ),
+            moment=moment,
+            n_attackers=n_attackers,
+        )
+        for trial_seed in trial_seeds
+    ]
 
 
 def run_attacker_in_the_loop(
@@ -87,13 +342,15 @@ def run_attacker_in_the_loop(
     attacker: RationalAttacker | QuantalResponseAttacker | None = None,
     robust_margin: float = 0.0,
     solution_cache: SSESolutionCache | None = None,
+    n_attackers: int = 1,
 ) -> MonteCarloResult:
     """Simulate ``n_trials`` independent attack days.
 
     Each trial replays the day's (false-positive) alert stream through a
-    fresh :class:`SignalingAuditGame`; one alert slot is the attacker's. At
-    that slot the rational attacker observes the committed distribution,
-    picks the best alert type, attacks only when his expected utility is
+    fresh :class:`SignalingAuditGame`; one alert slot (``n_attackers`` of
+    them in the multi-attacker extension) is the attacker's. At that slot
+    the rational attacker observes the committed distribution, picks the
+    best alert type, attacks only when his expected utility is
     non-negative, quits when warned, and otherwise rides out the audit
     lottery.
 
@@ -107,6 +364,9 @@ def run_attacker_in_the_loop(
         :data:`TIMING_UNIFORM` or :data:`TIMING_LATE`.
     signaling_enabled:
         ``False`` simulates against the online-SSE baseline instead.
+    seed:
+        Master seed; expanded into per-trial roots by
+        :func:`spawn_trial_seeds` (recorded on the result for replay).
     attacker:
         A :class:`RationalAttacker` (default) or a
         :class:`QuantalResponseAttacker` (noisy type choice, probabilistic
@@ -119,70 +379,65 @@ def run_attacker_in_the_loop(
         every trial. Trials replay the same background stream, so even the
         exact (step-0) mode converts most repeat solves into lookups
         without changing any result.
+    n_attackers:
+        Independent symmetric attackers per trial (the paper's
+        multiple-attacker future-work direction; see
+        :mod:`repro.extensions.multi_attacker`). Utilities in each
+        :class:`TrialOutcome` are summed over attackers.
     """
     if not alerts:
         raise ExperimentError("need a non-empty alert stream")
     if timing not in (TIMING_UNIFORM, TIMING_LATE):
         raise ExperimentError(f"unknown timing strategy {timing!r}")
-    rng = np.random.default_rng(seed)
-    attacker = attacker or RationalAttacker()
-    # One reciprocal-moment memo for the whole run: the rates repeat across
-    # trials, so a per-game (empty) memo would redo identical series sums.
-    moment = PoissonReciprocalMoment()
-
-    outcomes: list[TrialOutcome] = []
-    for trial in range(n_trials):
-        game = SignalingAuditGame(
-            SAGConfig(
-                payoffs=context.payoffs,
-                costs=context.costs,
-                budget=context.budget,
-                backend=context.backend,
-                signaling_enabled=signaling_enabled,
-                budget_charging=context.budget_charging,
-                robust_margin=robust_margin,
-            ),
-            context.build_estimator(),
-            rng=np.random.default_rng(seed + 1000 + trial),
-            moment=moment,
-            solution_cache=solution_cache,
-        )
-        if timing == TIMING_UNIFORM:
-            slot = int(rng.integers(len(alerts)))
-        else:
-            tail = max(1, len(alerts) // 20)
-            slot = len(alerts) - 1 - int(rng.integers(tail))
-
-        outcome: TrialOutcome | None = None
-        for index, alert in enumerate(alerts):
-            if index == slot:
-                outcome = _attack_at_slot(
-                    game, alert.time_of_day, context, attacker, rng,
-                    signaling_enabled, robust_margin,
-                )
-            else:
-                game.process_alert(alert.type_id, alert.time_of_day)
-        assert outcome is not None  # slot always within range
-        outcomes.append(outcome)
-
-    return MonteCarloResult(
-        n_trials=n_trials,
+    trial_seeds = spawn_trial_seeds(seed, n_trials)
+    outcomes = run_trials(
+        alerts,
+        context,
+        trial_seeds,
         timing=timing,
-        mean_auditor_utility=float(
-            np.mean([o.auditor_utility for o in outcomes])
+        signaling_enabled=signaling_enabled,
+        attacker=attacker,
+        robust_margin=robust_margin,
+        solution_cache=solution_cache,
+        n_attackers=n_attackers,
+    )
+    return MonteCarloResult.from_outcomes(
+        timing=timing,
+        outcomes=outcomes,
+        trial_seeds=trial_seeds,
+        master_seed=seed,
+    )
+
+
+def _combine_attacks(attacks: list[TrialOutcome]) -> TrialOutcome:
+    """Aggregate per-attacker results into one trial outcome.
+
+    The single-attacker case passes through unchanged; for multiple
+    symmetric attackers the utilities add (independent attackers, linear
+    utilities — the aggregation :mod:`repro.extensions.multi_attacker`
+    derives for the expected values) and ``attacked``/``warned``/
+    ``audited`` report "any". ``proceeded`` is chosen so the derived quit
+    indicator (``warned and not proceeded``) means "some warned attacker
+    quit": it is ``False`` whenever any warned attacker backed off, and
+    "any attacker proceeded" otherwise.
+    """
+    if len(attacks) == 1:
+        return attacks[0]
+    launched = [a for a in attacks if a.attacked]
+    first = min(launched, key=lambda a: a.attack_time) if launched else attacks[0]
+    quit_happened = any(a.warned and not a.proceeded for a in attacks)
+    return TrialOutcome(
+        attacked=any(a.attacked for a in attacks),
+        attack_type=first.attack_type,
+        attack_time=first.attack_time,
+        warned=any(a.warned for a in attacks),
+        proceeded=not quit_happened and any(a.proceeded for a in attacks),
+        audited=any(a.audited for a in attacks),
+        auditor_utility=float(sum(a.auditor_utility for a in attacks)),
+        attacker_utility=float(sum(a.attacker_utility for a in attacks)),
+        expected_auditor_utility=float(
+            sum(a.expected_auditor_utility for a in attacks)
         ),
-        mean_attacker_utility=float(
-            np.mean([o.attacker_utility for o in outcomes])
-        ),
-        mean_expected_utility=float(
-            np.mean([o.expected_auditor_utility for o in outcomes])
-        ),
-        attack_rate=float(np.mean([o.attacked for o in outcomes])),
-        warned_rate=float(np.mean([o.warned for o in outcomes])),
-        quit_rate=float(
-            np.mean([o.warned and not o.proceeded for o in outcomes])
-        ),
-        audit_rate=float(np.mean([o.audited for o in outcomes])),
     )
 
 

@@ -17,16 +17,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="sag",
         description="Signaling Audit Games — reproduce the paper's evaluation.",
     )
-    parser.add_argument("--seed", type=int, default=7, help="dataset seed")
+    # seed/days/backend default to None so `suite` can tell an explicit
+    # flag (which overrides scenario specs) from the default (which does
+    # not); the classic subcommands see the resolved values below.
     parser.add_argument(
-        "--days", type=int, default=56, help="number of simulated days"
+        "--seed", type=int, default=None, help="dataset seed (default: 7)"
+    )
+    parser.add_argument(
+        "--days", type=int, default=None,
+        help="number of simulated days (default: 56)",
     )
     parser.add_argument(
         "--test-days", type=int, default=4, help="test days for the figures"
     )
     parser.add_argument(
-        "--backend", choices=("scipy", "simplex", "analytic"), default="scipy",
-        help="solver backend (analytic = vectorized LP (2) fast path)",
+        "--backend", choices=("scipy", "simplex", "analytic"), default=None,
+        help="solver backend (analytic = vectorized LP (2) fast path; "
+        "default: scipy)",
     )
     parser.add_argument(
         "--chart", action="store_true",
@@ -50,11 +57,58 @@ def main(argv: Sequence[str] | None = None) -> int:
         ("full-eval", "all-group (15x) evaluation summary"),
     ):
         subparsers.add_parser(name, help=help_text)
+    suite = subparsers.add_parser(
+        "suite",
+        help="run scenario suites: sharded parallel Monte Carlo over specs",
+        description=(
+            "Evaluate named scenario presets (optionally expanded through "
+            "matrix axes, or loaded from a JSON spec file) with Monte Carlo "
+            "trials sharded across worker processes. The merged results are "
+            "bit-identical for any --workers value."
+        ),
+    )
+    suite.add_argument(
+        "--scenarios", metavar="NAMES",
+        help="comma-separated preset names (see --list)",
+    )
+    suite.add_argument(
+        "--spec-file", metavar="PATH",
+        help="JSON file: a spec object, a list of spec objects, or a "
+        "matrix object {'base': {...}, 'axes': {field: [values]}}",
+    )
+    suite.add_argument(
+        "--axis", action="append", default=[], metavar="FIELD=V1,V2",
+        help="expand every selected scenario over this axis (repeatable); "
+        "values are parsed as JSON where possible",
+    )
+    suite.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for trial sharding (default 1 = serial)",
+    )
+    suite.add_argument(
+        "--trials", type=int, default=None,
+        help="override every scenario's n_trials",
+    )
+    suite.add_argument(
+        "--out", metavar="PATH",
+        help="write the suite result JSON here",
+    )
+    suite.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenario presets and exit",
+    )
     parser.add_argument(
         "--svg", metavar="PATH",
         help="also write figure output as SVG files with this path prefix",
     )
     args = parser.parse_args(argv)
+    explicit = {
+        name for name in ("seed", "days", "backend")
+        if getattr(args, name) is not None
+    }
+    args.seed = 7 if args.seed is None else args.seed
+    args.days = 56 if args.days is None else args.days
+    args.backend = "scipy" if args.backend is None else args.backend
 
     # Imports are deferred so `--help` stays instant.
     if args.experiment == "table1":
@@ -158,45 +212,154 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_full_evaluation(result))
             print()
     elif args.experiment == "montecarlo":
-        from repro.audit.evaluation import EvaluationHarness
-        from repro.audit.montecarlo import (
-            TIMING_LATE,
-            TIMING_UNIFORM,
-            run_attacker_in_the_loop,
-        )
-        from repro.experiments.config import (
-            SINGLE_TYPE_BUDGET,
-            SINGLE_TYPE_ID,
-            TABLE2_PAYOFFS,
-            paper_costs,
-        )
-        from repro.experiments.dataset import build_alert_store
+        from repro.experiments.config import SINGLE_TYPE_BUDGET
+        from repro.scenarios import get_scenario, run_scenario
 
-        store = build_alert_store(seed=args.seed, n_days=args.days)
-        harness = EvaluationHarness(
-            store,
-            payoffs={SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
-            costs={SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]},
-            budget=SINGLE_TYPE_BUDGET,
-            type_ids=(SINGLE_TYPE_ID,),
-            seed=args.seed,
-        )
-        split = harness.splits(window=min(41, len(store.days) - 1))[0]
-        alerts = harness.test_alerts(split)
-        context = harness.context_for(split)
         print("Attacker-in-the-loop Monte Carlo (single type, budget "
-              f"{SINGLE_TYPE_BUDGET:.0f}, {len(alerts)} alerts/day)")
-        for timing in (TIMING_UNIFORM, TIMING_LATE):
-            result = run_attacker_in_the_loop(
-                alerts, context, n_trials=60, timing=timing, seed=args.seed
+              f"{SINGLE_TYPE_BUDGET:.0f})")
+        for preset in ("fig2-uniform", "fig2-late"):
+            spec = get_scenario(preset).with_updates(
+                seed=args.seed, n_days=args.days, backend=args.backend,
             )
-            print(f"  timing={timing:8s} empirical auditor utility "
+            result = run_scenario(spec).montecarlo
+            print(f"  timing={result.timing:8s} empirical auditor utility "
                   f"{result.mean_auditor_utility:9.2f}  "
                   f"predicted {result.mean_expected_utility:9.2f}  "
                   f"gap {result.expectation_gap:7.2f}  "
                   f"attack rate {result.attack_rate:.2f}  "
                   f"quit rate {result.quit_rate:.2f}")
+    elif args.experiment == "suite":
+        return _run_suite(args, explicit)
     return 0
+
+
+def _run_suite(args, explicit) -> int:
+    """The ``suite`` subcommand: select specs, run sharded, report/write."""
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.experiments.report import render_table
+    from repro.scenarios import (
+        ParallelRunner,
+        ScenarioMatrix,
+        ScenarioSpec,
+        get_scenario,
+        scenario_names,
+    )
+
+    if args.list_scenarios:
+        from dataclasses import fields
+
+        defaults = {f.name: f.default for f in fields(ScenarioSpec)}
+        rows = []
+        for name in scenario_names():
+            spec = get_scenario(name)
+            overrides = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(spec.to_dict().items())
+                if key != "name" and value != defaults[key]
+            )
+            rows.append([name, spec.setting, spec.attacker, overrides or "—"])
+        print(render_table(
+            headers=["preset", "setting", "attacker", "non-default fields"],
+            rows=rows,
+            title="Registered scenario presets",
+        ))
+        return 0
+
+    specs: list[ScenarioSpec] = []
+    if args.scenarios:
+        specs.extend(
+            get_scenario(name.strip())
+            for name in args.scenarios.split(",") if name.strip()
+        )
+    if args.spec_file:
+        with open(args.spec_file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if isinstance(payload, list):
+            specs.extend(ScenarioSpec.from_dict(entry) for entry in payload)
+        elif isinstance(payload, dict) and "axes" in payload:
+            specs.extend(ScenarioMatrix.from_dict(payload).expand())
+        elif isinstance(payload, dict):
+            specs.append(ScenarioSpec.from_dict(payload))
+        else:
+            raise ExperimentError(
+                f"{args.spec_file}: expected a spec object, a list of spec "
+                "objects, or a matrix object"
+            )
+    if not specs:
+        print("no scenarios selected; use --scenarios, --spec-file, or --list",
+              file=sys.stderr)
+        return 2
+
+    # Honor the global --seed/--days/--backend options like every other
+    # subcommand; only flags the user actually passed override the specs
+    # (presets keep their own backends etc. otherwise). Axes win over
+    # globals for fields swept by both.
+    overrides = {}
+    if "seed" in explicit:
+        overrides["seed"] = args.seed
+    if "days" in explicit:
+        overrides["n_days"] = args.days
+    if "backend" in explicit:
+        overrides["backend"] = args.backend
+    if overrides:
+        specs = [spec.with_updates(**overrides) for spec in specs]
+
+    if args.axis:
+        # Keep duplicates as pairs so ScenarioMatrix's duplicate-axis
+        # guard fires instead of dict() silently dropping one.
+        axes = [_parse_axis(raw) for raw in args.axis]
+        specs = [cell for spec in specs
+                 for cell in ScenarioMatrix(spec, axes).expand()]
+    if args.trials is not None:
+        specs = [spec.with_updates(n_trials=args.trials) for spec in specs]
+
+    suite = ParallelRunner(workers=args.workers).run(specs)
+    rows = []
+    for result in suite.results:
+        mc, engine = result.montecarlo, result.engine
+        rows.append([
+            result.spec.name,
+            mc.n_trials,
+            round(mc.mean_auditor_utility, 2),
+            round(mc.mean_expected_utility, 2),
+            round(mc.expectation_gap, 2),
+            round(mc.attack_rate, 2),
+            round(mc.quit_rate, 2),
+            f"{engine.hit_rate:.0%}",
+            round(engine.wall_seconds, 2),
+        ])
+    print(render_table(
+        headers=["scenario", "trials", "realized U", "predicted U", "gap",
+                 "attack", "quit", "cache hit", "trial s"],
+        rows=rows,
+        title=(f"Scenario suite — {len(suite.results)} scenarios, "
+               f"{suite.workers} workers, {suite.wall_seconds:.1f}s wall"),
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _parse_axis(raw: str) -> tuple[str, tuple]:
+    """Parse ``field=v1,v2`` with JSON-typed values (fallback: string)."""
+    import json
+
+    from repro.errors import ExperimentError
+
+    field_name, separator, tail = raw.partition("=")
+    if not separator or not field_name or not tail:
+        raise ExperimentError(f"--axis expects FIELD=V1,V2 ..., got {raw!r}")
+    values = []
+    for chunk in tail.split(","):
+        try:
+            values.append(json.loads(chunk))
+        except json.JSONDecodeError:
+            values.append(chunk)
+    return field_name, tuple(values)
 
 
 def _maybe_write_svgs(result, prefix: str | None, stem: str) -> None:

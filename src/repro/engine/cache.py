@@ -61,6 +61,21 @@ class CacheStats:
         """Fraction of lookups answered from the cache (0 when unused)."""
         return self.hits / self.calls if self.calls else 0.0
 
+    @classmethod
+    def merge(cls, snapshots: "list[CacheStats] | tuple[CacheStats, ...]") -> "CacheStats":
+        """Combine snapshots of *disjoint* caches (e.g. one per worker).
+
+        Counters add; ``entries`` adds too because each worker owns its own
+        cache (the suite's sharded runner never shares cache objects across
+        processes). The merged snapshot still reconciles:
+        ``hits + misses == calls``.
+        """
+        return cls(
+            hits=sum(s.hits for s in snapshots),
+            misses=sum(s.misses for s in snapshots),
+            entries=sum(s.entries for s in snapshots),
+        )
+
 
 class SSESolutionCache:
     """Quantizing ``GameState -> SSESolution`` memo with LRU-ish eviction.

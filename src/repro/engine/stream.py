@@ -119,6 +119,33 @@ class EngineStats:
         """Processed alert throughput (0 when the clock read as instant)."""
         return self.alerts / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    @classmethod
+    def merge(cls, shards: Sequence["EngineStats"]) -> "EngineStats":
+        """Combine per-shard accounting into one aggregate.
+
+        Used by the scenario suite's sharded runner, where each worker
+        process drives its own engine/cache. Counters and entries add
+        (worker caches are disjoint); ``wall_seconds`` adds too, so the
+        merged figure is the total worker-side processing time across
+        shards (whatever each shard measured — whole-trial time in the
+        suite), not elapsed wall-clock (shards overlap in real time).
+        """
+        if not shards:
+            raise ExperimentError("cannot merge zero EngineStats shards")
+        backends = {shard.backend for shard in shards}
+        if len(backends) != 1:
+            raise ExperimentError(
+                f"cannot merge stats across backends: {sorted(backends)}"
+            )
+        return cls(
+            alerts=sum(s.alerts for s in shards),
+            sse_solves=sum(s.sse_solves for s in shards),
+            cache_hits=sum(s.cache_hits for s in shards),
+            cache_entries=sum(s.cache_entries for s in shards),
+            wall_seconds=float(sum(s.wall_seconds for s in shards)),
+            backend=shards[0].backend,
+        )
+
 
 @dataclass(frozen=True)
 class StreamResult:

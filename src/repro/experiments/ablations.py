@@ -65,18 +65,34 @@ def run_rollback_ablation(
     n_days: int = 48,
     n_test_days: int = 2,
     late_window_hours: float = 2.0,
+    spec: "ScenarioSpec | None" = None,
 ) -> RollbackAblationResult:
-    """Compare the late attacker's opportunity with rollback on vs off."""
-    from repro.experiments.config import SINGLE_TYPE_ID
+    """Compare the late attacker's opportunity with rollback on vs off.
 
-    store = build_alert_store(seed=seed, n_days=n_days)
+    A :class:`~repro.scenarios.spec.ScenarioSpec` may describe the world
+    (seed, dataset size, budget, backend); the legacy keyword arguments
+    build the historical default (scipy backend, expected charging).
+    """
+    from repro.experiments.config import SINGLE_TYPE_ID
+    from repro.scenarios.spec import ScenarioSpec
+
+    if spec is None:
+        spec = ScenarioSpec(
+            name="ablation/rollback",
+            seed=seed,
+            n_days=n_days,
+            backend="scipy",
+            budget_charging="expected",
+        )
+    store = spec.build_store()
     cutoff = SECONDS_PER_DAY - late_window_hours * 3600.0
     payoff = TABLE2_PAYOFFS[SINGLE_TYPE_ID]
 
     def collect(rollback: bool) -> tuple[float, float, float]:
         result = run_figure2(
-            store=store, n_test_days=n_test_days, seed=seed,
-            rollback_enabled=rollback, budget_charging="expected",
+            store=store, n_test_days=n_test_days, seed=spec.seed,
+            budget=spec.resolved_budget(), backend=spec.backend,
+            rollback_enabled=rollback, budget_charging=spec.budget_charging,
         )
         thetas, utilities = [], []
         for day_results in result.series.values():

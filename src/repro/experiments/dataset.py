@@ -21,6 +21,7 @@ from repro.emr.simulator import (
 )
 from repro.experiments.config import PAPER_DAYS, paper_calibration
 from repro.logstore.store import AlertLogStore
+from repro.stats.diurnal import named_profile
 
 #: Default routine-access volume per day. Scaled down from the paper's
 #: ~192k/day (10.75M / 56); the game only consumes the calibrated alert
@@ -53,8 +54,14 @@ def build_dataset(
     n_days: int = PAPER_DAYS,
     normal_daily_mean: float = DEFAULT_NORMAL_DAILY_MEAN,
     population_config: PopulationConfig | None = None,
+    diurnal: str = "hospital",
 ) -> Dataset:
-    """Simulate ``n_days`` of hospital traffic and detect all alerts."""
+    """Simulate ``n_days`` of hospital traffic and detect all alerts.
+
+    ``diurnal`` selects a named intra-day arrival profile
+    (:data:`repro.stats.diurnal.PROFILE_FACTORIES`); the string form keeps
+    the knob serializable for scenario specs and memoization keys.
+    """
     rng = np.random.default_rng(seed)
     population = build_population(population_config, rng=rng)
     simulator = AccessLogSimulator(
@@ -62,6 +69,7 @@ def build_dataset(
         SimulatorConfig(
             calibration=paper_calibration(),
             normal_daily_mean=normal_daily_mean,
+            profile=named_profile(diurnal),
         ),
         rng=rng,
     )
@@ -73,13 +81,17 @@ def build_dataset(
     return Dataset(days=days, store=store)
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def build_alert_store(
     seed: int = 7,
     n_days: int = PAPER_DAYS,
     normal_daily_mean: float = DEFAULT_NORMAL_DAILY_MEAN,
+    diurnal: str = "hospital",
 ) -> AlertLogStore:
     """Memoized alert store for the default population configuration."""
     return build_dataset(
-        seed=seed, n_days=n_days, normal_daily_mean=normal_daily_mean
+        seed=seed,
+        n_days=n_days,
+        normal_daily_mean=normal_daily_mean,
+        diurnal=diurnal,
     ).store

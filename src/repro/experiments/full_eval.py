@@ -11,19 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.audit.evaluation import EvaluationHarness
 from repro.audit.metrics import OutcomeSummary, summarize
 from repro.audit.policies import OfflineSSEPolicy, OnlineSSEPolicy, OSSPPolicy
-from repro.experiments.config import (
-    MULTI_TYPE_BUDGET,
-    SINGLE_TYPE_BUDGET,
-    SINGLE_TYPE_ID,
-    TABLE2_PAYOFFS,
-    paper_costs,
-)
-from repro.experiments.dataset import build_alert_store
 from repro.experiments.report import render_table
 from repro.logstore.store import AlertLogStore
+from repro.scenarios.spec import SETTINGS, ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -42,45 +34,45 @@ def run_full_evaluation(
     n_days: int = 56,
     max_groups: int | None = None,
     training_window: int | None = None,
+    spec: ScenarioSpec | None = None,
 ) -> FullEvaluationResult:
     """Run OSSP / online SSE / offline SSE over all rolling groups.
 
-    ``setting`` is ``"single"`` (Figure 2 parameters) or ``"multi"``
-    (Figure 3 parameters).
+    The evaluation world is described by a
+    :class:`~repro.scenarios.spec.ScenarioSpec`; pass one directly (its
+    ``setting``/``seed``/``n_days``/``backend``/``budget`` fields apply),
+    or use the legacy keyword arguments, which build an equivalent spec
+    with the historical defaults (``"single"`` = Figure 2 parameters,
+    ``"multi"`` = Figure 3 parameters, scipy backend).
     """
+    if spec is None:
+        if setting not in SETTINGS:
+            raise ValueError(
+                f"unknown setting {setting!r}; use 'single' or 'multi'"
+            )
+        spec = ScenarioSpec(
+            name=f"full-eval/{setting}",
+            setting=setting,
+            seed=seed,
+            n_days=n_days,
+            training_window=training_window,
+            backend="scipy",
+        )
     if store is None:
-        store = build_alert_store(seed=seed, n_days=n_days)
-    if setting == "single":
-        payoffs = {SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]}
-        costs = {SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]}
-        budget = SINGLE_TYPE_BUDGET
-        type_ids: tuple[int, ...] = (SINGLE_TYPE_ID,)
-    elif setting == "multi":
-        payoffs = dict(TABLE2_PAYOFFS)
-        costs = paper_costs()
-        budget = MULTI_TYPE_BUDGET
-        type_ids = tuple(sorted(TABLE2_PAYOFFS))
-    else:
-        raise ValueError(f"unknown setting {setting!r}; use 'single' or 'multi'")
+        store = spec.build_store()
 
-    harness = EvaluationHarness(
-        store, payoffs=payoffs, costs=costs, budget=budget,
-        type_ids=type_ids, seed=seed,
-    )
-    window = (
-        training_window
-        if training_window is not None
-        else min(41, len(store.days) - 1)
-    )
+    harness = spec.build_harness(store)
     policies = [OSSPPolicy(), OnlineSSEPolicy(), OfflineSSEPolicy()]
-    by_day = harness.run_all(policies, window=window, max_groups=max_groups)
+    by_day = harness.run_all(
+        policies, window=spec.resolved_window(store), max_groups=max_groups
+    )
 
     summaries: dict[str, OutcomeSummary] = {}
     for policy in policies:
         results = [day_results[policy.name] for day_results in by_day.values()]
         summaries[policy.name] = summarize(results)
     return FullEvaluationResult(
-        setting=setting, n_groups=len(by_day), summaries=summaries
+        setting=spec.setting, n_groups=len(by_day), summaries=summaries
     )
 
 

@@ -17,17 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
-from repro.audit.evaluation import EvaluationHarness
-from repro.audit.montecarlo import TIMING_UNIFORM, run_attacker_in_the_loop
-from repro.experiments.config import (
-    SINGLE_TYPE_BUDGET,
-    SINGLE_TYPE_ID,
-    TABLE2_PAYOFFS,
-    paper_costs,
-)
-from repro.experiments.dataset import build_alert_store
+from repro.audit.montecarlo import run_attacker_in_the_loop
 from repro.experiments.report import render_table
 from repro.logstore.store import AlertLogStore
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -47,35 +40,39 @@ def run_robustness(
     n_trials: int = 60,
     rationality: float = 20.0,
     margins: tuple[float, ...] = (0.0, 0.05, 0.1),
+    spec: ScenarioSpec | None = None,
 ) -> list[RobustnessRow]:
-    """Realized OSSP utility by attacker model and robustness margin."""
-    if store is None:
-        store = build_alert_store(seed=seed, n_days=n_days)
-    harness = EvaluationHarness(
-        store,
-        payoffs={SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]},
-        costs={SINGLE_TYPE_ID: paper_costs()[SINGLE_TYPE_ID]},
-        budget=SINGLE_TYPE_BUDGET,
-        type_ids=(SINGLE_TYPE_ID,),
-        seed=seed,
-        budget_charging="expected",
-    )
-    split = harness.splits(window=min(41, len(store.days) - 1))[0]
-    alerts = harness.test_alerts(split)
-    context = harness.context_for(split)
+    """Realized OSSP utility by attacker model and robustness margin.
+
+    The (attacker, margin) grid is swept over one evaluation world, which
+    a :class:`~repro.scenarios.spec.ScenarioSpec` describes; the legacy
+    keyword arguments build the historical default (single-type, scipy
+    backend, variance-free expected charging).
+    """
+    if spec is None:
+        spec = ScenarioSpec(
+            name="robustness",
+            seed=seed,
+            n_days=n_days,
+            n_trials=n_trials,
+            rationality=rationality,
+            backend="scipy",
+            budget_charging="expected",
+        )
+    alerts, context, _split = spec.build_world(store)
 
     rows: list[RobustnessRow] = []
     for margin in margins:
         for label, attacker in (
             ("rational", RationalAttacker()),
-            ("quantal", QuantalResponseAttacker(rationality)),
+            ("quantal", QuantalResponseAttacker(spec.rationality)),
         ):
             result = run_attacker_in_the_loop(
                 alerts,
                 context,
-                n_trials=n_trials,
-                timing=TIMING_UNIFORM,
-                seed=seed,
+                n_trials=spec.n_trials,
+                timing=spec.timing,
+                seed=spec.seed,
                 attacker=attacker,
                 robust_margin=margin,
             )

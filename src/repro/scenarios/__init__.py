@@ -1,0 +1,55 @@
+"""Scenario suite: declarative specs, cartesian sweeps, sharded parallel runs.
+
+The workload-diversity layer on top of the evaluation stack:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, a serializable
+  description of one evaluation world (population, diurnal profile,
+  attacker model, budget regime, backend, cache policy);
+* :mod:`repro.scenarios.presets` — named paper-derived specs;
+* :mod:`repro.scenarios.matrix` — :class:`ScenarioMatrix` cartesian sweeps;
+* :mod:`repro.scenarios.runner` — :class:`ParallelRunner`, which shards
+  Monte Carlo trials across processes with results bit-identical to a
+  serial run.
+"""
+
+from repro.scenarios.matrix import ScenarioMatrix
+from repro.scenarios.presets import PRESETS, get_scenario, scenario_names
+from repro.scenarios.runner import (
+    ParallelRunner,
+    ScenarioResult,
+    SuiteResult,
+    run_scenario,
+)
+from repro.scenarios.spec import (
+    ATTACKER_MULTI,
+    ATTACKER_QUANTAL,
+    ATTACKER_RATIONAL,
+    ATTACKER_ROBUST,
+    CACHE_OFF,
+    CACHE_PER_TRIAL,
+    CACHE_SHARED,
+    SETTING_MULTI,
+    SETTING_SINGLE,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "ATTACKER_MULTI",
+    "ATTACKER_QUANTAL",
+    "ATTACKER_RATIONAL",
+    "ATTACKER_ROBUST",
+    "CACHE_OFF",
+    "CACHE_PER_TRIAL",
+    "CACHE_SHARED",
+    "PRESETS",
+    "ParallelRunner",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SETTING_MULTI",
+    "SETTING_SINGLE",
+    "SuiteResult",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+]

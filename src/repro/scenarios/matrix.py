@@ -1,0 +1,132 @@
+"""Cartesian scenario sweeps.
+
+A :class:`ScenarioMatrix` is a base :class:`~repro.scenarios.spec.ScenarioSpec`
+plus a set of axes — spec fields, each with the values to sweep. Expansion
+is the cartesian product, producing one named spec per cell, every one
+re-validated through the spec's own constructor. Like specs, matrices are
+fully serializable, so a sweep can live in a JSON file and be handed to
+``repro suite``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ExperimentError
+from repro.scenarios.spec import ScenarioSpec
+
+_SPEC_FIELDS = {f.name for f in dataclasses.fields(ScenarioSpec)}
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A base spec swept over one or more field axes.
+
+    ``axes`` preserves insertion order: the last axis varies fastest in
+    :meth:`expand`, like nested for-loops. Cell names append
+    ``/field=value`` parts to the base name, so every expanded spec is
+    uniquely identified and self-describing.
+    """
+
+    base: ScenarioSpec
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    def __init__(
+        self,
+        base: ScenarioSpec,
+        axes: Mapping[str, Sequence[Any]] | Sequence[tuple[str, Sequence[Any]]],
+    ) -> None:
+        pairs = tuple(axes.items()) if isinstance(axes, Mapping) else tuple(axes)
+        if not pairs:
+            raise ExperimentError("a scenario matrix needs at least one axis")
+        seen: set[str] = set()
+        normalized = []
+        for field_name, values in pairs:
+            if field_name not in _SPEC_FIELDS:
+                raise ExperimentError(
+                    f"unknown ScenarioSpec field {field_name!r} in matrix axes"
+                )
+            if field_name == "name":
+                raise ExperimentError(
+                    "'name' cannot be a matrix axis; cell names are derived"
+                )
+            if field_name in seen:
+                raise ExperimentError(f"duplicate matrix axis {field_name!r}")
+            seen.add(field_name)
+            values = tuple(values)
+            if not values:
+                raise ExperimentError(f"axis {field_name!r} has no values")
+            if len(set(values)) != len(values):
+                raise ExperimentError(f"axis {field_name!r} repeats values")
+            normalized.append((field_name, values))
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "axes", tuple(normalized))
+
+    @property
+    def size(self) -> int:
+        """Number of cells the matrix expands to (product of axis lengths)."""
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def expand(self) -> tuple[ScenarioSpec, ...]:
+        """All cells as validated specs, last axis varying fastest."""
+        names = [field_name for field_name, _ in self.axes]
+        specs = []
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            suffix = ",".join(
+                f"{field_name}={value}" for field_name, value in zip(names, combo)
+            )
+            specs.append(
+                self.base.with_updates(
+                    name=f"{self.base.name}/{suffix}",
+                    **dict(zip(names, combo)),
+                )
+            )
+        return tuple(specs)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form: ``{"base": {...}, "axes": {field: [values]}}``."""
+        return {
+            "base": self.base.to_dict(),
+            "axes": {field_name: list(values) for field_name, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioMatrix":
+        """Inverse of :meth:`to_dict`."""
+        unknown = set(payload) - {"base", "axes"}
+        if unknown:
+            raise ExperimentError(
+                f"unknown ScenarioMatrix keys: {sorted(unknown)}"
+            )
+        if "base" not in payload or "axes" not in payload:
+            raise ExperimentError("a ScenarioMatrix needs 'base' and 'axes'")
+        return cls(
+            base=ScenarioSpec.from_dict(payload["base"]),
+            axes={
+                field_name: tuple(values)
+                for field_name, values in dict(payload["axes"]).items()
+            },
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioMatrix":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ExperimentError("a ScenarioMatrix JSON document must be an object")
+        return cls.from_dict(payload)

@@ -1,0 +1,66 @@
+"""Named, paper-derived scenario presets.
+
+Each preset is a :class:`~repro.scenarios.spec.ScenarioSpec` anchored in a
+specific piece of the paper's evaluation (or one of its flagged
+future-work directions). ``repro suite --list`` prints this registry;
+``repro suite --scenarios <names>`` runs any subset, and presets are the
+natural bases for :class:`~repro.scenarios.matrix.ScenarioMatrix` sweeps.
+
+Trial counts default to 60 (matching the CLI's historical ``montecarlo``
+subcommand); override per run with ``repro suite --trials``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.scenarios.spec import ScenarioSpec
+
+#: The registry, in presentation order.
+PRESETS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        # The paper's Figure 2 world, validated empirically: single type,
+        # budget 20, uniform attack timing.
+        ScenarioSpec(name="fig2-uniform"),
+        # The "late attacker" thought experiment knowledge rollback defuses.
+        ScenarioSpec(name="fig2-late", timing="late"),
+        # Figure 3's seven-type world, budget 50.
+        ScenarioSpec(name="fig3-multi", setting="multi"),
+        # Online-SSE baseline (signaling off) on the Figure 2 world —
+        # the gap to fig2-uniform is the realized value of the warning.
+        ScenarioSpec(name="fig2-no-signaling", signaling_enabled=False),
+        # Budget regimes around the paper's 20: starved and saturated.
+        ScenarioSpec(name="budget-lean", budget=8.0),
+        ScenarioSpec(name="budget-rich", budget=60.0),
+        # The conclusion's bounded-rationality warning, quantified.
+        ScenarioSpec(name="quantal", attacker="quantal", rationality=20.0),
+        # The robust-SAG fix: hardened quit constraint vs the same attacker.
+        ScenarioSpec(
+            name="robust",
+            attacker="robust",
+            rationality=20.0,
+            robust_margin=0.1,
+        ),
+        # The multiple-attacker future-work direction: three independent
+        # symmetric rational attackers per day.
+        ScenarioSpec(name="multi-attacker", attacker="multi", n_attackers=3),
+        # Diurnal stress: the alert mass arrives overnight, inverting the
+        # budget-pacing problem.
+        ScenarioSpec(name="night-shift", diurnal="night"),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered preset names, in presentation order."""
+    return tuple(PRESETS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; registered: {', '.join(PRESETS)}"
+        ) from None

@@ -1,0 +1,374 @@
+"""Sharded parallel Monte Carlo orchestration.
+
+:class:`ParallelRunner` evaluates a list of scenarios by slicing each
+scenario's Monte Carlo trials into contiguous shards and fanning the
+shards out over a ``ProcessPoolExecutor``. Parallelism never changes
+results, by construction:
+
+* the scenario's master seed expands into per-trial root seeds
+  (:func:`repro.audit.montecarlo.spawn_trial_seeds`) **before** sharding;
+  a shard is just a contiguous slice of that list, and every trial derives
+  its own RNG streams from its root seed alone;
+* the evaluation world (alerts, cycle context) is deterministic in the
+  spec and built once per scenario — grouped by dataset so shared stores
+  are simulated once and distinct ones concurrently — then shipped to
+  shard workers pickled, so shards replay byte-identical inputs;
+* each worker uses its *own* solution cache (exact mode shared across its
+  trials, or per-trial when quantized), so no cross-process state exists
+  to leak between shards;
+* merging concatenates shard outcomes in shard order and recomputes the
+  aggregates through the single
+  :meth:`~repro.audit.montecarlo.MonteCarloResult.from_outcomes` code
+  path.
+
+Consequently ``workers=N`` is bit-identical to ``workers=1`` for any
+``N`` — the property ``repro suite`` exposes and the equivalence tests
+pin down. Engine-side accounting (solves, cache hits, wall time) *does*
+depend on sharding — per-worker caches duplicate warm-up work — which is
+why :class:`SuiteResult` keeps it separate from the deterministic results
+payload.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import ExperimentError
+from repro.audit.montecarlo import (
+    MonteCarloResult,
+    TrialOutcome,
+    run_trials,
+    spawn_trial_seeds,
+)
+from repro.audit.policies import CycleContext
+from repro.engine.cache import CacheStats, SSESolutionCache
+from repro.engine.stream import EngineStats
+from repro.logstore.store import AlertRecord
+from repro.scenarios.spec import (
+    CACHE_PER_TRIAL,
+    CACHE_SHARED,
+    ScenarioSpec,
+)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker's slice of one scenario (picklable)."""
+
+    spec: ScenarioSpec
+    alerts: tuple[AlertRecord, ...]
+    context: CycleContext
+    trial_seeds: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """A shard's ordered outcomes plus its engine-side accounting."""
+
+    outcomes: tuple[TrialOutcome, ...]
+    stats: EngineStats
+
+
+def _execute_shard(task: _ShardTask) -> _ShardResult:
+    """Run one shard's trials in order (top-level for pickling).
+
+    Trials run through :func:`repro.audit.montecarlo.run_trials` — the
+    same code path serial runs use — with the cache policy supplied
+    around it: one shared exact-mode cache for the shard, a private
+    (possibly quantized) cache per trial, or none.
+    """
+    spec = task.spec
+    # Per-trial caches are snapshotted and dropped as soon as the next
+    # trial starts — only their three counters survive the trial, so a
+    # long shard never accumulates dead caches' solution objects.
+    stats_parts: list[CacheStats] = []
+    current: list[SSESolutionCache] = []
+    solution_cache = cache_factory = None
+    if spec.cache_mode == CACHE_SHARED:
+        solution_cache = SSESolutionCache()
+    elif spec.cache_mode == CACHE_PER_TRIAL:
+        def cache_factory() -> SSESolutionCache:
+            if current:
+                stats_parts.append(current.pop().stats)
+            cache = SSESolutionCache(
+                budget_step=spec.cache_budget_step,
+                rate_step=spec.cache_rate_step,
+            )
+            current.append(cache)
+            return cache
+
+    started = _time.perf_counter()
+    outcomes = run_trials(
+        task.alerts,
+        task.context,
+        task.trial_seeds,
+        timing=spec.timing,
+        signaling_enabled=spec.signaling_enabled,
+        attacker=spec.attacker_model(),
+        robust_margin=spec.robust_margin,
+        solution_cache=solution_cache,
+        cache_factory=cache_factory,
+        n_attackers=spec.n_attackers,
+    )
+    wall = _time.perf_counter() - started
+
+    if solution_cache is not None:
+        stats_parts.append(solution_cache.stats)
+    if current:
+        stats_parts.append(current.pop().stats)
+    cache_stats = CacheStats.merge(stats_parts)
+    alerts_processed = len(task.trial_seeds) * len(task.alerts)
+    solves = cache_stats.misses if stats_parts else alerts_processed
+    return _ShardResult(
+        outcomes=tuple(outcomes),
+        stats=EngineStats(
+            alerts=alerts_processed,
+            sse_solves=solves,
+            cache_hits=cache_stats.hits,
+            cache_entries=cache_stats.entries,
+            wall_seconds=wall,
+            backend=spec.backend,
+        ),
+    )
+
+
+def _build_worlds(
+    specs: tuple[ScenarioSpec, ...],
+) -> list[tuple[tuple[AlertRecord, ...], CycleContext]]:
+    """Build the evaluation worlds of specs sharing one dataset.
+
+    Top-level so the runner can dispatch whole dataset groups to pool
+    workers: specs in one group hit the worker's memoized store after the
+    first build, while distinct datasets build in parallel across workers.
+    """
+    worlds = []
+    for spec in specs:
+        alerts, context, _split = spec.build_world()
+        worlds.append((tuple(alerts), context))
+    return worlds
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's merged Monte Carlo outcome plus run accounting.
+
+    ``montecarlo`` (and the spec) are deterministic — identical for any
+    worker count. ``engine`` and ``n_shards`` describe *how* the run was
+    executed and legitimately vary with sharding.
+    """
+
+    spec: ScenarioSpec
+    montecarlo: MonteCarloResult
+    engine: EngineStats
+    n_shards: int
+
+    def deterministic_dict(self) -> dict[str, Any]:
+        """The shard-count-invariant payload (spec + merged Monte Carlo)."""
+        return {"spec": self.spec.to_dict(), "montecarlo": self.montecarlo.to_dict()}
+
+    def run_dict(self) -> dict[str, Any]:
+        """Execution accounting (varies with sharding and machine load)."""
+        return {
+            "name": self.spec.name,
+            "n_shards": self.n_shards,
+            "engine": {
+                "backend": self.engine.backend,
+                "alerts": self.engine.alerts,
+                "sse_solves": self.engine.sse_solves,
+                "cache_hits": self.engine.cache_hits,
+                "cache_entries": self.engine.cache_entries,
+                # Whole-trial processing time summed over shards (stream
+                # replay + solves + lotteries), not solver time alone.
+                "trial_wall_seconds": self.engine.wall_seconds,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All scenario results plus suite-level execution metadata."""
+
+    results: tuple[ScenarioResult, ...]
+    workers: int
+    wall_seconds: float
+
+    def scenarios_payload(self) -> list[dict[str, Any]]:
+        """The deterministic section: byte-identical for any worker count."""
+        return [result.deterministic_dict() for result in self.results]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON payload: deterministic ``scenarios`` + a ``run`` section.
+
+        Consumers comparing runs (the equivalence tests, ``bench_suite``)
+        compare ``scenarios`` only; ``run`` carries worker count, wall
+        clock, and per-scenario engine accounting.
+        """
+        return {
+            "scenarios": self.scenarios_payload(),
+            "run": {
+                "workers": self.workers,
+                "wall_seconds": self.wall_seconds,
+                "scenarios": [result.run_dict() for result in self.results],
+            },
+        }
+
+
+class ParallelRunner:
+    """Shards scenario trials across a process pool, merging deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` runs everything inline (no pool) — the serial
+        reference the parallel runs are guaranteed to match.
+    shards_per_scenario:
+        How many slices to cut each scenario's trials into (capped at the
+        trial count). Defaults to ``workers``; more shards than workers
+        simply queue, which helps when scenarios have uneven trial counts.
+    """
+
+    def __init__(self, workers: int = 1, shards_per_scenario: int | None = None) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if shards_per_scenario is not None and shards_per_scenario < 1:
+            raise ExperimentError(
+                f"shards_per_scenario must be >= 1, got {shards_per_scenario}"
+            )
+        self.workers = workers
+        self.shards_per_scenario = shards_per_scenario
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> SuiteResult:
+        """Evaluate every scenario; results arrive in input order."""
+        specs = list(specs)
+        if not specs:
+            raise ExperimentError("no scenarios to run")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ExperimentError(f"duplicate scenario names: {duplicates}")
+
+        started = _time.perf_counter()
+        if self.workers == 1:
+            worlds = _build_worlds(tuple(specs))
+            tasks_per_scenario = self._shard_tasks(specs, worlds)
+            shard_results = [
+                [_execute_shard(task) for task in tasks]
+                for tasks in tasks_per_scenario
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                # Phase 1 — build worlds on the pool, one task per distinct
+                # dataset: specs sharing a dataset reuse the worker's
+                # memoized store, while distinct datasets (seed / n_days /
+                # volume / diurnal sweeps) simulate concurrently.
+                groups: dict[tuple, list[int]] = {}
+                for index, spec in enumerate(specs):
+                    key = (
+                        spec.seed, spec.n_days,
+                        spec.normal_daily_mean, spec.diurnal,
+                    )
+                    groups.setdefault(key, []).append(index)
+                group_futures = {
+                    key: pool.submit(
+                        _build_worlds, tuple(specs[i] for i in indices)
+                    )
+                    for key, indices in groups.items()
+                }
+                worlds: list = [None] * len(specs)
+                for key, indices in groups.items():
+                    for index, world in zip(indices, group_futures[key].result()):
+                        worlds[index] = world
+
+                # Phase 2 — shard the trials over the same pool.
+                tasks_per_scenario = self._shard_tasks(specs, worlds)
+                futures = [
+                    [pool.submit(_execute_shard, task) for task in tasks]
+                    for tasks in tasks_per_scenario
+                ]
+                shard_results = [
+                    [future.result() for future in scenario_futures]
+                    for scenario_futures in futures
+                ]
+
+        results = []
+        for spec, tasks, shards in zip(specs, tasks_per_scenario, shard_results):
+            # Concatenating shard outcomes in shard order reproduces the
+            # serial trial order, so one from_outcomes pass over the
+            # concatenation IS the merge (MonteCarloResult.merge does the
+            # same; aggregating per shard first would be wasted work).
+            merged = MonteCarloResult.from_outcomes(
+                timing=spec.timing,
+                outcomes=[o for shard in shards for o in shard.outcomes],
+                trial_seeds=[s for task in tasks for s in task.trial_seeds],
+                master_seed=spec.seed,
+            )
+            results.append(
+                ScenarioResult(
+                    spec=spec,
+                    montecarlo=merged,
+                    engine=EngineStats.merge([shard.stats for shard in shards]),
+                    n_shards=len(shards),
+                )
+            )
+        return SuiteResult(
+            results=tuple(results),
+            workers=self.workers,
+            wall_seconds=_time.perf_counter() - started,
+        )
+
+    def _shard_tasks(
+        self,
+        specs: Sequence[ScenarioSpec],
+        worlds: Sequence[tuple[tuple[AlertRecord, ...], CycleContext]],
+    ) -> list[list[_ShardTask]]:
+        """Cut every scenario's trial seeds into contiguous shard tasks."""
+        tasks_per_scenario = []
+        for spec, (alerts, context) in zip(specs, worlds):
+            seeds = spawn_trial_seeds(spec.seed, spec.n_trials)
+            n_shards = min(
+                self.shards_per_scenario or self.workers, spec.n_trials
+            )
+            tasks_per_scenario.append(
+                [
+                    _ShardTask(
+                        spec=spec,
+                        alerts=alerts,
+                        context=context,
+                        trial_seeds=chunk,
+                    )
+                    for chunk in _contiguous_chunks(seeds, n_shards)
+                ]
+            )
+        return tasks_per_scenario
+
+
+def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
+    """Convenience: evaluate a single scenario."""
+    return ParallelRunner(workers=workers).run([spec]).results[0]
+
+
+def _contiguous_chunks(
+    seeds: Sequence[int], n_chunks: int
+) -> list[tuple[int, ...]]:
+    """Split ``seeds`` into ``n_chunks`` contiguous, order-preserving slices.
+
+    The first ``len % n`` chunks get one extra element (numpy
+    ``array_split`` semantics); concatenating the chunks reproduces the
+    input exactly, which is what makes shard merging order-stable.
+    """
+    n = len(seeds)
+    if n_chunks < 1 or n_chunks > n:
+        raise ExperimentError(
+            f"cannot cut {n} trials into {n_chunks} shards"
+        )
+    base, extra = divmod(n, n_chunks)
+    chunks = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(tuple(seeds[start : start + size]))
+        start += size
+    return chunks

@@ -1,0 +1,353 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` names everything needed to reproduce one
+Monte Carlo evaluation world — population volume, diurnal alert profile,
+attacker model, budget regime, solver backend, cache policy — as plain
+JSON-compatible values. Specs are the unit the scenario suite sweeps
+(:mod:`repro.scenarios.matrix`), shards (:mod:`repro.scenarios.runner`),
+and persists in result files, so every field is a scalar or a string
+naming a registered object; nothing in a spec holds live state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ExperimentError
+from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
+from repro.audit.evaluation import EvaluationHarness, TrainTestSplit
+from repro.audit.montecarlo import TIMING_LATE, TIMING_UNIFORM
+from repro.audit.policies import CycleContext
+from repro.core.payoffs import PayoffMatrix
+from repro.experiments.config import (
+    MULTI_TYPE_BUDGET,
+    SINGLE_TYPE_BUDGET,
+    SINGLE_TYPE_ID,
+    TABLE2_PAYOFFS,
+    paper_costs,
+)
+from repro.experiments.dataset import build_alert_store
+from repro.logstore.store import AlertLogStore, AlertRecord
+from repro.stats.diurnal import PROFILE_FACTORIES
+
+#: Payoff settings (which slice of Table 2 the scenario plays).
+SETTING_SINGLE = "single"   # Figure 2 world: type 1 only
+SETTING_MULTI = "multi"     # Figure 3 world: all seven types
+SETTINGS = (SETTING_SINGLE, SETTING_MULTI)
+
+#: Attacker models.
+ATTACKER_RATIONAL = "rational"   # the paper's perfectly rational attacker
+ATTACKER_QUANTAL = "quantal"     # boundedly rational (logit) attacker
+ATTACKER_ROBUST = "robust"       # quantal attacker vs margin-hardened OSSP
+ATTACKER_MULTI = "multi"         # m independent symmetric rational attackers
+ATTACKERS = (ATTACKER_RATIONAL, ATTACKER_QUANTAL, ATTACKER_ROBUST, ATTACKER_MULTI)
+
+#: Cache policies for the suite's Monte Carlo trials.
+CACHE_SHARED = "shared"       # one exact-mode cache per worker (never changes results)
+CACHE_PER_TRIAL = "per-trial" # fresh (possibly quantized) cache per trial
+CACHE_OFF = "off"             # no caching
+CACHE_MODES = (CACHE_SHARED, CACHE_PER_TRIAL, CACHE_OFF)
+
+_BACKENDS = ("scipy", "simplex", "analytic")
+_TIMINGS = (TIMING_UNIFORM, TIMING_LATE)
+_CHARGING = ("conditional", "expected")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified evaluation scenario.
+
+    Every field is JSON-serializable; :meth:`to_dict`/:meth:`from_dict`
+    round-trip exactly. Fields with ``None`` defaults resolve to the
+    paper's values for the chosen ``setting`` (see :meth:`resolved_budget`
+    and :meth:`resolved_window`).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier; matrix expansion appends ``/axis=value`` parts.
+    setting:
+        ``"single"`` (Figure 2: type 1 only) or ``"multi"`` (Figure 3: all
+        seven Table 2 types).
+    budget:
+        Per-cycle audit budget; ``None`` means the paper's budget for the
+        setting (20 single / 50 multi).
+    seed:
+        Master seed for the dataset *and* the trial-seed expansion.
+    n_days:
+        Simulated dataset length; the first rolling train/test group is the
+        evaluation world.
+    training_window:
+        History days per group; ``None`` = ``min(41, n_days - 1)``.
+    normal_daily_mean:
+        Routine (non-engineered) accesses per simulated day — the
+        population-volume knob.
+    diurnal:
+        Named intra-day arrival profile: ``hospital``/``uniform``/``night``.
+    attacker:
+        ``rational``, ``quantal``, ``robust`` (= quantal attacker against a
+        margin-hardened OSSP; requires ``robust_margin > 0``) or ``multi``
+        (``n_attackers`` independent symmetric rational attackers).
+    rationality:
+        Quantal-response precision (used by ``quantal``/``robust``).
+    n_attackers:
+        Simultaneous attackers per trial (``multi`` only; others keep 1).
+    robust_margin:
+        Hardened quit-constraint margin as a fraction of ``|U_au|``.
+    timing:
+        ``uniform`` or ``late`` attack timing.
+    signaling_enabled:
+        ``False`` evaluates the online-SSE (no warning) baseline.
+    n_trials:
+        Monte Carlo trials (shardable across workers).
+    backend:
+        Solver backend: ``analytic`` (fast path), ``scipy``, ``simplex``.
+    budget_charging:
+        ``conditional`` (paper-faithful) or ``expected`` (variance-free).
+    cache_mode / cache_budget_step / cache_rate_step:
+        SSE solution-cache policy. ``shared`` requires exact mode (steps
+        0) — quantized shared caches would make results depend on how
+        trials shard across workers; ``per-trial`` confines a quantized
+        cache to one trial, which keeps sharding invariance.
+    """
+
+    name: str
+    setting: str = SETTING_SINGLE
+    budget: float | None = None
+    seed: int = 7
+    n_days: int = 48
+    training_window: int | None = None
+    normal_daily_mean: float = 4000.0
+    diurnal: str = "hospital"
+    attacker: str = ATTACKER_RATIONAL
+    rationality: float = 20.0
+    n_attackers: int = 1
+    robust_margin: float = 0.0
+    timing: str = TIMING_UNIFORM
+    signaling_enabled: bool = True
+    n_trials: int = 60
+    backend: str = "analytic"
+    budget_charging: str = "conditional"
+    cache_mode: str = CACHE_SHARED
+    cache_budget_step: float = 0.0
+    cache_rate_step: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ExperimentError("scenario name must be a non-empty string")
+        # Type checks come first so wrong-typed CLI/JSON values (e.g. an
+        # --axis string landing in a numeric field) surface as clean
+        # ExperimentErrors instead of TypeErrors from the range checks.
+        for field_name in ("seed", "n_days", "n_trials", "n_attackers"):
+            _require_int(getattr(self, field_name), field_name)
+        if self.training_window is not None:
+            _require_int(self.training_window, "training_window")
+        for field_name in (
+            "normal_daily_mean", "rationality", "robust_margin",
+            "cache_budget_step", "cache_rate_step",
+        ):
+            _require_number(getattr(self, field_name), field_name)
+        if self.budget is not None:
+            _require_number(self.budget, "budget")
+        if not isinstance(self.signaling_enabled, bool):
+            raise ExperimentError(
+                "signaling_enabled must be a boolean, got "
+                f"{self.signaling_enabled!r}"
+            )
+        _require(self.setting, SETTINGS, "setting")
+        _require(self.attacker, ATTACKERS, "attacker")
+        _require(self.timing, _TIMINGS, "timing")
+        _require(self.backend, _BACKENDS, "backend")
+        _require(self.budget_charging, _CHARGING, "budget_charging")
+        _require(self.cache_mode, CACHE_MODES, "cache_mode")
+        _require(self.diurnal, tuple(sorted(PROFILE_FACTORIES)), "diurnal")
+        if self.budget is not None and self.budget < 0:
+            raise ExperimentError(f"budget must be non-negative, got {self.budget}")
+        if self.n_trials <= 0:
+            raise ExperimentError(f"n_trials must be positive, got {self.n_trials}")
+        if self.n_days < 2:
+            raise ExperimentError(f"need at least 2 days, got {self.n_days}")
+        if self.training_window is not None and not (
+            0 < self.training_window < self.n_days
+        ):
+            raise ExperimentError(
+                f"training_window must lie in (0, n_days), got {self.training_window}"
+            )
+        if self.rationality < 0:
+            raise ExperimentError(
+                f"rationality must be non-negative, got {self.rationality}"
+            )
+        if self.robust_margin < 0:
+            raise ExperimentError(
+                f"robust_margin must be non-negative, got {self.robust_margin}"
+            )
+        if self.attacker == ATTACKER_ROBUST and self.robust_margin <= 0:
+            raise ExperimentError(
+                "the 'robust' attacker scenario needs robust_margin > 0"
+            )
+        if self.n_attackers < 1:
+            raise ExperimentError(
+                f"n_attackers must be >= 1, got {self.n_attackers}"
+            )
+        if self.attacker != ATTACKER_MULTI and self.n_attackers != 1:
+            raise ExperimentError(
+                "n_attackers > 1 requires attacker='multi'"
+            )
+        if self.cache_budget_step < 0 or self.cache_rate_step < 0:
+            raise ExperimentError("cache quantization steps must be non-negative")
+        if self.cache_mode == CACHE_SHARED and (
+            self.cache_budget_step > 0 or self.cache_rate_step > 0
+        ):
+            raise ExperimentError(
+                "cache_mode='shared' requires exact quantization (steps 0); "
+                "a quantized shared cache would make results depend on trial "
+                "sharding — use cache_mode='per-trial' for quantized caching"
+            )
+
+    # ------------------------------------------------------------------
+    # Resolution helpers (None defaults -> paper values)
+    # ------------------------------------------------------------------
+
+    def resolved_budget(self) -> float:
+        """The cycle budget, defaulting to the paper's value per setting."""
+        if self.budget is not None:
+            return float(self.budget)
+        return SINGLE_TYPE_BUDGET if self.setting == SETTING_SINGLE else MULTI_TYPE_BUDGET
+
+    def resolved_window(self, store: AlertLogStore | None = None) -> int:
+        """Training window, defaulting to the paper's 41-day cap.
+
+        An explicit ``training_window`` always wins; otherwise the cap
+        applies to ``store``'s actual day count when one is given (an
+        explicitly passed store may be smaller than ``n_days``), else to
+        ``n_days``.
+        """
+        if self.training_window is not None:
+            return self.training_window
+        n_days = len(store.days) if store is not None else self.n_days
+        return min(41, n_days - 1)
+
+    def payoffs(self) -> dict[int, PayoffMatrix]:
+        """Table 2 payoffs for the chosen setting."""
+        if self.setting == SETTING_SINGLE:
+            return {SINGLE_TYPE_ID: TABLE2_PAYOFFS[SINGLE_TYPE_ID]}
+        return dict(TABLE2_PAYOFFS)
+
+    def costs(self) -> dict[int, float]:
+        """Per-type audit costs for the chosen setting."""
+        return {type_id: paper_costs()[type_id] for type_id in self.payoffs()}
+
+    def type_ids(self) -> tuple[int, ...]:
+        """Alert types in play."""
+        return tuple(sorted(self.payoffs()))
+
+    def attacker_model(self) -> RationalAttacker | QuantalResponseAttacker:
+        """The attacker instance the Monte Carlo trials play against."""
+        if self.attacker in (ATTACKER_QUANTAL, ATTACKER_ROBUST):
+            return QuantalResponseAttacker(self.rationality)
+        return RationalAttacker()
+
+    # ------------------------------------------------------------------
+    # World construction
+    # ------------------------------------------------------------------
+
+    def build_store(self) -> AlertLogStore:
+        """The (memoized) simulated alert store this scenario evaluates on."""
+        return build_alert_store(
+            seed=self.seed,
+            n_days=self.n_days,
+            normal_daily_mean=self.normal_daily_mean,
+            diurnal=self.diurnal,
+        )
+
+    def build_harness(self, store: AlertLogStore | None = None) -> EvaluationHarness:
+        """Evaluation harness over this scenario's store and parameters."""
+        return EvaluationHarness(
+            store if store is not None else self.build_store(),
+            payoffs=self.payoffs(),
+            costs=self.costs(),
+            budget=self.resolved_budget(),
+            type_ids=self.type_ids(),
+            backend=self.backend,
+            seed=self.seed,
+            budget_charging=self.budget_charging,
+        )
+
+    def build_world(
+        self, store: AlertLogStore | None = None
+    ) -> tuple[list[AlertRecord], CycleContext, TrainTestSplit]:
+        """The first rolling group's (alerts, context, split) triple.
+
+        This is the frozen evaluation world every Monte Carlo trial
+        replays; the runner computes it once per scenario and ships it
+        (pickled) to shard workers, so shards never re-simulate it.
+        """
+        if store is None:
+            store = self.build_store()
+        harness = self.build_harness(store)
+        split = harness.splits(window=self.resolved_window(store))[0]
+        alerts = harness.test_alerts(split)
+        if not alerts:
+            raise ExperimentError(
+                f"scenario {self.name!r}: test day {split.test_day} has no alerts"
+            )
+        return alerts, harness.context_for(split), split
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-compatible scalars only)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise ExperimentError(
+                f"unknown ScenarioSpec fields: {sorted(unknown)}"
+            )
+        return cls(**dict(payload))
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ExperimentError("a ScenarioSpec JSON document must be an object")
+        return cls.from_dict(payload)
+
+    def with_updates(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def _require(value: str, allowed: tuple[str, ...], field_name: str) -> None:
+    if value not in allowed:
+        raise ExperimentError(
+            f"unknown {field_name} {value!r}; expected one of {list(allowed)}"
+        )
+
+
+def _require_int(value: Any, field_name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ExperimentError(
+            f"{field_name} must be an integer, got {value!r}"
+        )
+
+
+def _require_number(value: Any, field_name: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExperimentError(
+            f"{field_name} must be a number, got {value!r}"
+        )

@@ -106,6 +106,23 @@ class DiurnalProfile:
             )
 
 
+def night_shift_profile() -> DiurnalProfile:
+    """An inverted workload: activity concentrates overnight.
+
+    Not a paper scenario — a stress profile for the scenario suite. Late
+    attackers and budget pacing behave very differently when the alert mass
+    arrives while the day's budget is nearly spent.
+    """
+    weights = [
+        4.8, 5.2, 5.5, 5.5, 5.0, 4.2,      # 00:00 - 06:00 overnight plateau
+        2.5, 1.2,                          # 06:00 - 08:00 hand-off
+        0.5, 0.4, 0.3, 0.3, 0.3, 0.3, 0.4, 0.5, 0.6,  # 08:00 - 17:00 lull
+        0.9, 1.2,                          # 17:00 - 19:00 ramp-up
+        1.8, 2.8, 3.6, 4.2, 4.6,           # 19:00 - 24:00 build toward night
+    ]
+    return DiurnalProfile(tuple(weights))
+
+
 def hospital_profile() -> DiurnalProfile:
     """The default workday-peaked profile used by the EMR simulator.
 
@@ -121,3 +138,23 @@ def hospital_profile() -> DiurnalProfile:
         1.2, 0.9, 0.7, 0.6, 0.5,           # 19:00 - 24:00 evening tail
     ]
     return DiurnalProfile(tuple(weights))
+
+
+#: Named profile factories usable wherever configuration is serialized
+#: (scenario specs, the dataset builder's memoization key).
+PROFILE_FACTORIES = {
+    "hospital": hospital_profile,
+    "uniform": DiurnalProfile.uniform,
+    "night": night_shift_profile,
+}
+
+
+def named_profile(name: str) -> DiurnalProfile:
+    """Resolve a profile preset name (``hospital``/``uniform``/``night``)."""
+    try:
+        return PROFILE_FACTORIES[name]()
+    except KeyError:
+        raise DataError(
+            f"unknown diurnal profile {name!r}; "
+            f"expected one of {sorted(PROFILE_FACTORIES)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Tests for shard-merging of engine/cache accounting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.engine.cache import CacheStats
+from repro.engine.stream import EngineStats
+
+
+class TestCacheStatsMerge:
+    def test_counters_add(self):
+        merged = CacheStats.merge([
+            CacheStats(hits=3, misses=5, entries=5),
+            CacheStats(hits=2, misses=1, entries=1),
+        ])
+        assert merged == CacheStats(hits=5, misses=6, entries=6)
+        assert merged.calls == 11
+
+    def test_merged_snapshot_reconciles(self):
+        shards = [CacheStats(hits=i, misses=2 * i, entries=i) for i in range(4)]
+        merged = CacheStats.merge(shards)
+        assert merged.hits + merged.misses == merged.calls
+
+    def test_empty_merge_is_zero(self):
+        assert CacheStats.merge([]) == CacheStats(hits=0, misses=0, entries=0)
+
+
+class TestEngineStatsMerge:
+    def _stats(self, alerts, solves, hits, wall, backend="analytic"):
+        return EngineStats(
+            alerts=alerts, sse_solves=solves, cache_hits=hits,
+            cache_entries=solves, wall_seconds=wall, backend=backend,
+        )
+
+    def test_counters_and_wall_add(self):
+        merged = EngineStats.merge([
+            self._stats(100, 40, 60, 0.5),
+            self._stats(50, 30, 20, 0.25),
+        ])
+        assert merged.alerts == 150
+        assert merged.sse_solves == 70
+        assert merged.cache_hits == 80
+        assert merged.cache_entries == 70
+        assert merged.wall_seconds == pytest.approx(0.75)
+        assert merged.backend == "analytic"
+        assert merged.hit_rate == pytest.approx(80 / 150)
+
+    def test_single_shard_is_identity(self):
+        stats = self._stats(10, 4, 6, 0.1)
+        assert EngineStats.merge([stats]) == stats
+
+    def test_mixed_backends_rejected(self):
+        with pytest.raises(ExperimentError):
+            EngineStats.merge([
+                self._stats(1, 1, 0, 0.1, backend="scipy"),
+                self._stats(1, 1, 0, 0.1, backend="analytic"),
+            ])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ExperimentError):
+            EngineStats.merge([])

@@ -1,0 +1,93 @@
+"""Tests for ScenarioMatrix: expansion counts, naming, serialization."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scenarios import ScenarioMatrix, ScenarioSpec
+
+BASE = ScenarioSpec(name="base", n_days=8)
+
+
+class TestExpansion:
+    def test_size_is_product_of_axis_lengths(self):
+        matrix = ScenarioMatrix(
+            BASE,
+            {"budget": (10.0, 20.0, 40.0), "timing": ("uniform", "late")},
+        )
+        assert matrix.size == 6
+        assert len(matrix.expand()) == 6
+
+    def test_single_axis(self):
+        matrix = ScenarioMatrix(BASE, {"seed": (1, 2, 3, 4)})
+        specs = matrix.expand()
+        assert [spec.seed for spec in specs] == [1, 2, 3, 4]
+
+    def test_last_axis_varies_fastest(self):
+        matrix = ScenarioMatrix(
+            BASE, {"budget": (10.0, 20.0), "timing": ("uniform", "late")}
+        )
+        names = [spec.name for spec in matrix.expand()]
+        assert names == [
+            "base/budget=10.0,timing=uniform",
+            "base/budget=10.0,timing=late",
+            "base/budget=20.0,timing=uniform",
+            "base/budget=20.0,timing=late",
+        ]
+
+    def test_cell_names_unique_and_fields_applied(self):
+        matrix = ScenarioMatrix(
+            BASE, {"backend": ("analytic", "scipy"), "n_trials": (5, 10)}
+        )
+        specs = matrix.expand()
+        assert len({spec.name for spec in specs}) == 4
+        assert {(spec.backend, spec.n_trials) for spec in specs} == {
+            ("analytic", 5), ("analytic", 10), ("scipy", 5), ("scipy", 10),
+        }
+
+    def test_base_spec_not_mutated(self):
+        ScenarioMatrix(BASE, {"budget": (5.0,)}).expand()
+        assert BASE.budget is None
+
+    def test_invalid_cells_rejected_at_expansion(self):
+        matrix = ScenarioMatrix(BASE, {"robust_margin": (-0.5,)})
+        with pytest.raises(ExperimentError):
+            matrix.expand()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "axes",
+        [
+            {},
+            {"name": ("a", "b")},
+            {"budgett": (1.0,)},
+            {"budget": ()},
+            {"budget": (1.0, 1.0)},
+            [("budget", (1.0,)), ("budget", (2.0,))],
+        ],
+    )
+    def test_bad_axes_rejected(self, axes):
+        with pytest.raises(ExperimentError):
+            ScenarioMatrix(BASE, axes)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        matrix = ScenarioMatrix(
+            BASE, {"budget": (10.0, 20.0), "diurnal": ("hospital", "night")}
+        )
+        restored = ScenarioMatrix.from_json(matrix.to_json())
+        assert restored == matrix
+        assert [s.name for s in restored.expand()] == [
+            s.name for s in matrix.expand()
+        ]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioMatrix.from_dict(
+                {"base": BASE.to_dict(), "axes": {"seed": [1]}, "extra": 1}
+            )
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioMatrix.from_dict({"base": BASE.to_dict()})

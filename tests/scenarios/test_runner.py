@@ -1,0 +1,234 @@
+"""Parallel-vs-serial equivalence for the sharded Monte Carlo runner.
+
+The load-bearing guarantees: sharding never changes outcomes (same seeds
+→ identical ``TrialOutcome``s, bit for bit), shard merges reproduce
+serial aggregates, and any single trial replays in isolation from its
+recorded seed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.audit.montecarlo import (
+    MonteCarloResult,
+    run_attacker_in_the_loop,
+    run_single_trial,
+    run_trials,
+    spawn_trial_seeds,
+)
+from repro.audit.policies import CycleContext
+from repro.core.payoffs import PayoffMatrix
+from repro.logstore.store import AlertRecord
+from repro.scenarios import ParallelRunner, ScenarioSpec
+from repro.scenarios.runner import _contiguous_chunks
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+_N_ALERTS = 40
+
+
+def make_context(budget=3.0):
+    times = np.linspace(1000, 80000, _N_ALERTS)
+    return CycleContext(
+        history={1: [times.copy(), times.copy(), times.copy()]},
+        budget=budget,
+        payoffs={1: PAY},
+        costs={1: 1.0},
+        budget_charging="expected",
+        seed=11,
+    )
+
+
+def make_alerts():
+    return [
+        AlertRecord(day=0, time_of_day=float(t), type_id=1,
+                    employee_id=0, patient_id=0, alert_id=i)
+        for i, t in enumerate(np.linspace(1000, 80000, _N_ALERTS))
+    ]
+
+
+class TestSeedSpawning:
+    def test_deterministic_and_distinct(self):
+        seeds = spawn_trial_seeds(7, 16)
+        assert seeds == spawn_trial_seeds(7, 16)
+        assert len(set(seeds)) == 16
+
+    def test_prefix_property(self):
+        # Growing a run keeps every existing trial's seed unchanged.
+        assert spawn_trial_seeds(7, 32)[:16] == spawn_trial_seeds(7, 16)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ExperimentError):
+            spawn_trial_seeds(7, 0)
+
+
+class TestShardMerge:
+    def test_sharded_trials_identical_to_serial(self):
+        alerts, context = make_alerts(), make_context()
+        serial = run_attacker_in_the_loop(alerts, context, n_trials=12, seed=9)
+        seeds = spawn_trial_seeds(9, 12)
+        assert serial.trial_seeds == seeds
+
+        shards = [
+            MonteCarloResult.from_outcomes(
+                timing="uniform",
+                outcomes=run_trials(alerts, context, chunk),
+                trial_seeds=chunk,
+                master_seed=9,
+            )
+            for chunk in _contiguous_chunks(seeds, 3)
+        ]
+        merged = MonteCarloResult.merge(shards)
+        # Same seeds -> identical TrialOutcomes, and identical aggregates
+        # (merge recomputes over the same ordered outcome list).
+        assert merged == serial
+
+    def test_merge_rejects_mixed_timings(self):
+        alerts, context = make_alerts(), make_context()
+        uniform = run_attacker_in_the_loop(alerts, context, n_trials=3, seed=1)
+        late = run_attacker_in_the_loop(
+            alerts, context, n_trials=3, seed=1, timing="late"
+        )
+        with pytest.raises(ExperimentError):
+            MonteCarloResult.merge([uniform, late])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            MonteCarloResult.merge([])
+
+
+class TestReplay:
+    def test_any_trial_replays_in_isolation(self):
+        alerts, context = make_alerts(), make_context()
+        result = run_attacker_in_the_loop(alerts, context, n_trials=8, seed=21)
+        for index in (0, 3, 7):
+            replayed = run_single_trial(
+                alerts, context, result.trial_seeds[index]
+            )
+            assert replayed == result.outcomes[index]
+
+    def test_payload_carries_seeds_and_trials(self):
+        alerts, context = make_alerts(), make_context()
+        result = run_attacker_in_the_loop(alerts, context, n_trials=4, seed=2)
+        payload = result.to_dict()
+        assert payload["master_seed"] == 2
+        assert len(payload["trial_seeds"]) == 4
+        assert len(payload["trials"]) == 4
+        json.dumps(payload)  # JSON-clean
+
+    def test_combined_outcome_keeps_quit_semantics(self):
+        from repro.audit.montecarlo import TrialOutcome, _combine_attacks
+
+        def outcome(warned, proceeded, audited=False):
+            return TrialOutcome(
+                attacked=True, attack_type=1, attack_time=100.0,
+                warned=warned, proceeded=proceeded, audited=audited,
+                auditor_utility=-10.0, attacker_utility=5.0,
+                expected_auditor_utility=-8.0,
+            )
+
+        # One unwarned proceeder + one warned quitter: the combined trial
+        # must still register as a quit (warned and not proceeded).
+        combined = _combine_attacks([
+            outcome(warned=False, proceeded=True),
+            outcome(warned=True, proceeded=False),
+        ])
+        assert combined.warned and not combined.proceeded
+        assert combined.auditor_utility == -20.0
+        # All warned attackers proceeding is not a quit.
+        combined = _combine_attacks([
+            outcome(warned=True, proceeded=True),
+            outcome(warned=False, proceeded=True),
+        ])
+        assert combined.warned and combined.proceeded
+
+    def test_multi_attacker_trials_sum_utilities(self):
+        alerts, context = make_alerts(), make_context()
+        seeds = spawn_trial_seeds(5, 4)
+        single = run_trials(alerts, context, seeds)
+        multi = run_trials(alerts, context, seeds, n_attackers=3)
+        # Three attackers expose the auditor to at least as much realized
+        # movement as one; the aggregate expected value sums per attacker.
+        assert all(
+            abs(m.expected_auditor_utility) >= abs(s.expected_auditor_utility) - 1e-9
+            for s, m in zip(single, multi)
+        )
+
+
+class TestChunking:
+    def test_chunks_concatenate_to_input(self):
+        seeds = tuple(range(11))
+        for n_chunks in (1, 2, 3, 11):
+            chunks = _contiguous_chunks(seeds, n_chunks)
+            assert len(chunks) == n_chunks
+            assert tuple(s for chunk in chunks for s in chunk) == seeds
+
+    def test_invalid_chunk_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            _contiguous_chunks((1, 2), 3)
+        with pytest.raises(ExperimentError):
+            _contiguous_chunks((1, 2), 0)
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    """Two fast scenarios over a small (memoized) dataset."""
+    base = ScenarioSpec(
+        name="tiny", n_days=8, training_window=6, n_trials=6,
+        normal_daily_mean=400.0,
+    )
+    return [base, base.with_updates(name="tiny-late", timing="late")]
+
+
+class TestParallelRunner:
+    def test_workers_do_not_change_results(self, tiny_specs):
+        serial = ParallelRunner(workers=1).run(tiny_specs)
+        parallel = ParallelRunner(workers=2).run(tiny_specs)
+        assert json.dumps(serial.scenarios_payload(), sort_keys=True) == \
+            json.dumps(parallel.scenarios_payload(), sort_keys=True)
+        # Identical TrialOutcomes, not just identical aggregates.
+        for left, right in zip(serial.results, parallel.results):
+            assert left.montecarlo.outcomes == right.montecarlo.outcomes
+
+    def test_shard_counts_and_engine_accounting(self, tiny_specs):
+        suite = ParallelRunner(workers=2).run(tiny_specs)
+        assert suite.workers == 2
+        for result in suite.results:
+            assert result.n_shards == 2
+            assert result.engine.alerts == result.spec.n_trials * _alert_count(
+                result.spec
+            )
+            assert result.engine.sse_solves + result.engine.cache_hits > 0
+
+    def test_more_shards_than_trials_capped(self, tiny_specs):
+        spec = tiny_specs[0].with_updates(name="few-trials", n_trials=2)
+        suite = ParallelRunner(workers=2, shards_per_scenario=8).run([spec])
+        assert suite.results[0].n_shards == 2
+
+    def test_duplicate_names_rejected(self, tiny_specs):
+        with pytest.raises(ExperimentError):
+            ParallelRunner().run([tiny_specs[0], tiny_specs[0]])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner().run([])
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParallelRunner(workers=0)
+        with pytest.raises(ExperimentError):
+            ParallelRunner(shards_per_scenario=0)
+
+    def test_cache_off_mode_runs(self, tiny_specs):
+        spec = tiny_specs[0].with_updates(name="nocache", cache_mode="off",
+                                          n_trials=3)
+        result = ParallelRunner(workers=1).run([spec]).results[0]
+        assert result.engine.cache_hits == 0
+        assert result.engine.sse_solves == result.engine.alerts
+
+
+def _alert_count(spec):
+    alerts, _context, _split = spec.build_world()
+    return len(alerts)

