@@ -1,0 +1,208 @@
+"""Benchmark — serving-façade overhead over the raw batch engine.
+
+Reproduces: the serving-API acceptance target — routing an alert stream
+through :class:`repro.api.v1.AuditService` (session routing, typed
+payload construction, stats accounting) must cost at most
+``MAX_OVERHEAD`` extra wall clock relative to driving the raw
+:class:`~repro.engine.stream.BatchAuditEngine` on the identical stream.
+Both sides replay the same synthetic workload with the same seeds, so
+they do the same solver work; the measured difference is the façade.
+
+The run writes events/sec for both paths, the overhead ratio, and a
+multi-tenant throughput figure to ``BENCH_service.json``, which CI
+uploads as an artifact alongside ``BENCH_engine.json`` and
+``BENCH_suite.json``. The overhead ceiling is enforced on the best of
+``REPEATS`` paired runs (wall-clock noise cancels across repeats; the
+solver work is deterministic).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.api.v1 import AlertEvent, AuditService, SessionConfig
+from repro.core.game import SAGConfig
+from repro.engine.cache import SSESolutionCache
+from repro.engine.stream import BatchAuditEngine, analytic_config
+from repro.experiments.runtime import synthetic_stream_workload
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+#: Acceptance ceiling: façade wall clock <= (1 + MAX_OVERHEAD) * engine's.
+MAX_OVERHEAD = 0.10
+
+#: Paired measurement repeats; the overhead check uses the best of each.
+REPEATS = 3
+
+
+def _measure_engine(payoffs, costs, history, types, times, seed) -> float:
+    """Raw-engine seconds for one replay of the stream."""
+    engine = BatchAuditEngine(
+        analytic_config(
+            SAGConfig(payoffs=payoffs, costs=costs, budget=50.0)
+        ),
+        RollbackEstimator(FutureAlertEstimator(history)),
+        rng=np.random.default_rng(seed),
+        cache=SSESolutionCache(),
+    )
+    started = time.perf_counter()
+    engine.process_stream(types, times)
+    return time.perf_counter() - started
+
+
+def _measure_service(payoffs, costs, history, events, seed) -> float:
+    """Façade seconds for the identical stream (one tenant, hot path)."""
+    service = AuditService()
+    service.open_session(
+        SessionConfig(
+            tenant="bench",
+            budget=50.0,
+            payoffs=payoffs,
+            costs=costs,
+            backend="analytic",
+            seed=seed,
+        ),
+        history,
+    )
+    started = time.perf_counter()
+    service.submit(events)
+    return time.perf_counter() - started
+
+
+def _measure_multi_tenant(
+    payoffs, costs, history, events, seed, n_tenants: int
+) -> float:
+    """Service seconds with the stream split round-robin over tenants."""
+    service = AuditService()
+    tenants = [f"bench-{i}" for i in range(n_tenants)]
+    for index, tenant in enumerate(tenants):
+        service.open_session(
+            SessionConfig(
+                tenant=tenant,
+                budget=50.0,
+                payoffs=payoffs,
+                costs=costs,
+                backend="analytic",
+                seed=seed + index,
+            ),
+            history,
+        )
+    routed = [
+        AlertEvent(
+            tenant=tenants[index % n_tenants],
+            type_id=event.type_id,
+            time_of_day=event.time_of_day,
+        )
+        for index, event in enumerate(events)
+    ]
+    started = time.perf_counter()
+    service.submit(routed)
+    return time.perf_counter() - started
+
+
+def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
+    """Paired engine-vs-service measurements on one synthetic stream."""
+    payoffs, costs, history, types, times = synthetic_stream_workload(
+        n_types=5, n_alerts=n_alerts, seed=seed
+    )
+    events = [
+        AlertEvent(tenant="bench", type_id=int(t), time_of_day=float(s))
+        for t, s in zip(types, times)
+    ]
+
+    engine_seconds: list[float] = []
+    service_seconds: list[float] = []
+    for _ in range(REPEATS):
+        engine_seconds.append(
+            _measure_engine(payoffs, costs, history, types, times, seed)
+        )
+        service_seconds.append(
+            _measure_service(payoffs, costs, history, events, seed)
+        )
+    best_engine = min(engine_seconds)
+    best_service = min(service_seconds)
+    multi_seconds = _measure_multi_tenant(
+        payoffs, costs, history, events, seed, n_tenants
+    )
+
+    return {
+        "n_alerts": n_alerts,
+        "n_types": 5,
+        "repeats": REPEATS,
+        "engine_seconds": engine_seconds,
+        "service_seconds": service_seconds,
+        "engine_events_per_second": n_alerts / best_engine,
+        "service_events_per_second": n_alerts / best_service,
+        "overhead": best_service / best_engine - 1.0,
+        "max_overhead": MAX_OVERHEAD,
+        "multi_tenant": {
+            "tenants": n_tenants,
+            "seconds": multi_seconds,
+            "events_per_second": n_alerts / multi_seconds,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced stream length for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_service.json", metavar="PATH",
+        help="where to write the JSON measurements",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--alerts", type=int, default=None,
+        help="stream length (default 4000, quick 1000)",
+    )
+    args = parser.parse_args(argv)
+
+    n_alerts = args.alerts if args.alerts is not None else (
+        1000 if args.quick else 4000
+    )
+    payload = run_bench(seed=args.seed, n_alerts=n_alerts)
+    payload["quick"] = bool(args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(_format(payload))
+    print(f"wrote {args.out}")
+    if payload["overhead"] > MAX_OVERHEAD:
+        print(
+            f"FAIL: façade overhead {payload['overhead']:.1%} exceeds the "
+            f"{MAX_OVERHEAD:.0%} acceptance ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _format(payload: dict) -> str:
+    multi = payload["multi_tenant"]
+    return "\n".join([
+        f"Serving façade vs raw engine ({payload['n_alerts']} alerts, "
+        f"{payload['n_types']} types, best of {payload['repeats']})",
+        f"  raw BatchAuditEngine : "
+        f"{payload['engine_events_per_second']:9.0f} events/s",
+        f"  AuditService.submit  : "
+        f"{payload['service_events_per_second']:9.0f} events/s",
+        f"  façade overhead      : {payload['overhead']:9.1%} "
+        f"(ceiling {payload['max_overhead']:.0%})",
+        f"  {multi['tenants']}-tenant submit     : "
+        f"{multi['events_per_second']:9.0f} events/s",
+    ])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,27 +1,29 @@
-"""A full hospital audit day, end to end.
+"""A full hospital audit day, end to end, through the serving API.
 
 Run with:  python examples/hospital_day.py
 
 Builds the synthetic hospital (population, calibrated access log, rule
-engine), trains the future-alert estimator on historical days, then drives
-one live audit cycle with the Signaling Audit Game: every arriving alert
-gets a real-time SSE solve, a warning decision, and a budget charge —
-exactly the deployment loop the paper envisions.
+engine), then opens an :class:`repro.api.v1.AuditSession` for the tenant:
+the session owns the future-alert estimator trained on historical days,
+the budget ledger, and the solution cache. Every arriving alert becomes an
+:class:`AlertEvent`; every decision is a typed, JSON-ready
+:class:`SignalDecision` — exactly the deployment loop the paper envisions,
+behind the same façade a multi-tenant service would use.
 """
 
 import numpy as np
 
-from repro import SAGConfig, SignalingAuditGame
+from repro.api.v1 import AlertEvent, AuditSession, SessionConfig
 from repro.experiments.config import (
     MULTI_TYPE_BUDGET,
     TABLE2_PAYOFFS,
     paper_costs,
 )
 from repro.experiments.dataset import build_dataset
-from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
 
 N_DAYS = 12          # 11 historical days + 1 live day (paper uses 41 + 1)
 LIVE_DAY = N_DAYS - 1
+TENANT = "mercy-general"
 
 
 def main() -> None:
@@ -30,48 +32,53 @@ def main() -> None:
     store = dataset.store
     print(f"  {dataset.n_accesses} accesses, {dataset.n_alerts} detected alerts")
 
-    train_days = store.days[:LIVE_DAY]
-    history = store.times_by_type(train_days, sorted(TABLE2_PAYOFFS))
-    estimator = RollbackEstimator(FutureAlertEstimator(history))
-
-    game = SignalingAuditGame(
-        SAGConfig(
+    history = store.times_by_type(store.days[:LIVE_DAY], sorted(TABLE2_PAYOFFS))
+    session = AuditSession.open(
+        SessionConfig(
+            tenant=TENANT,
+            budget=MULTI_TYPE_BUDGET,
             payoffs=TABLE2_PAYOFFS,
             costs=paper_costs(),
-            budget=MULTI_TYPE_BUDGET,
+            seed=5,
         ),
-        estimator,
-        rng=np.random.default_rng(5),
+        history,
     )
 
     live_alerts = store.day_alerts(LIVE_DAY)
     print(f"\nlive day has {len(live_alerts)} alerts; budget {MULTI_TYPE_BUDGET}\n")
-    warnings_sent = 0
+    values = []
     for alert in live_alerts:
-        decision = game.process_alert(alert.type_id, alert.time_of_day)
-        if decision.warned:
-            warnings_sent += 1
+        decision = session.decide(
+            AlertEvent(
+                tenant=TENANT,
+                type_id=alert.type_id,
+                time_of_day=alert.time_of_day,
+                event_id=alert.alert_id,
+            )
+        )
+        values.append(decision.game_value)
         # Print a sample of the stream.
         if alert.alert_id % 60 == 0:
             hh, mm = divmod(int(alert.time_of_day) // 60, 60)
             print(
-                f"  {hh:02d}:{mm:02d}  type {alert.type_id}  "
+                f"  {hh:02d}:{mm:02d}  type {decision.type_id}  "
                 f"theta={decision.theta:.3f}  "
                 f"{'WARN' if decision.warned else 'silent':6s}  "
                 f"audit P={decision.audit_probability:.3f}  "
-                f"budget left={decision.budget_after:6.2f}  "
+                f"budget left={decision.budget_remaining:6.2f}  "
                 f"game value={decision.game_value:8.2f}"
             )
 
-    decisions = game.decisions
-    values = np.array([d.game_value for d in decisions])
-    latencies = np.array([d.solve_seconds for d in decisions])
-    print(f"\nsummary over {len(decisions)} alerts:")
-    print(f"  warnings sent              : {warnings_sent}")
-    print(f"  mean auditor expected util : {values.mean():9.2f}")
-    print(f"  final auditor expected util: {values[-1]:9.2f}")
-    print(f"  budget remaining           : {game.budget_remaining:.2f}")
-    print(f"  mean per-alert solve time  : {latencies.mean() * 1000:.1f} ms "
+    report = session.close_cycle()
+    session.close()
+    print(f"\ncycle report for tenant {report.tenant!r}:")
+    print(f"  alerts decided             : {report.alerts}")
+    print(f"  warnings sent              : {report.warnings_sent}")
+    print(f"  mean auditor expected util : {report.mean_game_value:9.2f}")
+    print(f"  final auditor expected util: {report.final_game_value:9.2f}")
+    print(f"  budget remaining           : {report.budget_final:.2f}")
+    print(f"  mean per-alert decide time : "
+          f"{report.wall_seconds / report.alerts * 1000:.1f} ms "
           "(paper reports ~20 ms)")
 
 

@@ -1,49 +1,65 @@
-"""Quickstart: solve one alert's Signaling Audit Game end to end.
+"""Quickstart: serve one alert's Signaling Audit Game through the API.
 
 Run with:  python examples/quickstart.py
 
-Walks the minimal path a downstream user takes: define payoffs, state the
-game (budget + expected future alerts), compute the online SSE marginals
-(LP (2)), derive the optimal warning scheme (LP (3) / Theorem 3), and read
-off the value of signaling.
+Walks the minimal path a downstream user takes through the public façade
+(:mod:`repro.api.v1`): configure a tenant session (payoffs, budget),
+open it over historical traffic, decide one arriving alert — one call
+runs the whole online pipeline (estimation, LP (2) marginals, the
+Theorem 3 warning scheme, the budget charge) — and read off the value of
+signaling from the typed decision payload.
 """
 
-from repro import GameState, PayoffMatrix, solve_online_sse, solve_ossp
+import numpy as np
+
+from repro.api.v1 import AlertEvent, AuditSession, SessionConfig
+from repro.core.payoffs import PayoffMatrix
 
 
 def main() -> None:
     # Payoffs for the "Same Last Name" alert type (paper Table 2, type 1):
     # auditing a real attack pays the auditor 100, missing it costs 400;
     # a caught attacker loses 2000, an uncaught one gains 400.
-    payoffs = {1: PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)}
-    costs = {1: 1.0}
+    config = SessionConfig(
+        tenant="hospital-a",
+        budget=20.0,
+        payoffs={1: PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)},
+        costs={1: 1.0},
+        seed=7,
+    )
 
-    # Game state at the time an alert arrives: 20 budget units remain and
-    # history says ~196.57 more type-1 alerts are expected today.
-    state = GameState(budget=20.0, lambdas={1: 196.57})
+    # Historical traffic drives the future-alert estimate: three past days
+    # of ~196 type-1 alerts each (the paper's Table 1 volume).
+    rng = np.random.default_rng(0)
+    history = {1: [np.sort(rng.uniform(0, 86400, 196)) for _ in range(3)]}
 
-    # Step 1 — online SSE (LP (2)): the marginal audit probabilities.
-    sse = solve_online_sse(state, payoffs, costs)
-    theta = sse.theta_of(1)
-    print(f"marginal audit probability theta = {theta:.4f}")
-    print(f"auditor utility without signaling = {sse.auditor_utility:9.2f}")
-    print(f"attacker utility                  = {sse.attacker_utility:9.2f}")
+    session = AuditSession.open(config, history)
+    decision = session.decide(
+        AlertEvent(tenant="hospital-a", type_id=1, time_of_day=8 * 3600.0)
+    )
 
-    # Step 2 — OSSP (LP (3)): the joint warning/audit distribution.
-    scheme = solve_ossp(theta, payoffs[1])
-    print("\noptimal signaling scheme:")
-    print(f"  P(warn, audit)       p1 = {scheme.p1:.4f}")
-    print(f"  P(warn, no audit)    q1 = {scheme.q1:.4f}")
-    print(f"  P(silent, audit)     p0 = {scheme.p0:.4f}   (Theorem 3: 0)")
-    print(f"  P(silent, no audit)  q0 = {scheme.q0:.4f}")
-    print(f"  warning shown with probability {scheme.warning_probability:.4f}")
+    print(f"marginal audit probability theta = {decision.theta:.4f}")
+    print(f"warning shown                    = {decision.warned}")
+    print(f"audit probability (given signal) = {decision.audit_probability:.4f}")
+    print(f"budget remaining                 = {decision.budget_remaining:.4f}")
 
-    # Step 3 — the value of warning (Theorem 2 guarantees >= 0).
-    with_signaling = scheme.auditor_utility(payoffs[1])
-    without = payoffs[1].auditor_utility(theta)
-    print(f"\nauditor utility with signaling    = {with_signaling:9.2f}")
-    print(f"auditor utility without signaling = {without:9.2f}")
-    print(f"value of the warning mechanism    = {with_signaling - without:9.2f}")
+    # The value of warning (Theorem 2 guarantees >= 0): the decision
+    # carries both the signaling (OSSP) and no-signaling (SSE) values.
+    print(f"\nauditor utility with signaling    = {decision.ossp_utility:9.2f}")
+    print(f"auditor utility without signaling = {decision.sse_utility:9.2f}")
+    print(f"value of the warning mechanism    = {decision.signaling_gain:9.2f}")
+
+    # Close the cycle to get the day's report (one alert so far), then
+    # retire the session.
+    report = session.close_cycle()
+    print(f"\ncycle report: {report.alerts} alert(s), "
+          f"{report.warnings_sent} warning(s), "
+          f"budget {report.budget_initial:.0f} -> {report.budget_final:.2f}")
+    session.close()
+
+    # Every payload is JSON-round-trippable — ship it over any wire.
+    print("\ndecision as JSON:")
+    print(decision.to_json(indent=2))
 
 
 if __name__ == "__main__":

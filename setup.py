@@ -1,0 +1,13 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml`` (PEP 621). Normal installs use
+``pip install -e .``; offline environments lacking ``wheel`` (which pip
+needs even for ``--no-use-pep517``) can fall back to the legacy editable
+path this shim exists for::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -7,7 +7,9 @@ synthetic EMR substrate calibrated to the paper's Table 1, and the full
 evaluation harness for every table and figure.
 
 The solve stack is layered — solvers → engine → core game →
-audit/experiments → scenarios; ``ARCHITECTURE.md`` at the repository root
+audit/experiments → scenarios → serving API (:mod:`repro.api.v1`, the
+versioned multi-tenant façade with typed payloads, session lifecycles,
+and sync + asyncio streaming); ``ARCHITECTURE.md`` at the repository root
 describes the layers, the solver-backend choices (``"scipy"``,
 ``"simplex"``, and the vectorized ``"analytic"`` fast path of
 :mod:`repro.engine`), the solution-cache quantization trade-offs, and the
@@ -76,7 +78,16 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
 )
-from repro.errors import ReproError
+from repro.api.v1 import (
+    AlertEvent,
+    AuditService,
+    AuditSession,
+    CycleReport,
+    ServiceStats,
+    SessionConfig,
+    SignalDecision,
+)
+from repro.errors import ApiError, ReproError
 
 __version__ = "1.0.0"
 
@@ -120,6 +131,14 @@ __all__ = [
     "get_scenario",
     "run_scenario",
     "scenario_names",
+    "AlertEvent",
+    "ApiError",
+    "AuditService",
+    "AuditSession",
+    "CycleReport",
+    "ServiceStats",
+    "SessionConfig",
+    "SignalDecision",
     "ReproError",
     "__version__",
 ]

@@ -1,0 +1,19 @@
+"""The versioned public serving API.
+
+``repro.api.v1`` is the current (and only) version — one façade over the
+whole backend that the CLI, the scenario runner, the examples, and any
+external caller go through. Import from the versioned module so payload
+shapes and error codes stay stable under you::
+
+    from repro.api.v1 import AuditService, AlertEvent, SessionConfig
+
+New major versions will appear as sibling modules (``repro.api.v2``)
+with ``v1`` kept importable; see ``docs/api.md`` for the contract.
+"""
+
+from repro.api import v1
+
+#: The current API version module.
+CURRENT_VERSION = "v1"
+
+__all__ = ["CURRENT_VERSION", "v1"]

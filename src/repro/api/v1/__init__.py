@@ -1,0 +1,107 @@
+"""v1 of the public serving API — the façade every entry point uses.
+
+One stable, versioned surface over the layered backend (solvers → engine →
+core game → audit → scenarios; see ``ARCHITECTURE.md`` §6 and
+``docs/api.md``):
+
+* **Typed payloads** — :class:`AlertEvent` in; :class:`SignalDecision`,
+  :class:`CycleReport`, :class:`SessionStats`, :class:`ServiceStats` out;
+  :class:`SessionConfig` to open sessions. All JSON-round-trippable.
+* **Sessions** — :class:`AuditSession`: one tenant's game state, budget
+  ledger, solution cache, and seeding contract behind an explicit
+  ``open → observe/decide → close_cycle → report/close`` lifecycle.
+* **Service** — :class:`AuditService`: a long-lived multi-tenant router
+  with a synchronous hot path (:meth:`~AuditService.submit`, batched
+  through the engine) and an ``asyncio`` streaming interface
+  (:meth:`~AuditService.stream`) with bounded backpressure.
+* **Errors** — the :class:`~repro.errors.ApiError` subtree plus
+  :func:`error_code`, mapping every library exception onto the stable
+  codes of the v1 contract.
+* **Orchestration** — :func:`run_scenario` / :func:`run_suite`, the
+  façade over the sharded parallel Monte Carlo runner.
+
+Compatibility promise: within ``repro.api.v1``, payload fields and error
+codes only ever gain members; breaking changes get a new version module.
+"""
+
+from collections.abc import Sequence
+
+from repro.errors import (
+    ApiError,
+    InvalidEventError,
+    SessionClosedError,
+    SessionStateError,
+    UnknownTenantError,
+)
+from repro.api.v1.service import (
+    DEFAULT_MAX_PENDING,
+    ERROR_CODES,
+    UNHANDLED_CODE,
+    AuditService,
+    error_code,
+)
+from repro.api.v1.session import AuditSession, open_scenario
+from repro.api.v1.types import (
+    SESSION_CLOSED,
+    SESSION_OPEN,
+    AlertEvent,
+    CycleReport,
+    ServiceStats,
+    SessionConfig,
+    SessionStats,
+    SignalDecision,
+)
+from repro.scenarios.runner import ScenarioResult, SuiteResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+def run_suite(
+    specs: Sequence[ScenarioSpec],
+    workers: int = 1,
+    shards_per_scenario: int | None = None,
+) -> SuiteResult:
+    """Evaluate scenarios with Monte Carlo trials sharded over processes.
+
+    The façade over :class:`~repro.scenarios.runner.ParallelRunner`:
+    merged results are bit-identical for any ``workers`` value (the
+    suite's deterministic-seeding contract).
+    """
+    from repro.scenarios.runner import ParallelRunner
+
+    return ParallelRunner(
+        workers=workers, shards_per_scenario=shards_per_scenario
+    ).run(specs)
+
+
+def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
+    """Evaluate a single scenario (see :func:`run_suite`)."""
+    return run_suite([spec], workers=workers).results[0]
+
+
+__all__ = [
+    "AlertEvent",
+    "ApiError",
+    "AuditService",
+    "AuditSession",
+    "CycleReport",
+    "DEFAULT_MAX_PENDING",
+    "ERROR_CODES",
+    "InvalidEventError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ServiceStats",
+    "SessionClosedError",
+    "SessionConfig",
+    "SessionStateError",
+    "SessionStats",
+    "SESSION_CLOSED",
+    "SESSION_OPEN",
+    "SignalDecision",
+    "SuiteResult",
+    "UNHANDLED_CODE",
+    "UnknownTenantError",
+    "error_code",
+    "open_scenario",
+    "run_scenario",
+    "run_suite",
+]

@@ -1,0 +1,287 @@
+"""The long-lived multi-tenant serving front end.
+
+:class:`AuditService` routes :class:`AlertEvent` payloads to per-tenant
+:class:`AuditSession` objects and offers three decision interfaces:
+
+* :meth:`AuditService.decide` — one event, one decision (request/response);
+* :meth:`AuditService.submit` — the synchronous hot path: consecutive
+  same-tenant runs are batched through the engine's stream API, preserving
+  the input order of the decisions;
+* :meth:`AuditService.stream` — an ``asyncio`` generator
+  (``async for decision in service.stream(events)``) with bounded
+  backpressure: a producer task decides events off the event loop while
+  the consumer drains a size-capped queue, so a slow consumer throttles
+  the producer instead of buffering unboundedly.
+
+Every interface runs the identical per-alert pipeline, so for a fixed
+per-tenant event order all three produce bit-identical decisions — the
+contract the async-equivalence tests pin down.
+
+The module also owns the error-code mapping: :func:`error_code` projects
+the whole :class:`~repro.errors.ReproError` hierarchy onto the stable
+string codes the v1 API promises (table in ``docs/api.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterable, Iterable, Sequence
+from typing import AsyncIterator, Union
+
+from repro import errors
+from repro.errors import SessionStateError, UnknownTenantError
+from repro.api.v1.session import AuditSession, History, open_scenario
+from repro.api.v1.types import (
+    AlertEvent,
+    ServiceStats,
+    SessionConfig,
+    SessionStats,
+    SignalDecision,
+)
+
+#: Stable API error codes, most specific class first. ``ApiError``
+#: subclasses carry their own ``code`` attribute; everything else in the
+#: ``ReproError`` hierarchy maps through this table.
+ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
+    (errors.InfeasibleProblemError, "solver_infeasible"),
+    (errors.UnboundedProblemError, "solver_unbounded"),
+    (errors.SolverConvergenceError, "solver_convergence"),
+    (errors.SolverError, "solver_error"),
+    (errors.PayoffError, "model_payoff"),
+    (errors.BudgetError, "model_budget"),
+    (errors.ModelError, "model_invalid"),
+    (errors.EstimationError, "estimation_failed"),
+    (errors.QueryError, "data_query"),
+    (errors.DataError, "data_invalid"),
+    (errors.ExperimentError, "experiment_invalid"),
+    (errors.ReproError, "internal"),
+)
+
+#: Code reported for exceptions outside the ``ReproError`` hierarchy.
+UNHANDLED_CODE = "unhandled"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable v1 API code for any exception.
+
+    ``ApiError`` subclasses carry their code directly; other
+    ``ReproError`` subclasses map by most-specific match in
+    :data:`ERROR_CODES`; anything else is :data:`UNHANDLED_CODE`. Codes
+    are part of the versioned contract — clients dispatch on them, never
+    on Python class names.
+    """
+    if isinstance(exc, errors.ApiError):
+        return exc.code
+    for klass, code in ERROR_CODES:
+        if isinstance(exc, klass):
+            return code
+    return UNHANDLED_CODE
+
+
+#: Event sources the async interface accepts.
+EventSource = Union[Iterable[AlertEvent], AsyncIterable[AlertEvent]]
+
+#: Default bound on decisions buffered ahead of a slow stream consumer.
+DEFAULT_MAX_PENDING = 64
+
+#: Queue sentinel marking the end of a stream.
+_DONE = object()
+
+
+class AuditService:
+    """Routes events from many organizations to their audit sessions.
+
+    One service instance is the intended long-lived process-level object:
+    sessions open and close under it, and :meth:`stats` keeps aggregating
+    retired tenants alongside live ones.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, AuditSession] = {}
+        self._retired: list[SessionStats] = []
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+
+    def open_session(self, config: SessionConfig, history: History) -> AuditSession:
+        """Open (and register) a session for ``config.tenant``."""
+        if config.tenant in self._sessions:
+            raise SessionStateError(
+                f"tenant {config.tenant!r} already has an open session"
+            )
+        session = AuditSession.open(config, history)
+        self._sessions[config.tenant] = session
+        return session
+
+    def open_scenario(self, spec) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
+        """Open a session for a scenario; returns it plus its test-day events."""
+        if spec.name in self._sessions:
+            raise SessionStateError(
+                f"tenant {spec.name!r} already has an open session"
+            )
+        session, events = open_scenario(spec)
+        self._sessions[session.tenant] = session
+        return session, events
+
+    def session(self, tenant: str) -> AuditSession:
+        """The open session serving ``tenant``."""
+        try:
+            return self._sessions[tenant]
+        except KeyError:
+            raise UnknownTenantError(
+                f"no open session for tenant {tenant!r}"
+            ) from None
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with an open session, in registration order."""
+        return tuple(self._sessions)
+
+    def close_session(self, tenant: str) -> SessionStats:
+        """Close and unregister ``tenant``'s session (stats are retained)."""
+        stats = self.session(tenant).close()
+        del self._sessions[tenant]
+        self._retired.append(stats)
+        return stats
+
+    def close(self) -> ServiceStats:
+        """Close every open session and return the final aggregate."""
+        for tenant in list(self._sessions):
+            self.close_session(tenant)
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # Decision interfaces
+    # ------------------------------------------------------------------
+
+    def decide(self, event: AlertEvent) -> SignalDecision:
+        """Route one event to its tenant's session and decide it."""
+        return self.session(event.tenant).decide(event)
+
+    def observe(self, event: AlertEvent) -> None:
+        """Route one background event (no decision payload built)."""
+        self.session(event.tenant).observe(event)
+
+    def submit(self, events: Sequence[AlertEvent]) -> tuple[SignalDecision, ...]:
+        """The hot path: decide many events, batching per tenant.
+
+        Consecutive events of the same tenant form one engine-stream batch
+        (:meth:`AuditSession.decide_batch`); decisions come back in input
+        order. Per-tenant event order is preserved, so the result is
+        bit-identical to calling :meth:`decide` event by event.
+
+        The whole submission is validated before any event is processed
+        (every tenant resolved, every per-tenant subsequence checked by
+        :meth:`AuditSession.validate_events`), so a malformed submission
+        is rejected atomically — no session is left with a half-committed
+        budget or advanced randomness. A *solver* failure mid-submission
+        is not rolled back: earlier runs stay committed (their sessions'
+        accounting reconciles with what landed) and the error propagates.
+        """
+        per_tenant: dict[str, list[AlertEvent]] = {}
+        for event in events:
+            per_tenant.setdefault(event.tenant, []).append(event)
+        for tenant, sequence in per_tenant.items():
+            self.session(tenant).validate_events(sequence)
+
+        decisions: list[SignalDecision] = []
+        run: list[AlertEvent] = []
+
+        def flush() -> None:
+            # Validation already covered the full per-tenant sequences, so
+            # runs go straight to the engine without a second walk.
+            decisions.extend(
+                self.session(run[0].tenant)._decide_batch_validated(run)
+            )
+
+        for event in events:
+            if run and event.tenant != run[0].tenant:
+                flush()
+                run = []
+            run.append(event)
+        if run:
+            flush()
+        return tuple(decisions)
+
+    async def stream(
+        self,
+        events: EventSource,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> AsyncIterator[SignalDecision]:
+        """Decide an event stream asynchronously, with bounded backpressure.
+
+        ``events`` may be any (a)synchronous iterable of
+        :class:`AlertEvent`. Decisions are computed in arrival order on a
+        worker thread (``asyncio.to_thread``), so the event loop stays
+        responsive and per-tenant determinism is preserved; at most
+        ``max_pending`` decisions are buffered ahead of the consumer —
+        when the buffer is full the producer blocks instead of growing it.
+        Concurrent ``stream`` calls are safe as long as no tenant appears
+        in more than one live stream (sessions are not thread-safe).
+        """
+        if max_pending < 1:
+            # A plain programming error, not an API-contract condition —
+            # deliberately outside the stable error-code table.
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+
+        async def produce() -> None:
+            try:
+                async for event in _ensure_async(events):
+                    decision = await asyncio.to_thread(self.decide, event)
+                    await queue.put(decision)
+            except BaseException as exc:  # propagated to the consumer
+                await queue.put(exc)
+            else:
+                await queue.put(_DONE)
+
+        producer = asyncio.create_task(produce())
+        try:
+            while True:
+                item = await queue.get()
+                if item is _DONE:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+            await producer
+        finally:
+            if not producer.done():
+                producer.cancel()
+                try:
+                    await producer
+                except asyncio.CancelledError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Service-wide aggregate: open sessions plus retired ones."""
+        snapshots = tuple(
+            session.report() for session in self._sessions.values()
+        ) + tuple(self._retired)
+        return ServiceStats.from_sessions(snapshots)
+
+
+async def _ensure_async(events: EventSource) -> AsyncIterator[AlertEvent]:
+    """Adapt a sync or async event source into one async iterator."""
+    if isinstance(events, AsyncIterable):
+        async for event in events:
+            yield event
+    else:
+        for event in events:
+            yield event
+            # Let the consumer run between purely synchronous events.
+            await asyncio.sleep(0)
+
+
+__all__ = [
+    "AuditService",
+    "DEFAULT_MAX_PENDING",
+    "ERROR_CODES",
+    "UNHANDLED_CODE",
+    "error_code",
+]

@@ -1,0 +1,333 @@
+"""Typed request/response contracts of the v1 serving API.
+
+Every type here is a frozen dataclass of JSON-compatible scalars (plus
+:class:`~repro.core.payoffs.PayoffMatrix`, itself four floats) and
+round-trips exactly through ``to_dict``/``from_dict`` and
+``to_json``/``from_json`` — the same contract :class:`ScenarioSpec`
+established for scenario files. Requests (:class:`AlertEvent`,
+:class:`SessionConfig`) travel into the service; responses
+(:class:`SignalDecision`, :class:`CycleReport`, :class:`SessionStats`,
+:class:`ServiceStats`) travel out. Nothing in a payload holds live
+state, so every message can be logged, shipped over a wire, and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import InvalidEventError
+from repro.core.payoffs import PayoffMatrix
+
+#: Session lifecycle states (see :class:`repro.api.v1.AuditSession`).
+SESSION_OPEN = "open"
+SESSION_CLOSED = "closed"
+
+
+class _Payload:
+    """Shared serde for the API dataclasses.
+
+    ``to_dict`` flattens to JSON-compatible values; ``from_dict`` is the
+    exact inverse and rejects unknown keys, so a payload written by one
+    version never silently drops fields when read by another.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-compatible values only)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]):
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise InvalidEventError(
+                f"unknown {cls.__name__} fields: {sorted(unknown)}"
+            )
+        return cls(**cls._decode(dict(payload)))
+
+    @classmethod
+    def _decode(cls, payload: dict[str, Any]) -> dict[str, Any]:
+        """Hook for subclasses that carry non-scalar fields."""
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise InvalidEventError(
+                f"a {cls.__name__} JSON document must be an object"
+            )
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class AlertEvent(_Payload):
+    """One arriving alert, addressed to a tenant's session.
+
+    Attributes
+    ----------
+    tenant:
+        The organization whose session must handle this event.
+    type_id:
+        Alert type (must be covered by the session's payoffs).
+    time_of_day:
+        Arrival time in seconds since cycle start (nondecreasing within a
+        cycle).
+    event_id:
+        Optional caller-supplied correlation id, echoed on the decision.
+    """
+
+    tenant: str
+    type_id: int
+    time_of_day: float
+    event_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise InvalidEventError("event tenant must be a non-empty string")
+        if self.time_of_day < 0:
+            raise InvalidEventError(
+                f"time_of_day must be non-negative, got {self.time_of_day}"
+            )
+
+
+@dataclass(frozen=True)
+class SignalDecision(_Payload):
+    """The auditor's realized decision for one event — the API response.
+
+    The per-alert pipeline's outcome (:class:`repro.core.game.AlertDecision`)
+    projected onto stable wire fields: the marginal ``theta``, the sampled
+    warning, the signal-conditional audit probability, the budget after the
+    charge, and the three utility readings the figures plot.
+    """
+
+    tenant: str
+    event_id: int | None
+    type_id: int
+    time_of_day: float
+    cycle: int
+    sequence: int
+    theta: float
+    warned: bool
+    audit_probability: float
+    budget_remaining: float
+    game_value: float
+    ossp_utility: float
+    sse_utility: float
+    signaling_applied: bool
+
+    @property
+    def signaling_gain(self) -> float:
+        """Value of the warning mechanism for this alert (Theorem 2: >= 0)."""
+        return self.ossp_utility - self.sse_utility
+
+
+@dataclass(frozen=True)
+class CycleReport(_Payload):
+    """Per-cycle accounting returned by ``close_cycle``.
+
+    ``sse_solves``/``cache_hits`` reconcile with ``alerts`` exactly like
+    :class:`~repro.engine.stream.EngineStats` (with a cache attached,
+    ``sse_solves + cache_hits == alerts``); ``wall_seconds`` is the
+    decide-path processing time of the cycle.
+    """
+
+    tenant: str
+    cycle: int
+    alerts: int
+    warnings_sent: int
+    budget_initial: float
+    budget_final: float
+    mean_game_value: float
+    final_game_value: float
+    backend: str
+    sse_solves: int
+    cache_hits: int
+    cache_entries: int
+    wall_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of per-alert solves served from the session cache."""
+        return self.cache_hits / self.alerts if self.alerts else 0.0
+
+    @property
+    def alerts_per_second(self) -> float:
+        """Cycle throughput (0 when the clock read as instant)."""
+        return self.alerts / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SessionStats(_Payload):
+    """One tenant's cumulative accounting across every cycle so far."""
+
+    tenant: str
+    state: str
+    cycle: int
+    cycles_closed: int
+    events: int
+    sse_solves: int
+    cache_hits: int
+    cache_entries: int
+    wall_seconds: float
+    budget_remaining: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of solves served from the cache."""
+        return self.cache_hits / self.events if self.events else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats(_Payload):
+    """Service-wide accounting: per-tenant stats plus their merge.
+
+    Counters sum over tenants (sessions own disjoint caches, exactly like
+    the suite's per-worker merge in :meth:`EngineStats.merge`); closed
+    sessions keep contributing their final numbers.
+    """
+
+    tenants: int
+    open_sessions: int
+    cycles_closed: int
+    events: int
+    sse_solves: int
+    cache_hits: int
+    cache_entries: int
+    wall_seconds: float
+    per_tenant: tuple[SessionStats, ...] = field(default_factory=tuple)
+
+    @property
+    def hit_rate(self) -> float:
+        """Service-wide fraction of solves served from session caches."""
+        return self.cache_hits / self.events if self.events else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Decide-path throughput over the summed processing time."""
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @classmethod
+    def from_sessions(cls, sessions: tuple[SessionStats, ...]) -> "ServiceStats":
+        """Merge per-tenant snapshots into the service-wide aggregate."""
+        return cls(
+            tenants=len(sessions),
+            open_sessions=sum(s.state == SESSION_OPEN for s in sessions),
+            cycles_closed=sum(s.cycles_closed for s in sessions),
+            events=sum(s.events for s in sessions),
+            sse_solves=sum(s.sse_solves for s in sessions),
+            cache_hits=sum(s.cache_hits for s in sessions),
+            cache_entries=sum(s.cache_entries for s in sessions),
+            wall_seconds=float(sum(s.wall_seconds for s in sessions)),
+            per_tenant=sessions,
+        )
+
+    @classmethod
+    def _decode(cls, payload: dict[str, Any]) -> dict[str, Any]:
+        payload["per_tenant"] = tuple(
+            SessionStats.from_dict(entry) for entry in payload.get("per_tenant", ())
+        )
+        return payload
+
+
+@dataclass(frozen=True)
+class SessionConfig(_Payload):
+    """Everything needed to open one tenant's audit session.
+
+    The static game configuration (:class:`~repro.core.game.SAGConfig`
+    fields), the seeding contract (``seed`` fully determines the session's
+    signal-sampling stream), and the session cache policy. The training
+    history itself — per-type arrays of past arrival times — is live data,
+    not configuration, and is passed to
+    :meth:`repro.api.v1.AuditSession.open` separately.
+    """
+
+    tenant: str
+    budget: float
+    payoffs: Mapping[int, PayoffMatrix]
+    costs: Mapping[int, float]
+    backend: str = "analytic"
+    seed: int = 0
+    signaling_enabled: bool = True
+    signaling_method: str = "closed_form"
+    budget_charging: str = "conditional"
+    robust_margin: float = 0.0
+    rollback_enabled: bool = True
+    rollback_threshold: float | None = None
+    cache_enabled: bool = True
+    cache_budget_step: float = 0.0
+    cache_rate_step: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise InvalidEventError("tenant must be a non-empty string")
+        # Normalize mappings to plain int-keyed dicts; the full validation
+        # (sign conventions, budget ranges) happens in SAGConfig at open().
+        object.__setattr__(
+            self, "payoffs", {int(k): v for k, v in dict(self.payoffs).items()}
+        )
+        object.__setattr__(
+            self, "costs", {int(k): float(v) for k, v in dict(self.costs).items()}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = super().to_dict()
+        # JSON objects have string keys; encode type ids as strings so the
+        # document survives json.dumps -> json.loads unchanged.
+        payload["payoffs"] = {
+            str(type_id): dataclasses.asdict(payoff)
+            for type_id, payoff in sorted(self.payoffs.items())
+        }
+        payload["costs"] = {
+            str(type_id): cost for type_id, cost in sorted(self.costs.items())
+        }
+        return payload
+
+    @classmethod
+    def _decode(cls, payload: dict[str, Any]) -> dict[str, Any]:
+        payoffs = payload.get("payoffs", {})
+        payload["payoffs"] = {
+            int(type_id): (
+                entry if isinstance(entry, PayoffMatrix) else PayoffMatrix(**entry)
+            )
+            for type_id, entry in payoffs.items()
+        }
+        payload["costs"] = {
+            int(type_id): float(cost)
+            for type_id, cost in payload.get("costs", {}).items()
+        }
+        return payload
+
+    @classmethod
+    def from_scenario(cls, spec) -> "SessionConfig":
+        """A session configuration equivalent to a :class:`ScenarioSpec`.
+
+        The tenant is the scenario name; budget/payoffs/costs resolve to
+        the scenario's setting, and the cache policy maps ``"off"`` to a
+        disabled cache (quantization steps carry over otherwise).
+        """
+        from repro.scenarios.spec import CACHE_OFF
+
+        return cls(
+            tenant=spec.name,
+            budget=spec.resolved_budget(),
+            payoffs=spec.payoffs(),
+            costs=spec.costs(),
+            backend=spec.backend,
+            seed=spec.seed,
+            signaling_enabled=spec.signaling_enabled,
+            budget_charging=spec.budget_charging,
+            robust_margin=spec.robust_margin,
+            cache_enabled=spec.cache_mode != CACHE_OFF,
+            cache_budget_step=spec.cache_budget_step,
+            cache_rate_step=spec.cache_rate_step,
+        )

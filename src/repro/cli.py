@@ -1,7 +1,10 @@
-"""Command-line entry points: ``python -m repro.cli <experiment>``.
+"""Command-line entry points: ``repro <subcommand>`` (or ``python -m repro.cli``).
 
-Each subcommand regenerates one of the paper's tables/figures (or an
-ablation) and prints a fixed-width text report.
+Each experiment subcommand regenerates one of the paper's tables/figures
+(or an ablation) and prints a fixed-width text report; the serving
+subcommands (``serve``, ``decide``) drive the :mod:`repro.api.v1` façade
+over scenario worlds, and ``suite`` orchestrates sharded Monte Carlo runs
+through the same façade.
 """
 
 from __future__ import annotations
@@ -9,13 +12,15 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run one experiment; returns a process exit code."""
     parser = argparse.ArgumentParser(
-        prog="sag",
-        description="Signaling Audit Games — reproduce the paper's evaluation.",
+        prog="repro",
+        description="Signaling Audit Games — reproduce the paper's "
+        "evaluation and serve its online policy.",
     )
     # seed/days/backend default to None so `suite` can tell an explicit
     # flag (which overrides scenario specs) from the default (which does
@@ -96,6 +101,78 @@ def main(argv: Sequence[str] | None = None) -> int:
     suite.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list registered scenario presets and exit",
+    )
+    serve = subparsers.add_parser(
+        "serve",
+        help="replay scenario event streams through the multi-tenant "
+        "repro.api.v1 service",
+        description=(
+            "Open one AuditSession per selected scenario under a single "
+            "AuditService, replay the scenarios' test-day alert streams "
+            "(merged chronologically across tenants) through the batched "
+            "hot path — or the asyncio streaming interface with "
+            "--streaming — and print per-tenant cycle reports plus "
+            "service-wide stats."
+        ),
+    )
+    serve.add_argument(
+        "--scenarios", metavar="NAMES",
+        help="comma-separated preset names (see `suite --list`)",
+    )
+    serve.add_argument(
+        "--spec-file", metavar="PATH",
+        help="JSON file: a spec object or a list of spec objects, one "
+        "tenant each",
+    )
+    serve.add_argument(
+        "--events", type=int, default=None, metavar="N",
+        help="cap the number of events replayed per tenant",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=256, metavar="N",
+        help="events per submit() batch on the hot path (default 256)",
+    )
+    serve.add_argument(
+        "--streaming", action="store_true",
+        help="use the asyncio streaming interface (bounded backpressure) "
+        "instead of batched submit",
+    )
+    serve.add_argument(
+        "--out", metavar="PATH",
+        help="write decisions, cycle reports, and service stats as JSON",
+    )
+    decide = subparsers.add_parser(
+        "decide",
+        help="decide a single alert event through repro.api.v1",
+        description=(
+            "Open an AuditSession for one scenario, optionally replay the "
+            "first N test-day events for context, then decide one event "
+            "and print the SignalDecision as JSON."
+        ),
+    )
+    decide.add_argument(
+        "--scenario", default="fig2-uniform", metavar="NAME",
+        help="scenario preset naming the tenant's world (default "
+        "fig2-uniform)",
+    )
+    decide.add_argument(
+        "--spec-file", metavar="PATH",
+        help="JSON file with a single scenario spec (overrides --scenario)",
+    )
+    decide.add_argument(
+        "--type", type=int, default=None, dest="type_id", metavar="ID",
+        help="alert type of the decided event (default: the scenario's "
+        "first type)",
+    )
+    decide.add_argument(
+        "--time", type=float, default=None, dest="time_of_day", metavar="S",
+        help="event time in seconds since cycle start (default: after the "
+        "replayed context events)",
+    )
+    decide.add_argument(
+        "--observe", type=int, default=0, metavar="N",
+        help="replay the first N test-day events as background context "
+        "before deciding",
     )
     parser.add_argument(
         "--svg", metavar="PATH",
@@ -212,8 +289,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_full_evaluation(result))
             print()
     elif args.experiment == "montecarlo":
+        from repro.api.v1 import run_scenario
         from repro.experiments.config import SINGLE_TYPE_BUDGET
-        from repro.scenarios import get_scenario, run_scenario
+        from repro.scenarios import get_scenario
 
         print("Attacker-in-the-loop Monte Carlo (single type, budget "
               f"{SINGLE_TYPE_BUDGET:.0f})")
@@ -230,6 +308,197 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"quit rate {result.quit_rate:.2f}")
     elif args.experiment == "suite":
         return _run_suite(args, explicit)
+    elif args.experiment == "serve":
+        return _run_serve(args, explicit)
+    elif args.experiment == "decide":
+        return _run_decide(args, explicit)
+    return 0
+
+
+def _write_text(path: str, text: str) -> bool:
+    """Write ``text`` to ``path``, creating missing parent directories.
+
+    Returns ``False`` (after a clean message on stderr) when the path is
+    unwritable, instead of letting an ``OSError`` traceback escape — the
+    caller turns that into a non-zero exit code.
+    """
+    try:
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
+def _selected_specs(args, explicit, scenarios_attr="scenarios"):
+    """Scenario specs from --scenarios/--spec-file with global overrides."""
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.scenarios import ScenarioMatrix, ScenarioSpec, get_scenario
+
+    specs: list[ScenarioSpec] = []
+    selection = getattr(args, scenarios_attr, None)
+    if selection:
+        specs.extend(
+            get_scenario(name.strip())
+            for name in selection.split(",") if name.strip()
+        )
+    if getattr(args, "spec_file", None):
+        with open(args.spec_file, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if isinstance(payload, list):
+            specs.extend(ScenarioSpec.from_dict(entry) for entry in payload)
+        elif isinstance(payload, dict) and "axes" in payload:
+            specs.extend(ScenarioMatrix.from_dict(payload).expand())
+        elif isinstance(payload, dict):
+            specs.append(ScenarioSpec.from_dict(payload))
+        else:
+            raise ExperimentError(
+                f"{args.spec_file}: expected a spec object, a list of spec "
+                "objects, or a matrix object"
+            )
+
+    # Honor the global --seed/--days/--backend options; only flags the
+    # user actually passed override the specs.
+    return [_apply_global_overrides(spec, args, explicit) for spec in specs]
+
+
+def _apply_global_overrides(spec, args, explicit):
+    """One spec with the explicitly passed global flags applied."""
+    overrides = {}
+    if "seed" in explicit:
+        overrides["seed"] = args.seed
+    if "days" in explicit:
+        overrides["n_days"] = args.days
+    if "backend" in explicit:
+        overrides["backend"] = args.backend
+    return spec.with_updates(**overrides) if overrides else spec
+
+
+def _run_serve(args, explicit) -> int:
+    """The ``serve`` subcommand: scenario streams through the service."""
+    import json
+    import time as _time
+
+    from repro.api.v1 import AuditService
+    from repro.experiments.report import render_table
+
+    specs = _selected_specs(args, explicit)
+    if not specs:
+        print("no scenarios selected; use --scenarios or --spec-file",
+              file=sys.stderr)
+        return 2
+
+    service = AuditService()
+    all_events = []
+    for spec in specs:
+        _session, events = service.open_scenario(spec)
+        if args.events is not None:
+            events = events[: args.events]
+        all_events.extend(events)
+    # Merge tenants chronologically — the multi-tenant arrival order a
+    # real deployment would see. Per-tenant order is preserved, so
+    # decisions are independent of the interleaving.
+    all_events.sort(key=lambda event: event.time_of_day)
+
+    started = _time.perf_counter()
+    if args.streaming:
+        import asyncio
+
+        async def _drain():
+            collected = []
+            async for decision in service.stream(all_events):
+                collected.append(decision)
+            return collected
+
+        decisions = asyncio.run(_drain())
+    else:
+        batch = max(1, args.batch)
+        decisions = []
+        for start in range(0, len(all_events), batch):
+            decisions.extend(service.submit(all_events[start:start + batch]))
+    wall = _time.perf_counter() - started
+
+    reports = [
+        service.session(tenant).close_cycle() for tenant in service.tenants
+    ]
+    stats = service.close()
+    rows = [
+        [
+            report.tenant,
+            report.alerts,
+            report.warnings_sent,
+            round(report.mean_game_value, 2),
+            round(report.budget_final, 2),
+            f"{report.hit_rate:.0%}",
+            round(report.wall_seconds, 3),
+        ]
+        for report in reports
+    ]
+    interface = "streaming" if args.streaming else "batched submit"
+    print(render_table(
+        headers=["tenant", "events", "warned", "mean value", "budget left",
+                 "cache hit", "decide s"],
+        rows=rows,
+        title=(f"Audit service — {len(reports)} tenants, "
+               f"{len(decisions)} decisions via {interface}, "
+               f"{len(decisions) / wall if wall > 0 else 0.0:.0f} events/s"),
+    ))
+    if args.out:
+        payload = {
+            "decisions": [decision.to_dict() for decision in decisions],
+            "cycle_reports": [report.to_dict() for report in reports],
+            "service_stats": stats.to_dict(),
+        }
+        if not _write_text(args.out, json.dumps(payload, indent=2,
+                                                sort_keys=True)):
+            return 1
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _run_decide(args, explicit) -> int:
+    """The ``decide`` subcommand: one event through the façade."""
+    from repro.api.v1 import AlertEvent, open_scenario
+    from repro.scenarios import get_scenario
+
+    if args.spec_file:
+        # The decide parser has no --scenarios flag, so only the spec
+        # file contributes here — and it must name exactly one scenario.
+        specs = _selected_specs(args, explicit)
+        if len(specs) != 1:
+            print(
+                f"decide needs exactly one scenario; {args.spec_file} "
+                f"yields {len(specs)}",
+                file=sys.stderr,
+            )
+            return 2
+        spec = specs[0]
+    else:
+        spec = _apply_global_overrides(get_scenario(args.scenario), args, explicit)
+
+    session, events = open_scenario(spec)
+    context = events[: args.observe] if args.observe > 0 else ()
+    for event in context:
+        session.observe(event)
+    last_time = context[-1].time_of_day if context else 0.0
+    event = AlertEvent(
+        tenant=session.tenant,
+        type_id=(
+            args.type_id if args.type_id is not None
+            else min(session.config.payoffs)
+        ),
+        time_of_day=(
+            args.time_of_day if args.time_of_day is not None else last_time
+        ),
+    )
+    decision = session.decide(event)
+    session.close()
+    print(decision.to_json(indent=2))
     return 0
 
 
@@ -237,10 +506,9 @@ def _run_suite(args, explicit) -> int:
     """The ``suite`` subcommand: select specs, run sharded, report/write."""
     import json
 
-    from repro.errors import ExperimentError
+    from repro.api.v1 import run_suite
     from repro.experiments.report import render_table
     from repro.scenarios import (
-        ParallelRunner,
         ScenarioMatrix,
         ScenarioSpec,
         get_scenario,
@@ -267,44 +535,13 @@ def _run_suite(args, explicit) -> int:
         ))
         return 0
 
-    specs: list[ScenarioSpec] = []
-    if args.scenarios:
-        specs.extend(
-            get_scenario(name.strip())
-            for name in args.scenarios.split(",") if name.strip()
-        )
-    if args.spec_file:
-        with open(args.spec_file, encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if isinstance(payload, list):
-            specs.extend(ScenarioSpec.from_dict(entry) for entry in payload)
-        elif isinstance(payload, dict) and "axes" in payload:
-            specs.extend(ScenarioMatrix.from_dict(payload).expand())
-        elif isinstance(payload, dict):
-            specs.append(ScenarioSpec.from_dict(payload))
-        else:
-            raise ExperimentError(
-                f"{args.spec_file}: expected a spec object, a list of spec "
-                "objects, or a matrix object"
-            )
+    # Presets/spec-file plus global-flag overrides; axes win over globals
+    # for fields swept by both.
+    specs = _selected_specs(args, explicit)
     if not specs:
         print("no scenarios selected; use --scenarios, --spec-file, or --list",
               file=sys.stderr)
         return 2
-
-    # Honor the global --seed/--days/--backend options like every other
-    # subcommand; only flags the user actually passed override the specs
-    # (presets keep their own backends etc. otherwise). Axes win over
-    # globals for fields swept by both.
-    overrides = {}
-    if "seed" in explicit:
-        overrides["seed"] = args.seed
-    if "days" in explicit:
-        overrides["n_days"] = args.days
-    if "backend" in explicit:
-        overrides["backend"] = args.backend
-    if overrides:
-        specs = [spec.with_updates(**overrides) for spec in specs]
 
     if args.axis:
         # Keep duplicates as pairs so ScenarioMatrix's duplicate-axis
@@ -315,7 +552,7 @@ def _run_suite(args, explicit) -> int:
     if args.trials is not None:
         specs = [spec.with_updates(n_trials=args.trials) for spec in specs]
 
-    suite = ParallelRunner(workers=args.workers).run(specs)
+    suite = run_suite(specs, workers=args.workers)
     rows = []
     for result in suite.results:
         mc, engine = result.montecarlo, result.engine
@@ -338,8 +575,10 @@ def _run_suite(args, explicit) -> int:
                f"{suite.workers} workers, {suite.wall_seconds:.1f}s wall"),
     ))
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(suite.to_dict(), handle, indent=2, sort_keys=True)
+        if not _write_text(
+            args.out, json.dumps(suite.to_dict(), indent=2, sort_keys=True)
+        ):
+            return 1
         print(f"wrote {args.out}")
     return 0
 

@@ -54,3 +54,39 @@ class QueryError(DataError):
 
 class ExperimentError(ReproError):
     """An experiment configuration problem."""
+
+
+class ApiError(ReproError):
+    """Base class for serving-API (:mod:`repro.api`) failures.
+
+    Every subclass carries a stable string ``code`` — the identifier the
+    versioned API contract promises to keep (see
+    :func:`repro.api.v1.error_code` and the table in ``docs/api.md``), so
+    clients can dispatch on codes instead of Python class names.
+    """
+
+    code = "api_error"
+
+
+class SessionStateError(ApiError):
+    """An operation that is invalid in the session's current lifecycle state."""
+
+    code = "session_state"
+
+
+class SessionClosedError(SessionStateError):
+    """The session was closed; it accepts no further events or cycles."""
+
+    code = "session_closed"
+
+
+class UnknownTenantError(ApiError):
+    """An event was routed to a tenant with no open session."""
+
+    code = "unknown_tenant"
+
+
+class InvalidEventError(ApiError):
+    """A malformed event: wrong tenant, or out of chronological order."""
+
+    code = "invalid_event"

@@ -8,9 +8,10 @@ seven-type workload.
 
 :func:`run_engine_comparison` extends the same question to stream scale: it
 replays one synthetic alert stream through the per-alert LP path and
-through the :class:`~repro.engine.stream.BatchAuditEngine` (analytic solver
-plus quantized solution cache) and reports the speedup — the number backing
-``benchmarks/bench_engine.py`` and the ``engine`` CLI subcommand.
+through the serving façade's batch path (an :class:`repro.api.v1.AuditSession`
+over the analytic solver plus quantized solution cache) and reports the
+speedup — the number backing ``benchmarks/bench_engine.py`` and the
+``engine`` CLI subcommand.
 """
 
 from __future__ import annotations
@@ -20,13 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.v1 import AlertEvent, AuditSession, SessionConfig
 from repro.audit.cycle import run_cycle
 from repro.audit.evaluation import EvaluationHarness
 from repro.audit.policies import OSSPPolicy
 from repro.core.game import CHARGE_EXPECTED, SAGConfig, SignalingAuditGame
 from repro.core.payoffs import PayoffMatrix
-from repro.engine.cache import SSESolutionCache
-from repro.engine.stream import BatchAuditEngine, analytic_config
 from repro.experiments.config import (
     MULTI_TYPE_BUDGET,
     ROLLBACK_THRESHOLD,
@@ -205,30 +205,53 @@ def run_engine_comparison(
     )
     baseline_seconds = _time.perf_counter() - started
 
-    engine = BatchAuditEngine(
-        analytic_config(base_config),
-        fresh_estimator(),
-        rng=np.random.default_rng(seed),
-        cache=SSESolutionCache(budget_step=budget_step, rate_step=rate_step),
+    # The fast path goes through the serving façade: one tenant session
+    # over the analytic backend with a quantized cache, whole stream in
+    # one batched decide call (the engine's stream API under the hood).
+    session = AuditSession.open(
+        SessionConfig(
+            tenant="engine-comparison",
+            budget=budget,
+            payoffs=payoffs,
+            costs=costs,
+            backend="analytic",
+            seed=seed,
+            budget_charging=CHARGE_EXPECTED,
+            cache_budget_step=budget_step,
+            cache_rate_step=rate_step,
+        ),
+        history,
     )
-    result = engine.process_stream(types, times)
+    decisions = session.decide_batch(
+        [
+            AlertEvent(
+                tenant="engine-comparison",
+                type_id=int(t),
+                time_of_day=float(s),
+            )
+            for t, s in zip(types, times)
+        ]
+    )
+    engine_values = np.array([d.game_value for d in decisions])
+    report = session.close_cycle()
+    session.close()
 
     return EngineComparisonResult(
         n_types=n_types,
         n_alerts=n_alerts,
         baseline_backend=baseline_backend,
         baseline_seconds=baseline_seconds,
-        engine_seconds=result.stats.wall_seconds,
-        cache_hit_rate=result.stats.hit_rate,
-        sse_solves=result.stats.sse_solves,
-        cache_entries=result.stats.cache_entries,
+        engine_seconds=report.wall_seconds,
+        cache_hit_rate=report.hit_rate,
+        sse_solves=report.sse_solves,
+        cache_entries=report.cache_entries,
         budget_step=budget_step,
         rate_step=rate_step,
         mean_game_value_gap=float(
-            np.mean(np.abs(result.game_values - baseline_values))
+            np.mean(np.abs(engine_values - baseline_values))
         ),
         max_game_value_gap=float(
-            np.max(np.abs(result.game_values - baseline_values))
+            np.max(np.abs(engine_values - baseline_values))
         ),
     )
 

@@ -346,8 +346,22 @@ class ParallelRunner:
 
 
 def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
-    """Convenience: evaluate a single scenario."""
-    return ParallelRunner(workers=workers).run([spec]).results[0]
+    """Deprecated: use :func:`repro.api.v1.run_scenario` instead.
+
+    Kept as a thin shim over the façade so existing callers keep working;
+    behavior is unchanged.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.scenarios.runner.run_scenario is deprecated; use "
+        "repro.api.v1.run_scenario",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.v1 import run_scenario as _api_run_scenario
+
+    return _api_run_scenario(spec, workers=workers)
 
 
 def _contiguous_chunks(

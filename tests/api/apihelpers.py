@@ -1,0 +1,29 @@
+"""Shared workload builders for the API tests (importable, not a conftest)."""
+
+import numpy as np
+
+from repro.api.v1 import AlertEvent, SessionConfig
+from repro.core.payoffs import PayoffMatrix
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+N_ALERTS = 30
+
+
+def make_history():
+    times = np.linspace(1000, 80000, 60)
+    return {1: [times.copy(), times.copy(), times.copy()]}
+
+
+def make_config(**overrides):
+    payload = dict(
+        tenant="a", budget=5.0, payoffs={1: PAY}, costs={1: 1.0}, seed=11,
+    )
+    payload.update(overrides)
+    return SessionConfig(**payload)
+
+
+def make_events(tenant="a", n=N_ALERTS):
+    return [
+        AlertEvent(tenant=tenant, type_id=1, time_of_day=float(t), event_id=i)
+        for i, t in enumerate(np.linspace(1000, 80000, n))
+    ]

@@ -1,0 +1,133 @@
+"""AuditService: routing, the batched hot path, and stats merging."""
+
+import numpy as np
+import pytest
+
+from repro.api.v1 import (
+    AlertEvent,
+    AuditService,
+    AuditSession,
+    SessionStateError,
+    UnknownTenantError,
+)
+from apihelpers import make_config, make_events, make_history
+
+
+def open_two_tenants(service):
+    service.open_session(make_config(tenant="a", seed=11), make_history())
+    service.open_session(make_config(tenant="b", seed=29), make_history())
+
+
+def interleaved_events():
+    """Two tenants' streams merged chronologically."""
+    events = make_events(tenant="a", n=12) + make_events(tenant="b", n=12)
+    events.sort(key=lambda event: (event.time_of_day, event.tenant))
+    return events
+
+
+class TestRouting:
+    def test_decide_routes_by_tenant(self):
+        service = AuditService()
+        open_two_tenants(service)
+        event = make_events(tenant="b", n=1)[0]
+        decision = service.decide(event)
+        assert decision.tenant == "b"
+        assert service.session("b").report().events == 1
+        assert service.session("a").report().events == 0
+
+    def test_unknown_tenant_rejected(self):
+        service = AuditService()
+        with pytest.raises(UnknownTenantError):
+            service.decide(make_events(tenant="ghost", n=1)[0])
+        with pytest.raises(UnknownTenantError):
+            service.session("ghost")
+
+    def test_duplicate_open_rejected(self):
+        service = AuditService()
+        open_two_tenants(service)
+        with pytest.raises(SessionStateError):
+            service.open_session(make_config(tenant="a"), make_history())
+
+    def test_close_session_unregisters_but_keeps_stats(self):
+        service = AuditService()
+        open_two_tenants(service)
+        service.submit(make_events(tenant="a", n=4))
+        service.close_session("a")
+        assert service.tenants == ("b",)
+        with pytest.raises(UnknownTenantError):
+            service.decide(make_events(tenant="a", n=1)[0])
+        stats = service.stats()
+        assert stats.tenants == 2
+        assert stats.events == 4
+        assert stats.open_sessions == 1
+
+
+class TestHotPath:
+    def test_submit_equals_serial_decides(self):
+        """Batching per tenant run never changes a decision."""
+        events = interleaved_events()
+
+        service = AuditService()
+        open_two_tenants(service)
+        batched = service.submit(events)
+
+        serial_sessions = {
+            "a": AuditSession.open(make_config(tenant="a", seed=11), make_history()),
+            "b": AuditSession.open(make_config(tenant="b", seed=29), make_history()),
+        }
+        serial = tuple(
+            serial_sessions[event.tenant].decide(event) for event in events
+        )
+        assert batched == serial
+
+    def test_submit_preserves_input_order(self):
+        events = interleaved_events()
+        service = AuditService()
+        open_two_tenants(service)
+        decisions = service.submit(events)
+        assert [d.event_id for d in decisions] == [e.event_id for e in events]
+        assert [d.tenant for d in decisions] == [e.tenant for e in events]
+
+    def test_submit_empty(self):
+        service = AuditService()
+        assert service.submit([]) == ()
+
+    def test_submit_rejects_atomically(self):
+        """A bad event anywhere rejects the whole submission unprocessed."""
+        service = AuditService()
+        open_two_tenants(service)
+        good = make_events(tenant="a", n=2)
+        with pytest.raises(UnknownTenantError):
+            service.submit(good + make_events(tenant="ghost", n=1))
+        assert service.stats().events == 0
+        # The cleaned batch then processes normally — no stale watermark,
+        # no double-charged budget.
+        assert len(service.submit(good)) == 2
+        assert service.stats().events == 2
+
+
+class TestStats:
+    def test_service_stats_merge_tenants(self):
+        service = AuditService()
+        open_two_tenants(service)
+        service.submit(interleaved_events())
+        stats = service.stats()
+        per_tenant = {s.tenant: s for s in stats.per_tenant}
+        assert stats.tenants == 2
+        assert stats.events == 24
+        assert per_tenant["a"].events == 12
+        assert per_tenant["b"].events == 12
+        assert stats.sse_solves == sum(s.sse_solves for s in stats.per_tenant)
+        assert stats.wall_seconds == pytest.approx(
+            sum(s.wall_seconds for s in stats.per_tenant)
+        )
+
+    def test_close_retires_everyone(self):
+        service = AuditService()
+        open_two_tenants(service)
+        service.submit(make_events(tenant="a", n=3))
+        final = service.close()
+        assert service.tenants == ()
+        assert final.open_sessions == 0
+        assert final.tenants == 2
+        assert final.events == 3

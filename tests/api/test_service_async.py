@@ -1,0 +1,172 @@
+"""The asyncio streaming path: determinism, backpressure, errors.
+
+The PR-2 determinism contract extended to the serving layer: for a fixed
+per-tenant event order, the async streaming interface must produce
+decisions bit-identical to serial per-session runs — interleaving across
+tenants, queue bounds, and concurrent streams never change a decision.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api.v1 import (
+    AuditService,
+    AuditSession,
+    UnknownTenantError,
+)
+from apihelpers import make_config, make_events, make_history
+
+SEEDS = {"a": 11, "b": 29, "c": 47}
+
+
+def open_tenants(service, tenants):
+    for tenant in tenants:
+        service.open_session(
+            make_config(tenant=tenant, seed=SEEDS[tenant]), make_history()
+        )
+
+
+def serial_reference(events):
+    """Fresh per-tenant sessions, events decided strictly in order."""
+    sessions = {}
+    decisions = []
+    for event in events:
+        if event.tenant not in sessions:
+            sessions[event.tenant] = AuditSession.open(
+                make_config(tenant=event.tenant, seed=SEEDS[event.tenant]),
+                make_history(),
+            )
+        decisions.append(sessions[event.tenant].decide(event))
+    return tuple(decisions)
+
+
+def interleaved(tenants, n=12):
+    events = [e for t in tenants for e in make_events(tenant=t, n=n)]
+    events.sort(key=lambda event: (event.time_of_day, event.tenant))
+    return events
+
+
+async def drain(service, events, **kwargs):
+    decisions = []
+    async for decision in service.stream(events, **kwargs):
+        decisions.append(decision)
+    return decisions
+
+
+class TestStreamDeterminism:
+    def test_stream_identical_to_serial_runs(self):
+        events = interleaved(("a", "b"))
+        reference = serial_reference(events)
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            return await drain(service, events)
+
+        assert tuple(asyncio.run(go())) == reference
+
+    def test_stream_identical_to_sync_submit(self):
+        events = interleaved(("a", "b"))
+
+        def submit():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            return service.submit(events)
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            return await drain(service, events)
+
+        assert tuple(asyncio.run(go())) == submit()
+
+    def test_concurrent_streams_over_disjoint_tenants(self):
+        """Two live streams (one service) cannot perturb each other."""
+        events_ab = interleaved(("a", "b"))
+        events_c = make_events(tenant="c", n=12)
+        reference = serial_reference(events_ab) + serial_reference(events_c)
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b", "c"))
+            got_ab, got_c = await asyncio.gather(
+                drain(service, events_ab), drain(service, events_c)
+            )
+            return tuple(got_ab) + tuple(got_c)
+
+        assert asyncio.run(go()) == reference
+
+    def test_tight_backpressure_bound_changes_nothing(self):
+        events = interleaved(("a", "b"))
+        reference = serial_reference(events)
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            collected = []
+            async for decision in service.stream(events, max_pending=1):
+                # A deliberately slow consumer: the producer must block on
+                # the full queue, not buffer ahead unboundedly.
+                await asyncio.sleep(0)
+                collected.append(decision)
+            return collected
+
+        assert tuple(asyncio.run(go())) == reference
+
+    def test_async_event_source(self):
+        events = interleaved(("a", "b"))
+        reference = serial_reference(events)
+
+        async def event_source():
+            for event in events:
+                await asyncio.sleep(0)
+                yield event
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            return await drain(service, event_source())
+
+        assert tuple(asyncio.run(go())) == reference
+
+
+class TestStreamFailureModes:
+    def test_unknown_tenant_propagates_mid_stream(self):
+        events = make_events(tenant="a", n=3) + make_events(tenant="ghost", n=1)
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a",))
+            collected = []
+            async for decision in service.stream(events):
+                collected.append(decision)
+            return collected
+
+        with pytest.raises(UnknownTenantError):
+            asyncio.run(go())
+
+    def test_consumer_can_break_early(self):
+        events = interleaved(("a", "b"))
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            collected = []
+            async for decision in service.stream(events, max_pending=2):
+                collected.append(decision)
+                if len(collected) == 5:
+                    break
+            return collected
+
+        assert len(asyncio.run(go())) == 5
+
+    def test_invalid_max_pending(self):
+        async def go():
+            service = AuditService()
+            async for _ in service.stream([], max_pending=0):
+                pass
+
+        # A programming error, not an API condition: plain ValueError.
+        with pytest.raises(ValueError):
+            asyncio.run(go())

@@ -1,0 +1,152 @@
+"""Export consistency: __all__ resolves, docs cover the façade, no bypasses.
+
+Three contracts pinned at test time:
+
+* every name in ``repro.__all__`` and ``repro.api.v1.__all__`` actually
+  imports (a renamed symbol can't silently break the public surface);
+* every public symbol of ``repro.api.v1`` is documented in
+  ``docs/api.md`` (the API reference can't rot behind the code);
+* no module outside the façade, the engine package, and the benchmarks
+  constructs ``BatchAuditEngine`` directly — everything else must route
+  through ``repro.api.v1`` (the PR-3 rewiring acceptance criterion).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api
+import repro.api.v1 as v1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "api.md"
+
+#: Modules allowed to construct the raw engine: the façade itself, the
+#: engine package, and the audit/experiment internals the engine serves.
+_ENGINE_ALLOWED = (
+    "src/repro/engine/",
+    "src/repro/api/",
+)
+
+
+class TestAllExports:
+    def test_package_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_api_v1_all_resolves(self):
+        for name in v1.__all__:
+            assert getattr(v1, name, None) is not None, name
+
+    def test_api_package_exposes_current_version(self):
+        assert repro.api.CURRENT_VERSION == "v1"
+        assert repro.api.v1 is v1
+
+    def test_facade_names_reexported_at_top_level(self):
+        for name in ("AlertEvent", "SignalDecision", "CycleReport",
+                     "ServiceStats", "SessionConfig", "AuditSession",
+                     "AuditService", "ApiError"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+
+class TestDocsCoverage:
+    def test_api_reference_exists(self):
+        assert API_DOC.is_file(), "docs/api.md is the v1 reference"
+
+    @pytest.mark.parametrize("name", sorted(v1.__all__))
+    def test_every_public_symbol_documented(self, name):
+        text = API_DOC.read_text(encoding="utf-8")
+        assert name in text, (
+            f"repro.api.v1.{name} is public but undocumented in docs/api.md"
+        )
+
+    def test_every_error_code_documented(self):
+        text = API_DOC.read_text(encoding="utf-8")
+        for _klass, code in v1.ERROR_CODES:
+            assert f"`{code}`" in text, f"error code {code} missing from docs"
+        assert f"`{v1.UNHANDLED_CODE}`" in text
+
+
+class TestNoFacadeBypass:
+    def test_engine_constructed_only_behind_the_facade(self):
+        pattern = re.compile(r"BatchAuditEngine\(")
+        offenders = []
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT).as_posix()
+            if any(relative.startswith(prefix) for prefix in _ENGINE_ALLOWED):
+                continue
+            if pattern.search(path.read_text(encoding="utf-8")):
+                offenders.append(relative)
+        assert not offenders, (
+            "modules constructing BatchAuditEngine directly instead of "
+            f"routing through repro.api.v1: {offenders}"
+        )
+
+    def test_examples_route_through_the_facade(self):
+        for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            assert "BatchAuditEngine(" not in text, path.name
+            assert "SignalingAuditGame(" not in text, path.name
+
+
+class TestDeprecatedShims:
+    def test_scenarios_run_scenario_warns_and_delegates(self):
+        import warnings
+
+        from repro.scenarios import ScenarioSpec
+        from repro.scenarios.runner import run_scenario
+
+        spec = ScenarioSpec(
+            name="shim-tiny", n_days=8, training_window=6, n_trials=2,
+            normal_daily_mean=400.0,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_scenario(spec)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert result.montecarlo.n_trials == 2
+        # The façade path produces the identical result, silently.
+        assert v1.run_scenario(spec).montecarlo == result.montecarlo
+
+    def test_engine_run_cycle_warns_and_matches_process_stream(self):
+        import warnings
+
+        import numpy as np
+
+        from repro.core.game import SAGConfig
+        from repro.core.payoffs import PayoffMatrix
+        from repro.engine.stream import BatchAuditEngine
+        from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+        payoffs = {1: PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0,
+                                   u_au=400.0)}
+        history = {1: [np.linspace(1000, 80000, 40)] * 3}
+
+        def build():
+            return BatchAuditEngine(
+                SAGConfig(payoffs=payoffs, costs={1: 1.0}, budget=3.0,
+                          backend="analytic"),
+                RollbackEstimator(FutureAlertEstimator(history)),
+                rng=np.random.default_rng(4),
+            )
+
+        times = np.linspace(1000, 80000, 10)
+        types = np.ones(10, dtype=int)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            via_alias = build().run_cycle(types, times)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        direct = build().process_stream(types, times)
+        # Identical decisions up to wall-clock noise (solve_seconds).
+        for left, right in zip(via_alias.decisions, direct.decisions):
+            assert (left.theta, left.warned, left.audit_probability,
+                    left.budget_after, left.game_value) == (
+                right.theta, right.warned, right.audit_probability,
+                right.budget_after, right.game_value)

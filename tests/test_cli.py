@@ -1,8 +1,22 @@
 """Smoke tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+TINY_SPEC = {
+    "name": "cli-tiny", "n_days": 8, "training_window": 6, "n_trials": 2,
+    "normal_daily_mean": 400.0,
+}
+
+
+@pytest.fixture()
+def tiny_spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(TINY_SPEC), encoding="utf-8")
+    return str(path)
 
 
 class TestCli:
@@ -75,8 +89,6 @@ class TestSuiteCli:
             ])
 
     def test_global_flags_reach_suite_specs(self, capsys, tmp_path):
-        import json
-
         out = tmp_path / "suite.json"
         assert main([
             "--seed", "3", "--days", "8", "--backend", "scipy",
@@ -85,3 +97,95 @@ class TestSuiteCli:
         ]) == 0
         spec = json.loads(out.read_text())["scenarios"][0]["spec"]
         assert (spec["seed"], spec["n_days"], spec["backend"]) == (3, 8, "scipy")
+
+    def test_out_creates_missing_parent_dirs(self, capsys, tmp_path, tiny_spec_file):
+        out = tmp_path / "deeply" / "nested" / "suite.json"
+        assert main([
+            "suite", "--spec-file", tiny_spec_file, "--out", str(out),
+        ]) == 0
+        assert json.loads(out.read_text())["scenarios"]
+
+    def test_unwritable_out_fails_cleanly(self, capsys, tmp_path, tiny_spec_file):
+        # A directory path is unwritable as a file: clean message, code 1.
+        assert main([
+            "suite", "--spec-file", tiny_spec_file, "--out", str(tmp_path),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write" in err
+        assert "Traceback" not in err
+
+
+class TestServeCli:
+    def test_serve_requires_selection(self, capsys):
+        assert main(["serve"]) == 2
+        assert "no scenarios selected" in capsys.readouterr().err
+
+    def test_serve_replays_scenario_through_service(
+        self, capsys, tmp_path, tiny_spec_file
+    ):
+        out = tmp_path / "srv" / "serve.json"
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "12",
+            "--out", str(out),
+        ]) == 0
+        assert "Audit service" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert len(payload["decisions"]) == 12
+        assert payload["cycle_reports"][0]["tenant"] == "cli-tiny"
+        assert payload["service_stats"]["events"] == 12
+
+    def test_serve_streaming_matches_batched(self, tmp_path, tiny_spec_file):
+        batched = tmp_path / "batched.json"
+        streaming = tmp_path / "streaming.json"
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "10",
+            "--out", str(batched),
+        ]) == 0
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "10",
+            "--streaming", "--out", str(streaming),
+        ]) == 0
+        left = json.loads(batched.read_text())["decisions"]
+        right = json.loads(streaming.read_text())["decisions"]
+        assert left == right
+
+    def test_serve_unwritable_out_fails_cleanly(
+        self, capsys, tmp_path, tiny_spec_file
+    ):
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "3",
+            "--out", str(tmp_path),
+        ]) == 1
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestDecideCli:
+    def test_decide_prints_decision_json(self, capsys, tiny_spec_file):
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--observe", "2",
+        ]) == 0
+        decision = json.loads(capsys.readouterr().out)
+        assert decision["tenant"] == "cli-tiny"
+        assert decision["sequence"] == 2
+        assert 0.0 <= decision["theta"] <= 1.0
+
+    def test_decide_rejects_non_single_spec_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]", encoding="utf-8")
+        assert main(["decide", "--spec-file", str(empty)]) == 2
+        assert "exactly one scenario" in capsys.readouterr().err
+        double = tmp_path / "double.json"
+        double.write_text(json.dumps(
+            [TINY_SPEC, dict(TINY_SPEC, name="cli-tiny-2")]
+        ), encoding="utf-8")
+        assert main(["decide", "--spec-file", str(double)]) == 2
+        assert "yields 2" in capsys.readouterr().err
+
+    def test_decide_explicit_event_fields(self, capsys, tiny_spec_file):
+        assert main([
+            "decide", "--spec-file", tiny_spec_file,
+            "--type", "1", "--time", "43200",
+        ]) == 0
+        decision = json.loads(capsys.readouterr().out)
+        assert decision["type_id"] == 1
+        assert decision["time_of_day"] == 43200.0

@@ -21,8 +21,52 @@ def test_subsystem_grouping():
     assert issubclass(errors.QueryError, errors.DataError)
 
 
+def test_api_subtree_grouping():
+    assert issubclass(errors.ApiError, errors.ReproError)
+    assert issubclass(errors.SessionStateError, errors.ApiError)
+    assert issubclass(errors.SessionClosedError, errors.SessionStateError)
+    assert issubclass(errors.UnknownTenantError, errors.ApiError)
+    assert issubclass(errors.InvalidEventError, errors.ApiError)
+
+
+def test_api_errors_carry_stable_codes():
+    assert errors.ApiError.code == "api_error"
+    assert errors.SessionStateError.code == "session_state"
+    assert errors.SessionClosedError.code == "session_closed"
+    assert errors.UnknownTenantError.code == "unknown_tenant"
+    assert errors.InvalidEventError.code == "invalid_event"
+    # Codes are unique across the ApiError subtree.
+    codes = [
+        klass.code
+        for klass in vars(errors).values()
+        if isinstance(klass, type) and issubclass(klass, errors.ApiError)
+    ]
+    assert len(codes) == len(set(codes))
+
+
+def test_error_code_mapping_covers_the_hierarchy():
+    from repro.api.v1 import UNHANDLED_CODE, error_code
+
+    assert error_code(errors.SessionClosedError("x")) == "session_closed"
+    assert error_code(errors.UnknownTenantError("x")) == "unknown_tenant"
+    assert error_code(errors.InfeasibleProblemError("x")) == "solver_infeasible"
+    assert error_code(errors.PayoffError("x")) == "model_payoff"
+    assert error_code(errors.ModelError("x")) == "model_invalid"
+    assert error_code(errors.QueryError("x")) == "data_query"
+    assert error_code(errors.ExperimentError("x")) == "experiment_invalid"
+    assert error_code(errors.ReproError("x")) == "internal"
+    assert error_code(ValueError("x")) == UNHANDLED_CODE
+    # Every concrete error class in the module maps to a non-fallback code.
+    for name in dir(errors):
+        klass = getattr(errors, name)
+        if isinstance(klass, type) and issubclass(klass, errors.ReproError):
+            assert error_code(klass("x")) != UNHANDLED_CODE, name
+
+
 def test_catch_all():
     with pytest.raises(errors.ReproError):
         raise errors.PayoffError("bad payoff")
     with pytest.raises(errors.ModelError):
         raise errors.BudgetError("bad budget")
+    with pytest.raises(errors.ApiError):
+        raise errors.SessionClosedError("session is closed")
