@@ -1,10 +1,14 @@
-"""Benchmark — batch engine (analytic solver + solution cache) vs per-alert LP.
+"""Benchmark — batch engine (analytic solver + certified cache) vs per-alert LP.
 
-Reproduces: the engine acceptance target — replaying a 5-type, 1000-alert
+Reproduces: the engine acceptance targets — replaying a 5-type, 1000-alert
 stream through the :class:`~repro.engine.stream.BatchAuditEngine` (analytic
-SSE backend + quantized solution cache) must be at least 5x faster than the
-per-alert scipy/HiGHS path. The run writes its measurements to
-``BENCH_engine.json`` (``speedup`` and ``cache_hit_rate`` fields), which CI
+SSE backend + error-bounded adaptive solution cache) must be at least 5x
+faster than the per-alert scipy/HiGHS path, **and** every game value it
+serves must verify against an exact per-state re-solve within
+:data:`MAX_GAME_VALUE_GAP` (the cache's certified ``error_budget``
+contract — accuracy is gated alongside speed, in quick CI runs too). The
+run writes its measurements to ``BENCH_engine.json`` (``speedup``,
+``cache_hit_rate``, and the gated ``max_game_value_gap``), which CI
 uploads as an artifact.
 
 Usage::
@@ -18,10 +22,19 @@ import argparse
 import json
 import sys
 
+from repro.engine.cache import DEFAULT_ERROR_BUDGET
 from repro.experiments.runtime import run_engine_comparison
 
 #: Acceptance floor for the full-size run.
 MIN_SPEEDUP = 5.0
+
+#: Acceptance floor for the full-size run's cache hit rate.
+MIN_HIT_RATE = 0.4
+
+#: Gate on the verified per-state game-value error (quick runs included):
+#: the certified adaptive policy promises ``error_budget`` accuracy, so a
+#: regression here means the certificates stopped being sound.
+MAX_GAME_VALUE_GAP = DEFAULT_ERROR_BUDGET
 
 
 def run_bench(
@@ -29,6 +42,7 @@ def run_bench(
     n_types: int = 5,
     seed: int = 7,
     baseline_backend: str = "scipy",
+    error_budget: float | None = DEFAULT_ERROR_BUDGET,
 ) -> dict:
     """One engine-vs-baseline comparison as a JSON-ready dict."""
     result = run_engine_comparison(
@@ -36,6 +50,7 @@ def run_bench(
         n_alerts=n_alerts,
         seed=seed,
         baseline_backend=baseline_backend,
+        error_budget=error_budget,
     )
     return {
         "n_types": result.n_types,
@@ -49,8 +64,11 @@ def run_bench(
         "cache_entries": result.cache_entries,
         "budget_step": result.budget_step,
         "rate_step": result.rate_step,
+        "error_budget": result.error_budget,
         "mean_game_value_gap": result.mean_game_value_gap,
         "max_game_value_gap": result.max_game_value_gap,
+        "mean_path_divergence": result.mean_path_divergence,
+        "max_path_divergence": result.max_path_divergence,
     }
 
 
@@ -68,12 +86,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline-backend", choices=("scipy", "simplex"), default="scipy",
     )
+    parser.add_argument(
+        "--cache-error-budget", type=float, default=DEFAULT_ERROR_BUDGET,
+        dest="error_budget", metavar="EPS",
+        help="certified game-value error budget of the adaptive cache "
+        f"(default {DEFAULT_ERROR_BUDGET:g})",
+    )
     args = parser.parse_args(argv)
 
     payload = run_bench(
         n_alerts=200 if args.quick else 1000,
         seed=args.seed,
         baseline_backend=args.baseline_backend,
+        error_budget=args.error_budget,
     )
     payload["quick"] = bool(args.quick)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -81,24 +106,44 @@ def main(argv: list[str] | None = None) -> int:
 
     print(_format(payload))
     print(f"wrote {args.out}")
+    failed = False
+    # Accuracy is gated in every mode: the verified per-state gap must
+    # honor the certified error budget, quick CI runs included.
+    if payload["max_game_value_gap"] > MAX_GAME_VALUE_GAP:
+        print(
+            f"FAIL: verified game-value gap {payload['max_game_value_gap']:.3e} "
+            f"exceeds the gated {MAX_GAME_VALUE_GAP:.0e} ceiling",
+            file=sys.stderr,
+        )
+        failed = True
     if not args.quick and payload["speedup"] < MIN_SPEEDUP:
         print(
             f"FAIL: speedup {payload['speedup']:.1f}x below the "
             f"{MIN_SPEEDUP:.0f}x acceptance floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if not args.quick and payload["cache_hit_rate"] < MIN_HIT_RATE:
+        print(
+            f"FAIL: cache hit rate {payload['cache_hit_rate']:.1%} below the "
+            f"{MIN_HIT_RATE:.0%} acceptance floor",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _format(payload: dict) -> str:
     return (
         f"Batch engine vs per-alert {payload['baseline_backend']} "
         f"({payload['n_types']} types, {payload['n_alerts']} alerts)\n"
-        f"  baseline : {payload['baseline_seconds']:.3f} s\n"
-        f"  engine   : {payload['engine_seconds']:.3f} s\n"
-        f"  speedup  : {payload['speedup']:.1f}x "
-        f"(cache hit rate {payload['cache_hit_rate']:.1%})"
+        f"  baseline     : {payload['baseline_seconds']:.3f} s\n"
+        f"  engine       : {payload['engine_seconds']:.3f} s\n"
+        f"  speedup      : {payload['speedup']:.1f}x "
+        f"(cache hit rate {payload['cache_hit_rate']:.1%})\n"
+        f"  verified gap : {payload['max_game_value_gap']:.3e} max "
+        f"(gate {MAX_GAME_VALUE_GAP:.0e}, "
+        f"error_budget {payload['error_budget']})"
     )
 
 

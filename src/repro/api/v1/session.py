@@ -83,6 +83,7 @@ class AuditSession:
             SSESolutionCache(
                 budget_step=config.cache_budget_step,
                 rate_step=config.cache_rate_step,
+                error_budget=config.cache_error_budget,
             )
             if config.cache_enabled
             else None

@@ -266,10 +266,24 @@ class SessionConfig(_Payload):
     cache_enabled: bool = True
     cache_budget_step: float = 0.0
     cache_rate_step: float = 0.0
+    cache_error_budget: float | None = None
 
     def __post_init__(self) -> None:
         if not self.tenant or not isinstance(self.tenant, str):
             raise InvalidEventError("tenant must be a non-empty string")
+        if self.cache_error_budget is not None:
+            if isinstance(self.cache_error_budget, bool) or not isinstance(
+                self.cache_error_budget, (int, float)
+            ):
+                raise InvalidEventError(
+                    "cache_error_budget must be a number, got "
+                    f"{self.cache_error_budget!r}"
+                )
+            if self.cache_error_budget < 0:
+                raise InvalidEventError(
+                    "cache_error_budget must be non-negative, got "
+                    f"{self.cache_error_budget}"
+                )
         # Normalize mappings to plain int-keyed dicts; the full validation
         # (sign conventions, budget ranges) happens in SAGConfig at open().
         object.__setattr__(
@@ -313,7 +327,8 @@ class SessionConfig(_Payload):
 
         The tenant is the scenario name; budget/payoffs/costs resolve to
         the scenario's setting, and the cache policy maps ``"off"`` to a
-        disabled cache (quantization steps carry over otherwise).
+        disabled cache (quantization steps and the certified
+        ``cache_error_budget`` carry over otherwise).
         """
         from repro.scenarios.spec import CACHE_OFF
 
@@ -330,4 +345,5 @@ class SessionConfig(_Payload):
             cache_enabled=spec.cache_mode != CACHE_OFF,
             cache_budget_step=spec.cache_budget_step,
             cache_rate_step=spec.cache_rate_step,
+            cache_error_budget=spec.cache_error_budget,
         )

@@ -41,6 +41,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "default: scipy)",
     )
     parser.add_argument(
+        "--cache-error-budget", type=float, default=None, metavar="EPS",
+        dest="cache_error_budget",
+        help="certified game-value error budget for the SSE solution "
+        "cache (enables the error-bounded adaptive policy; scenarios "
+        "using the shared exact cache are upgraded to per-trial caching, "
+        "which the certified mode requires)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render figures as ASCII charts instead of bucket tables",
     )
@@ -180,7 +188,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     explicit = {
-        name for name in ("seed", "days", "backend")
+        name for name in ("seed", "days", "backend", "cache_error_budget")
         if getattr(args, name) is not None
     }
     args.seed = 7 if args.seed is None else args.seed
@@ -219,12 +227,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         print(format_runtime(run_runtime(seed=args.seed, backend=args.backend)))
     elif args.experiment == "engine":
+        from repro.engine.cache import DEFAULT_ERROR_BUDGET
         from repro.experiments.runtime import (
             format_engine_comparison,
             run_engine_comparison,
         )
 
-        print(format_engine_comparison(run_engine_comparison(seed=args.seed)))
+        error_budget = (
+            args.cache_error_budget
+            if args.cache_error_budget is not None
+            else DEFAULT_ERROR_BUDGET
+        )
+        print(format_engine_comparison(run_engine_comparison(
+            seed=args.seed, error_budget=error_budget,
+        )))
     elif args.experiment == "ablation-rollback":
         from repro.experiments.ablations import run_rollback_ablation
 
@@ -376,6 +392,16 @@ def _apply_global_overrides(spec, args, explicit):
         overrides["n_days"] = args.days
     if "backend" in explicit:
         overrides["backend"] = args.backend
+    if "cache_error_budget" in explicit:
+        from repro.scenarios.spec import CACHE_PER_TRIAL, CACHE_SHARED
+
+        overrides["cache_error_budget"] = args.cache_error_budget
+        # The certified adaptive mode is forbidden on shared caches (its
+        # hit pattern would make results depend on trial sharding), so the
+        # flag implies per-trial caching for scenarios on the shared
+        # default.
+        if spec.cache_mode == CACHE_SHARED:
+            overrides["cache_mode"] = CACHE_PER_TRIAL
     return spec.with_updates(**overrides) if overrides else spec
 
 

@@ -239,7 +239,12 @@ class SignalingAuditGame:
         lambdas = self._estimator.remaining_means(time_of_day)
         state = GameState(budget=self._ledger.remaining, lambdas=lambdas)
         if self._cache is not None:
-            sse = self._cache.get_or_solve(state, self._solve_state)
+            sse = self._cache.get_or_solve(
+                state,
+                self._solve_state,
+                coefficients=self._coefficients,
+                refine=self._refine_candidate,
+            )
         else:
             sse = self._solve_state(state)
 
@@ -317,6 +322,31 @@ class SignalingAuditGame:
             self._config.costs,
             moment=self._moment,
             backend=self._config.backend,
+        )
+
+    def _coefficients(self, state: GameState) -> dict[int, float]:
+        """Theta coefficients at ``state`` — the cache's certificate input."""
+        return {
+            t: self._moment(lam) / self._config.costs[t]
+            for t, lam in state.lambdas.items()
+        }
+
+    def _refine_candidate(self, candidate: int, state: GameState) -> SSESolution | None:
+        """Exact single-candidate re-solve — the certified cache hit path.
+
+        The per-candidate optimum is backend-independent mathematics (the
+        water-filling closed form is exact), so this path serves any
+        configured backend; the cache only invokes it under a certificate
+        naming the candidate as the (near-)optimal winner at ``state``.
+        """
+        # Imported lazily: the engine layer builds on top of this module.
+        from repro.engine.analytic import refine_candidate_solution
+
+        return refine_candidate_solution(
+            candidate,
+            state.budget,
+            self._coefficients(state),
+            self._config.payoffs,
         )
 
     def _solve_scheme(self, theta: float, payoff: PayoffMatrix) -> SignalingScheme:

@@ -19,8 +19,8 @@ across all candidates is the online SSE.
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
-from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ModelError
 from repro.core.payoffs import PayoffMatrix
@@ -29,6 +29,185 @@ from repro.solvers.registry import ANALYTIC_BACKEND, DEFAULT_BACKEND
 from repro.stats.poisson import PoissonReciprocalMoment
 
 _THETA_TOL = 1e-9
+
+#: Feasibility slack shared with the analytic backend's certificates.
+_FEAS_SLACK = 1e-9
+
+#: Canonical tie window on candidate utilities. Backends compute the same
+#: equilibrium with ~1e-12 differences in theta, which payoff scales of
+#: O(1000) amplify to ~1e-9 utility noise — a window at the noise scale
+#: would make tie-set membership backend-dependent, the exact divergence
+#: the differential property tests guard against. 1e-6 dominates the
+#: noise by three orders while staying far below any economically
+#: meaningful utility difference (it matches the conformance tolerance
+#: and the cache's default certified error budget).
+_TIE_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SolutionCertificate:
+    """Per-state accuracy certificate attached to an :class:`SSESolution`.
+
+    The error-bounded solution cache (:mod:`repro.engine.cache`) uses this
+    record to decide whether a solution computed at one game state may be
+    reused at a nearby queried state. The certificate captures everything
+    that decision needs, measured *at solve time*:
+
+    * ``margin`` — the winning candidate's game-value lead over the best
+      other feasible candidate (``inf`` when it is the only feasible one);
+    * ``lipschitz_budget`` — a bound on ``|dV/dB|`` for every candidate
+      value: the optimal coverage gains at most ``coef_c`` per budget unit
+      (the water-filling consumes at least ``1/coef_c`` budget per unit of
+      candidate coverage), so the value moves at most
+      ``max_t coef_t * (U_dc^t - U_du^t)`` per budget unit;
+    * ``coefficients`` / ``payoff_spans`` — the solved state's theta
+      coefficients and payoff spreads, from which
+      :meth:`certified_error` re-derives the same bound in the
+      *reciprocal-coefficient* space ``u_t = 1/coef_t``, where every
+      candidate's value is exactly ``L``-Lipschitz (coverage requirements
+      enter the water-filling linearly in ``u_t`` with weight
+      ``theta_t <= 1``);
+    * ``entry_costs`` — for each candidate, the budget
+      ``g_c(0) = sum_t m_ct / coef_t`` needed to support its cheapest
+      feasible allocation, with the constant minimal coverages ``m_ct``.
+      Evaluating it at the queried state detects *feasibility-set* changes
+      exactly — the one mechanism by which the game value can jump
+      discontinuously, which no smooth Lipschitz argument covers;
+    * ``lambdas`` / ``lipschitz_rates`` — the online layer's annotation:
+      the solved Poisson rates and the first-order value sensitivity to
+      each rate, ``L_B * V_t * |r'(lambda_t)| / r(lambda_t)^2`` with ``r``
+      the conditional reciprocal moment (see
+      :func:`repro.stats.poisson.expected_reciprocal_slope`). These are
+      diagnostic (the cache evaluates drift exactly in ``u``-space); the
+      offline path leaves them ``None``.
+    """
+
+    budget: float
+    winner: int
+    margin: float
+    lipschitz_budget: float
+    payoff_spans: dict[int, float]
+    coefficients: dict[int, float]
+    entry_costs: dict[int, dict[int, float]]
+    infeasible: tuple[int, ...]
+    lambdas: dict[int, float] | None = None
+    lipschitz_rates: dict[int, float] | None = None
+
+    def entry_cost_at(self, candidate: int, coefficient: Mapping[int, float]) -> float:
+        """Budget needed to make ``candidate`` feasible at ``coefficient``."""
+        return sum(
+            m / coefficient[t]
+            for t, m in self.entry_costs.get(candidate, {}).items()
+        )
+
+    def certified_error(
+        self, budget: float, coefficient: Mapping[int, float]
+    ) -> float | None:
+        """Certified game-value error of replaying this solution's winning
+        candidate (re-solved exactly) at the queried state.
+
+        Returns ``None`` when no bound can be certified — the queried
+        state covers different types, a coefficient is non-positive, the
+        winner may lose feasibility, or a candidate that was infeasible at
+        solve time may have become feasible (value jumps are possible
+        there). Otherwise returns ``max(0, 2*D - margin)`` where ``D`` is
+        the certified drift of any candidate's value between the two
+        states: ``0`` certifies the winner is still the winner, so the
+        re-solved candidate is the exact SSE.
+        """
+        if set(coefficient) != set(self.coefficients):
+            return None
+        slope = self.lipschitz_budget
+        du_total = 0.0
+        for t, coef in coefficient.items():
+            old = self.coefficients[t]
+            if coef <= 0.0 or old <= 0.0:
+                return None
+            slope = max(slope, self.payoff_spans[t] * coef)
+            du_total += abs(1.0 / coef - 1.0 / old)
+        if self.entry_cost_at(self.winner, coefficient) > budget + _FEAS_SLACK:
+            return None
+        for candidate in self.infeasible:
+            need = self.entry_cost_at(candidate, coefficient)
+            if need > 0.0 and need <= budget + _FEAS_SLACK:
+                return None
+        drift = slope * (abs(budget - self.budget) + du_total)
+        if not math.isfinite(self.margin):
+            return 0.0
+        return max(0.0, 2.0 * drift - self.margin)
+
+
+def select_candidate(
+    candidates: Sequence[tuple[int, float, float]]
+) -> int | None:
+    """Canonical winner among feasible candidate solutions.
+
+    ``candidates`` holds ``(type_id, auditor_utility, attacker_utility)``
+    triples for every *feasible* candidate. The rule, shared by the LP
+    loop and the analytic fast path so all backends break ties the same
+    way, is two-phase rather than a running scan (a running best is
+    order-sensitive exactly in the near-tie cases that matter):
+
+    1. candidates within :data:`_TIE_TOL` of the best auditor utility tie;
+    2. among the tied, those within :data:`_TIE_TOL` of the least attacker
+       utility tie again (strong-Stackelberg: prefer the outcome the
+       attacker likes less);
+    3. the smallest type id wins — an exact integer comparison, immune to
+       backend-to-backend floating-point noise.
+    """
+    if not candidates:
+        return None
+    best_value = max(value for _, value, _ in candidates)
+    tied = [c for c in candidates if c[1] >= best_value - _TIE_TOL]
+    least_attacker = min(attacker for _, _, attacker in tied)
+    return min(
+        type_id
+        for type_id, _, attacker in tied
+        if attacker <= least_attacker + _TIE_TOL
+    )
+
+
+def build_certificate(
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    values: Mapping[int, float | None],
+    winner: int,
+) -> SolutionCertificate:
+    """The state-independent certificate core, shared by all backends.
+
+    ``values`` maps every candidate to its optimal auditor utility, or
+    ``None`` when its best-response LP is infeasible at this state.
+    """
+    type_ids = sorted(coefficient)
+    spans = {t: payoffs[t].u_dc - payoffs[t].u_du for t in type_ids}
+    runner_up = max(
+        (value for t, value in values.items() if t != winner and value is not None),
+        default=None,
+    )
+    margin = math.inf if runner_up is None else values[winner] - runner_up
+    entry_costs: dict[int, dict[int, float]] = {}
+    for c in type_ids:
+        pay_c = payoffs[c]
+        required = {}
+        for t in type_ids:
+            if t == c:
+                continue
+            pay_t = payoffs[t]
+            minimal = (pay_t.u_au - pay_c.u_au) / (pay_t.u_au - pay_t.u_ac)
+            if minimal > 0.0:
+                required[t] = minimal
+        entry_costs[c] = required
+    return SolutionCertificate(
+        budget=float(budget),
+        winner=winner,
+        margin=margin,
+        lipschitz_budget=max(coefficient[t] * spans[t] for t in type_ids),
+        payoff_spans=spans,
+        coefficients={t: float(coefficient[t]) for t in type_ids},
+        entry_costs=entry_costs,
+        infeasible=tuple(t for t in type_ids if values[t] is None),
+    )
 
 
 @dataclass(frozen=True)
@@ -76,9 +255,15 @@ class SSESolution:
     attacker_utility:
         ``theta^t U_ac + (1-theta^t) U_au`` at the best response.
     lps_solved:
-        Number of candidate LPs solved (== number of types).
+        Number of candidate LPs solved (== number of types; 1 for a
+        cache-refined single-candidate re-solve).
     lps_feasible:
         How many of them were feasible.
+    certificate:
+        Optional per-state accuracy certificate (margin, Lipschitz data,
+        feasibility structure) consumed by the error-bounded solution
+        cache. Excluded from equality: two solutions are the same
+        equilibrium regardless of the certification annotations.
     """
 
     thetas: dict[int, float]
@@ -88,6 +273,9 @@ class SSESolution:
     attacker_utility: float
     lps_solved: int = 0
     lps_feasible: int = 0
+    certificate: SolutionCertificate | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def deterred(self) -> bool:
@@ -145,7 +333,31 @@ def solve_online_sse(
         t: moment(state.lambdas[t]) / costs[t]
         for t in type_ids
     }
-    return solve_multiple_lp(state.budget, coefficient, payoffs, backend=backend)
+    solution = solve_multiple_lp(state.budget, coefficient, payoffs, backend=backend)
+    certificate = solution.certificate
+    if certificate is None:
+        return solution
+    # Annotate the certificate with the rate view of the state: the solved
+    # lambdas plus the first-order value sensitivity to each rate,
+    # |dV/d lambda_t| <= L_B * |d(1/coef_t)/d lambda_t|
+    #                  = L_B * V_t * |r'(lambda_t)| / r(lambda_t)^2.
+    rates = {}
+    for t in type_ids:
+        r = moment(state.lambdas[t])
+        rates[t] = (
+            certificate.lipschitz_budget
+            * costs[t]
+            * abs(moment.slope(state.lambdas[t]))
+            / (r * r)
+        )
+    return replace(
+        solution,
+        certificate=replace(
+            certificate,
+            lambdas=dict(state.lambdas),
+            lipschitz_rates=rates,
+        ),
+    )
 
 
 def solve_multiple_lp(
@@ -175,29 +387,24 @@ def solve_multiple_lp(
 
         return solve_multiple_lp_analytic(budget, coefficient, payoffs)
     type_ids = sorted(coefficient)
-    best: SSESolution | None = None
-    feasible = 0
-    for candidate in type_ids:
-        solution = _solve_candidate_lp(
+    solutions: dict[int, SSESolution | None] = {
+        candidate: _solve_candidate_lp(
             candidate, type_ids, budget, coefficient, payoffs, backend
         )
-        if solution is None:
-            continue
-        feasible += 1
-        if best is None or solution.auditor_utility > best.auditor_utility + _THETA_TOL:
-            best = solution
-        elif (
-            abs(solution.auditor_utility - best.auditor_utility) <= _THETA_TOL
-            and solution.attacker_utility < best.attacker_utility
-        ):
-            # Tie on auditor utility: prefer the outcome the attacker likes
-            # less (strong-Stackelberg tie-breaking is defender-optimal; this
-            # secondary rule just makes the choice deterministic).
-            best = solution
-    if best is None:
+        for candidate in type_ids
+    }
+    winner = select_candidate(
+        [
+            (candidate, solution.auditor_utility, solution.attacker_utility)
+            for candidate, solution in solutions.items()
+            if solution is not None
+        ]
+    )
+    if winner is None:
         # Unreachable in a well-formed game: the all-zero allocation is
         # always feasible for the type maximizing the uncovered payoff.
         raise ModelError("no feasible best-response LP; game is ill-formed")
+    best = solutions[winner]
     return SSESolution(
         thetas=best.thetas,
         allocations=best.allocations,
@@ -205,7 +412,17 @@ def solve_multiple_lp(
         auditor_utility=best.auditor_utility,
         attacker_utility=best.attacker_utility,
         lps_solved=len(type_ids),
-        lps_feasible=feasible,
+        lps_feasible=sum(1 for s in solutions.values() if s is not None),
+        certificate=build_certificate(
+            budget,
+            coefficient,
+            payoffs,
+            {
+                candidate: None if s is None else s.auditor_utility
+                for candidate, s in solutions.items()
+            },
+            winner,
+        ),
     )
 
 
@@ -260,11 +477,33 @@ def _solve_candidate_lp(
         return None
 
     values = solution.as_dict([_var(t) for t in type_ids])
-    allocations = {t: max(0.0, values[_var(t)]) for t in type_ids}
-    thetas = {
-        t: min(1.0, coefficient[t] * allocations[t]) for t in type_ids
-    }
-    theta_c = thetas[candidate]
+    theta_c = min(
+        1.0, coefficient[candidate] * max(0.0, values[_var(candidate)])
+    )
+    # Canonicalize the degenerate marginals: only theta^c is pinned by the
+    # optimum (the objective is strictly increasing in it); every other
+    # type's marginal may sit anywhere between its minimal supporting
+    # coverage L_t(theta^c) and whatever slack the LP vertex spread onto
+    # it. Snap each to the minimum — the same optimum the analytic
+    # water-filling returns — so all backends report one canonical
+    # solution and downstream budget charges never depend on solver
+    # vertex selection.
+    thetas = {}
+    allocations = {}
+    for t in type_ids:
+        if t == candidate:
+            theta = theta_c
+        else:
+            pay_t = payoffs[t]
+            minimal = (pay_t.u_au - pay_c.u_au) / (pay_t.u_au - pay_t.u_ac)
+            slope = gap_c / (pay_t.u_ac - pay_t.u_au)
+            theta = min(1.0, max(0.0, minimal + slope * theta_c))
+            if coefficient[t] <= 0.0:
+                theta = 0.0
+        thetas[t] = theta
+        allocations[t] = (
+            theta / coefficient[t] if coefficient[t] > 0.0 else 0.0
+        )
     return SSESolution(
         thetas=thetas,
         allocations=allocations,

@@ -58,12 +58,10 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.core.payoffs import PayoffMatrix
-from repro.core.sse import SSESolution
+from repro.core.sse import SSESolution, build_certificate, select_candidate
 
 #: Feasibility slack, matching the LP path's tolerance scale.
 _FEAS_TOL = 1e-9
-#: Tie-break tolerance on auditor utility (same as ``repro.core.sse``).
-_THETA_TOL = 1e-9
 
 
 def solve_multiple_lp_analytic(
@@ -143,40 +141,133 @@ def solve_multiple_lp_analytic(
     auditor = u_du + x_star * (u_dc - u_du)
     attacker = u_au + x_star * gap
 
-    best = _select_candidate(feasible, auditor, attacker)
-    if best is None:
+    winner = select_candidate(
+        [
+            (type_ids[i], float(auditor[i]), float(attacker[i]))
+            for i in range(n)
+            if feasible[i]
+        ]
+    )
+    if winner is None:
         # Unreachable in a well-formed game: the all-zero allocation is
         # always feasible for the type maximizing the uncovered payoff.
         raise ModelError("no feasible best-response LP; game is ill-formed")
+    best = type_ids.index(winner)
 
     thetas = np.clip(a[best] + b[best] * x_star[best], 0.0, 1.0)
     thetas[best] = x_star[best]
+    thetas = np.where(positive, thetas, 0.0)
     allocations = thetas * inv_coef
     return SSESolution(
         thetas={t: float(thetas[i]) for i, t in enumerate(type_ids)},
         allocations={t: float(allocations[i]) for i, t in enumerate(type_ids)},
-        best_response=type_ids[best],
+        best_response=winner,
         auditor_utility=float(auditor[best]),
         attacker_utility=float(attacker[best]),
         lps_solved=n,
         lps_feasible=int(np.count_nonzero(feasible)),
+        certificate=build_certificate(
+            budget,
+            coefficient,
+            payoffs,
+            {
+                t: float(auditor[i]) if feasible[i] else None
+                for i, t in enumerate(type_ids)
+            },
+            winner,
+        ),
     )
 
 
-def _select_candidate(
-    feasible: np.ndarray, auditor: np.ndarray, attacker: np.ndarray
-) -> int | None:
-    """The LP path's winner rule: best auditor utility, ties broken towards
-    the outcome the attacker likes less, scanning types in sorted order."""
-    best: int | None = None
-    for i in range(feasible.size):
-        if not feasible[i]:
+def refine_candidate_solution(
+    candidate: int,
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+) -> SSESolution | None:
+    """Exact water-filling for one known candidate — the cache's hit path.
+
+    When the error-bounded cache certifies that a cached solution's
+    winning candidate is still (near-)optimal at a queried state, the
+    equilibrium there does not need the full stacked solve: re-running the
+    closed-form water-filling for that single candidate at the *queried*
+    budget and coefficients yields the exact per-candidate optimum in
+    ``O(|T|)`` scalar work. Returns ``None`` when the candidate is
+    infeasible at this state (the caller then falls back to a full solve).
+
+    The returned solution reports ``lps_solved == lps_feasible == 1`` —
+    the actual work performed — and carries no certificate (refined
+    solutions are served, never cached).
+    """
+    type_ids = sorted(coefficient)
+    pay_c = payoffs[candidate]
+    coef_c = float(coefficient[candidate])
+    gap_c = pay_c.u_ac - pay_c.u_au
+
+    # Lower-bound lines theta^t >= a_t + b_t * x and the candidate's cap.
+    lines: list[tuple[int, float, float]] = []
+    x_cap = min(1.0, coef_c * budget) if coef_c > 0.0 else 0.0
+    for t in type_ids:
+        if t == candidate:
             continue
-        if best is None or auditor[i] > auditor[best] + _THETA_TOL:
-            best = i
-        elif (
-            abs(auditor[i] - auditor[best]) <= _THETA_TOL
-            and attacker[i] < attacker[best]
-        ):
-            best = i
-    return best
+        pay_t = payoffs[t]
+        gap_t = pay_t.u_ac - pay_t.u_au
+        a_t = (pay_t.u_au - pay_c.u_au) / (-gap_t)
+        b_t = gap_c / gap_t
+        lines.append((t, a_t, b_t))
+        box = 1.0 if coefficient[t] > 0.0 else 0.0
+        x_cap = min(x_cap, (box - a_t) / b_t)
+    if x_cap < -_FEAS_TOL:
+        return None
+    x_cap = max(0.0, x_cap)
+
+    inv = {
+        t: 1.0 / coefficient[t] if coefficient[t] > 0.0 else 0.0
+        for t in type_ids
+    }
+
+    def g(x: float) -> float:
+        total = x * (inv[candidate] if coef_c > 0.0 else 0.0)
+        for t, a_t, b_t in lines:
+            total += max(0.0, a_t + b_t * x) * inv[t]
+        return total
+
+    if g(0.0) > budget + _FEAS_TOL:
+        return None
+
+    points = sorted(
+        {0.0, x_cap}
+        | {
+            min(x_cap, max(0.0, -a_t / b_t))
+            for _, a_t, b_t in lines
+            if a_t < 0.0
+        }
+    )
+    x_star = 0.0
+    for lo, hi in zip(points, points[1:]):
+        g_lo, g_hi = g(lo), g(hi)
+        if g_hi <= budget + _FEAS_TOL:
+            x_star = hi
+            continue
+        if g_hi > g_lo:
+            x_star = min(
+                hi, max(lo, lo + (budget - g_lo) * (hi - lo) / (g_hi - g_lo))
+            )
+        break
+    else:
+        x_star = points[-1] if points else 0.0
+
+    thetas = {}
+    for t, a_t, b_t in lines:
+        theta = min(1.0, max(0.0, a_t + b_t * x_star))
+        thetas[t] = theta if coefficient[t] > 0.0 else 0.0
+    thetas[candidate] = x_star
+    return SSESolution(
+        thetas=thetas,
+        allocations={t: thetas[t] * inv[t] for t in type_ids},
+        best_response=candidate,
+        auditor_utility=pay_c.auditor_utility(x_star),
+        attacker_utility=pay_c.attacker_utility(x_star),
+        lps_solved=1,
+        lps_feasible=1,
+    )

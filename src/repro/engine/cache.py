@@ -1,4 +1,4 @@
-"""State-keyed cache of online-SSE solutions.
+"""State-keyed cache of online-SSE solutions, with certified accuracy.
 
 An audit cycle revisits near-identical game states thousands of times: the
 remaining budget drifts by tiny per-alert charges and the Poisson rate
@@ -11,12 +11,26 @@ Keys are built from ``(budget, lambdas)`` with configurable quantization:
   float values — a hit requires a byte-identical state, so cached results
   are indistinguishable from uncached solving (used by replayed cycles,
   repeated Monte Carlo trials, and the correctness tests);
-* positive steps snap budgets / rates to grid buckets, trading a bounded
-  approximation error (the solution of a state up to half a step away) for
-  hits *within* a single cycle. The error is controlled: the SSE marginals
-  are Lipschitz in the budget (slope ``<= max_t coef_t``) and in each rate
-  (through the smooth reciprocal moment), so a step of ``s`` perturbs
-  thetas by ``O(s)``.
+* positive steps snap budgets / rates to grid buckets. Without an
+  ``error_budget`` this is the legacy *lossy* mode: a hit returns the
+  solution of a state up to half a step away, and nothing bounds how far
+  the game value has moved in between — fine for throughput studies,
+  wrong for anything that reads the values.
+
+``error_budget`` turns the lossy mode into a **certified** one. Every
+cached solution carries a :class:`~repro.core.sse.SolutionCertificate` —
+the winning candidate's value margin over the runner-up, per-state
+Lipschitz bounds (slope ``max_t coef_t * span_t`` in the budget,
+reciprocal-moment sensitivity in each rate), and the exact feasibility
+structure. A lookup inside a bucket only counts as a hit when the
+certificate bounds the game-value error *at the queried state* within
+``error_budget``; the served solution is then not the stale cached one but
+an exact single-candidate re-solve
+(:func:`repro.engine.analytic.refine_candidate_solution`) of the certified
+winning candidate — cheap because the candidate scan, the expensive part,
+is skipped. Uncertifiable states re-solve in full and are **re-keyed**
+into the same bucket, so hot regions where the value moves fast accumulate
+entries — an adaptively refined grid — while flat regions stay coarse.
 
 Keys cover the *state* only — the game configuration (payoffs, costs,
 backend) is assumed fixed for the cache's lifetime. Consumers that inject a
@@ -25,12 +39,14 @@ which raises if the same cache is later attached to a differing
 configuration (sharing across configurations would silently return the
 wrong equilibria).
 
-Counters reconcile by construction: ``hits + misses == calls``.
+Counters reconcile by construction: ``hits + misses == calls``, and in
+certified mode ``refinements <= hits`` counts the hits served through the
+single-candidate re-solve (the rest matched a cached state exactly).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -42,6 +58,15 @@ if TYPE_CHECKING:  # imported for type checking only; no runtime dependency
 #: A cache key: the quantized budget plus the quantized per-type rates.
 CacheKey = tuple[float, tuple[tuple[int, float], ...]]
 
+#: Default quantization grid for the certified adaptive policy: coarse
+#: buckets keep the index small; the certificate, not the grid, bounds
+#: the error.
+DEFAULT_ADAPTIVE_BUDGET_STEP = 0.5
+DEFAULT_ADAPTIVE_RATE_STEP = 1.0
+
+#: Default certified game-value error budget of the adaptive policy.
+DEFAULT_ERROR_BUDGET = 1e-6
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -50,6 +75,7 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    refinements: int = 0
 
     @property
     def calls(self) -> int:
@@ -74,7 +100,21 @@ class CacheStats:
             hits=sum(s.hits for s in snapshots),
             misses=sum(s.misses for s in snapshots),
             entries=sum(s.entries for s in snapshots),
+            refinements=sum(s.refinements for s in snapshots),
         )
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """One cached solve: the exact state it was computed at, plus the result."""
+
+    budget: float
+    lambdas: dict[int, float]
+    solution: "SSESolution"
+
+    def matches(self, state: "GameState") -> bool:
+        """Whether ``state`` is byte-identical to the solved state."""
+        return state.budget == self.budget and state.lambdas == self.lambdas
 
 
 class SSESolutionCache:
@@ -91,6 +131,21 @@ class SSESolutionCache:
         Optional size bound; the oldest entry is evicted once exceeded
         (insertion order — within a cycle, states drift monotonically, so
         old entries are the least likely to recur).
+    error_budget:
+        ``None`` (default) keeps the legacy semantics: any lookup landing
+        in an occupied bucket returns that bucket's solution, however far
+        the state has drifted. A non-negative float enables the certified
+        adaptive mode described in the module docstring: cross-state
+        reuse only happens when a cached
+        :class:`~repro.core.sse.SolutionCertificate` bounds the
+        game-value error at the queried state within this budget, and the
+        hit is served through an exact single-candidate re-solve. The
+        quantized buckets are the adaptive mode's *search index*, so when
+        both steps are left at 0 they default to the adaptive grid
+        (:data:`DEFAULT_ADAPTIVE_BUDGET_STEP` /
+        :data:`DEFAULT_ADAPTIVE_RATE_STEP`) — exact keys would put every
+        nearby state in its own bucket and the certificates could never
+        engage.
     """
 
     def __init__(
@@ -98,17 +153,28 @@ class SSESolutionCache:
         budget_step: float = 0.0,
         rate_step: float = 0.0,
         max_entries: int | None = None,
+        error_budget: float | None = None,
     ) -> None:
         if budget_step < 0 or rate_step < 0:
             raise ModelError("quantization steps must be non-negative")
         if max_entries is not None and max_entries <= 0:
             raise ModelError(f"max_entries must be positive, got {max_entries}")
+        if error_budget is not None and not error_budget >= 0:
+            raise ModelError(
+                f"error_budget must be non-negative, got {error_budget}"
+            )
+        if error_budget is not None and budget_step == 0 and rate_step == 0:
+            budget_step = DEFAULT_ADAPTIVE_BUDGET_STEP
+            rate_step = DEFAULT_ADAPTIVE_RATE_STEP
         self._budget_step = float(budget_step)
         self._rate_step = float(rate_step)
         self._max_entries = max_entries
-        self._data: dict[CacheKey, "SSESolution"] = {}
+        self._error_budget = None if error_budget is None else float(error_budget)
+        self._data: dict[CacheKey, list[_CacheEntry]] = {}
+        self._n_entries = 0
         self._hits = 0
         self._misses = 0
+        self._refinements = 0
         self._fingerprint: object | None = None
 
     @property
@@ -122,22 +188,37 @@ class SSESolutionCache:
         return self._rate_step
 
     @property
+    def error_budget(self) -> float | None:
+        """Certified game-value error budget (None = legacy lossy mode)."""
+        return self._error_budget
+
+    @property
     def hits(self) -> int:
         """Lookups answered from the cache."""
         return self._hits
 
     @property
     def misses(self) -> int:
-        """Lookups that required a fresh solve."""
+        """Lookups that required a fresh full solve."""
         return self._misses
+
+    @property
+    def refinements(self) -> int:
+        """Hits served through the certified single-candidate re-solve."""
+        return self._refinements
 
     @property
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""
-        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._data))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=self._n_entries,
+            refinements=self._refinements,
+        )
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._n_entries
 
     def bind(self, fingerprint: object) -> None:
         """Tie this cache to one solve configuration.
@@ -173,29 +254,79 @@ class SSESolutionCache:
         self,
         state: "GameState",
         solve: Callable[["GameState"], "SSESolution"],
+        coefficients: Callable[["GameState"], Mapping[int, float]] | None = None,
+        refine: "Callable[[int, GameState], SSESolution | None] | None" = None,
     ) -> "SSESolution":
-        """The cached solution for ``state``'s bucket, solving on a miss.
+        """The solution for ``state``, solving (or refining) on demand.
 
         Misses solve at the *actual* state (not the bucket center), so
         exact-mode caching reproduces the uncached results byte for byte.
+
+        In certified mode (``error_budget`` set), ``coefficients`` must
+        map a state to its theta coefficients and ``refine`` must re-solve
+        one named candidate exactly at a state; both are supplied by
+        :class:`~repro.core.game.SignalingAuditGame`. Without them the
+        certified mode degrades gracefully to exact-state matching.
         """
         key = self.key_for(state)
-        cached = self._data.get(key)
-        if cached is not None:
-            self._hits += 1
-            return cached
+        entries = self._data.get(key)
+        if self._error_budget is None:
+            if entries is not None:
+                self._hits += 1
+                return entries[0].solution
+            return self._insert(key, state, solve(state))
+
+        if entries is not None:
+            # Newest entries first: in a drifting stream the most recent
+            # solve is both the closest state and the tightest certificate.
+            for entry in reversed(entries):
+                if entry.matches(state):
+                    self._hits += 1
+                    return entry.solution
+            if coefficients is not None and refine is not None:
+                queried = coefficients(state)
+                for entry in reversed(entries):
+                    certificate = entry.solution.certificate
+                    if certificate is None:
+                        continue
+                    error = certificate.certified_error(state.budget, queried)
+                    if error is None or error > self._error_budget:
+                        continue
+                    refined = refine(certificate.winner, state)
+                    if refined is not None:
+                        self._hits += 1
+                        self._refinements += 1
+                        return refined
+        return self._insert(key, state, solve(state))
+
+    def _insert(
+        self, key: CacheKey, state: "GameState", solution: "SSESolution"
+    ) -> "SSESolution":
         self._misses += 1
-        solution = solve(state)
-        if self._max_entries is not None and len(self._data) >= self._max_entries:
-            del self._data[next(iter(self._data))]
-        self._data[key] = solution
+        if self._max_entries is not None and self._n_entries >= self._max_entries:
+            oldest_key = next(iter(self._data))
+            bucket = self._data[oldest_key]
+            bucket.pop(0)
+            if not bucket:
+                del self._data[oldest_key]
+            self._n_entries -= 1
+        self._data.setdefault(key, []).append(
+            _CacheEntry(
+                budget=state.budget,
+                lambdas=dict(state.lambdas),
+                solution=solution,
+            )
+        )
+        self._n_entries += 1
         return solution
 
     def clear(self) -> None:
         """Drop all entries, the counters, and the configuration binding."""
         self._data.clear()
+        self._n_entries = 0
         self._hits = 0
         self._misses = 0
+        self._refinements = 0
         self._fingerprint = None
 
 

@@ -1,0 +1,462 @@
+"""Randomized differential conformance: backends and the solution cache.
+
+The solving stack offers three interchangeable LP (2) backends —
+``scipy`` (HiGHS), ``simplex`` (the in-tree dense simplex), and
+``analytic`` (the vectorized water-filling of
+:mod:`repro.engine.analytic`) — plus a solution cache whose certified
+adaptive mode re-serves solutions across nearby states. Interchangeable
+is a *contract*, not a hope: this module checks it differentially.
+
+Part A — backend conformance. Random games (sign-convention-respecting
+payoffs, occasionally near-degenerate duplicated types to stress the
+tie-break rule) are solved at random states through every backend, and
+each pair must agree on
+
+* the equilibrium game value (``auditor_utility``),
+* the attacker's equilibrium utility,
+* the best-response type (an exact match — the shared canonical
+  tie-break of :func:`repro.core.sse.select_candidate` makes this
+  well-defined even under degeneracy), and
+* **every** marginal ``theta^t`` — not only the best response's, because
+  the LP path canonicalizes its degenerate non-best-response marginals to
+  the minimal supporting coverage, the same optimum the analytic solver
+  returns,
+
+within :data:`VALUE_TOL` / :data:`THETA_TOL`.
+
+Part B — cache conformance. One synthetic alert stream is replayed
+through an uncached analytic game and through cached games at several
+cache policies. For certified policies (``error_budget`` set) the
+realized per-alert game-value error must stay within
+``error_budget + VALUE_TOL`` — the end-to-end check that the per-state
+certificates (margins, Lipschitz bounds, feasibility slacks) are sound.
+The legacy lossy policy (``error_budget=None``) is replayed too and its
+realized error *reported* for contrast, but not gated — it is the
+unbounded mode this harness exists to fence off.
+
+Run it from the command line (CI does, in quick mode)::
+
+    PYTHONPATH=src python -m repro.engine.conformance [--quick] [--out PATH]
+
+The process exits non-zero if any gated check fails, and ``--out`` writes
+the machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any
+
+import numpy as np
+
+from repro.core.game import CHARGE_EXPECTED, SAGConfig, SignalingAuditGame
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, solve_online_sse
+from repro.engine.cache import (
+    DEFAULT_ADAPTIVE_BUDGET_STEP,
+    DEFAULT_ADAPTIVE_RATE_STEP,
+    DEFAULT_ERROR_BUDGET,
+    SSESolutionCache,
+)
+from repro.stats.diurnal import SECONDS_PER_DAY
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+#: Backends under differential test.
+BACKENDS = ("scipy", "simplex", "analytic")
+
+#: Absolute tolerance for utilities (auditor/attacker game values).
+VALUE_TOL = 1e-6
+#: Absolute tolerance for marginal audit probabilities.
+THETA_TOL = 1e-6
+
+#: Cache policies replayed in Part B: (budget_step, rate_step, error_budget).
+#: The first is the default certified adaptive policy; the ``None`` entry
+#: is the legacy lossy mode, reported but not gated.
+CACHE_POLICIES: tuple[tuple[float, float, float | None], ...] = (
+    (DEFAULT_ADAPTIVE_BUDGET_STEP, DEFAULT_ADAPTIVE_RATE_STEP, DEFAULT_ERROR_BUDGET),
+    (1.0, 2.0, DEFAULT_ERROR_BUDGET),
+    (DEFAULT_ADAPTIVE_BUDGET_STEP, DEFAULT_ADAPTIVE_RATE_STEP, 0.0),
+    (DEFAULT_ADAPTIVE_BUDGET_STEP, DEFAULT_ADAPTIVE_RATE_STEP, None),
+)
+
+
+@dataclass
+class PairResult:
+    """Worst observed disagreement between one pair of backends."""
+
+    first: str
+    second: str
+    states: int = 0
+    max_value_gap: float = 0.0
+    max_attacker_gap: float = 0.0
+    max_theta_gap: float = 0.0
+    best_response_mismatches: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.max_value_gap <= VALUE_TOL
+            and self.max_attacker_gap <= VALUE_TOL
+            and self.max_theta_gap <= THETA_TOL
+            and self.best_response_mismatches == 0
+        )
+
+
+@dataclass
+class CachePolicyResult:
+    """One cache policy's realized error against the uncached replay."""
+
+    budget_step: float
+    rate_step: float
+    error_budget: float | None
+    n_alerts: int = 0
+    hit_rate: float = 0.0
+    refinements: int = 0
+    max_realized_error: float = 0.0
+    mean_realized_error: float = 0.0
+
+    @property
+    def gated(self) -> bool:
+        """Only certified policies are pass/fail; lossy ones are FYI."""
+        return self.error_budget is not None
+
+    @property
+    def passed(self) -> bool:
+        if not self.gated:
+            return True
+        return self.max_realized_error <= self.error_budget + VALUE_TOL
+
+
+@dataclass
+class ConformanceReport:
+    """Machine-readable outcome of one conformance run."""
+
+    seed: int
+    quick: bool
+    n_games: int
+    n_states: int
+    pairs: list[PairResult] = field(default_factory=list)
+    cache: list[CachePolicyResult] = field(default_factory=list)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            all(pair.passed for pair in self.pairs)
+            and all(policy.passed for policy in self.cache)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["passed"] = self.passed
+        payload["tolerances"] = {"value": VALUE_TOL, "theta": THETA_TOL}
+        payload["backends"] = list(BACKENDS)
+        for entry, pair in zip(payload["pairs"], self.pairs):
+            entry["passed"] = pair.passed
+        for entry, policy in zip(payload["cache"], self.cache):
+            entry["passed"] = policy.passed
+            entry["gated"] = policy.gated
+        return payload
+
+
+def random_game(
+    rng: np.random.Generator, n_types: int | None = None, degenerate: bool = False
+) -> tuple[dict[int, PayoffMatrix], dict[int, float]]:
+    """A random game honoring the paper's sign conventions.
+
+    Payoffs also satisfy the Theorem 3 condition
+    ``U_ac U_du - U_dc U_au > 0`` so the same games can drive the full
+    signaling pipeline. With ``degenerate=True`` one type is duplicated
+    with jitter at the ``1e-9`` scale — the near-ties the canonical
+    tie-break must resolve identically across backends.
+    """
+    if n_types is None:
+        n_types = int(rng.integers(2, 7))
+    payoffs: dict[int, PayoffMatrix] = {}
+    costs: dict[int, float] = {}
+    for type_id in range(1, n_types + 1):
+        for _ in range(64):
+            candidate = PayoffMatrix(
+                u_dc=float(rng.uniform(0.0, 600.0)),
+                u_du=float(rng.uniform(-2000.0, -100.0)),
+                u_ac=float(rng.uniform(-6000.0, -500.0)),
+                u_au=float(rng.uniform(100.0, 900.0)),
+            )
+            if candidate.u_ac * candidate.u_du - candidate.u_dc * candidate.u_au > 0:
+                payoffs[type_id] = candidate
+                break
+        else:  # pragma: no cover - the condition holds for most draws
+            raise RuntimeError("could not sample a Theorem-3 payoff matrix")
+        costs[type_id] = float(rng.uniform(0.5, 3.0))
+    if degenerate and n_types >= 2:
+        source, target = 1, 2
+        base = payoffs[source]
+        jitter = 1e-9
+        payoffs[target] = PayoffMatrix(
+            u_dc=base.u_dc + float(rng.uniform(-jitter, jitter)),
+            u_du=base.u_du + float(rng.uniform(-jitter, jitter)),
+            u_ac=base.u_ac + float(rng.uniform(-jitter, jitter)),
+            u_au=base.u_au + float(rng.uniform(-jitter, jitter)),
+        )
+        costs[target] = costs[source]
+    return payoffs, costs
+
+
+def random_state(rng: np.random.Generator, type_ids: tuple[int, ...]) -> GameState:
+    """A random game state spanning ample, scarce, and exhausted budgets."""
+    regime = rng.integers(0, 3)
+    if regime == 0:
+        budget = float(rng.uniform(10.0, 120.0))
+    elif regime == 1:
+        budget = float(rng.uniform(0.05, 5.0))
+    else:
+        budget = 0.0
+    lambdas = {
+        t: float(rng.uniform(0.05, 250.0)) if rng.random() > 0.1 else 0.0
+        for t in type_ids
+    }
+    return GameState(budget=budget, lambdas=lambdas)
+
+
+def check_backends(
+    report: ConformanceReport,
+    n_games: int,
+    n_states: int,
+    rng: np.random.Generator,
+    max_failures: int = 10,
+) -> None:
+    """Part A: pairwise backend agreement over random games and states."""
+    pairs = {
+        (a, b): PairResult(first=a, second=b) for a, b in combinations(BACKENDS, 2)
+    }
+    for game_index in range(n_games):
+        payoffs, costs = random_game(rng, degenerate=game_index % 3 == 0)
+        type_ids = tuple(sorted(payoffs))
+        for _ in range(n_states):
+            state = random_state(rng, type_ids)
+            solutions = {
+                backend: solve_online_sse(
+                    state, payoffs, costs, backend=backend
+                )
+                for backend in BACKENDS
+            }
+            for (a, b), pair in pairs.items():
+                sol_a, sol_b = solutions[a], solutions[b]
+                pair.states += 1
+                value_gap = abs(sol_a.auditor_utility - sol_b.auditor_utility)
+                attacker_gap = abs(sol_a.attacker_utility - sol_b.attacker_utility)
+                theta_gap = max(
+                    abs(sol_a.thetas[t] - sol_b.thetas[t]) for t in type_ids
+                )
+                pair.max_value_gap = max(pair.max_value_gap, value_gap)
+                pair.max_attacker_gap = max(pair.max_attacker_gap, attacker_gap)
+                pair.max_theta_gap = max(pair.max_theta_gap, theta_gap)
+                mismatch = sol_a.best_response != sol_b.best_response
+                if mismatch:
+                    pair.best_response_mismatches += 1
+                if (
+                    mismatch
+                    or value_gap > VALUE_TOL
+                    or attacker_gap > VALUE_TOL
+                    or theta_gap > THETA_TOL
+                ) and len(report.failures) < max_failures:
+                    report.failures.append(
+                        {
+                            "kind": "backend",
+                            "pair": f"{a}/{b}",
+                            "budget": state.budget,
+                            "lambdas": dict(state.lambdas),
+                            "payoffs": {
+                                t: dataclasses.asdict(p) for t, p in payoffs.items()
+                            },
+                            "costs": costs,
+                            "value_gap": value_gap,
+                            "attacker_gap": attacker_gap,
+                            "theta_gap": theta_gap,
+                            "best_responses": [
+                                sol_a.best_response, sol_b.best_response,
+                            ],
+                        }
+                    )
+    report.pairs = list(pairs.values())
+
+
+def _stream_workload(
+    rng: np.random.Generator, n_types: int, n_alerts: int
+) -> tuple[dict, dict, dict, np.ndarray, np.ndarray]:
+    """A compact stream workload for the cache differential (self-contained
+    so the engine layer does not depend on the experiments layer)."""
+    payoffs, costs = random_game(rng, n_types=n_types)
+    daily_mean = n_alerts / n_types * 0.8
+    history = {
+        t: [
+            np.sort(rng.uniform(0.0, SECONDS_PER_DAY, rng.poisson(daily_mean)))
+            for _ in range(6)
+        ]
+        for t in payoffs
+    }
+    times = np.sort(rng.uniform(0.0, SECONDS_PER_DAY, n_alerts))
+    types = rng.choice(np.asarray(sorted(payoffs)), size=n_alerts)
+    return payoffs, costs, history, types, times
+
+
+def check_cache(
+    report: ConformanceReport,
+    n_alerts: int,
+    rng: np.random.Generator,
+    budget: float = 40.0,
+) -> None:
+    """Part B: cached vs uncached replays at every cache policy."""
+    payoffs, costs, history, types, times = _stream_workload(
+        rng, n_types=4, n_alerts=n_alerts
+    )
+
+    def replay(cache: SSESolutionCache | None) -> np.ndarray:
+        config = SAGConfig(
+            payoffs=payoffs,
+            costs=costs,
+            budget=budget,
+            backend="analytic",
+            budget_charging=CHARGE_EXPECTED,
+        )
+        game = SignalingAuditGame(
+            config,
+            RollbackEstimator(FutureAlertEstimator(history)),
+            rng=np.random.default_rng(11),
+            solution_cache=cache,
+        )
+        return np.array(
+            [
+                game.process_alert(int(t), float(s)).game_value
+                for t, s in zip(types, times)
+            ]
+        )
+
+    exact = replay(None)
+    for budget_step, rate_step, error_budget in CACHE_POLICIES:
+        cache = SSESolutionCache(
+            budget_step=budget_step,
+            rate_step=rate_step,
+            error_budget=error_budget,
+        )
+        values = replay(cache)
+        errors = np.abs(values - exact)
+        result = CachePolicyResult(
+            budget_step=budget_step,
+            rate_step=rate_step,
+            error_budget=error_budget,
+            n_alerts=int(len(types)),
+            hit_rate=cache.stats.hit_rate,
+            refinements=cache.refinements,
+            max_realized_error=float(np.max(errors)),
+            mean_realized_error=float(np.mean(errors)),
+        )
+        report.cache.append(result)
+        if not result.passed and len(report.failures) < 10:
+            worst = int(np.argmax(errors))
+            report.failures.append(
+                {
+                    "kind": "cache",
+                    "budget_step": budget_step,
+                    "rate_step": rate_step,
+                    "error_budget": error_budget,
+                    "alert_index": worst,
+                    "realized_error": float(errors[worst]),
+                }
+            )
+
+
+def run_conformance(
+    seed: int = 7,
+    quick: bool = False,
+    n_games: int | None = None,
+    n_states: int | None = None,
+    n_alerts: int | None = None,
+) -> ConformanceReport:
+    """One full conformance run; sizes default by mode."""
+    if n_games is None:
+        n_games = 8 if quick else 24
+    if n_states is None:
+        n_states = 3 if quick else 5
+    if n_alerts is None:
+        n_alerts = 250 if quick else 600
+    report = ConformanceReport(
+        seed=seed, quick=quick, n_games=n_games, n_states=n_states
+    )
+    rng = np.random.default_rng(seed)
+    check_backends(report, n_games, n_states, rng)
+    check_cache(report, n_alerts, rng)
+    return report
+
+
+def format_report(report: ConformanceReport) -> str:
+    """Human-readable summary of a conformance run."""
+    lines = [
+        f"Conformance — {report.n_games} games x {report.n_states} states, "
+        f"seed {report.seed}{' (quick)' if report.quick else ''}",
+        "  backend pairs (tol: value "
+        f"{VALUE_TOL:g}, theta {THETA_TOL:g}):",
+    ]
+    for pair in report.pairs:
+        status = "ok " if pair.passed else "FAIL"
+        lines.append(
+            f"    [{status}] {pair.first:8s}/{pair.second:8s} "
+            f"value {pair.max_value_gap:.2e}  "
+            f"attacker {pair.max_attacker_gap:.2e}  "
+            f"theta {pair.max_theta_gap:.2e}  "
+            f"BR mismatches {pair.best_response_mismatches}"
+        )
+    lines.append("  cache policies (realized |game value| error vs uncached):")
+    for policy in report.cache:
+        status = "ok " if policy.passed else "FAIL"
+        if not policy.gated:
+            status = "fyi"
+        budget_label = (
+            "legacy" if policy.error_budget is None else f"{policy.error_budget:g}"
+        )
+        lines.append(
+            f"    [{status}] steps ({policy.budget_step:g}, "
+            f"{policy.rate_step:g}) error_budget {budget_label:>7s}: "
+            f"max {policy.max_realized_error:.2e} "
+            f"(hit rate {policy.hit_rate:.0%}, "
+            f"{policy.refinements} refinements)"
+        )
+    lines.append(f"  overall: {'PASS' if report.passed else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential conformance: solver backends + solution cache"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced game/state/stream counts for CI smoke runs",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the machine-readable JSON report here",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_conformance(seed=args.seed, quick=args.quick)
+    print(format_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    if not report.passed:
+        print("FAIL: backend or cache conformance violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

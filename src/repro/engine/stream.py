@@ -191,6 +191,13 @@ class BatchAuditEngine:
         SSE solution cache. Defaults to a fresh exact-mode
         :class:`SSESolutionCache`; pass quantization steps via your own
         instance, or ``None`` to disable caching entirely.
+    cache_error_budget:
+        Convenience for the certified adaptive policy: when set (and
+        ``cache`` is left at its default), the engine builds an
+        error-bounded cache — the cache itself defaults its search index
+        to the adaptive grid — whose cross-state reuse is certified
+        within this game-value budget. Incompatible with an explicit
+        ``cache`` instance; configure the instance directly in that case.
     moment:
         Optional shared reciprocal-moment memo.
     """
@@ -202,9 +209,15 @@ class BatchAuditEngine:
         rng: np.random.Generator | None = None,
         cache: SSESolutionCache | None | object = _DEFAULT_CACHE,
         moment: PoissonReciprocalMoment | None = None,
+        cache_error_budget: float | None = None,
     ) -> None:
         if cache is _DEFAULT_CACHE:
-            cache = SSESolutionCache()
+            cache = SSESolutionCache(error_budget=cache_error_budget)
+        elif cache_error_budget is not None:
+            raise ExperimentError(
+                "cache_error_budget only applies to the engine's default "
+                "cache; set error_budget on the explicit cache instead"
+            )
         elif cache is not None and not isinstance(cache, SSESolutionCache):
             raise ExperimentError(
                 f"cache must be an SSESolutionCache or None, got {cache!r}"

@@ -96,6 +96,7 @@ def _execute_shard(task: _ShardTask) -> _ShardResult:
             cache = SSESolutionCache(
                 budget_step=spec.cache_budget_step,
                 rate_step=spec.cache_rate_step,
+                error_budget=spec.cache_error_budget,
             )
             current.append(cache)
             return cache

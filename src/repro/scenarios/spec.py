@@ -107,11 +107,15 @@ class ScenarioSpec:
         Solver backend: ``analytic`` (fast path), ``scipy``, ``simplex``.
     budget_charging:
         ``conditional`` (paper-faithful) or ``expected`` (variance-free).
-    cache_mode / cache_budget_step / cache_rate_step:
+    cache_mode / cache_budget_step / cache_rate_step / cache_error_budget:
         SSE solution-cache policy. ``shared`` requires exact mode (steps
-        0) — quantized shared caches would make results depend on how
-        trials shard across workers; ``per-trial`` confines a quantized
-        cache to one trial, which keeps sharding invariance.
+        0, no error budget) — quantized or certified-adaptive shared
+        caches would make results depend on how trials shard across
+        workers; ``per-trial`` confines such a cache to one trial, which
+        keeps sharding invariance. ``cache_error_budget`` enables the
+        certified adaptive mode: cross-state cache reuse only when the
+        stored per-state certificate bounds the game-value error within
+        the budget (see :mod:`repro.engine.cache`).
     """
 
     name: str
@@ -134,6 +138,7 @@ class ScenarioSpec:
     cache_mode: str = CACHE_SHARED
     cache_budget_step: float = 0.0
     cache_rate_step: float = 0.0
+    cache_error_budget: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -198,13 +203,23 @@ class ScenarioSpec:
             )
         if self.cache_budget_step < 0 or self.cache_rate_step < 0:
             raise ExperimentError("cache quantization steps must be non-negative")
+        if self.cache_error_budget is not None:
+            _require_number(self.cache_error_budget, "cache_error_budget")
+            if self.cache_error_budget < 0:
+                raise ExperimentError(
+                    "cache_error_budget must be non-negative, got "
+                    f"{self.cache_error_budget}"
+                )
         if self.cache_mode == CACHE_SHARED and (
-            self.cache_budget_step > 0 or self.cache_rate_step > 0
+            self.cache_budget_step > 0
+            or self.cache_rate_step > 0
+            or self.cache_error_budget is not None
         ):
             raise ExperimentError(
-                "cache_mode='shared' requires exact quantization (steps 0); "
-                "a quantized shared cache would make results depend on trial "
-                "sharding — use cache_mode='per-trial' for quantized caching"
+                "cache_mode='shared' requires exact caching (steps 0, no "
+                "error budget); a lossy or certified-adaptive shared cache "
+                "would make results depend on trial sharding — use "
+                "cache_mode='per-trial' instead"
             )
 
     # ------------------------------------------------------------------

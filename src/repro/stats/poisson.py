@@ -78,6 +78,29 @@ def expected_reciprocal(lam: float, tol: float = _SERIES_TOL) -> float:
     return total / mass_above_zero
 
 
+def expected_reciprocal_slope(lam: float) -> float:
+    """``d/d lambda`` of :func:`expected_reciprocal`, in closed form.
+
+    Differentiating the conditional moment ``r(lam) = S(lam) / (1 - e^-lam)``
+    with ``S = sum_{k>=1} pmf(k; lam) / k`` and using
+    ``pmf'(k) = pmf(k) (k/lam - 1)`` collapses the series to
+
+        r'(lam) = 1/lam - r(lam) / (1 - e^-lam).
+
+    The two terms are both ``~1/lam`` for small rates, but their difference
+    stays well-conditioned down to ``lam ~ 1e-9``; below that the Taylor
+    limit ``r'(0+) = -1/4`` is returned directly. The slope is negative
+    (more expected arrivals dilute the reciprocal) and its magnitude is
+    bounded by 1/4 everywhere — the bound the solution-cache certificates
+    lean on.
+    """
+    if lam < 0:
+        raise EstimationError(f"Poisson rate must be non-negative, got {lam}")
+    if lam <= 1e-9:
+        return -0.25
+    return 1.0 / lam - expected_reciprocal(lam) / (-math.expm1(-lam))
+
+
 class PoissonReciprocalMoment:
     """Memoized ``expected_reciprocal`` lookup.
 
@@ -89,6 +112,7 @@ class PoissonReciprocalMoment:
     def __init__(self, decimals: int = 9) -> None:
         self._decimals = decimals
         self._cache: dict[float, float] = {}
+        self._slopes: dict[float, float] = {}
 
     def __call__(self, lam: float) -> float:
         key = round(float(lam), self._decimals)
@@ -98,9 +122,19 @@ class PoissonReciprocalMoment:
             self._cache[key] = value
         return value
 
+    def slope(self, lam: float) -> float:
+        """Memoized :func:`expected_reciprocal_slope` (same rounded key)."""
+        key = round(float(lam), self._decimals)
+        value = self._slopes.get(key)
+        if value is None:
+            value = expected_reciprocal_slope(max(key, 0.0))
+            self._slopes[key] = value
+        return value
+
     def __len__(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
         """Drop all memoized values."""
         self._cache.clear()
+        self._slopes.clear()

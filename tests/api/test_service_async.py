@@ -170,3 +170,105 @@ class TestStreamFailureModes:
         # A programming error, not an API condition: plain ValueError.
         with pytest.raises(ValueError):
             asyncio.run(go())
+
+
+class TestStreamCancellation:
+    """Cancelling a consumer mid-stream must not leak the backpressure
+    machinery or corrupt per-tenant session state (follow-up to the
+    async-equivalence contract)."""
+
+    def test_closing_the_stream_cancels_the_producer(self):
+        events = interleaved(("a", "b"))
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            before = asyncio.all_tasks()
+            stream = service.stream(events, max_pending=2)
+            collected = []
+            async for decision in stream:
+                collected.append(decision)
+                if len(collected) == 4:
+                    break
+            await stream.aclose()
+            # The producer task must be gone: nothing beyond the tasks
+            # that existed before the stream opened is still pending.
+            leaked = {
+                task for task in asyncio.all_tasks() - before if not task.done()
+            }
+            return collected, leaked
+
+        collected, leaked = asyncio.run(go())
+        assert len(collected) == 4
+        assert leaked == set()
+
+    def test_cancelled_consumer_task_leaves_no_pending_tasks(self):
+        events = interleaved(("a", "b"))
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+
+            started = asyncio.Event()
+
+            async def consume():
+                async for _ in service.stream(events, max_pending=1):
+                    started.set()
+                    await asyncio.sleep(3600)  # a stalled consumer
+
+            consumer = asyncio.create_task(consume())
+            await started.wait()
+            consumer.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await consumer
+            # Let the generator's finally block finish cancelling the
+            # producer, then ensure nothing is left running.
+            remaining = {
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            }
+            if remaining:
+                done, pending = await asyncio.wait(remaining, timeout=1.0)
+                return pending
+            return set()
+
+        assert asyncio.run(go()) == set()
+
+    def test_session_state_survives_cancellation(self):
+        """A cancelled stream leaves every session consistent: counters
+        reconcile with what actually landed, and later events on the same
+        tenants are decided normally."""
+        events = interleaved(("a", "b"))
+
+        async def go():
+            service = AuditService()
+            open_tenants(service, ("a", "b"))
+            stream = service.stream(events, max_pending=2)
+            collected = []
+            async for decision in stream:
+                collected.append(decision)
+                if len(collected) == 5:
+                    break
+            await stream.aclose()
+            return service, collected
+
+        service, collected = asyncio.run(go())
+        landed = service.stats().events
+        # Everything the consumer saw landed; a few more may have been
+        # decided into the (bounded) queue before the cancellation.
+        assert len(collected) <= landed <= len(collected) + 2 + 1
+
+        for tenant in ("a", "b"):
+            session = service.session(tenant)
+            report = session.report()
+            assert report.state == "open"
+            assert report.sse_solves + report.cache_hits == report.events
+            # The tenant still serves fresh (chronologically later) events.
+            late = make_events(tenant=tenant, n=1)[0]
+            late = type(late)(
+                tenant=tenant, type_id=1, time_of_day=86000.0, event_id=999
+            )
+            decision = session.decide(late)
+            assert decision.tenant == tenant
+        assert service.stats().events == landed + 2

@@ -115,6 +115,45 @@ class TestLifecycle:
         assert report.alerts == 0
         assert report.mean_game_value == 0.0
 
+    def test_certified_cache_policy_bounds_served_values(self):
+        """A session opened with cache_error_budget serves game values
+        within the budget of an uncached twin, while actually hitting."""
+        error_budget = 1e-6
+        certified = AuditSession.open(
+            make_config(
+                budget_charging="expected",
+                cache_budget_step=1.0,
+                cache_rate_step=5.0,
+                cache_error_budget=error_budget,
+            ),
+            make_history(),
+        )
+        uncached = AuditSession.open(
+            make_config(budget_charging="expected", cache_enabled=False),
+            make_history(),
+        )
+        events = make_events(n=40)
+        served = certified.decide_batch(events)
+        exact = uncached.decide_batch(events)
+        for a, b in zip(served, exact):
+            assert abs(a.game_value - b.game_value) <= error_budget
+            assert abs(a.theta - b.theta) <= 1e-6
+        report = certified.close_cycle()
+        assert report.cache_hits > 0
+        assert report.cache_hits + report.sse_solves == report.alerts
+
+    def test_invalid_error_budget_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import InvalidEventError
+
+        with _pytest.raises(InvalidEventError):
+            make_config(cache_error_budget=-0.5)
+        # Malformed wire payloads must surface as the API's own error
+        # type (stable error_code), never a bare TypeError.
+        with _pytest.raises(InvalidEventError):
+            make_config(cache_error_budget="1e-6")
+
     def test_cache_disabled_accounting(self):
         session = AuditSession.open(
             make_config(cache_enabled=False), make_history()

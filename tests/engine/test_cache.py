@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ModelError
 from repro.core.game import CHARGE_EXPECTED, SAGConfig, SignalingAuditGame
 from repro.core.sse import GameState
-from repro.engine.cache import SSESolutionCache
+from repro.engine.cache import CacheStats, SSESolutionCache
 from repro.experiments.runtime import synthetic_stream_workload
 
 
@@ -102,6 +102,166 @@ class TestQuantizedMode:
         assert stats.hits + stats.misses == len(types)
         assert stats.entries == stats.misses
         assert 0.0 < stats.hit_rate < 1.0
+
+
+class TestErrorBoundedMode:
+    """The certified adaptive policy: bounded error, exact refinement."""
+
+    def test_certified_day_matches_uncached_within_budget(self, workload):
+        """Tentpole acceptance: with an error budget, every served game
+        value tracks the uncached replay within the budget (in practice to
+        float noise — hits are exact single-candidate re-solves)."""
+        _, _, _, types, times = workload
+        error_budget = 1e-6
+        cache = SSESolutionCache(
+            budget_step=0.5, rate_step=1.0, error_budget=error_budget
+        )
+        cached_game = _game(workload, cache, budget_charging=CHARGE_EXPECTED)
+        plain_game = _game(workload, None, budget_charging=CHARGE_EXPECTED)
+        for t, s in zip(types, times):
+            cached = cached_game.process_alert(int(t), float(s))
+            plain = plain_game.process_alert(int(t), float(s))
+            assert abs(cached.game_value - plain.game_value) <= error_budget
+            assert (
+                abs(cached.sse.auditor_utility - plain.sse.auditor_utility)
+                <= error_budget
+            )
+        stats = cache.stats
+        assert stats.hits > 0
+        assert stats.refinements <= stats.hits
+        assert stats.hits + stats.misses == len(types)
+
+    def test_lossy_mode_exceeds_what_certified_mode_allows(self, workload):
+        """The bug this mode fixes: the legacy lossy policy returns stale
+        solutions whose values drift far beyond any reasonable budget."""
+        _, _, _, types, times = workload
+
+        def worst_gap(cache):
+            game = _game(workload, cache, budget_charging=CHARGE_EXPECTED)
+            plain = _game(workload, None, budget_charging=CHARGE_EXPECTED)
+            gap = 0.0
+            for t, s in zip(types, times):
+                a = game.process_alert(int(t), float(s))
+                b = plain.process_alert(int(t), float(s))
+                gap = max(gap, abs(a.sse.auditor_utility - b.sse.auditor_utility))
+            return gap, cache.stats.hit_rate
+
+        lossy_gap, lossy_hits = worst_gap(
+            SSESolutionCache(budget_step=2.0, rate_step=4.0)
+        )
+        certified_gap, certified_hits = worst_gap(
+            SSESolutionCache(budget_step=2.0, rate_step=4.0, error_budget=1e-6)
+        )
+        assert lossy_hits > 0 and certified_hits > 0
+        assert certified_gap <= 1e-6
+        assert lossy_gap > 100 * certified_gap
+
+    def test_exact_state_match_returns_stored_solution_verbatim(self, workload):
+        """Replayed identical states bypass refinement: the stored object
+        itself is returned, preserving the byte-identical replay contract."""
+        _, _, _, types, times = workload
+        cache = SSESolutionCache(
+            budget_step=0.5, rate_step=1.0, error_budget=1e-6
+        )
+        game = _game(workload, cache, budget_charging=CHARGE_EXPECTED)
+        first = [game.process_alert(int(t), float(s)) for t, s in zip(types, times)]
+        refinements_before = cache.refinements
+        game.reset()
+        second = [game.process_alert(int(t), float(s)) for t, s in zip(types, times)]
+        for a, b in zip(first, second):
+            assert b.sse.thetas == a.sse.thetas
+            assert b.game_value == a.game_value
+        # The replay revisits... states that were *solved* (cached) come
+        # back verbatim; refined first-pass states re-refine or re-solve,
+        # but nothing in the replay needed new entries beyond pass one.
+        assert cache.stats.hits >= len(types) - cache.stats.misses
+
+    def test_adaptive_rekeying_accumulates_entries_per_bucket(self):
+        """Uncertifiable lookups re-solve and re-key into the same bucket:
+        hot buckets grow a finer effective grid instead of serving junk."""
+        from repro.core.sse import SolutionCertificate, SSESolution
+
+        def fake_solution(budget):
+            # A certificate with zero margin and huge Lipschitz slope:
+            # nothing certifies, so every distinct state must re-solve.
+            return SSESolution(
+                thetas={1: 0.5},
+                allocations={1: budget},
+                best_response=1,
+                auditor_utility=-100.0,
+                attacker_utility=50.0,
+                certificate=SolutionCertificate(
+                    budget=budget,
+                    winner=1,
+                    margin=0.0,
+                    lipschitz_budget=1e9,
+                    payoff_spans={1: 500.0},
+                    coefficients={1: 0.01},
+                    entry_costs={1: {}},
+                    infeasible=(),
+                ),
+            )
+
+        cache = SSESolutionCache(
+            budget_step=10.0, rate_step=10.0, error_budget=1e-9
+        )
+        states = [
+            GameState(budget=20.0 + offset, lambdas={1: 5.0})
+            for offset in (0.0, 0.5, 1.0)
+        ]
+        key = cache.key_for(states[0])
+        assert all(cache.key_for(state) == key for state in states)
+        for state in states:
+            cache.get_or_solve(
+                state,
+                lambda s: fake_solution(s.budget),
+                coefficients=lambda s: {1: 0.01},
+                refine=lambda candidate, s: None,
+            )
+        assert cache.stats.misses == 3
+        assert len(cache) == 3  # one bucket, three refined entries
+
+    def test_invalid_error_budget_rejected(self):
+        with pytest.raises(ModelError):
+            SSESolutionCache(error_budget=-1e-9)
+
+    def test_error_budget_defaults_exact_steps_to_the_adaptive_grid(self):
+        """Exact keys would put every nearby state in its own bucket, so
+        the certified mode could never reuse anything: an error budget on
+        step-0 construction adopts the adaptive grid instead (this is how
+        spec/session layers that only set the budget get a working
+        policy)."""
+        from repro.engine.cache import (
+            DEFAULT_ADAPTIVE_BUDGET_STEP,
+            DEFAULT_ADAPTIVE_RATE_STEP,
+        )
+
+        cache = SSESolutionCache(error_budget=1e-6)
+        assert cache.budget_step == DEFAULT_ADAPTIVE_BUDGET_STEP
+        assert cache.rate_step == DEFAULT_ADAPTIVE_RATE_STEP
+        # Explicit steps always win; legacy mode keeps exact keys.
+        assert SSESolutionCache(budget_step=2.0, error_budget=1e-6).budget_step == 2.0
+        assert SSESolutionCache().budget_step == 0.0
+
+    def test_without_callbacks_degrades_to_exact_matching(self):
+        """No coefficients/refine callbacks: certified mode still works,
+        but only byte-identical states hit."""
+        cache = SSESolutionCache(
+            budget_step=1.0, rate_step=1.0, error_budget=1e-6
+        )
+        calls = []
+
+        def solve(state):
+            calls.append(state.budget)
+            return f"solution-{state.budget}"
+
+        near = GameState(budget=10.0, lambdas={1: 5.0})
+        nearer = GameState(budget=10.1, lambdas={1: 5.0})
+        assert cache.key_for(near) == cache.key_for(nearer)
+        cache.get_or_solve(near, solve)
+        assert cache.get_or_solve(nearer, solve) == "solution-10.1"
+        assert cache.get_or_solve(near, solve) == "solution-10.0"
+        assert cache.stats == CacheStats(hits=1, misses=2, entries=2)
 
 
 class TestCacheMechanics:

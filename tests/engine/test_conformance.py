@@ -1,0 +1,124 @@
+"""The differential conformance harness: it runs, gates, and reports."""
+
+import json
+
+import pytest
+
+from repro.core.sse import GameState, solve_online_sse
+from repro.engine.conformance import (
+    BACKENDS,
+    CachePolicyResult,
+    VALUE_TOL,
+    format_report,
+    main,
+    random_game,
+    random_state,
+    run_conformance,
+)
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small but real: every backend pair and every cache policy exercised.
+    return run_conformance(seed=13, quick=True, n_games=3, n_states=2, n_alerts=80)
+
+
+class TestHarness:
+    def test_backends_and_cache_pass(self, report):
+        assert report.passed
+        assert {(p.first, p.second) for p in report.pairs} == {
+            ("scipy", "simplex"),
+            ("scipy", "analytic"),
+            ("simplex", "analytic"),
+        }
+        for pair in report.pairs:
+            assert pair.states == report.n_games * report.n_states
+            assert pair.best_response_mismatches == 0
+            assert pair.max_value_gap <= VALUE_TOL
+
+    def test_certified_policies_hold_their_budget(self, report):
+        gated = [policy for policy in report.cache if policy.gated]
+        assert gated, "at least one certified policy must be gated"
+        for policy in gated:
+            assert policy.max_realized_error <= policy.error_budget + VALUE_TOL
+
+    def test_legacy_policy_reported_not_gated(self, report):
+        legacy = [p for p in report.cache if p.error_budget is None]
+        assert len(legacy) == 1
+        assert legacy[0].passed  # FYI entries never fail the run
+
+    def test_report_round_trips_as_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["backends"] == list(BACKENDS)
+        assert payload["tolerances"] == {"value": VALUE_TOL, "theta": 1e-6}
+        assert len(payload["pairs"]) == 3
+        assert all("passed" in entry for entry in payload["pairs"])
+        assert all("gated" in entry for entry in payload["cache"])
+
+    def test_format_report_mentions_verdict(self, report):
+        text = format_report(report)
+        assert "overall: PASS" in text
+        assert "scipy" in text and "analytic" in text
+
+    def test_failed_policy_fails_the_report(self, report):
+        # A synthetic violation must flip the verdict.
+        bad = CachePolicyResult(
+            budget_step=0.5,
+            rate_step=1.0,
+            error_budget=1e-6,
+            max_realized_error=1.0,
+        )
+        assert not bad.passed
+        report.cache.append(bad)
+        try:
+            assert not report.passed
+        finally:
+            report.cache.pop()
+
+
+class TestGenerators:
+    def test_random_games_are_valid_and_deterministic(self):
+        rng = np.random.default_rng(5)
+        payoffs, costs = random_game(rng, n_types=4, degenerate=True)
+        assert set(payoffs) == set(costs) == {1, 2, 3, 4}
+        for payoff in payoffs.values():
+            # Theorem 3 condition: the same games can drive signaling.
+            assert payoff.u_ac * payoff.u_du - payoff.u_dc * payoff.u_au > 0
+        # Degenerate pair: types 1 and 2 within jitter of each other.
+        assert abs(payoffs[1].u_au - payoffs[2].u_au) <= 1e-8
+        again_p, again_c = random_game(np.random.default_rng(5), n_types=4, degenerate=True)
+        assert again_p == payoffs and again_c == costs
+
+    def test_random_states_solve_on_every_backend(self):
+        rng = np.random.default_rng(9)
+        payoffs, costs = random_game(rng, n_types=3)
+        state = random_state(rng, tuple(sorted(payoffs)))
+        assert isinstance(state, GameState)
+        for backend in BACKENDS:
+            solution = solve_online_sse(state, payoffs, costs, backend=backend)
+            assert solution.best_response in payoffs
+
+
+class TestCommandLine:
+    def test_main_writes_report_and_exits_zero(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "conf.json"
+        # Shrink the run: main() only exposes --quick, so patch the sizes.
+        import repro.engine.conformance as conformance
+
+        original = conformance.run_conformance
+
+        def tiny(seed, quick):
+            return original(
+                seed=seed, quick=quick, n_games=2, n_states=1, n_alerts=40
+            )
+
+        monkeypatch.setattr(conformance, "run_conformance", tiny)
+        assert main(["--quick", "--seed", "3", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "overall: PASS" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["seed"] == 3

@@ -1,0 +1,131 @@
+"""Differential property test: tie-breaking on near-degenerate games.
+
+When two candidate types tie on auditor utility (within the ``1e-9``
+window), the winner used to depend on which backend solved the game: the
+running-best scans in ``core/sse.py`` and ``engine/analytic.py`` were
+order-sensitive exactly at near-ties, and scipy's LP noise could push a
+candidate either side of the window. The shared canonical rule
+(:func:`repro.core.sse.select_candidate` — value window, then attacker
+window, then smallest type id) pins one winner for every backend; these
+hypothesis tests lock that in over randomly generated near-degenerate
+payoff matrices.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import GameState, select_candidate, solve_online_sse
+
+BACKENDS = ("scipy", "simplex", "analytic")
+
+#: Cross-backend agreement tolerances (conformance harness values).
+VALUE_TOL = 1e-6
+THETA_TOL = 1e-6
+
+
+def _payoff(u_dc, u_du, u_ac, u_au):
+    return PayoffMatrix(u_dc=u_dc, u_du=u_du, u_ac=u_ac, u_au=u_au)
+
+
+payoff_strategy = st.builds(
+    _payoff,
+    # Lower bound clear of 0 so a negative jitter cannot break the
+    # u_dc >= 0 sign convention on the duplicated type.
+    u_dc=st.floats(1.0, 600.0),
+    u_du=st.floats(-2000.0, -100.0),
+    u_ac=st.floats(-6000.0, -500.0),
+    u_au=st.floats(100.0, 900.0),
+)
+
+#: Jitter at the tie-window scale: the duplicated type's payoffs differ
+#: from the original's by at most 1e-9, so candidate utilities tie within
+#: the canonical window and the id rule must decide.
+jitter_strategy = st.floats(-1e-9, 1e-9)
+
+
+@st.composite
+def near_degenerate_games(draw):
+    base = draw(payoff_strategy)
+    other = draw(payoff_strategy)
+    payoffs = {
+        1: base,
+        2: _payoff(
+            base.u_dc + draw(jitter_strategy),
+            base.u_du + draw(jitter_strategy),
+            base.u_ac + draw(jitter_strategy),
+            base.u_au + draw(jitter_strategy),
+        ),
+        3: other,
+    }
+    cost = draw(st.floats(0.5, 3.0))
+    costs = {1: cost, 2: cost, 3: draw(st.floats(0.5, 3.0))}
+    state = GameState(
+        budget=draw(st.floats(0.0, 60.0)),
+        lambdas={
+            1: draw(st.floats(0.1, 250.0)),
+            2: draw(st.floats(0.1, 250.0)),
+            3: draw(st.floats(0.1, 250.0)),
+        },
+    )
+    return payoffs, costs, state
+
+
+@given(near_degenerate_games())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_backends_agree_on_near_degenerate_games(game):
+    payoffs, costs, state = game
+    solutions = {
+        backend: solve_online_sse(state, payoffs, costs, backend=backend)
+        for backend in BACKENDS
+    }
+    reference = solutions["analytic"]
+    for backend in ("scipy", "simplex"):
+        solution = solutions[backend]
+        assert solution.best_response == reference.best_response, (
+            f"{backend} picked {solution.best_response}, analytic picked "
+            f"{reference.best_response} (values "
+            f"{solution.auditor_utility} vs {reference.auditor_utility})"
+        )
+        assert abs(
+            solution.auditor_utility - reference.auditor_utility
+        ) <= VALUE_TOL
+        assert abs(
+            solution.attacker_utility - reference.attacker_utility
+        ) <= VALUE_TOL
+        for t in payoffs:
+            assert abs(solution.thetas[t] - reference.thetas[t]) <= THETA_TOL
+
+
+def test_exact_duplicate_types_resolve_to_the_smallest_id():
+    """An exact two-way tie must deterministically pick the lower type id
+    on every backend (rule 3 of the canonical tie-break)."""
+    base = _payoff(150.0, -500.0, -2250.0, 400.0)
+    payoffs = {1: base, 2: base}
+    costs = {1: 1.0, 2: 1.0}
+    state = GameState(budget=10.0, lambdas={1: 40.0, 2: 40.0})
+    for backend in BACKENDS:
+        solution = solve_online_sse(state, payoffs, costs, backend=backend)
+        assert solution.best_response == 1, backend
+
+
+def test_select_candidate_two_phase_rule():
+    """The shared selector: value window first, attacker window second,
+    smallest id last — independent of input order."""
+    candidates = [
+        (3, -100.0, 50.0),
+        (1, -100.0 + 5e-10, 50.0 + 5e-10),  # ties on both -> id wins
+        (2, -100.0 - 5e-10, 10.0),          # in value window, less attacker
+        (4, -250.0, -10.0),                 # clearly worse value
+    ]
+    assert select_candidate(candidates) == 2
+    assert select_candidate(list(reversed(candidates))) == 2
+    # Without the low-attacker candidate, ids 1 and 3 tie twice -> 1.
+    remaining = [c for c in candidates if c[0] != 2]
+    assert select_candidate(remaining) == 1
+    assert select_candidate([]) is None

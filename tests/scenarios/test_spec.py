@@ -37,6 +37,9 @@ class TestValidation:
             {"n_attackers": 3},           # multi-attacker count without 'multi'
             {"cache_budget_step": -0.5},
             {"cache_budget_step": 0.5},   # quantized shared cache forbidden
+            {"cache_error_budget": -1e-6},
+            {"cache_error_budget": "tight"},
+            {"cache_error_budget": 1e-6},  # certified shared cache forbidden
         ],
     )
     def test_bad_specs_rejected(self, overrides):
@@ -71,6 +74,32 @@ class TestValidation:
             name="s", cache_mode="per-trial", cache_budget_step=0.5
         )
         assert spec.cache_budget_step == 0.5
+
+    def test_certified_cache_needs_per_trial_mode(self):
+        spec = ScenarioSpec(
+            name="s",
+            cache_mode="per-trial",
+            cache_budget_step=0.5,
+            cache_rate_step=1.0,
+            cache_error_budget=1e-6,
+        )
+        assert spec.cache_error_budget == 1e-6
+        # And it survives the JSON round-trip like every other knob.
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_error_budget_reaches_the_session_config(self):
+        from repro.api.v1 import SessionConfig
+
+        spec = ScenarioSpec(
+            name="s",
+            cache_mode="per-trial",
+            cache_budget_step=0.5,
+            cache_error_budget=1e-7,
+        )
+        config = SessionConfig.from_scenario(spec)
+        assert config.cache_error_budget == 1e-7
+        assert config.cache_budget_step == 0.5
+        assert config.cache_enabled
 
     def test_multi_attacker_count_allowed(self):
         spec = ScenarioSpec(name="s", attacker="multi", n_attackers=3)

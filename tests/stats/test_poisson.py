@@ -10,9 +10,44 @@ from repro.errors import EstimationError
 from repro.stats.poisson import (
     PoissonReciprocalMoment,
     expected_reciprocal,
+    expected_reciprocal_slope,
     poisson_cdf,
     poisson_pmf,
 )
+
+
+class TestReciprocalSlope:
+    @pytest.mark.parametrize("lam", [0.2, 1.0, 5.0, 30.0, 120.0, 250.0])
+    def test_matches_numerical_derivative(self, lam):
+        h = 1e-6 * max(lam, 1.0)
+        numeric = (
+            expected_reciprocal(lam + h) - expected_reciprocal(lam - h)
+        ) / (2 * h)
+        assert expected_reciprocal_slope(lam) == pytest.approx(
+            numeric, rel=1e-5
+        )
+
+    def test_small_rate_limit_is_minus_quarter(self):
+        assert expected_reciprocal_slope(0.0) == -0.25
+        assert expected_reciprocal_slope(1e-12) == -0.25
+        assert expected_reciprocal_slope(1e-4) == pytest.approx(-0.25, abs=1e-4)
+
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_negative_and_bounded_by_quarter(self, lam):
+        slope = expected_reciprocal_slope(lam)
+        # The cache's rate-sensitivity bound leans on |r'| <= 1/4.
+        assert -0.25 <= slope <= 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(EstimationError):
+            expected_reciprocal_slope(-1.0)
+
+    def test_memoized_slope_matches(self):
+        moment = PoissonReciprocalMoment()
+        assert moment.slope(42.0) == expected_reciprocal_slope(42.0)
+        moment.clear()
+        assert moment.slope(42.0) == expected_reciprocal_slope(42.0)
 
 
 class TestPmfCdf:

@@ -98,6 +98,19 @@ class TestSuiteCli:
         spec = json.loads(out.read_text())["scenarios"][0]["spec"]
         assert (spec["seed"], spec["n_days"], spec["backend"]) == (3, 8, "scipy")
 
+    def test_cache_error_budget_reaches_suite_specs(self, capsys, tmp_path):
+        out = tmp_path / "suite.json"
+        assert main([
+            "--days", "8", "--cache-error-budget", "1e-6",
+            "suite", "--scenarios", "fig2-uniform", "--trials", "2",
+            "--out", str(out),
+        ]) == 0
+        spec = json.loads(out.read_text())["scenarios"][0]["spec"]
+        assert spec["cache_error_budget"] == 1e-6
+        # The certified mode needs a per-trial cache, so the flag upgrades
+        # scenarios that were on the shared exact default.
+        assert spec["cache_mode"] == "per-trial"
+
     def test_out_creates_missing_parent_dirs(self, capsys, tmp_path, tiny_spec_file):
         out = tmp_path / "deeply" / "nested" / "suite.json"
         assert main([

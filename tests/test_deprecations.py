@@ -1,0 +1,91 @@
+"""Deprecation shims: right category, and the warning points at the caller.
+
+Both shims warn with ``stacklevel=2`` so the reported location is the
+*calling* file — the only location a maintainer can act on. These tests
+pin the category and the attribution; a regression to the default
+``stacklevel=1`` would report the shim's own module and fail the filename
+assertions.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.game import SAGConfig
+from repro.core.payoffs import PayoffMatrix
+from repro.engine.stream import BatchAuditEngine
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
+
+PAY = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+
+
+def _engine():
+    times = np.linspace(1000.0, 80000.0, 40)
+    history = {1: [times.copy(), times.copy()]}
+    return BatchAuditEngine(
+        SAGConfig(payoffs={1: PAY}, costs={1: 1.0}, budget=5.0, backend="analytic"),
+        RollbackEstimator(FutureAlertEstimator(history)),
+        rng=np.random.default_rng(3),
+    )
+
+
+class TestRunCycleShim:
+    def test_warns_deprecation_at_the_caller(self):
+        engine = _engine()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.run_cycle([1, 1], [1000.0, 2000.0])
+        assert len(caught) == 1
+        warning = caught[0]
+        assert warning.category is DeprecationWarning
+        assert "process_stream" in str(warning.message)
+        # stacklevel=2: the warning must attribute THIS file, not stream.py.
+        assert warning.filename == __file__
+
+    def test_alias_behaves_like_process_stream(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_alias = _engine().run_cycle([1, 1], [1000.0, 2000.0])
+        direct = _engine().process_stream([1, 1], [1000.0, 2000.0])
+        for a, b in zip(via_alias.decisions, direct.decisions):
+            # Identical up to wall-clock noise (solve_seconds is a timing).
+            assert a.sse == b.sse
+            assert a.audit_probability == b.audit_probability
+            assert a.budget_after == b.budget_after
+            assert a.game_value == b.game_value
+
+
+class TestRunScenarioShim:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return get_scenario("fig2-uniform").with_updates(
+            n_trials=2, n_days=4, normal_daily_mean=60.0
+        )
+
+    def test_warns_deprecation_at_the_caller(self, spec):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_scenario(spec)
+        deprecations = [
+            w for w in caught if w.category is DeprecationWarning
+        ]
+        assert len(deprecations) == 1
+        warning = deprecations[0]
+        assert "repro.api.v1.run_scenario" in str(warning.message)
+        # stacklevel=2: the warning must attribute THIS file, not runner.py.
+        assert warning.filename == __file__
+        assert result.montecarlo.n_trials == 2
+
+    def test_matches_the_facade(self, spec):
+        from repro.api.v1 import run_scenario as api_run_scenario
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = run_scenario(spec)
+        via_api = api_run_scenario(spec)
+        assert (
+            via_shim.deterministic_dict() == via_api.deterministic_dict()
+        )
