@@ -1,4 +1,4 @@
-"""Benchmark — serving-façade overhead over the raw batch engine.
+"""Benchmark — serving-façade and wire overhead over the raw batch engine.
 
 Reproduces: the serving-API acceptance target — routing an alert stream
 through :class:`repro.api.v1.AuditService` (session routing, typed
@@ -8,7 +8,15 @@ payload construction, stats accounting) must cost at most
 Both sides replay the same synthetic workload with the same seeds, so
 they do the same solver work; the measured difference is the façade.
 
-The run writes events/sec for both paths, the overhead ratio, and a
+A third section measures the full wire path: the identical stream
+submitted by :class:`~repro.api.client.ReproClient` over an HTTP
+loopback server (:func:`repro.api.http.serve_http`) — ndjson encode,
+socket round-trip, server decode, hot path, and the streamed ndjson
+response. That number is informational (no ceiling — it includes real
+serialization work), so façade-vs-wire overhead lands side by side in
+``BENCH_service.json``.
+
+The run writes events/sec for all paths, the overhead ratios, and a
 multi-tenant throughput figure to ``BENCH_service.json``, which CI
 uploads as an artifact alongside ``BENCH_engine.json`` and
 ``BENCH_suite.json``. The overhead ceiling is enforced on the best of
@@ -77,6 +85,35 @@ def _measure_service(payoffs, costs, history, events, seed) -> float:
     return time.perf_counter() - started
 
 
+def _measure_http(payoffs, costs, history, events, seed) -> dict:
+    """Wire seconds for the identical stream over an HTTP loopback.
+
+    Full path: client-side ndjson encode → POST → server decode → the
+    same ``submit`` hot path → streamed ndjson decisions → client decode.
+    """
+    from repro.api import ReproClient, serve_http
+    from repro.api.v1 import AuditService
+
+    with serve_http(AuditService()).start_background() as server:
+        client = ReproClient.connect(server.url)
+        client.open_session(
+            SessionConfig(
+                tenant="bench",
+                budget=50.0,
+                payoffs=payoffs,
+                costs=costs,
+                backend="analytic",
+                seed=seed,
+            ),
+            history,
+        )
+        started = time.perf_counter()
+        decisions = client.submit(events)
+        elapsed = time.perf_counter() - started
+        assert len(decisions) == len(events)
+    return {"seconds": elapsed, "events_per_second": len(events) / elapsed}
+
+
 def _measure_multi_tenant(
     payoffs, costs, history, events, seed, n_tenants: int
 ) -> float:
@@ -132,6 +169,8 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
     multi_seconds = _measure_multi_tenant(
         payoffs, costs, history, events, seed, n_tenants
     )
+    http = _measure_http(payoffs, costs, history, events, seed)
+    http["overhead_vs_engine"] = http["seconds"] / best_engine - 1.0
 
     return {
         "n_alerts": n_alerts,
@@ -148,6 +187,7 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
             "seconds": multi_seconds,
             "events_per_second": n_alerts / multi_seconds,
         },
+        "http_loopback": http,
     }
 
 
@@ -190,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
 
 def _format(payload: dict) -> str:
     multi = payload["multi_tenant"]
+    http = payload["http_loopback"]
     return "\n".join([
         f"Serving façade vs raw engine ({payload['n_alerts']} alerts, "
         f"{payload['n_types']} types, best of {payload['repeats']})",
@@ -201,6 +242,9 @@ def _format(payload: dict) -> str:
         f"(ceiling {payload['max_overhead']:.0%})",
         f"  {multi['tenants']}-tenant submit     : "
         f"{multi['events_per_second']:9.0f} events/s",
+        f"  HTTP loopback submit : "
+        f"{http['events_per_second']:9.0f} events/s "
+        f"(wire overhead {http['overhead_vs_engine']:.1%}, informational)",
     ])
 
 

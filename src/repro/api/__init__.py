@@ -9,11 +9,52 @@ shapes and error codes stay stable under you::
 
 New major versions will appear as sibling modules (``repro.api.v2``)
 with ``v1`` kept importable; see ``docs/api.md`` for the contract.
+
+On top of the in-process façade sits the **transport plane** (pure
+additions — every ``v1`` symbol is unchanged):
+
+* :mod:`repro.api.protocol` — versioned request/response envelopes,
+  per-tenant sequence numbers + idempotency keys, the ndjson codec, and
+  the :class:`~repro.api.protocol.ProtocolHandler` every transport
+  shares;
+* :mod:`repro.api.http` — :func:`~repro.api.http.serve_http`, a
+  dependency-free ``ThreadingHTTPServer`` binding of the protocol;
+* :mod:`repro.api.client` — :class:`~repro.api.client.ReproClient` with
+  swappable :class:`~repro.api.client.InProcessTransport` /
+  :class:`~repro.api.client.HttpTransport`, bit-identical per tenant.
 """
 
 from repro.api import v1
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    ErrorBody,
+    ProtocolHandler,
+    Request,
+    Response,
+    SequenceTracker,
+    decode_ndjson,
+    encode_ndjson,
+)
+from repro.api.http import ReproHttpServer, serve_http
+from repro.api.client import HttpTransport, InProcessTransport, ReproClient
 
 #: The current API version module.
 CURRENT_VERSION = "v1"
 
-__all__ = ["CURRENT_VERSION", "v1"]
+__all__ = [
+    "CURRENT_VERSION",
+    "ErrorBody",
+    "HttpTransport",
+    "InProcessTransport",
+    "PROTOCOL_VERSION",
+    "ProtocolHandler",
+    "ReproClient",
+    "ReproHttpServer",
+    "Request",
+    "Response",
+    "SequenceTracker",
+    "decode_ndjson",
+    "encode_ndjson",
+    "serve_http",
+    "v1",
+]

@@ -1,0 +1,330 @@
+"""A dependency-free HTTP binding of the wire protocol.
+
+:func:`serve_http` exposes one :class:`~repro.api.v1.AuditService` over a
+stdlib :class:`~http.server.ThreadingHTTPServer`. Every operation of the
+protocol plane maps to one endpoint:
+
+====================  ======  ==============================================
+path                  method  body
+====================  ======  ==============================================
+``/v1/open``          POST    :class:`~repro.api.protocol.Request` JSON
+``/v1/observe``       POST    Request JSON
+``/v1/decide``        POST    Request JSON (``seq``/``idempotency_key`` honored)
+``/v1/submit``        POST    ndjson stream of ``AlertEvent`` lines; the
+                              response streams ``SignalDecision`` lines back
+                              (chunked) while later events are still deciding
+``/v1/close_cycle``   POST    Request JSON (envelope ``tenant``)
+``/v1/report``        POST    Request JSON (envelope ``tenant``)
+``/v1/close``         POST    Request JSON (envelope ``tenant``)
+``/v1/stats``         POST    Request JSON
+``/healthz``          GET     — liveness + protocol version + open tenants
+``/stats``            GET     — service-wide ``ServiceStats``
+====================  ======  ==============================================
+
+Non-``submit`` responses are :class:`~repro.api.protocol.Response` JSON with
+an HTTP status derived from the stable error code (:data:`STATUS_BY_CODE`).
+All requests funnel through one :class:`~repro.api.protocol.ProtocolHandler`
+— the same object the in-process transport calls — so the service hot path
+and the per-tenant determinism contract are shared, not reimplemented.
+Thread safety comes from the handler's dispatch lock; the threading server
+only parallelizes socket I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http import HTTPStatus
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.errors import ProtocolError
+from repro.api.protocol import (
+    OP_STATS,
+    OPS,
+    OP_SUBMIT,
+    ProtocolHandler,
+    Request,
+    Response,
+    decode_ndjson,
+)
+from repro.api.v1.types import AlertEvent
+
+#: HTTP status for each stable error code (default 500 for the rest).
+STATUS_BY_CODE: dict[str, int] = {
+    "unknown_tenant": HTTPStatus.NOT_FOUND,
+    "invalid_event": HTTPStatus.BAD_REQUEST,
+    "protocol_error": HTTPStatus.BAD_REQUEST,
+    "idempotency_conflict": HTTPStatus.CONFLICT,
+    "session_state": HTTPStatus.CONFLICT,
+    "session_closed": HTTPStatus.CONFLICT,
+    "model_invalid": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "model_payoff": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "model_budget": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "experiment_invalid": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "data_invalid": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "data_query": HTTPStatus.UNPROCESSABLE_ENTITY,
+}
+
+#: Events decided per streamed ``submit`` chunk.
+SUBMIT_CHUNK = 256
+
+
+def _status_for(response: Response) -> int:
+    if response.ok:
+        return int(HTTPStatus.OK)
+    return int(STATUS_BY_CODE.get(
+        response.error.code, HTTPStatus.INTERNAL_SERVER_ERROR
+    ))
+
+
+class _ApiRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange → one protocol dispatch."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-api/1"
+
+    # The ProtocolHandler is attached to the server object by ReproHttpServer.
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # GET: liveness and stats
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        handler: ProtocolHandler = self.server.protocol_handler
+        if self.path == "/healthz":
+            response = handler.handle(Request(op="healthz"))
+        elif self.path == "/stats":
+            response = handler.handle(Request(op=OP_STATS))
+        else:
+            self._send_json(
+                int(HTTPStatus.NOT_FOUND),
+                {"ok": False, "error": {"code": "protocol_error",
+                                        "message": f"no such path {self.path}"}},
+            )
+            return
+        body = (
+            response.payload if response.ok
+            else {"ok": False, "error": response.error.to_dict()}
+        )
+        self._send_json(_status_for(response), body)
+
+    # ------------------------------------------------------------------
+    # POST: the protocol operations
+    # ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        op = self._path_op()
+        if op is None:
+            self._send_json(
+                int(HTTPStatus.NOT_FOUND),
+                {"ok": False, "error": {
+                    "code": "protocol_error",
+                    "message": (f"no such endpoint {self.path!r}; "
+                                f"POST /v1/<op> with op in {OPS}"),
+                }},
+            )
+            return
+        if op == OP_SUBMIT:
+            self._do_submit()
+            return
+        try:
+            request = Request.from_json(self._read_body().decode("utf-8"))
+            if request.op != op:
+                raise ProtocolError(
+                    f"envelope op {request.op!r} does not match endpoint "
+                    f"/v1/{op}"
+                )
+        except ProtocolError as exc:
+            self._send_response(Response.failure(op, exc))
+            return
+        except Exception as exc:
+            self._send_response(Response.failure(
+                op, ProtocolError(f"request body is not a valid envelope: {exc}")
+            ))
+            return
+        handler: ProtocolHandler = self.server.protocol_handler
+        self._send_response(handler.handle(request))
+
+    def _do_submit(self) -> None:
+        """The streaming hot path: ndjson events in, ndjson decisions out."""
+        handler: ProtocolHandler = self.server.protocol_handler
+        try:
+            body = self._read_body().decode("utf-8")
+            events = tuple(decode_ndjson(body, AlertEvent))
+        except Exception as exc:
+            self._send_response(Response.failure(
+                OP_SUBMIT,
+                exc if isinstance(exc, ProtocolError)
+                else ProtocolError(f"submit body is not ndjson events: {exc}"),
+            ))
+            return
+        self.send_response(int(HTTPStatus.OK))
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for decision in handler.submit_stream(events, SUBMIT_CHUNK):
+                self._write_chunk(decision.to_json() + "\n")
+        except OSError:
+            # The client went away mid-stream; there is nobody to tell.
+            self.close_connection = True
+            return
+        except Exception as exc:
+            # Headers are gone; surface the failure as a trailer line the
+            # client-side codec reports with its stable code.
+            error = Response.failure(OP_SUBMIT, exc)
+            try:
+                self._write_chunk(error.to_json() + "\n")
+            except OSError:
+                self.close_connection = True
+                return
+        try:
+            self._write_chunk("")
+        except OSError:
+            pass
+        self.close_connection = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _path_op(self) -> str | None:
+        prefix = "/v1/"
+        if not self.path.startswith(prefix):
+            return None
+        op = self.path[len(prefix):].strip("/")
+        return op if op in OPS else None
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _write_chunk(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+    def _send_response(self, response: Response) -> None:
+        self._send_json(
+            _status_for(response), json.loads(response.to_json())
+        )
+
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class ReproHttpServer:
+    """A running (or startable) HTTP binding of one audit service.
+
+    Use :func:`serve_http` to construct. ``serve_forever`` blocks;
+    ``start_background`` runs the accept loop on a daemon thread and
+    returns immediately — tests and the loopback benchmark use that mode,
+    then ``shutdown``.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.handler = ProtocolHandler(service)
+        self._httpd = ThreadingHTTPServer((host, port), _ApiRequestHandler)
+        self._httpd.protocol_handler = self.handler
+        self._httpd.verbose = verbose
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._started = False
+
+    @property
+    def service(self):
+        """The audit service behind this server."""
+        return self.handler.service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even for port 0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def write_ready_file(self, path: str | Path) -> None:
+        """Write the bound URL to ``path`` (for shell/CI orchestration)."""
+        Path(path).write_text(self.url + "\n", encoding="utf-8")
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown`."""
+        self._started = True
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "ReproHttpServer":
+        """Serve on a daemon thread; returns self once accepting."""
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (if running) and release the socket.
+
+        Safe on a server whose accept loop never started —
+        ``BaseServer.shutdown`` would otherwise wait forever on an event
+        only ``serve_forever`` sets.
+        """
+        if self._started:
+            self._httpd.shutdown()
+            self._started = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproHttpServer":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.shutdown()
+
+
+def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ReproHttpServer:
+    """Bind ``service`` to an HTTP socket (port 0 = ephemeral).
+
+    Returns the unstarted server; call ``serve_forever()`` to block (the
+    CLI's ``repro serve --http``) or ``start_background()`` for an
+    in-process loopback (tests, benchmarks)::
+
+        with serve_http(service).start_background() as server:
+            client = ReproClient.connect(server.url)
+    """
+    return ReproHttpServer(service, host=host, port=port, verbose=verbose)
+
+
+__all__ = [
+    "STATUS_BY_CODE",
+    "SUBMIT_CHUNK",
+    "ReproHttpServer",
+    "serve_http",
+]

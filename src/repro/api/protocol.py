@@ -1,0 +1,505 @@
+"""The transport-agnostic wire protocol of the serving plane.
+
+Everything a transport needs to carry the :mod:`repro.api.v1` session
+lifecycle over a boundary, with no transport specifics in it:
+
+* **Envelopes** — :class:`Request` / :class:`Response` / :class:`ErrorBody`:
+  versioned, JSON-round-trippable frames around the v1 payload types.
+  Errors travel as the stable string codes of
+  :func:`repro.api.v1.error_code`, never as Python class names.
+* **Operations** — the closed set of lifecycle verbs (:data:`OPS`), one
+  per :class:`~repro.api.v1.AuditService` entry point. Every transport
+  (in-process, HTTP, or anything else) dispatches the same operations
+  through one :class:`ProtocolHandler`, which is why transports are
+  bit-identical per tenant.
+* **Ordering and idempotency** — :class:`SequenceTracker`: per-tenant
+  monotonic sequence numbers and client idempotency keys. Replaying a
+  recorded ``(tenant, seq)`` (or key) returns the recorded decision
+  instead of double-charging the budget.
+* **ndjson codec** — :func:`encode_ndjson` / :func:`decode_ndjson`: the
+  streaming wire form of the payload types (one JSON document per line),
+  used by the HTTP ``submit`` endpoint and the CLI's ``--events -``.
+
+The protocol version is part of every envelope; a frame from a different
+version is rejected with :class:`~repro.errors.ProtocolError` rather than
+misread.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Type, TypeVar
+
+from repro.errors import IdempotencyError, ProtocolError
+from repro.api.v1.types import _Payload
+
+#: The wire-protocol revision carried by every envelope.
+PROTOCOL_VERSION = 1
+
+# The closed operation set — one verb per v1 lifecycle entry point.
+OP_OPEN = "open"
+OP_OBSERVE = "observe"
+OP_DECIDE = "decide"
+OP_SUBMIT = "submit"
+OP_CLOSE_CYCLE = "close_cycle"
+OP_REPORT = "report"
+OP_CLOSE = "close"
+OP_STATS = "stats"
+OP_HEALTHZ = "healthz"
+
+#: Every operation a conforming transport must route.
+OPS: tuple[str, ...] = (
+    OP_OPEN,
+    OP_OBSERVE,
+    OP_DECIDE,
+    OP_SUBMIT,
+    OP_CLOSE_CYCLE,
+    OP_REPORT,
+    OP_CLOSE,
+    OP_STATS,
+    OP_HEALTHZ,
+)
+
+#: Recorded decisions retained per tenant for idempotent replay.
+DEFAULT_RETENTION = 4096
+
+
+@dataclass(frozen=True)
+class ErrorBody(_Payload):
+    """The wire form of a failure: a stable code plus a human message."""
+
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not self.code or not isinstance(self.code, str):
+            raise ProtocolError("error body needs a non-empty string code")
+
+
+@dataclass(frozen=True)
+class Request(_Payload):
+    """One protocol call: an operation, its payload, and ordering metadata.
+
+    Attributes
+    ----------
+    op:
+        One of :data:`OPS`.
+    tenant:
+        The addressed tenant for per-tenant operations (``close_cycle``,
+        ``report``, ``close``); event-carrying operations address through
+        the event payload instead.
+    payload:
+        Operation-specific JSON object (see :class:`ProtocolHandler`).
+    seq:
+        Optional per-tenant monotonic sequence number for ``decide``;
+        replaying a recorded sequence returns the recorded decision.
+    idempotency_key:
+        Optional client-chosen string key for clients without a natural
+        counter. Replays deduplicate within the tenant's bounded
+        retention window (:data:`DEFAULT_RETENTION` recorded decisions);
+        unlike ``seq`` — whose watermark detects eviction and raises
+        ``idempotency_conflict`` — a key older than the window is
+        indistinguishable from a fresh one. Prefer ``seq`` when retries
+        may be arbitrarily late.
+    version:
+        Protocol revision; frames from other revisions are rejected.
+    """
+
+    op: str
+    tenant: str | None = None
+    payload: dict[str, Any] = field(default_factory=dict)
+    seq: int | None = None
+    idempotency_key: str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown operation {self.op!r}; expected one of {OPS}"
+            )
+        if self.version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {self.version!r} is not supported "
+                f"(this build speaks {PROTOCOL_VERSION})"
+            )
+        if self.seq is not None and (
+            isinstance(self.seq, bool)
+            or not isinstance(self.seq, int)
+            or self.seq < 0
+        ):
+            raise ProtocolError(
+                f"seq must be a non-negative integer, got {self.seq!r}"
+            )
+        if not isinstance(self.payload, Mapping):
+            raise ProtocolError("request payload must be a JSON object")
+        object.__setattr__(self, "payload", dict(self.payload))
+
+
+@dataclass(frozen=True)
+class Response(_Payload):
+    """The reply to one :class:`Request`: a payload or an error, never both."""
+
+    op: str
+    ok: bool
+    payload: dict[str, Any] | None = None
+    error: ErrorBody | None = None
+    seq: int | None = None
+    version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {self.version!r} is not supported "
+                f"(this build speaks {PROTOCOL_VERSION})"
+            )
+        if self.ok and self.error is not None:
+            raise ProtocolError("a successful response cannot carry an error")
+        if not self.ok and self.error is None:
+            raise ProtocolError("a failed response must carry an error body")
+
+    @classmethod
+    def success(
+        cls, op: str, payload: dict[str, Any], seq: int | None = None
+    ) -> "Response":
+        """A successful reply for ``op``."""
+        return cls(op=op, ok=True, payload=payload, seq=seq)
+
+    @classmethod
+    def failure(
+        cls, op: str, exc: BaseException, seq: int | None = None
+    ) -> "Response":
+        """A failed reply carrying ``exc``'s stable code and message."""
+        from repro.api.v1.service import error_code
+
+        return cls(
+            op=op,
+            ok=False,
+            error=ErrorBody(code=error_code(exc), message=str(exc)),
+            seq=seq,
+        )
+
+    @classmethod
+    def _decode(cls, payload: dict[str, Any]) -> dict[str, Any]:
+        error = payload.get("error")
+        if error is not None and not isinstance(error, ErrorBody):
+            payload["error"] = ErrorBody.from_dict(error)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+
+_P = TypeVar("_P", bound=_Payload)
+
+
+def encode_history(history: Mapping) -> dict[str, list[list[float]]]:
+    """The wire form of a training history: per-type lists of day arrays.
+
+    The single codec for every place a history crosses a boundary — the
+    ``open`` operation payload, the client request, and the WAL ``open``
+    record — so the wire shape can only ever change in one spot.
+    """
+    return {
+        str(type_id): [[float(t) for t in day] for day in days]
+        for type_id, days in history.items()
+    }
+
+
+def decode_history(payload: Mapping) -> dict[int, list[list[float]]]:
+    """Inverse of :func:`encode_history` (int-keyed, plain float lists)."""
+    return {
+        int(type_id): [[float(t) for t in day] for day in days]
+        for type_id, days in payload.items()
+    }
+
+
+def encode_ndjson(payloads: Iterable[_Payload]) -> str:
+    """Serialize payloads as newline-delimited JSON (one document per line)."""
+    lines = [payload.to_json() for payload in payloads]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def decode_ndjson(
+    source: str | Iterable[str], cls: Type[_P]
+) -> Iterator[_P]:
+    """Decode an ndjson stream into payloads of ``cls``, lazily.
+
+    ``source`` may be one string or any iterable of lines (a file handle,
+    ``sys.stdin``). Blank lines are skipped; an undecodable line raises
+    :class:`ProtocolError` naming the line number.
+    """
+    lines = source.splitlines() if isinstance(source, str) else source
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            yield cls.from_json(stripped)
+        except ProtocolError:
+            raise
+        except Exception as error:
+            raise ProtocolError(
+                f"ndjson line {line_number}: not a valid "
+                f"{cls.__name__}: {error}"
+            ) from error
+
+
+# ----------------------------------------------------------------------
+# Per-tenant ordering and idempotency
+# ----------------------------------------------------------------------
+
+
+class SequenceTracker:
+    """Per-tenant monotonic sequence numbers with idempotent replay.
+
+    ``lookup`` answers a repeated ``(tenant, seq)`` or ``(tenant, key)``
+    with the recorded decision; ``record`` commits a fresh one. Sequence
+    numbers must be strictly increasing per tenant — a sequence at or
+    below the tenant's watermark that has no recorded decision (consumed
+    long ago and evicted from the bounded retention window, or simply out
+    of order) raises :class:`~repro.errors.IdempotencyError` so the
+    caller never double-processes silently. String keys have no ordering,
+    so eviction cannot be detected for them: a key outside the retention
+    window deduplicates nothing and the event re-processes — the
+    documented trade-off of keys vs sequences.
+    """
+
+    def __init__(self, retention: int = DEFAULT_RETENTION) -> None:
+        if retention < 1:
+            raise ProtocolError(f"retention must be >= 1, got {retention}")
+        self._retention = retention
+        self._watermark: dict[str, int] = {}
+        # One bounded window per tenant — a busy tenant can only ever
+        # evict its own recorded decisions, never a neighbor's.
+        self._by_seq: dict[str, OrderedDict[int, Any]] = {}
+        self._by_key: dict[str, OrderedDict[str, Any]] = {}
+
+    def watermark(self, tenant: str) -> int | None:
+        """The highest recorded sequence for ``tenant`` (None if none)."""
+        return self._watermark.get(tenant)
+
+    def lookup(
+        self, tenant: str, seq: int | None = None, key: str | None = None
+    ):
+        """The recorded decision for a replayed sequence/key, else ``None``."""
+        by_key = self._by_key.get(tenant)
+        if key is not None and by_key is not None and key in by_key:
+            return by_key[key]
+        if seq is not None:
+            by_seq = self._by_seq.get(tenant)
+            if by_seq is not None and seq in by_seq:
+                return by_seq[seq]
+            watermark = self._watermark.get(tenant)
+            if watermark is not None and seq <= watermark:
+                raise IdempotencyError(
+                    f"tenant {tenant!r} sequence {seq} was already consumed "
+                    f"(watermark {watermark}) and its decision is no longer "
+                    "retained"
+                )
+        return None
+
+    def record(
+        self,
+        tenant: str,
+        decision,
+        seq: int | None = None,
+        key: str | None = None,
+    ) -> None:
+        """Commit the decision for a fresh sequence/key."""
+        if seq is not None:
+            watermark = self._watermark.get(tenant)
+            if watermark is not None and seq <= watermark:
+                raise ProtocolError(
+                    f"tenant {tenant!r} sequence {seq} is not above the "
+                    f"watermark {watermark}; sequences must be strictly "
+                    "monotonic per tenant"
+                )
+            self._watermark[tenant] = seq
+            by_seq = self._by_seq.setdefault(tenant, OrderedDict())
+            by_seq[seq] = decision
+            while len(by_seq) > self._retention:
+                by_seq.popitem(last=False)
+        if key is not None:
+            by_key = self._by_key.setdefault(tenant, OrderedDict())
+            by_key[key] = decision
+            while len(by_key) > self._retention:
+                by_key.popitem(last=False)
+
+    def forget(self, tenant: str) -> None:
+        """Drop all state of a retired tenant."""
+        self._watermark.pop(tenant, None)
+        self._by_seq.pop(tenant, None)
+        self._by_key.pop(tenant, None)
+
+
+__all__ = [
+    "DEFAULT_RETENTION",
+    "ErrorBody",
+    "OPS",
+    "OP_CLOSE",
+    "OP_CLOSE_CYCLE",
+    "OP_DECIDE",
+    "OP_HEALTHZ",
+    "OP_OBSERVE",
+    "OP_OPEN",
+    "OP_REPORT",
+    "OP_STATS",
+    "OP_SUBMIT",
+    "PROTOCOL_VERSION",
+    "ProtocolHandler",
+    "Request",
+    "Response",
+    "SequenceTracker",
+    "decode_history",
+    "decode_ndjson",
+    "encode_history",
+    "encode_ndjson",
+]
+
+
+class ProtocolHandler:
+    """Dispatches protocol requests onto one :class:`AuditService`.
+
+    The single routing point every transport shares: the in-process
+    transport calls :meth:`handle` directly, the HTTP server calls it per
+    request — so a given request stream produces identical service calls
+    (and therefore bit-identical decisions) regardless of transport.
+
+    Dispatch is serialized by an internal lock; sessions themselves are
+    not thread-safe, so a threading server routes everything through
+    here.
+    """
+
+    def __init__(self, service) -> None:
+        import threading
+
+        self._service = service
+        self._lock = threading.RLock()
+
+    @property
+    def service(self):
+        """The service this handler fronts."""
+        return self._service
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one request; failures become error responses."""
+        try:
+            with self._lock:
+                payload = self._dispatch(request)
+        except Exception as exc:
+            return Response.failure(request.op, exc, seq=request.seq)
+        return Response.success(request.op, payload, seq=request.seq)
+
+    def submit_stream(self, events, chunk_size: int = 256) -> Iterator:
+        """Decide an event iterable chunk-wise (the streaming hot path).
+
+        Yields decisions in input order, batching contiguous chunks of
+        ``chunk_size`` through :meth:`AuditService.submit` under the
+        dispatch lock. Used by the HTTP ndjson endpoint so response lines
+        stream out while later events are still being decided.
+        """
+        if chunk_size < 1:
+            raise ProtocolError(f"chunk_size must be >= 1, got {chunk_size}")
+        chunk: list = []
+        for event in events:
+            chunk.append(event)
+            if len(chunk) >= chunk_size:
+                # Decide under the lock, yield outside it: a generator
+                # suspends mid-`with` at every yield, and the consumer may
+                # be writing to a slow socket — the dispatch lock must
+                # never wait on a client's network transfer.
+                with self._lock:
+                    decisions = self._service.submit(chunk)
+                yield from decisions
+                chunk = []
+        if chunk:
+            with self._lock:
+                decisions = self._service.submit(chunk)
+            yield from decisions
+
+    # ------------------------------------------------------------------
+    # Operation bodies
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: Request) -> dict[str, Any]:
+        from repro.api.v1.types import AlertEvent
+
+        op = request.op
+        if op == OP_OPEN:
+            return self._open(request)
+        if op == OP_OBSERVE:
+            event = AlertEvent.from_dict(self._require(request, "event"))
+            self._service.observe(event)
+            return {"observed": True, "tenant": event.tenant}
+        if op == OP_DECIDE:
+            event = AlertEvent.from_dict(self._require(request, "event"))
+            decision, replayed = self._service.decide_idempotent(
+                event, seq=request.seq, idempotency_key=request.idempotency_key
+            )
+            return {"decision": decision.to_dict(), "replayed": replayed}
+        if op == OP_SUBMIT:
+            events = tuple(
+                AlertEvent.from_dict(entry)
+                for entry in self._require(request, "events")
+            )
+            decisions = self._service.submit(events)
+            return {"decisions": [decision.to_dict() for decision in decisions]}
+        if op == OP_CLOSE_CYCLE:
+            report = self._service.close_cycle(self._tenant(request))
+            return {"report": report.to_dict()}
+        if op == OP_REPORT:
+            stats = self._service.session(self._tenant(request)).report()
+            return {"stats": stats.to_dict()}
+        if op == OP_CLOSE:
+            stats = self._service.close_session(self._tenant(request))
+            return {"stats": stats.to_dict()}
+        if op == OP_STATS:
+            return {"stats": self._service.stats().to_dict()}
+        if op == OP_HEALTHZ:
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "tenants": list(self._service.tenants),
+            }
+        raise ProtocolError(f"operation {op!r} has no handler")  # pragma: no cover
+
+    def _open(self, request: Request) -> dict[str, Any]:
+        from repro.api.v1.types import SessionConfig
+
+        if "scenario" in request.payload:
+            from repro.scenarios.spec import ScenarioSpec
+
+            spec = ScenarioSpec.from_dict(request.payload["scenario"])
+            session, events = self._service.open_scenario(spec)
+            return {
+                "tenant": session.tenant,
+                "state": session.state,
+                "cycle": session.cycle,
+                "events": [event.to_dict() for event in events],
+            }
+        config = SessionConfig.from_dict(self._require(request, "config"))
+        history = decode_history(self._require(request, "history"))
+        session = self._service.open_session(config, history)
+        return {
+            "tenant": session.tenant,
+            "state": session.state,
+            "cycle": session.cycle,
+        }
+
+    @staticmethod
+    def _require(request: Request, name: str):
+        if name not in request.payload:
+            raise ProtocolError(
+                f"operation {request.op!r} requires a {name!r} payload field"
+            )
+        return request.payload[name]
+
+    @staticmethod
+    def _tenant(request: Request) -> str:
+        if not request.tenant:
+            raise ProtocolError(
+                f"operation {request.op!r} requires the envelope tenant field"
+            )
+        return request.tenant

@@ -25,14 +25,18 @@ string codes the v1 API promises (table in ``docs/api.md``).
 from __future__ import annotations
 
 import asyncio
+import urllib.parse
 from collections.abc import AsyncIterable, Iterable, Sequence
-from typing import AsyncIterator, Union
+from pathlib import Path
+from typing import Any, AsyncIterator, Union
 
 from repro import errors
-from repro.errors import SessionStateError, UnknownTenantError
+from repro.errors import DataError, SessionStateError, UnknownTenantError
 from repro.api.v1.session import AuditSession, History, open_scenario
 from repro.api.v1.types import (
+    SESSION_OPEN,
     AlertEvent,
+    CycleReport,
     ServiceStats,
     SessionConfig,
     SessionStats,
@@ -94,11 +98,224 @@ class AuditService:
     One service instance is the intended long-lived process-level object:
     sessions open and close under it, and :meth:`stats` keeps aggregating
     retired tenants alongside live ones.
+
+    With a ``state_dir`` the service is **durable**: session-opening
+    configs (with training history), every decided event, and every cycle
+    boundary append to a per-tenant write-ahead log
+    (:class:`~repro.logstore.wal.WriteAheadLog`) under that directory, and
+    :meth:`restore` rebuilds the exact service state — game state, budget
+    ledgers, cycle counters, and the seeded randomness streams — by
+    deterministic replay after a crash. ``fsync=True`` additionally forces
+    every append to disk before acknowledging.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        state_dir: str | Path | None = None,
+        fsync: bool = False,
+    ) -> None:
+        from repro.api.protocol import SequenceTracker
+
         self._sessions: dict[str, AuditSession] = {}
         self._retired: list[SessionStats] = []
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._fsync = fsync
+        self._wals: dict[str, Any] = {}
+        self._tracker = SequenceTracker()
+        self._replaying = False
+        self._truncated: tuple[str, ...] = ()
+        if self._state_dir is not None:
+            self._state_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether this service journals to a write-ahead log."""
+        return self._state_dir is not None
+
+    @property
+    def state_dir(self) -> Path | None:
+        """The write-ahead-log directory (None when not durable)."""
+        return self._state_dir
+
+    @property
+    def recovered_truncated(self) -> tuple[str, ...]:
+        """Tenants whose WAL ended in a torn record at :meth:`restore`."""
+        return self._truncated
+
+    def _wal(self, tenant: str):
+        from repro.logstore.wal import WAL_SUFFIX, WriteAheadLog
+
+        if tenant not in self._wals:
+            name = urllib.parse.quote(tenant, safe="") + WAL_SUFFIX
+            self._wals[tenant] = WriteAheadLog(
+                self._state_dir / name, fsync=self._fsync
+            )
+        return self._wals[tenant]
+
+    @property
+    def _journaling(self) -> bool:
+        """Whether operations should append to the WAL right now.
+
+        Hot call sites check this before building record payloads, so a
+        non-durable service never pays per-event serialization cost.
+        """
+        return self._state_dir is not None and not self._replaying
+
+    def _journal(self, tenant: str, kind: str, payload: dict) -> None:
+        if not self._journaling:
+            return
+        try:
+            self._wal(tenant).append(kind, payload)
+        except OSError as exc:
+            self._quarantine(tenant, exc)
+
+    def _quarantine(self, tenant: str, exc: OSError) -> None:
+        """Retire a session whose WAL can no longer be appended to.
+
+        A decision that processed but could not be journaled must not
+        keep serving: later journaled records would replay against a log
+        missing one event and :meth:`restore` would refuse the divergence.
+        Closing the session keeps the on-disk log exactly replayable —
+        the unjournaled decision is simply never acknowledged, like a
+        crash between processing and append.
+        """
+        wal = self._wals.pop(tenant, None)
+        if wal is not None:
+            try:
+                wal.close()
+            except OSError:
+                pass
+        session = self._sessions.pop(tenant, None)
+        if session is not None and session.state == SESSION_OPEN:
+            self._retired.append(session.close())
+        self._tracker.forget(tenant)
+        raise DataError(
+            f"tenant {tenant!r}: write-ahead log append failed; the "
+            f"session was quarantined to keep the log replayable "
+            f"(restore {self._state_dir} to resume): {exc}"
+        ) from exc
+
+    @staticmethod
+    def _history_payload(history: History) -> dict[str, list[list[float]]]:
+        from repro.api.protocol import encode_history
+
+        return encode_history(history)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flush the write-ahead logs and describe the durable state.
+
+        Returns a JSON-compatible manifest of every open session's
+        position (cycle, events, budget) plus retired-tenant counts. The
+        WAL itself *is* the snapshot — every acknowledged operation is
+        already on disk — so this is a flush + inventory, cheap enough to
+        call per request.
+        """
+        if self._state_dir is None:
+            raise SessionStateError(
+                "snapshot() requires a durable service (pass state_dir=...)"
+            )
+        for wal in self._wals.values():
+            wal.flush()
+        from repro.api.protocol import PROTOCOL_VERSION
+
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "state_dir": str(self._state_dir),
+            "retired": len(self._retired),
+            "tenants": {
+                tenant: {
+                    "state": session.state,
+                    "cycle": session.cycle,
+                    "events": session.report().events,
+                    "budget_remaining": session.budget_remaining,
+                }
+                for tenant, session in self._sessions.items()
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls, state_dir: str | Path, fsync: bool = False
+    ) -> "AuditService":
+        """Rebuild a durable service from its write-ahead logs.
+
+        Replays every tenant's log through the normal pipeline: sessions
+        re-open from their journaled config + training history, decided
+        events re-run through the engine (the session seed makes replay
+        bit-identical — a divergence raises :class:`DataError`), cycle
+        boundaries re-close, and the idempotency index is re-seeded so
+        in-flight client retries still answer from the recorded decision.
+        A torn final record (crash mid-append) is dropped; the affected
+        tenants are listed in :attr:`recovered_truncated`.
+        """
+        from repro.logstore.wal import WAL_SUFFIX, scan_records
+
+        service = cls(state_dir=state_dir, fsync=fsync)
+        service._replaying = True
+        truncated: list[str] = []
+        try:
+            for path in sorted(service._state_dir.glob(f"*{WAL_SUFFIX}")):
+                tenant = urllib.parse.unquote(path.name[: -len(WAL_SUFFIX)])
+                records, torn = scan_records(path)
+                if torn:
+                    truncated.append(tenant)
+                for record in records:
+                    service._replay(tenant, record)
+        finally:
+            service._replaying = False
+        service._truncated = tuple(truncated)
+        return service
+
+    def _replay(self, tenant: str, record) -> None:
+        payload = record.payload
+        if record.kind == "open":
+            from repro.api.protocol import decode_history
+
+            config = SessionConfig.from_dict(payload["config"])
+            self.open_session(config, decode_history(payload["history"]))
+        elif record.kind == "observe":
+            self.observe(AlertEvent.from_dict(payload["event"]))
+        elif record.kind == "decision":
+            event = AlertEvent.from_dict(payload["event"])
+            decision = self.session(event.tenant).decide(event)
+            self._verify_replay(tenant, payload["decision"], decision)
+            self._tracker.record(
+                event.tenant,
+                decision,
+                seq=payload.get("seq"),
+                key=payload.get("key"),
+            )
+        elif record.kind == "submit":
+            events = tuple(
+                AlertEvent.from_dict(entry) for entry in payload["events"]
+            )
+            decisions = self.submit(events)
+            for recorded, decision in zip(payload["decisions"], decisions):
+                self._verify_replay(tenant, recorded, decision)
+        elif record.kind == "close_cycle":
+            self.close_cycle(tenant)
+        elif record.kind == "close":
+            self.close_session(tenant)
+        else:
+            raise DataError(
+                f"tenant {tenant!r}: unknown WAL record kind {record.kind!r}"
+            )
+
+    @staticmethod
+    def _verify_replay(
+        tenant: str, recorded: dict, decision: SignalDecision
+    ) -> None:
+        if decision.to_dict() != recorded:
+            raise DataError(
+                f"tenant {tenant!r}: WAL replay diverged from the recorded "
+                f"decision at cycle {recorded.get('cycle')} sequence "
+                f"{recorded.get('sequence')} — the log does not match this "
+                "build's deterministic pipeline"
+            )
 
     # ------------------------------------------------------------------
     # Session management
@@ -112,6 +329,10 @@ class AuditService:
             )
         session = AuditSession.open(config, history)
         self._sessions[config.tenant] = session
+        self._journal(config.tenant, "open", {
+            "config": config.to_dict(),
+            "history": self._history_payload(session.training_history),
+        })
         return session
 
     def open_scenario(self, spec) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
@@ -122,6 +343,13 @@ class AuditService:
             )
         session, events = open_scenario(spec)
         self._sessions[session.tenant] = session
+        # Journal the resolved config + history (not the spec), so replay
+        # never rebuilds the scenario world: restore is deterministic even
+        # if scenario presets change between runs.
+        self._journal(session.tenant, "open", {
+            "config": session.config.to_dict(),
+            "history": self._history_payload(session.training_history),
+        })
         return session, events
 
     def session(self, tenant: str) -> AuditSession:
@@ -143,7 +371,23 @@ class AuditService:
         stats = self.session(tenant).close()
         del self._sessions[tenant]
         self._retired.append(stats)
+        self._journal(tenant, "close", {})
+        self._tracker.forget(tenant)
+        wal = self._wals.pop(tenant, None)
+        if wal is not None:
+            wal.close()
         return stats
+
+    def close_cycle(self, tenant: str) -> CycleReport:
+        """End ``tenant``'s audit cycle (journaled on durable services).
+
+        The service-level twin of :meth:`AuditSession.close_cycle`:
+        durable deployments must route cycle boundaries through here so
+        :meth:`restore` replays them in order.
+        """
+        report = self.session(tenant).close_cycle()
+        self._journal(tenant, "close_cycle", {"cycle": report.cycle})
+        return report
 
     def close(self) -> ServiceStats:
         """Close every open session and return the final aggregate."""
@@ -157,11 +401,56 @@ class AuditService:
 
     def decide(self, event: AlertEvent) -> SignalDecision:
         """Route one event to its tenant's session and decide it."""
-        return self.session(event.tenant).decide(event)
+        decision = self.session(event.tenant).decide(event)
+        if self._journaling:
+            self._journal(event.tenant, "decision", {
+                "event": event.to_dict(), "decision": decision.to_dict(),
+            })
+        return decision
+
+    def decide_idempotent(
+        self,
+        event: AlertEvent,
+        seq: int | None = None,
+        idempotency_key: str | None = None,
+    ) -> tuple[SignalDecision, bool]:
+        """Decide one event at most once per ``(tenant, seq)`` / key.
+
+        Returns ``(decision, replayed)``. A sequence or key already
+        recorded for the tenant answers from the recorded decision
+        without touching the session — no budget re-charge, no advanced
+        randomness — which makes client retries safe (the wire
+        idempotency contract; see :class:`repro.api.protocol.Request`).
+        Sequence numbers must be strictly monotonic per tenant.
+        """
+        recorded = self._tracker.lookup(
+            event.tenant, seq=seq, key=idempotency_key
+        )
+        if recorded is not None:
+            return recorded, True
+        decision = self.session(event.tenant).decide(event)
+        if self._journaling:
+            payload = {
+                "event": event.to_dict(), "decision": decision.to_dict(),
+            }
+            if seq is not None:
+                payload["seq"] = seq
+            if idempotency_key is not None:
+                payload["key"] = idempotency_key
+            # Journal before recording the idempotency entry: a decision
+            # must never be replayable from the tracker without being on
+            # disk.
+            self._journal(event.tenant, "decision", payload)
+        self._tracker.record(
+            event.tenant, decision, seq=seq, key=idempotency_key
+        )
+        return decision, False
 
     def observe(self, event: AlertEvent) -> None:
         """Route one background event (no decision payload built)."""
         self.session(event.tenant).observe(event)
+        if self._journaling:
+            self._journal(event.tenant, "observe", {"event": event.to_dict()})
 
     def submit(self, events: Sequence[AlertEvent]) -> tuple[SignalDecision, ...]:
         """The hot path: decide many events, batching per tenant.
@@ -190,10 +479,17 @@ class AuditService:
 
         def flush() -> None:
             # Validation already covered the full per-tenant sequences, so
-            # runs go straight to the engine without a second walk.
-            decisions.extend(
-                self.session(run[0].tenant)._decide_batch_validated(run)
-            )
+            # runs go straight to the engine without a second walk. Each
+            # run journals as one WAL record the moment it lands, so a
+            # solver failure later in the submission never loses committed
+            # runs on replay.
+            landed = self.session(run[0].tenant)._decide_batch_validated(run)
+            decisions.extend(landed)
+            if self._journaling:
+                self._journal(run[0].tenant, "submit", {
+                    "events": [event.to_dict() for event in run],
+                    "decisions": [decision.to_dict() for decision in landed],
+                })
 
         for event in events:
             if run and event.tenant != run[0].tenant:

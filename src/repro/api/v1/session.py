@@ -158,6 +158,16 @@ class AuditSession:
         return self._state
 
     @property
+    def training_history(self) -> History:
+        """The normalized per-type training history this session opened with.
+
+        The serving plane's write-ahead log persists this next to the
+        session config so :meth:`AuditService.restore` can rebuild the
+        estimator exactly (see :mod:`repro.logstore.wal`).
+        """
+        return self._history
+
+    @property
     def cycle(self) -> int:
         """Index of the audit cycle in progress (0-based)."""
         return self._cycle

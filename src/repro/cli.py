@@ -149,13 +149,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--out", metavar="PATH",
         help="write decisions, cycle reports, and service stats as JSON",
     )
+    serve.add_argument(
+        "--http", action="store_true",
+        help="expose the service over HTTP instead of replaying locally "
+        "(endpoints: /v1/<op>, /healthz, /stats; see docs/api.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address for --http (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8351, metavar="PORT",
+        help="bind port for --http (default 8351; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="durable mode: journal every decision to per-tenant "
+        "write-ahead logs under DIR and restore open sessions from any "
+        "logs already there (crash recovery by deterministic replay)",
+    )
+    serve.add_argument(
+        "--ready-file", metavar="PATH",
+        help="with --http: write the bound base URL here once listening "
+        "(for shell and CI orchestration)",
+    )
     decide = subparsers.add_parser(
         "decide",
-        help="decide a single alert event through repro.api.v1",
+        help="decide alert events through repro.api.v1 (local or --url)",
         description=(
             "Open an AuditSession for one scenario, optionally replay the "
             "first N test-day events for context, then decide one event "
-            "and print the SignalDecision as JSON."
+            "and print the SignalDecision as JSON. With --events, decide "
+            "a whole ndjson stream (file or '-' for stdin) and print one "
+            "decision per line; with --url, route every decision through "
+            "a running `repro serve --http` server instead of a local "
+            "session."
         ),
     )
     decide.add_argument(
@@ -181,6 +209,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--observe", type=int, default=0, metavar="N",
         help="replay the first N test-day events as background context "
         "before deciding",
+    )
+    decide.add_argument(
+        "--events", metavar="PATH", dest="events_path",
+        help="decide a whole ndjson stream of AlertEvent lines ('-' = "
+        "stdin) instead of a single constructed event; prints one "
+        "SignalDecision JSON per line",
+    )
+    decide.add_argument(
+        "--url", metavar="URL",
+        help="send decisions to a running `repro serve --http` server "
+        "instead of opening a local session",
+    )
+    decide.add_argument(
+        "--seq-start", type=int, default=None, metavar="N",
+        help="attach per-tenant monotonic sequence numbers starting at N "
+        "to --events decisions (idempotent retry protection)",
     )
     parser.add_argument(
         "--svg", metavar="PATH",
@@ -413,15 +457,23 @@ def _run_serve(args, explicit) -> int:
     from repro.api.v1 import AuditService
     from repro.experiments.report import render_table
 
+    if args.http:
+        return _run_serve_http(args, explicit)
+
     specs = _selected_specs(args, explicit)
     if not specs:
         print("no scenarios selected; use --scenarios or --spec-file",
               file=sys.stderr)
         return 2
 
-    service = AuditService()
+    service = _build_service(args.state_dir)
     all_events = []
     for spec in specs:
+        if spec.name in service.tenants:
+            # A restored session (e.g. an interrupted earlier run): retire
+            # it — journaled, so the log stays replayable — and replay the
+            # scenario on a fresh session below.
+            service.close_session(spec.name)
         _session, events = service.open_scenario(spec)
         if args.events is not None:
             events = events[: args.events]
@@ -450,7 +502,7 @@ def _run_serve(args, explicit) -> int:
     wall = _time.perf_counter() - started
 
     reports = [
-        service.session(tenant).close_cycle() for tenant in service.tenants
+        service.close_cycle(tenant) for tenant in service.tenants
     ]
     stats = service.close()
     rows = [
@@ -487,25 +539,67 @@ def _run_serve(args, explicit) -> int:
     return 0
 
 
+def _build_service(state_dir):
+    """A (possibly durable) service, restored from existing WALs if any."""
+    from pathlib import Path as _Path
+
+    from repro.api.v1 import AuditService
+    from repro.logstore.wal import WAL_SUFFIX
+
+    if state_dir and any(_Path(state_dir).glob(f"*{WAL_SUFFIX}")):
+        service = AuditService.restore(state_dir)
+        print(f"restored {len(service.tenants)} session(s) from {state_dir}")
+        if service.recovered_truncated:
+            print("dropped torn WAL tail for: "
+                  + ", ".join(service.recovered_truncated))
+        return service
+    return AuditService(state_dir=state_dir)
+
+
+def _run_serve_http(args, explicit) -> int:
+    """``serve --http``: bind the service to a loopback/network socket.
+
+    With ``--state-dir`` the service is durable — existing write-ahead
+    logs are restored by deterministic replay before any scenario opens,
+    so a restarted server resumes every tenant mid-cycle.
+    """
+    from repro.api import serve_http
+
+    specs = _selected_specs(args, explicit)
+    service = _build_service(args.state_dir)
+    for spec in specs:
+        if spec.name in service.tenants:
+            continue
+        service.open_scenario(spec)
+
+    server = serve_http(service, host=args.host, port=args.port)
+    if args.ready_file:
+        server.write_ready_file(args.ready_file)
+    tenants = ", ".join(service.tenants) or "none (open sessions via /v1/open)"
+    print(f"serving repro.api on {server.url}  (tenants: {tenants})")
+    print("endpoints: POST /v1/<op>  GET /healthz  GET /stats — Ctrl-C stops")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _run_decide(args, explicit) -> int:
     """The ``decide`` subcommand: one event through the façade."""
     from repro.api.v1 import AlertEvent, open_scenario
-    from repro.scenarios import get_scenario
 
-    if args.spec_file:
-        # The decide parser has no --scenarios flag, so only the spec
-        # file contributes here — and it must name exactly one scenario.
-        specs = _selected_specs(args, explicit)
-        if len(specs) != 1:
-            print(
-                f"decide needs exactly one scenario; {args.spec_file} "
-                f"yields {len(specs)}",
-                file=sys.stderr,
-            )
-            return 2
-        spec = specs[0]
-    else:
-        spec = _apply_global_overrides(get_scenario(args.scenario), args, explicit)
+    if args.events_path:
+        return _decide_event_stream(args, explicit)
+    if args.url:
+        return _decide_remote_single(args, explicit)
+    # The decide parser has no --scenarios flag, so only the spec file
+    # contributes here — and it must name exactly one scenario.
+    spec = _decide_spec(args, explicit)
+    if spec is None:
+        return 2
 
     session, events = open_scenario(spec)
     context = events[: args.observe] if args.observe > 0 else ()
@@ -524,6 +618,136 @@ def _run_decide(args, explicit) -> int:
     )
     decision = session.decide(event)
     session.close()
+    print(decision.to_json(indent=2))
+    return 0
+
+
+def _decide_event_stream(args, explicit) -> int:
+    """``decide --events PATH|-``: an ndjson stream, one decision per line.
+
+    Composes with the HTTP server in shell pipelines::
+
+        repro serve --http --scenarios fig2-uniform --ready-file url.txt &
+        printf '%s\\n' '{"tenant": "fig2-uniform", ...}' |
+            repro decide --url "$(cat url.txt)" --events -
+    """
+    from repro.errors import ReproError
+    from repro.api import ReproClient
+    from repro.api.protocol import decode_ndjson
+    from repro.api.v1 import AlertEvent
+
+    if args.type_id is not None or args.time_of_day is not None:
+        print("--type/--time construct a single event; they do not apply "
+              "to an --events stream (events carry their own fields)",
+              file=sys.stderr)
+        return 2
+    if args.url:
+        if args.observe > 0:
+            print("--observe replays local scenario context; it cannot be "
+                  "combined with --url", file=sys.stderr)
+            return 2
+        client = ReproClient.connect(args.url)
+    else:
+        # Local mode: one in-process session for the scenario world,
+        # optionally warmed with the scenario's own context events.
+        spec = _decide_spec(args, explicit)
+        if spec is None:
+            return 2
+        client = ReproClient.in_process()
+        scenario_events = client.open_scenario(spec)
+        for context in scenario_events[: args.observe]:
+            client.observe(context)
+
+    if args.events_path == "-":
+        lines = sys.stdin
+    else:
+        try:
+            lines = open(args.events_path, encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {args.events_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+    # Decide as the stream arrives: one lazy pass, one decision line out
+    # per event line in, flushed so live pipelines see output promptly.
+    # Sequence numbers count per tenant (the tracker's monotonicity is
+    # per tenant), each tenant starting at --seq-start.
+    decided = 0
+    next_seq: dict[str, int] = {}
+    try:
+        for event in decode_ndjson(lines, AlertEvent):
+            if args.seq_start is None:
+                seq = None
+            else:
+                seq = next_seq.get(event.tenant, args.seq_start)
+                next_seq[event.tenant] = seq + 1
+            decision = client.decide(event, seq=seq)
+            print(decision.to_json(), flush=True)
+            decided += 1
+    except ReproError as exc:
+        # A pipeline subcommand fails with a clean message, not a
+        # traceback: unreachable server, malformed event line, wire
+        # errors — all expected operational conditions here.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    if decided == 0:
+        print("no events on the input stream", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _decide_spec(args, explicit):
+    """The single scenario spec decide operates on (None = usage error)."""
+    from repro.scenarios import get_scenario
+
+    if args.spec_file:
+        specs = _selected_specs(args, explicit)
+        if len(specs) != 1:
+            print(
+                f"decide needs exactly one scenario; {args.spec_file} "
+                f"yields {len(specs)}",
+                file=sys.stderr,
+            )
+            return None
+        return specs[0]
+    return _apply_global_overrides(get_scenario(args.scenario), args, explicit)
+
+
+def _decide_remote_single(args, explicit) -> int:
+    """``decide --url`` without ``--events``: one constructed event.
+
+    The tenant is the selected scenario's name (``--spec-file`` wins over
+    ``--scenario``), matching how ``serve --http`` names its sessions.
+    """
+    from repro.api import ReproClient
+    from repro.api.v1 import AlertEvent
+
+    if args.observe > 0:
+        print("--observe replays local scenario context; it cannot be "
+              "combined with --url", file=sys.stderr)
+        return 2
+    if args.spec_file:
+        spec = _decide_spec(args, explicit)
+        if spec is None:
+            return 2
+        tenant = spec.name
+    else:
+        tenant = args.scenario
+    from repro.errors import ReproError
+
+    client = ReproClient.connect(args.url)
+    event = AlertEvent(
+        tenant=tenant,
+        type_id=args.type_id if args.type_id is not None else 1,
+        time_of_day=args.time_of_day if args.time_of_day is not None else 0.0,
+    )
+    try:
+        decision = client.decide(event, seq=args.seq_start)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(decision.to_json(indent=2))
     return 0
 

@@ -90,3 +90,56 @@ class InvalidEventError(ApiError):
     """A malformed event: wrong tenant, or out of chronological order."""
 
     code = "invalid_event"
+
+
+class ProtocolError(ApiError):
+    """A malformed or unsupported wire-protocol envelope.
+
+    Raised by :mod:`repro.api.protocol` for unknown operations, version
+    mismatches, bodies that are not valid ndjson/JSON, and sequence
+    numbers that violate the per-tenant monotonicity contract.
+    """
+
+    code = "protocol_error"
+
+
+class IdempotencyError(ProtocolError):
+    """A replayed sequence number whose recorded decision is gone.
+
+    The service keeps a bounded window of recorded decisions per tenant;
+    replaying a sequence number that fell out of the window cannot be
+    answered idempotently, so the client must treat the original attempt
+    as lost.
+    """
+
+    code = "idempotency_conflict"
+
+
+class RemoteApiError(ApiError):
+    """A server-reported failure whose code has no local exception class.
+
+    :class:`repro.api.client.ReproClient` re-raises wire errors under
+    their stable codes; codes owned by an :class:`ApiError` subclass
+    raise that subclass, everything else raises this carrier with the
+    wire code preserved on the instance (so ``error_code(exc)``
+    round-trips across the transport).
+    """
+
+    code = "remote_error"
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class TransportError(ApiError):
+    """A network-level client failure (connection refused, bad gateway).
+
+    Raised by :class:`repro.api.client.HttpTransport` when the request
+    never produced a protocol :class:`~repro.api.protocol.Response` —
+    distinct from server-reported errors, which re-raise under their own
+    stable codes.
+    """
+
+    code = "transport_error"

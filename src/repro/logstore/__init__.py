@@ -3,7 +3,9 @@
 A small, dependency-free log store with the indexes the auditing pipeline
 needs: by day, by type, and by time range. CSV and JSONL round-trip
 persistence lives in :mod:`repro.logstore.io`; aggregate statistics (the
-Table 1 regeneration queries) live in :mod:`repro.logstore.query`.
+Table 1 regeneration queries) live in :mod:`repro.logstore.query`; the
+serving plane's durable per-tenant write-ahead log lives in
+:mod:`repro.logstore.wal`.
 """
 
 from repro.logstore.schema import ALERT_COLUMNS, ACCESS_COLUMNS
@@ -22,8 +24,20 @@ from repro.logstore.query import (
     hourly_histogram,
     top_employees,
 )
+from repro.logstore.wal import (
+    WAL_SUFFIX,
+    WalRecord,
+    WriteAheadLog,
+    heal_torn_tail,
+    scan_records,
+)
 
 __all__ = [
+    "WAL_SUFFIX",
+    "WalRecord",
+    "WriteAheadLog",
+    "heal_torn_tail",
+    "scan_records",
     "ALERT_COLUMNS",
     "ACCESS_COLUMNS",
     "AlertLogStore",

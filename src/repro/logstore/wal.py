@@ -1,0 +1,191 @@
+"""Append-only write-ahead log for the serving plane.
+
+One :class:`WriteAheadLog` holds one tenant's durable record stream: every
+record is a single ndjson line ``{"kind": ..., "payload": {...}}`` appended
+and flushed before the caller proceeds. Recovery (:meth:`WriteAheadLog.scan`
+or the standalone :func:`scan_records`) replays the prefix of fully written
+records and tolerates exactly one failure mode — a truncated *tail*, the
+signature of a crash mid-append. Corruption anywhere before the tail is not
+silently skipped: it raises :class:`~repro.errors.DataError`, because a
+hole in the middle of the log means replayed state would diverge from what
+the service acknowledged.
+
+:meth:`repro.api.v1.AuditService.snapshot` / ``restore`` build on this:
+the service appends session-opening configs, decided events, and cycle
+boundaries here, and restore rebuilds every session by deterministic
+replay (see ``docs/api.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import DataError
+
+#: File suffix for per-tenant write-ahead logs.
+WAL_SUFFIX = ".wal"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry: a record kind plus its JSON payload."""
+
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise DataError("WAL record kind must be a non-empty string")
+
+    def to_line(self) -> str:
+        """The single ndjson line this record occupies on disk."""
+        return json.dumps(
+            {"kind": self.kind, "payload": self.payload}, sort_keys=True
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "WalRecord":
+        """Decode one ndjson line (inverse of :meth:`to_line`)."""
+        document = json.loads(line)
+        if not isinstance(document, dict) or "kind" not in document:
+            raise DataError(f"malformed WAL record: {line[:120]!r}")
+        payload = document.get("payload", {})
+        if not isinstance(payload, dict):
+            raise DataError(f"WAL record payload must be an object: {line[:120]!r}")
+        return cls(kind=document["kind"], payload=payload)
+
+
+def scan_records(path: str | Path) -> tuple[tuple[WalRecord, ...], bool]:
+    """All fully written records of a WAL file, plus a truncation flag.
+
+    Returns ``(records, truncated)`` where ``truncated`` is True when the
+    file ends in a partial record (crash mid-append) that was dropped.
+    A record that fails to decode anywhere *before* the tail raises
+    :class:`DataError` — mid-file corruption must never be skipped.
+    """
+    raw = Path(path).read_bytes()
+    records: list[WalRecord] = []
+    lines = raw.split(b"\n")
+    # A well-formed file ends with a newline, leaving one empty tail chunk.
+    for index, chunk in enumerate(lines):
+        if not chunk.strip():
+            if any(part.strip() for part in lines[index + 1:]):
+                raise DataError(
+                    f"{path}: blank line inside the WAL at record {index}"
+                )
+            continue
+        try:
+            records.append(WalRecord.from_line(chunk.decode("utf-8")))
+        except (DataError, UnicodeDecodeError, json.JSONDecodeError) as error:
+            if index == len(lines) - 1:
+                # No trailing newline and an undecodable final chunk: the
+                # classic torn write. Recover the prefix.
+                return tuple(records), True
+            raise DataError(
+                f"{path}: corrupt WAL record {index}: {error}"
+            ) from error
+    return tuple(records), False
+
+
+def heal_torn_tail(path: str | Path) -> int:
+    """Repair a WAL whose last append was torn by a crash.
+
+    Returns the number of bytes truncated. Two tail states need healing
+    before the file is safe to append to again (either would merge the
+    next record into the tail, turning a recoverable tear into mid-file
+    corruption):
+
+    * a complete final record missing only its newline — the newline is
+      added, nothing is dropped;
+    * a partial final record — truncated away, matching what
+      :func:`scan_records` already refuses to replay.
+    """
+    target = Path(path)
+    if not target.exists():
+        return 0
+    raw = target.read_bytes()
+    if not raw or raw.endswith(b"\n"):
+        return 0
+    tail = raw.rsplit(b"\n", 1)[-1]
+    try:
+        WalRecord.from_line(tail.decode("utf-8"))
+    except (DataError, UnicodeDecodeError, json.JSONDecodeError):
+        with open(target, "r+b") as handle:
+            handle.truncate(len(raw) - len(tail))
+        return len(tail)
+    with open(target, "ab") as handle:
+        handle.write(b"\n")
+    return 0
+
+
+class WriteAheadLog:
+    """One tenant's append-only durable record stream.
+
+    ``append`` writes and flushes one record per call; with ``fsync=True``
+    every append also forces the page cache to disk (slower, strongest
+    guarantee — the default trusts the OS to land flushed pages). Opening
+    an existing log first heals any torn tail (:func:`heal_torn_tail`),
+    so a crash mid-append can never corrupt the records written after the
+    restart.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        heal_torn_tail(self._path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        """Where this log lives on disk."""
+        return self._path
+
+    def append(self, kind: str, payload: dict[str, Any] | None = None) -> WalRecord:
+        """Durably append one record and return it."""
+        record = WalRecord(kind=kind, payload=dict(payload or {}))
+        self._handle.write(record.to_line())
+        self._handle.write("\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        return record
+
+    def flush(self) -> None:
+        """Flush buffered appends (and fsync when configured)."""
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def scan(self) -> tuple[tuple[WalRecord, ...], bool]:
+        """Recover this log's records (see :func:`scan_records`)."""
+        self._handle.flush()
+        return scan_records(self._path)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        records, _truncated = self.scan()
+        return iter(records)
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "WAL_SUFFIX",
+    "WalRecord",
+    "WriteAheadLog",
+    "heal_torn_tail",
+    "scan_records",
+]

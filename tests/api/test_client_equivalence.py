@@ -1,0 +1,133 @@
+"""Transport equivalence: in-process vs HTTP are bit-identical per tenant.
+
+The serving-plane acceptance criterion: the same scenario seed driven
+through :class:`InProcessTransport` and :class:`HttpTransport` must yield
+*exactly* equal per-tenant decision streams and cycle reports (modulo
+wall-clock fields), extending the PR-2/PR-3 determinism contract across
+the wire. Errors must also surface under the same stable code on both
+transports.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ModelError, UnknownTenantError
+from repro.api import ReproClient, serve_http
+from repro.api.v1 import AlertEvent, AuditService
+from repro.scenarios import ScenarioSpec
+
+from apihelpers import make_config, make_events, make_history
+
+TINY = ScenarioSpec(
+    name="wire-tiny", n_days=8, training_window=6, n_trials=1,
+    normal_daily_mean=400.0,
+)
+
+
+@pytest.fixture()
+def clients():
+    """One in-process and one HTTP client over separate, equal services."""
+    local = ReproClient.in_process()
+    with serve_http(AuditService()).start_background() as server:
+        yield local, ReproClient.connect(server.url)
+
+
+def _strip_wall(report):
+    return dataclasses.replace(report, wall_seconds=0.0)
+
+
+class TestTransportEquivalence:
+    def test_decide_streams_bit_identical(self, clients):
+        local, remote = clients
+        events = make_events(n=12)
+        for client in clients:
+            client.open_session(make_config(), make_history())
+        local_decisions = [local.decide(event) for event in events]
+        remote_decisions = [remote.decide(event) for event in events]
+        assert local_decisions == remote_decisions
+
+    def test_submit_streams_bit_identical(self, clients):
+        local, remote = clients
+        events = make_events(n=20)
+        for client in clients:
+            client.open_session(make_config(), make_history())
+        assert local.submit(events) == remote.submit(events)
+
+    def test_submit_equals_decide_across_transports(self, clients):
+        local, remote = clients
+        events = make_events(n=10)
+        local.open_session(make_config(), make_history())
+        remote.open_session(make_config(), make_history())
+        assert tuple(
+            local.decide(event) for event in events
+        ) == remote.submit(events)
+
+    def test_cycle_reports_bit_identical(self, clients):
+        local, remote = clients
+        events = make_events(n=8)
+        for client in clients:
+            client.open_session(make_config(), make_history())
+            client.submit(events)
+        assert _strip_wall(local.close_cycle("a")) == _strip_wall(
+            remote.close_cycle("a")
+        )
+
+    def test_scenario_worlds_bit_identical(self, clients):
+        local, remote = clients
+        local_events = local.open_scenario(TINY)
+        remote_events = remote.open_scenario(TINY)
+        assert local_events == remote_events
+        cap = local_events[:25]
+        assert local.submit(cap) == remote.submit(cap)
+        assert _strip_wall(local.close_cycle(TINY.name)) == _strip_wall(
+            remote.close_cycle(TINY.name)
+        )
+        local_stats = dataclasses.replace(
+            local.report(TINY.name), wall_seconds=0.0
+        )
+        remote_stats = dataclasses.replace(
+            remote.report(TINY.name), wall_seconds=0.0
+        )
+        assert local_stats == remote_stats
+
+    def test_multi_cycle_stays_identical(self, clients):
+        local, remote = clients
+        events = make_events(n=6)
+        for client in clients:
+            client.open_session(make_config(), make_history())
+        for _cycle in range(3):
+            assert [
+                local.decide(event) for event in events
+            ] == list(remote.submit(events))
+            assert _strip_wall(local.close_cycle("a")) == _strip_wall(
+                remote.close_cycle("a")
+            )
+
+
+class TestErrorParity:
+    def test_unknown_tenant_same_class_both_sides(self, clients):
+        event = AlertEvent(tenant="ghost", type_id=1, time_of_day=0.0)
+        for client in clients:
+            with pytest.raises(UnknownTenantError):
+                client.decide(event)
+
+    def test_unknown_type_same_class_both_sides(self, clients):
+        event = AlertEvent(tenant="a", type_id=99, time_of_day=0.0)
+        for client in clients:
+            client.open_session(make_config(), make_history())
+            with pytest.raises(ModelError):
+                client.decide(event)
+
+    def test_error_code_round_trips_the_wire(self, clients):
+        from repro.api.v1 import error_code
+
+        event = AlertEvent(tenant="a", type_id=99, time_of_day=0.0)
+        codes = []
+        for client in clients:
+            client.open_session(make_config(), make_history())
+            try:
+                client.decide(event)
+            except Exception as exc:  # noqa: BLE001 - code parity check
+                codes.append(error_code(exc))
+        assert codes == ["model_invalid", "model_invalid"]

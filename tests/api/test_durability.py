@@ -1,0 +1,265 @@
+"""Durable serving: WAL journaling, kill-and-replay restore, idempotency.
+
+The acceptance criterion: a killed-and-restored service resumes mid-cycle
+with identical subsequent decisions. "Killed" here means the service
+object is dropped without ``close()`` — everything the restored process
+knows comes off the write-ahead logs, exactly like a crashed server.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DataError, SessionStateError
+from repro.logstore.wal import WAL_SUFFIX, scan_records
+from repro.api.v1 import AuditService
+
+from apihelpers import make_config, make_events, make_history
+
+
+def _open_durable(state_dir, **config_overrides):
+    service = AuditService(state_dir=state_dir)
+    service.open_session(make_config(**config_overrides), make_history())
+    return service
+
+
+def _wal_path(state_dir, tenant="a"):
+    return state_dir / f"{tenant}{WAL_SUFFIX}"
+
+
+class TestJournaling:
+    def test_non_durable_service_writes_nothing(self, tmp_path):
+        service = AuditService()
+        service.open_session(make_config(), make_history())
+        service.decide(make_events(n=1)[0])
+        assert not any(tmp_path.iterdir())
+        assert not service.durable
+
+    def test_operations_append_records(self, tmp_path):
+        service = _open_durable(tmp_path)
+        events = make_events(n=4)
+        service.decide(events[0])
+        service.observe(events[1])
+        service.submit(events[2:])
+        service.close_cycle("a")
+        service.close_session("a")
+        records, truncated = scan_records(_wal_path(tmp_path))
+        assert not truncated
+        assert [record.kind for record in records] == [
+            "open", "decision", "observe", "submit", "close_cycle", "close",
+        ]
+        assert len(records[3].payload["decisions"]) == 2
+
+    def test_tenant_names_are_filesystem_safe(self, tmp_path):
+        service = AuditService(state_dir=tmp_path)
+        service.open_session(
+            make_config(tenant="st. mary's/west"), make_history()
+        )
+        (path,) = tmp_path.glob(f"*{WAL_SUFFIX}")
+        assert "/" not in path.name[: -len(WAL_SUFFIX)]
+        restored = AuditService.restore(tmp_path)
+        assert restored.tenants == ("st. mary's/west",)
+
+    def test_snapshot_requires_durable(self):
+        with pytest.raises(SessionStateError):
+            AuditService().snapshot()
+
+    def test_snapshot_manifest(self, tmp_path):
+        service = _open_durable(tmp_path)
+        service.submit(make_events(n=3))
+        manifest = service.snapshot()
+        assert manifest["tenants"]["a"]["events"] == 3
+        assert manifest["tenants"]["a"]["cycle"] == 0
+        assert manifest["state_dir"] == str(tmp_path)
+
+
+class TestKillAndReplay:
+    def test_restore_resumes_mid_cycle_identically(self, tmp_path):
+        events = make_events(n=24)
+
+        # Reference: one uninterrupted service.
+        reference = AuditService()
+        reference.open_session(make_config(), make_history())
+        expected = [reference.decide(event) for event in events[:10]]
+        reference.close_cycle("a")
+        expected += [reference.decide(event) for event in events]
+
+        # Durable twin, killed mid-second-cycle (no close, no flushless loss:
+        # every decide already hit the WAL).
+        victim = _open_durable(tmp_path)
+        lived = [victim.decide(event) for event in events[:10]]
+        victim.close_cycle("a")
+        lived += [victim.decide(event) for event in events[:9]]
+        del victim  # the crash
+
+        restored = AuditService.restore(tmp_path)
+        session = restored.session("a")
+        assert session.cycle == 1
+        assert session.report().events == 19
+        lived += [restored.decide(event) for event in events[9:]]
+        assert lived == expected
+        assert session.budget_remaining == reference.session("a").budget_remaining
+
+    def test_restore_rebuilds_cycle_reports(self, tmp_path):
+        events = make_events(n=8)
+        reference = AuditService()
+        reference.open_session(make_config(), make_history())
+        victim = _open_durable(tmp_path)
+        for service in (reference, victim):
+            service.submit(events)
+        del victim
+        restored = AuditService.restore(tmp_path)
+        from repro.api.v1 import AlertEvent
+
+        tail = [
+            AlertEvent(tenant="a", type_id=1, time_of_day=80001.0 + index)
+            for index in range(2)
+        ]
+        restored.submit(tail)
+        reference.submit(tail)
+        left = dataclasses.replace(
+            restored.close_cycle("a"), wall_seconds=0.0
+        )
+        right = dataclasses.replace(
+            reference.close_cycle("a"), wall_seconds=0.0
+        )
+        assert left == right
+
+    def test_truncated_tail_is_dropped_and_reported(self, tmp_path):
+        victim = _open_durable(tmp_path)
+        decisions = [victim.decide(event) for event in make_events(n=5)]
+        del victim
+        path = _wal_path(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-30])  # tear the last record mid-write
+        restored = AuditService.restore(tmp_path)
+        assert restored.recovered_truncated == ("a",)
+        assert restored.session("a").report().events == 4
+        # The torn event was never acknowledged; re-deciding it continues
+        # the stream exactly where the intact prefix left off.
+        assert restored.decide(make_events(n=5)[4]) == decisions[4]
+        # And appending over the healed tear kept the log replayable: a
+        # second restore sees the intact prefix plus the new decision.
+        again = AuditService.restore(tmp_path)
+        assert again.recovered_truncated == ()
+        assert again.session("a").report().events == 5
+
+    def test_wal_append_failure_quarantines_the_session(self, tmp_path):
+        service = _open_durable(tmp_path)
+        events = make_events(n=3)
+        service.decide(events[0])
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        service._wal("a").append = explode
+        with pytest.raises(DataError, match="quarantined"):
+            service.decide(events[1])
+        # The session is retired: no half-journaled tenant keeps serving.
+        from repro.errors import UnknownTenantError
+
+        with pytest.raises(UnknownTenantError):
+            service.decide(events[2])
+        # The log on disk replays exactly what was acknowledged.
+        restored = AuditService.restore(tmp_path)
+        assert restored.session("a").report().events == 1
+
+    def test_mid_file_corruption_refuses_restore(self, tmp_path):
+        victim = _open_durable(tmp_path)
+        for event in make_events(n=3):
+            victim.decide(event)
+        del victim
+        path = _wal_path(tmp_path)
+        lines = path.read_bytes().split(b"\n")
+        lines[1] = b'{"kind": "decision", "payload": GARBAGE}'
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(DataError, match="corrupt WAL record"):
+            AuditService.restore(tmp_path)
+
+    def test_replay_divergence_detected(self, tmp_path):
+        import json
+
+        victim = _open_durable(tmp_path)
+        victim.decide(make_events(n=1)[0])
+        del victim
+        path = _wal_path(tmp_path)
+        # Tamper with the recorded decision: replay recomputes a different
+        # theta, so restore must refuse rather than resume on a log that
+        # does not match this build's deterministic pipeline.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[1])
+        record["payload"]["decision"]["theta"] += 0.25
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(DataError, match="diverged"):
+            AuditService.restore(tmp_path)
+
+    def test_restored_service_keeps_journaling(self, tmp_path):
+        victim = _open_durable(tmp_path)
+        victim.decide(make_events(n=2)[0])
+        del victim
+        restored = AuditService.restore(tmp_path)
+        restored.decide(make_events(n=2)[1])
+        records, _ = scan_records(_wal_path(tmp_path))
+        assert [record.kind for record in records] == [
+            "open", "decision", "decision",
+        ]
+        # And a second restore replays both decisions.
+        twice = AuditService.restore(tmp_path)
+        assert twice.session("a").report().events == 2
+
+
+class TestWireIdempotency:
+    def test_resubmitted_sequence_returns_recorded_decision(self):
+        service = AuditService()
+        service.open_session(make_config(), make_history())
+        event = make_events(n=1)[0]
+        first, replayed_first = service.decide_idempotent(event, seq=1)
+        assert not replayed_first
+        budget_after = service.session("a").budget_remaining
+        events_after = service.session("a").report().events
+
+        again, replayed = service.decide_idempotent(event, seq=1)
+        assert replayed
+        assert again == first
+        # No double-counted budget, no re-run pipeline.
+        assert service.session("a").budget_remaining == budget_after
+        assert service.session("a").report().events == events_after
+
+    def test_idempotency_key_variant(self):
+        service = AuditService()
+        service.open_session(make_config(), make_history())
+        event = make_events(n=1)[0]
+        first, _ = service.decide_idempotent(event, idempotency_key="k1")
+        again, replayed = service.decide_idempotent(
+            event, idempotency_key="k1"
+        )
+        assert replayed and again == first
+
+    def test_idempotency_survives_restart(self, tmp_path):
+        victim = _open_durable(tmp_path)
+        events = make_events(n=3)
+        originals = [
+            victim.decide_idempotent(event, seq=index + 1)[0]
+            for index, event in enumerate(events)
+        ]
+        del victim
+        restored = AuditService.restore(tmp_path)
+        replayed, was_replay = restored.decide_idempotent(events[2], seq=3)
+        assert was_replay
+        assert replayed == originals[2]
+        assert restored.session("a").report().events == 3
+
+    def test_idempotency_over_every_transport(self):
+        from repro.api import ReproClient, serve_http
+
+        local = ReproClient.in_process()
+        with serve_http(AuditService()).start_background() as server:
+            remote = ReproClient.connect(server.url)
+            event = make_events(n=1)[0]
+            for client in (local, remote):
+                client.open_session(make_config(), make_history())
+                first, replayed_first = client.decide_idempotent(event, seq=5)
+                again, replayed = client.decide_idempotent(event, seq=5)
+                assert (replayed_first, replayed) == (False, True)
+                assert first == again

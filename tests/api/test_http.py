@@ -1,0 +1,181 @@
+"""The HTTP binding: endpoints, status mapping, streaming submit."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import serve_http
+from repro.api.http import STATUS_BY_CODE
+from repro.api.protocol import Request, Response
+from repro.api.v1 import AlertEvent, AuditService
+
+from apihelpers import make_config, make_events, make_history
+
+
+@pytest.fixture()
+def server():
+    service = AuditService()
+    service.open_session(make_config(), make_history())
+    with serve_http(service).start_background() as running:
+        yield running
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+def _post(url: str, body: bytes, content_type="application/json"):
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, reply.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+class TestGetEndpoints:
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["tenants"] == ["a"]
+
+    def test_stats(self, server):
+        status, body = _get(server.url + "/stats")
+        assert status == 200
+        assert body["stats"]["open_sessions"] == 1
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestPostEndpoints:
+    def test_decide(self, server):
+        event = make_events(n=1)[0]
+        request = Request(op="decide", payload={"event": event.to_dict()})
+        status, body = _post(
+            server.url + "/v1/decide", request.to_json().encode()
+        )
+        assert status == 200
+        response = Response.from_json(body)
+        assert response.ok
+        assert response.payload["decision"]["type_id"] == 1
+
+    def test_unknown_tenant_maps_to_404(self, server):
+        event = AlertEvent(tenant="ghost", type_id=1, time_of_day=0.0)
+        request = Request(op="decide", payload={"event": event.to_dict()})
+        status, body = _post(
+            server.url + "/v1/decide", request.to_json().encode()
+        )
+        assert status == STATUS_BY_CODE["unknown_tenant"] == 404
+        assert Response.from_json(body).error.code == "unknown_tenant"
+
+    def test_malformed_body_maps_to_400(self, server):
+        status, body = _post(server.url + "/v1/decide", b"not json at all")
+        assert status == 400
+        assert Response.from_json(body).error.code == "protocol_error"
+
+    def test_mismatched_endpoint_op_rejected(self, server):
+        request = Request(op="stats")
+        status, body = _post(
+            server.url + "/v1/decide", request.to_json().encode()
+        )
+        assert status == 400
+        assert Response.from_json(body).error.code == "protocol_error"
+
+    def test_unknown_endpoint_rejected(self, server):
+        # Unknown paths are 404 (same as GET), not 400 — clients and load
+        # balancers distinguish "no such endpoint" from "bad request".
+        for path in ("/v1/frobnicate", "/v2/decide", "/decide"):
+            status, body = _post(server.url + path, b"{}")
+            assert status == 404, path
+            assert json.loads(body)["error"]["code"] == "protocol_error"
+
+    def test_lifecycle_over_the_wire(self, server):
+        events = make_events(n=3)
+        for event in events:
+            request = Request(op="decide", payload={"event": event.to_dict()})
+            status, _ = _post(
+                server.url + "/v1/decide", request.to_json().encode()
+            )
+            assert status == 200
+        status, body = _post(
+            server.url + "/v1/close_cycle",
+            Request(op="close_cycle", tenant="a").to_json().encode(),
+        )
+        assert status == 200
+        assert Response.from_json(body).payload["report"]["alerts"] == 3
+        status, body = _post(
+            server.url + "/v1/close",
+            Request(op="close", tenant="a").to_json().encode(),
+        )
+        assert status == 200
+        assert Response.from_json(body).payload["stats"]["state"] == "closed"
+
+
+class TestServerLifecycle:
+    def test_shutdown_without_start_does_not_hang(self):
+        # BaseServer.shutdown waits on an event only serve_forever sets;
+        # an unstarted server must still close cleanly (and quickly).
+        unstarted = serve_http(AuditService())
+        unstarted.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        running = serve_http(AuditService()).start_background()
+        running.shutdown()
+        running.shutdown()
+
+
+class TestStreamingSubmit:
+    def test_ndjson_in_ndjson_out(self, server):
+        from repro.api.protocol import encode_ndjson
+        from repro.api.v1 import SignalDecision
+
+        events = make_events(n=6)
+        status, body = _post(
+            server.url + "/v1/submit",
+            encode_ndjson(events).encode(),
+            content_type="application/x-ndjson",
+        )
+        assert status == 200
+        decisions = [
+            SignalDecision.from_dict(json.loads(line))
+            for line in body.splitlines() if line.strip()
+        ]
+        assert [decision.sequence for decision in decisions] == list(range(6))
+
+    def test_bad_event_line_rejected(self, server):
+        status, body = _post(
+            server.url + "/v1/submit",
+            b'{"tenant": "a"}\n',
+            content_type="application/x-ndjson",
+        )
+        assert status == 400
+        assert Response.from_json(body).error.code == "protocol_error"
+
+    def test_mid_stream_failure_emits_error_trailer(self, server):
+        # An unknown tenant fails validation inside the hot path after
+        # headers are sent for a large enough stream; with a small stream
+        # the submit is validated atomically, so the error arrives as a
+        # trailer response line.
+        events = make_events(n=2) + [
+            AlertEvent(tenant="ghost", type_id=1, time_of_day=90000.0)
+        ]
+        from repro.api.protocol import encode_ndjson
+
+        status, body = _post(
+            server.url + "/v1/submit",
+            encode_ndjson(events).encode(),
+            content_type="application/x-ndjson",
+        )
+        assert status == 200  # headers were already committed
+        lines = [json.loads(line) for line in body.splitlines() if line.strip()]
+        assert lines[-1]["ok"] is False
+        assert lines[-1]["error"]["code"] == "unknown_tenant"

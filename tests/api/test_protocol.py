@@ -1,0 +1,244 @@
+"""The wire protocol: envelopes, ndjson codec, sequence tracking."""
+
+import json
+
+import pytest
+
+from repro.errors import IdempotencyError, ProtocolError
+from repro.api.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorBody,
+    ProtocolHandler,
+    Request,
+    Response,
+    SequenceTracker,
+    decode_ndjson,
+    encode_ndjson,
+)
+from repro.api.v1 import AlertEvent, AuditService
+
+from apihelpers import make_config, make_events, make_history
+
+
+class TestEnvelopes:
+    def test_request_round_trips(self):
+        request = Request(
+            op="decide",
+            payload={"event": {"tenant": "a", "type_id": 1,
+                               "time_of_day": 3.0, "event_id": None}},
+            seq=7,
+            idempotency_key="retry-7",
+        )
+        assert Request.from_json(request.to_json()) == request
+
+    def test_response_round_trips_with_error(self):
+        response = Response(
+            op="decide", ok=False,
+            error=ErrorBody(code="unknown_tenant", message="no tenant"),
+        )
+        assert Response.from_json(response.to_json()) == response
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(op="frobnicate")
+
+    def test_foreign_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(op="decide", version=PROTOCOL_VERSION + 1)
+        with pytest.raises(ProtocolError):
+            Response(op="decide", ok=True, payload={},
+                     version=PROTOCOL_VERSION + 1)
+
+    def test_negative_or_bool_seq_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(op="decide", seq=-1)
+        with pytest.raises(ProtocolError):
+            Request(op="decide", seq=True)
+
+    def test_success_cannot_carry_error_and_failure_must(self):
+        with pytest.raises(ProtocolError):
+            Response(op="stats", ok=True, payload={},
+                     error=ErrorBody(code="x", message="y"))
+        with pytest.raises(ProtocolError):
+            Response(op="stats", ok=False)
+
+    def test_failure_uses_stable_codes(self):
+        from repro.errors import UnknownTenantError
+
+        response = Response.failure("decide", UnknownTenantError("gone"))
+        assert not response.ok
+        assert response.error.code == "unknown_tenant"
+        assert "gone" in response.error.message
+
+    def test_every_op_is_a_valid_envelope(self):
+        for op in OPS:
+            assert Request(op=op).op == op
+
+
+class TestNdjsonCodec:
+    def test_round_trip(self):
+        events = make_events(n=5)
+        text = encode_ndjson(events)
+        assert list(decode_ndjson(text, AlertEvent)) == events
+
+    def test_empty_stream(self):
+        assert encode_ndjson([]) == ""
+        assert list(decode_ndjson("", AlertEvent)) == []
+
+    def test_blank_lines_skipped(self):
+        events = make_events(n=2)
+        text = "\n" + events[0].to_json() + "\n\n" + events[1].to_json() + "\n"
+        assert list(decode_ndjson(text, AlertEvent)) == list(events)
+
+    def test_line_iterables_accepted(self):
+        events = make_events(n=3)
+        lines = [event.to_json() for event in events]
+        assert list(decode_ndjson(iter(lines), AlertEvent)) == list(events)
+
+    def test_bad_line_names_its_number(self):
+        events = make_events(n=2)
+        text = events[0].to_json() + "\nnot json\n"
+        with pytest.raises(ProtocolError, match="line 2"):
+            list(decode_ndjson(text, AlertEvent))
+
+    def test_wrong_shape_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            list(decode_ndjson('{"unexpected": 1}\n', AlertEvent))
+
+
+class TestSequenceTracker:
+    def test_fresh_sequences_record_and_replay(self):
+        tracker = SequenceTracker()
+        tracker.record("a", "decision-1", seq=1)
+        assert tracker.lookup("a", seq=1) == "decision-1"
+        assert tracker.watermark("a") == 1
+
+    def test_unseen_sequence_returns_none(self):
+        tracker = SequenceTracker()
+        assert tracker.lookup("a", seq=5) is None
+
+    def test_sequences_are_per_tenant(self):
+        tracker = SequenceTracker()
+        tracker.record("a", "da", seq=3)
+        assert tracker.lookup("b", seq=3) is None
+
+    def test_non_monotonic_record_rejected(self):
+        tracker = SequenceTracker()
+        tracker.record("a", "x", seq=5)
+        with pytest.raises(ProtocolError):
+            tracker.record("a", "y", seq=5)
+        with pytest.raises(ProtocolError):
+            tracker.record("a", "y", seq=4)
+
+    def test_evicted_sequence_raises_idempotency_error(self):
+        tracker = SequenceTracker(retention=2)
+        for seq in (1, 2, 3):
+            tracker.record("a", f"d{seq}", seq=seq)
+        # seq 1 fell out of the retention window.
+        with pytest.raises(IdempotencyError):
+            tracker.lookup("a", seq=1)
+        assert tracker.lookup("a", seq=3) == "d3"
+
+    def test_retention_windows_are_per_tenant(self):
+        tracker = SequenceTracker(retention=4)
+        tracker.record("quiet", "precious", seq=1)
+        # A busy neighbor churning far past the retention bound must not
+        # evict the quiet tenant's recorded decision.
+        for seq in range(1, 20):
+            tracker.record("busy", f"d{seq}", seq=seq)
+        assert tracker.lookup("quiet", seq=1) == "precious"
+
+    def test_idempotency_keys(self):
+        tracker = SequenceTracker()
+        tracker.record("a", "decision", key="k-1")
+        assert tracker.lookup("a", key="k-1") == "decision"
+        assert tracker.lookup("a", key="k-2") is None
+
+    def test_forget_drops_tenant_state(self):
+        tracker = SequenceTracker()
+        tracker.record("a", "d", seq=1, key="k")
+        tracker.forget("a")
+        assert tracker.watermark("a") is None
+        assert tracker.lookup("a", seq=1) is None
+        assert tracker.lookup("a", key="k") is None
+
+
+class TestProtocolHandler:
+    def _handler(self):
+        service = AuditService()
+        service.open_session(make_config(), make_history())
+        return ProtocolHandler(service)
+
+    def test_decide_round_trip(self):
+        handler = self._handler()
+        event = make_events(n=1)[0]
+        response = handler.handle(Request(
+            op="decide", payload={"event": event.to_dict()}, seq=1,
+        ))
+        assert response.ok and not response.payload["replayed"]
+        assert response.payload["decision"]["tenant"] == "a"
+        assert response.seq == 1
+
+    def test_errors_become_error_responses(self):
+        handler = self._handler()
+        event = AlertEvent(tenant="ghost", type_id=1, time_of_day=0.0)
+        response = handler.handle(Request(
+            op="decide", payload={"event": event.to_dict()},
+        ))
+        assert not response.ok
+        assert response.error.code == "unknown_tenant"
+
+    def test_missing_payload_field_is_protocol_error(self):
+        handler = self._handler()
+        response = handler.handle(Request(op="decide"))
+        assert not response.ok
+        assert response.error.code == "protocol_error"
+
+    def test_tenant_ops_require_envelope_tenant(self):
+        handler = self._handler()
+        response = handler.handle(Request(op="close_cycle"))
+        assert not response.ok
+        assert response.error.code == "protocol_error"
+
+    def test_full_lifecycle(self):
+        handler = self._handler()
+        events = make_events(n=4)
+        submitted = handler.handle(Request(
+            op="submit",
+            payload={"events": [event.to_dict() for event in events]},
+        ))
+        assert submitted.ok
+        assert len(submitted.payload["decisions"]) == 4
+        report = handler.handle(Request(op="close_cycle", tenant="a"))
+        assert report.ok and report.payload["report"]["alerts"] == 4
+        stats = handler.handle(Request(op="report", tenant="a"))
+        assert stats.ok and stats.payload["stats"]["events"] == 4
+        closed = handler.handle(Request(op="close", tenant="a"))
+        assert closed.ok and closed.payload["stats"]["state"] == "closed"
+        health = handler.handle(Request(op="healthz"))
+        assert health.ok and health.payload["tenants"] == []
+
+    def test_submit_stream_matches_submit(self):
+        events = make_events(n=9)
+        one = ProtocolHandler(AuditService())
+        one.service.open_session(make_config(), make_history())
+        two = ProtocolHandler(AuditService())
+        two.service.open_session(make_config(), make_history())
+        streamed = list(one.submit_stream(events, chunk_size=2))
+        batched = list(two.service.submit(events))
+        assert streamed == batched
+
+    def test_open_over_envelope(self):
+        handler = ProtocolHandler(AuditService())
+        config = make_config()
+        history = {
+            str(type_id): [[float(t) for t in day] for day in days]
+            for type_id, days in make_history().items()
+        }
+        response = handler.handle(Request(
+            op="open", payload={"config": config.to_dict(),
+                                "history": history},
+        ))
+        assert response.ok
+        assert response.payload == {"tenant": "a", "state": "open", "cycle": 0}

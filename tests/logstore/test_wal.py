@@ -1,0 +1,184 @@
+"""Property tests: WAL record round-trip and truncated-tail recovery.
+
+The encode→append→scan→decode loop must be the identity over arbitrary
+decision-shaped payloads, and chopping any suffix off the *last* record
+must recover exactly the intact prefix — the two invariants
+``AuditService.restore`` stands on.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError
+from repro.logstore.wal import WalRecord, WriteAheadLog, scan_records
+
+#: JSON-compatible scalars that survive dumps→loads unchanged.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+#: Decision-shaped payloads: flat string-keyed objects plus one nesting
+#: level, mirroring the service's event/decision/seq record bodies.
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=16),
+    st.one_of(
+        scalars,
+        st.lists(scalars, max_size=5),
+        st.dictionaries(st.text(min_size=1, max_size=8), scalars, max_size=4),
+    ),
+    max_size=6,
+)
+
+records = st.lists(
+    st.builds(
+        WalRecord,
+        kind=st.sampled_from(["open", "decision", "observe", "submit",
+                              "close_cycle", "close"]),
+        payload=payloads,
+    ),
+    max_size=12,
+)
+
+
+class TestRoundTrip:
+    @given(items=records)
+    @settings(max_examples=60, deadline=None)
+    def test_append_scan_decode_is_identity(self, items, tmp_path_factory):
+        path = tmp_path_factory.mktemp("wal") / "t.wal"
+        with WriteAheadLog(path) as wal:
+            for record in items:
+                wal.append(record.kind, record.payload)
+        recovered, truncated = scan_records(path)
+        assert not truncated
+        assert list(recovered) == items
+
+    @given(record=st.builds(WalRecord, kind=st.text(min_size=1, max_size=8),
+                            payload=payloads))
+    @settings(max_examples=60, deadline=None)
+    def test_line_codec_round_trips(self, record):
+        assert WalRecord.from_line(record.to_line()) == record
+
+
+class TestTruncatedTail:
+    @given(items=records, chopped=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=60, deadline=None)
+    def test_any_torn_tail_recovers_the_prefix(
+        self, items, chopped, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("wal") / "t.wal"
+        with WriteAheadLog(path) as wal:
+            for record in items:
+                wal.append(record.kind, record.payload)
+        raw = path.read_bytes()
+        if chopped >= len(raw):
+            return  # nothing meaningful left to scan
+        torn = raw[:-chopped]
+        path.write_bytes(torn)
+        recovered, truncated = scan_records(path)
+        # The recovered stream is a prefix of what was appended: every
+        # newline-terminated record, plus the unterminated tail when the
+        # tear happened after the record body but before its newline.
+        intact = torn.count(b"\n")
+        assert list(recovered) == items[: len(recovered)]
+        assert intact <= len(recovered) <= intact + 1
+        if truncated:
+            # A dropped tail only ever happens on an unterminated,
+            # unparseable final chunk — never on a clean newline boundary.
+            assert not torn.endswith(b"\n")
+            assert len(recovered) == intact
+
+    def test_empty_file_scans_clean(self, tmp_path):
+        path = tmp_path / "t.wal"
+        path.write_bytes(b"")
+        assert scan_records(path) == ((), False)
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.wal"
+        with WriteAheadLog(path) as wal:
+            for index in range(3):
+                wal.append("decision", {"n": index})
+        lines = path.read_bytes().split(b"\n")
+        lines[0] = b"xx" + lines[0]
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(DataError, match="corrupt"):
+            scan_records(path)
+
+    def test_blank_interior_line_raises(self, tmp_path):
+        path = tmp_path / "t.wal"
+        record = WalRecord(kind="decision", payload={}).to_line()
+        path.write_text(record + "\n\n" + record + "\n", encoding="utf-8")
+        with pytest.raises(DataError, match="blank line"):
+            scan_records(path)
+
+    def test_records_validate_their_kind(self):
+        with pytest.raises(DataError):
+            WalRecord(kind="")
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(DataError):
+            WalRecord.from_line(json.dumps(["not", "an", "object"]))
+        with pytest.raises(DataError):
+            WalRecord.from_line(json.dumps({"payload": {}}))
+
+
+class TestTornTailHealing:
+    """Reopening a torn log must never merge new appends into the tear."""
+
+    def _write(self, path, n=3):
+        with WriteAheadLog(path) as wal:
+            for index in range(n):
+                wal.append("decision", {"n": index})
+
+    def test_partial_tail_truncated_then_append_stays_scannable(
+        self, tmp_path
+    ):
+        from repro.logstore.wal import heal_torn_tail
+
+        path = tmp_path / "t.wal"
+        self._write(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])  # tear the last record
+        with WriteAheadLog(path) as wal:
+            wal.append("decision", {"n": 99})
+        recovered, truncated = scan_records(path)
+        assert not truncated
+        assert [record.payload["n"] for record in recovered] == [0, 1, 99]
+        assert heal_torn_tail(path) == 0  # already clean
+
+    def test_missing_newline_tail_healed_then_append_stays_scannable(
+        self, tmp_path
+    ):
+        path = tmp_path / "t.wal"
+        self._write(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # crash between record and its newline
+        with WriteAheadLog(path) as wal:
+            wal.append("decision", {"n": 99})
+        recovered, truncated = scan_records(path)
+        assert not truncated
+        # The newline-less record was complete: healed in place, kept.
+        assert [record.payload["n"] for record in recovered] == [0, 1, 2, 99]
+
+    @given(chopped=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_any_tear_plus_append_never_corrupts(
+        self, chopped, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("wal") / "t.wal"
+        self._write(path, n=2)
+        raw = path.read_bytes()
+        if chopped >= len(raw):
+            return
+        path.write_bytes(raw[:-chopped])
+        with WriteAheadLog(path) as wal:
+            wal.append("close", {})
+        recovered, truncated = scan_records(path)
+        assert not truncated
+        assert recovered[-1].kind == "close"

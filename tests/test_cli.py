@@ -202,3 +202,273 @@ class TestDecideCli:
         decision = json.loads(capsys.readouterr().out)
         assert decision["type_id"] == 1
         assert decision["time_of_day"] == 43200.0
+
+
+class TestServeDurableCli:
+    def test_serve_state_dir_journal_restores(self, capsys, tmp_path, tiny_spec_file):
+        state = tmp_path / "state"
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "5",
+            "--state-dir", str(state),
+        ]) == 0
+        from repro.api.v1 import AuditService
+
+        restored = AuditService.restore(state)
+        assert restored.tenants == ()  # serve closed the session
+        assert restored.stats().events == 5
+
+    def test_serve_state_dir_recovers_interrupted_run(
+        self, capsys, tmp_path, tiny_spec_file
+    ):
+        from repro.scenarios import ScenarioSpec
+        from repro.api.v1 import AuditService
+
+        state = tmp_path / "state"
+        # An interrupted earlier run: session opened, events decided, no
+        # close record — the service object just disappears.
+        spec = ScenarioSpec.from_dict(TINY_SPEC)
+        victim = AuditService(state_dir=state)
+        _session, events = victim.open_scenario(spec)
+        victim.submit(events[:4])
+        del victim
+
+        # Re-running serve must restore, retire the stale session, and
+        # replay the scenario fresh — not crash on a duplicate open.
+        assert main([
+            "serve", "--spec-file", tiny_spec_file, "--events", "5",
+            "--state-dir", str(state),
+        ]) == 0
+        assert "restored 1 session(s)" in capsys.readouterr().out
+        # And the resulting log is still fully replayable.
+        restored = AuditService.restore(state)
+        assert restored.tenants == ()
+        assert restored.stats().events == 9
+
+
+class TestDecideEventStream:
+    """``decide --events``: ndjson in, one decision JSON per line out."""
+
+    def _event_lines(self, n=3, tenant="cli-tiny"):
+        return "".join(
+            json.dumps({"tenant": tenant, "type_id": 1,
+                        "time_of_day": 1000.0 * (i + 1)}) + "\n"
+            for i in range(n)
+        )
+
+    def test_events_from_file(self, capsys, tmp_path, tiny_spec_file):
+        events = tmp_path / "events.ndjson"
+        events.write_text(self._event_lines(3), encoding="utf-8")
+        assert main([
+            "decide", "--spec-file", tiny_spec_file,
+            "--events", str(events),
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        decisions = [json.loads(line) for line in lines]
+        assert [d["sequence"] for d in decisions] == [0, 1, 2]
+        assert all(d["tenant"] == "cli-tiny" for d in decisions)
+
+    def test_events_from_stdin(
+        self, capsys, monkeypatch, tiny_spec_file
+    ):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(self._event_lines(2))
+        )
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--events", "-",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_events_with_observe_replays_context_first(
+        self, capsys, tmp_path, tiny_spec_file
+    ):
+        events = tmp_path / "events.ndjson"
+        # Times past the end of the day stay chronological after any
+        # scenario context event.
+        events.write_text("".join(
+            json.dumps({"tenant": "cli-tiny", "type_id": 1,
+                        "time_of_day": 90000.0 + i}) + "\n"
+            for i in range(2)
+        ), encoding="utf-8")
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--observe", "2",
+            "--events", str(events),
+        ]) == 0
+        decisions = [json.loads(line)
+                     for line in capsys.readouterr().out.strip().splitlines()]
+        # The two context events consumed sequences 0 and 1.
+        assert decisions[0]["sequence"] == 2
+
+    def test_events_rejects_single_event_flags(
+        self, capsys, monkeypatch, tiny_spec_file
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._event_lines(1)))
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--events", "-",
+            "--type", "1",
+        ]) == 2
+        assert "--type/--time" in capsys.readouterr().err
+
+    def test_events_url_rejects_observe(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._event_lines(1)))
+        assert main([
+            "decide", "--url", "http://127.0.0.1:1", "--events", "-",
+            "--observe", "3",
+        ]) == 2
+        assert "--observe" in capsys.readouterr().err
+
+    def test_empty_stream_is_an_error(
+        self, capsys, monkeypatch, tiny_spec_file
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--events", "-",
+        ]) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_bad_event_line_fails_cleanly(
+        self, capsys, monkeypatch, tiny_spec_file
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("not json\n"))
+        assert main([
+            "decide", "--spec-file", tiny_spec_file, "--events", "-",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "ndjson line 1" in err
+
+    def test_unreachable_server_fails_cleanly(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._event_lines(1)))
+        assert main([
+            "decide", "--url", "http://127.0.0.1:1", "--events", "-",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreadable_events_file_fails_cleanly(
+        self, capsys, tmp_path, tiny_spec_file
+    ):
+        assert main([
+            "decide", "--spec-file", tiny_spec_file,
+            "--events", str(tmp_path / "missing.ndjson"),
+        ]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_events_against_http_url(self, capsys, monkeypatch, tmp_path):
+        """--events - composes with --url against a live loopback server."""
+        import io
+
+        from repro.api import serve_http
+        from repro.api.v1 import AuditService
+        from repro.core.payoffs import PayoffMatrix
+        from repro.api.v1 import SessionConfig
+
+        import numpy as np
+
+        service = AuditService()
+        history = {1: [np.linspace(1000, 80000, 40)] * 3}
+        service.open_session(
+            SessionConfig(
+                tenant="pipe", budget=5.0,
+                payoffs={1: PayoffMatrix(u_dc=100.0, u_du=-400.0,
+                                         u_ac=-2000.0, u_au=400.0)},
+                costs={1: 1.0}, seed=3,
+            ),
+            history,
+        )
+        service.open_session(
+            SessionConfig(
+                tenant="pipe2", budget=5.0,
+                payoffs={1: PayoffMatrix(u_dc=100.0, u_du=-400.0,
+                                         u_ac=-2000.0, u_au=400.0)},
+                costs={1: 1.0}, seed=4,
+            ),
+            history,
+        )
+        interleaved = "".join(
+            json.dumps({"tenant": tenant, "type_id": 1,
+                        "time_of_day": 1000.0 * (i + 1)}) + "\n"
+            for i, tenant in enumerate(("pipe", "pipe2", "pipe", "pipe2"))
+        )
+        with serve_http(service).start_background() as server:
+            monkeypatch.setattr("sys.stdin", io.StringIO(interleaved))
+            assert main([
+                "decide", "--url", server.url, "--events", "-",
+                "--seq-start", "1",
+            ]) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 4
+            assert service.session("pipe").report().events == 2
+            # Sequence numbers count per tenant: both tenants saw 1,2 —
+            # not a shared 1..4 counter.
+            assert service._tracker.watermark("pipe") == 2
+            assert service._tracker.watermark("pipe2") == 2
+            # The sequence numbers made the calls idempotent: repeating
+            # the stream replays recorded decisions, no re-processing.
+            monkeypatch.setattr("sys.stdin", io.StringIO(interleaved))
+            assert main([
+                "decide", "--url", server.url, "--events", "-",
+                "--seq-start", "1",
+            ]) == 0
+            repeat = capsys.readouterr().out.strip().splitlines()
+            assert repeat == lines
+            assert service.session("pipe").report().events == 2
+            assert service.session("pipe2").report().events == 2
+
+
+class TestServeHttpCli:
+    """Wiring of ``serve --http`` (the accept loop itself is not entered)."""
+
+    def test_http_serves_and_writes_ready_file(
+        self, capsys, tmp_path, tiny_spec_file, monkeypatch
+    ):
+        import threading
+        import urllib.request
+
+        import repro.api as api_pkg
+
+        ready = tmp_path / "url.txt"
+        captured = {}
+        real_serve_http = api_pkg.serve_http
+
+        def capture(*args, **kwargs):
+            captured["server"] = real_serve_http(*args, **kwargs)
+            return captured["server"]
+
+        monkeypatch.setattr("repro.api.serve_http", capture)
+
+        thread = threading.Thread(target=main, args=([
+            "serve", "--http", "--port", "0",
+            "--spec-file", tiny_spec_file,
+            "--ready-file", str(ready),
+            "--state-dir", str(tmp_path / "state"),
+        ],), daemon=True)
+        thread.start()
+        try:
+            for _ in range(400):
+                if ready.exists() and ready.read_text().strip():
+                    break
+                thread.join(timeout=0.05)
+            url = ready.read_text().strip()
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as reply:
+                body = json.loads(reply.read().decode("utf-8"))
+            assert body["ok"] is True
+            assert body["tenants"] == ["cli-tiny"]
+            # Durable mode journaled the scenario open.
+            assert list((tmp_path / "state").glob("*.wal"))
+        finally:
+            if "server" in captured:
+                captured["server"].shutdown()
+            thread.join(timeout=10)
+        assert not thread.is_alive()

@@ -70,3 +70,63 @@ def test_catch_all():
         raise errors.BudgetError("bad budget")
     with pytest.raises(errors.ApiError):
         raise errors.SessionClosedError("session is closed")
+
+
+def _all_repro_error_classes():
+    """Every concrete ReproError subclass, found by introspection.
+
+    Walking ``__subclasses__`` recursively (not ``vars(errors)``) means a
+    new exception defined in *any* module of the package is picked up the
+    moment it is imported — a subclass cannot ship without a stable code.
+    """
+    import repro.api  # noqa: F401 - materializes every error-defining module
+    import repro.api.client  # noqa: F401
+
+    found, queue = [], [errors.ReproError]
+    while queue:
+        klass = queue.pop()
+        found.append(klass)
+        queue.extend(klass.__subclasses__())
+    return sorted(set(found), key=lambda klass: klass.__qualname__)
+
+
+@pytest.mark.parametrize(
+    "klass", _all_repro_error_classes(), ids=lambda klass: klass.__qualname__
+)
+class TestErrorCodeExhaustiveness:
+    """No ReproError subclass may ship without a stable wire code."""
+
+    def test_maps_to_a_stable_code(self, klass):
+        from repro.api.v1 import UNHANDLED_CODE, error_code
+
+        code = error_code(klass("x"))
+        assert code != UNHANDLED_CODE, (
+            f"{klass.__qualname__} falls through to the unhandled fallback; "
+            "add it to ERROR_CODES or give it an ApiError code"
+        )
+        assert code and code == code.lower() and " " not in code
+
+    def test_code_documented_in_api_reference(self, klass):
+        from pathlib import Path
+
+        from repro.api.v1 import error_code
+
+        text = (Path(__file__).parent.parent / "docs" / "api.md").read_text(
+            encoding="utf-8"
+        )
+        code = error_code(klass("x"))
+        assert f"`{code}`" in text, (
+            f"stable code {code!r} ({klass.__qualname__}) is missing from "
+            "the docs/api.md error table"
+        )
+
+    def test_api_subclasses_own_their_code(self, klass):
+        if issubclass(klass, errors.ApiError) and klass is not errors.ApiError:
+            parent_codes = {
+                base.code for base in klass.__mro__[1:]
+                if isinstance(getattr(base, "code", None), str)
+            }
+            assert "code" in vars(klass) and klass.code not in parent_codes, (
+                f"{klass.__qualname__} must declare its own stable code, "
+                "not inherit one"
+            )
