@@ -6,9 +6,18 @@ SSE backend + error-bounded adaptive solution cache) must be at least 5x
 faster than the per-alert scipy/HiGHS path, **and** every game value it
 serves must verify against an exact per-state re-solve within
 :data:`MAX_GAME_VALUE_GAP` (the cache's certified ``error_budget``
-contract — accuracy is gated alongside speed, in quick CI runs too). The
-run writes its measurements to ``BENCH_engine.json`` (``speedup``,
-``cache_hit_rate``, and the gated ``max_game_value_gap``), which CI
+contract — accuracy is gated alongside speed, in quick CI runs too).
+
+A second section replays the identical stream in **policy-table mode**
+(the precompiled certified table, the zero-solve steady-state path): its
+verified per-state gap is gated by the same :data:`MAX_GAME_VALUE_GAP`
+ceiling and its loop wall clock must beat the solve+cache path by at
+least :data:`MIN_TABLE_SPEEDUP` — both enforced in quick CI runs too,
+because they are invariants, not machine-speed claims. The absolute
+``decisions_per_second`` figure is recorded (not gated; it tracks the
+runner's hardware).
+
+The run writes all measurements to ``BENCH_engine.json``, which CI
 uploads as an artifact.
 
 Usage::
@@ -35,6 +44,15 @@ MIN_HIT_RATE = 0.4
 #: the certified adaptive policy promises ``error_budget`` accuracy, so a
 #: regression here means the certificates stopped being sound.
 MAX_GAME_VALUE_GAP = DEFAULT_ERROR_BUDGET
+
+#: Floor on the compiled table's loop-wall advantage over the solve+cache
+#: path (quick runs included). The measured ratio is an order of
+#: magnitude higher; the floor only has to survive noisy shared runners.
+MIN_TABLE_SPEEDUP = 2.0
+
+#: Timing repeats for the table section's throughput figure (the table
+#: loop is fast enough that scheduler noise dominates a single run).
+TABLE_REPEATS = 3
 
 
 def run_bench(
@@ -72,6 +90,90 @@ def run_bench(
     }
 
 
+def _time_table_stream(
+    n_alerts: int, seed: int, error_budget: float | None
+) -> float:
+    """Loop wall seconds for one table-mode replay (no baseline re-run)."""
+    from repro.api.v1 import AlertEvent, AuditSession, SessionConfig
+    from repro.core.game import CHARGE_EXPECTED
+    from repro.experiments.runtime import synthetic_stream_workload
+
+    payoffs, costs, history, types, times = synthetic_stream_workload(
+        n_types=5, n_alerts=n_alerts, seed=seed
+    )
+    session = AuditSession.open(
+        SessionConfig(
+            tenant="bench-table",
+            budget=50.0,
+            payoffs=payoffs,
+            costs=costs,
+            backend="analytic",
+            seed=seed,
+            budget_charging=CHARGE_EXPECTED,
+            cache_error_budget=error_budget,
+            policy_table=True,
+        ),
+        history,
+    )
+    session.decide_batch([
+        AlertEvent(
+            tenant="bench-table", type_id=int(t), time_of_day=float(s)
+        )
+        for t, s in zip(types, times)
+    ])
+    report = session.close_cycle()
+    session.close()
+    return report.wall_seconds
+
+
+def run_table_bench(
+    n_alerts: int,
+    seed: int,
+    baseline_backend: str,
+    error_budget: float | None,
+    cache_engine_seconds: float,
+) -> dict:
+    """The policy-table section: verified accuracy + best-of-N throughput.
+
+    One full comparison run supplies the verified per-state gap (every
+    decision re-solved exactly through ``baseline_backend`` at the
+    engine's realized state); additional timing-only replays of the same
+    stream supply a stable loop-wall figure without paying the per-alert
+    LP baseline again. ``speedup_vs_cache`` compares against the
+    solve+cache section's loop wall on the identical stream.
+    """
+    result = run_engine_comparison(
+        n_types=5,
+        n_alerts=n_alerts,
+        seed=seed,
+        baseline_backend=baseline_backend,
+        error_budget=error_budget,
+        policy_table=True,
+    )
+    walls = [result.engine_seconds]
+    for _ in range(TABLE_REPEATS - 1):
+        walls.append(_time_table_stream(n_alerts, seed, error_budget))
+    best_wall = min(walls)
+    return {
+        "n_alerts": n_alerts,
+        "engine_seconds": walls,
+        "best_engine_seconds": best_wall,
+        "decisions_per_second": n_alerts / best_wall if best_wall > 0 else 0.0,
+        "speedup_vs_baseline": (
+            result.baseline_seconds / best_wall if best_wall > 0 else 0.0
+        ),
+        "speedup_vs_cache": (
+            cache_engine_seconds / best_wall if best_wall > 0 else 0.0
+        ),
+        "table_hit_rate": result.table_hit_rate,
+        "fallbacks": result.fallbacks,
+        "compile_seconds": result.compile_seconds,
+        "error_budget": result.error_budget,
+        "mean_game_value_gap": result.mean_game_value_gap,
+        "max_game_value_gap": result.max_game_value_gap,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -94,11 +196,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    n_alerts = 200 if args.quick else 1000
     payload = run_bench(
-        n_alerts=200 if args.quick else 1000,
+        n_alerts=n_alerts,
         seed=args.seed,
         baseline_backend=args.baseline_backend,
         error_budget=args.error_budget,
+    )
+    payload["policy_table"] = run_table_bench(
+        n_alerts=n_alerts,
+        seed=args.seed,
+        baseline_backend=args.baseline_backend,
+        error_budget=args.error_budget,
+        cache_engine_seconds=payload["engine_seconds"],
     )
     payload["quick"] = bool(args.quick)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -107,12 +217,28 @@ def main(argv: list[str] | None = None) -> int:
     print(_format(payload))
     print(f"wrote {args.out}")
     failed = False
+    table = payload["policy_table"]
     # Accuracy is gated in every mode: the verified per-state gap must
-    # honor the certified error budget, quick CI runs included.
+    # honor the certified error budget, quick CI runs included — for the
+    # solve+cache path and for the compiled table.
     if payload["max_game_value_gap"] > MAX_GAME_VALUE_GAP:
         print(
             f"FAIL: verified game-value gap {payload['max_game_value_gap']:.3e} "
             f"exceeds the gated {MAX_GAME_VALUE_GAP:.0e} ceiling",
+            file=sys.stderr,
+        )
+        failed = True
+    if table["max_game_value_gap"] > MAX_GAME_VALUE_GAP:
+        print(
+            f"FAIL: table-mode verified gap {table['max_game_value_gap']:.3e} "
+            f"exceeds the gated {MAX_GAME_VALUE_GAP:.0e} ceiling",
+            file=sys.stderr,
+        )
+        failed = True
+    if table["speedup_vs_cache"] < MIN_TABLE_SPEEDUP:
+        print(
+            f"FAIL: table-vs-cache speedup {table['speedup_vs_cache']:.1f}x "
+            f"below the {MIN_TABLE_SPEEDUP:.0f}x acceptance floor",
             file=sys.stderr,
         )
         failed = True
@@ -134,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _format(payload: dict) -> str:
+    table = payload["policy_table"]
     return (
         f"Batch engine vs per-alert {payload['baseline_backend']} "
         f"({payload['n_types']} types, {payload['n_alerts']} alerts)\n"
@@ -143,7 +270,17 @@ def _format(payload: dict) -> str:
         f"(cache hit rate {payload['cache_hit_rate']:.1%})\n"
         f"  verified gap : {payload['max_game_value_gap']:.3e} max "
         f"(gate {MAX_GAME_VALUE_GAP:.0e}, "
-        f"error_budget {payload['error_budget']})"
+        f"error_budget {payload['error_budget']})\n"
+        f"  policy table : {table['best_engine_seconds']:.4f} s best of "
+        f"{len(table['engine_seconds'])} — "
+        f"{table['decisions_per_second']:,.0f} decisions/s, "
+        f"{table['speedup_vs_cache']:.1f}x vs cache "
+        f"(floor {MIN_TABLE_SPEEDUP:.0f}x), "
+        f"hit rate {table['table_hit_rate']:.1%}, "
+        f"{table['fallbacks']} fallbacks\n"
+        f"  table gap    : {table['max_game_value_gap']:.3e} max "
+        f"(gate {MAX_GAME_VALUE_GAP:.0e}, compiled in "
+        f"{table['compile_seconds']:.2f} s)"
     )
 
 

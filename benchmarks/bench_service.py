@@ -66,8 +66,16 @@ def _measure_engine(payoffs, costs, history, types, times, seed) -> float:
     return time.perf_counter() - started
 
 
-def _measure_service(payoffs, costs, history, events, seed) -> float:
-    """Façade seconds for the identical stream (one tenant, hot path)."""
+def _measure_service(
+    payoffs, costs, history, events, seed, policy_table: bool = False
+) -> float:
+    """Façade seconds for the identical stream (one tenant, hot path).
+
+    ``policy_table=True`` opens the session in compiled-table mode; the
+    compile happens at ``open_session`` (amortized across cycles in a
+    real deployment) and is deliberately outside the timed window — the
+    payload reports it separately via the service's ``compile_seconds``.
+    """
     service = AuditService()
     service.open_session(
         SessionConfig(
@@ -77,6 +85,7 @@ def _measure_service(payoffs, costs, history, events, seed) -> float:
             costs=costs,
             backend="analytic",
             seed=seed,
+            policy_table=policy_table,
         ),
         history,
     )
@@ -115,9 +124,21 @@ def _measure_http(payoffs, costs, history, events, seed) -> dict:
 
 
 def _measure_multi_tenant(
-    payoffs, costs, history, events, seed, n_tenants: int
-) -> float:
-    """Service seconds with the stream split round-robin over tenants."""
+    payoffs, costs, history, events, seed, n_tenants: int,
+    policy_table: bool = False,
+) -> dict:
+    """One round-robin multi-tenant submit, measured per tenant and whole.
+
+    The stream splits round-robin over ``n_tenants`` sessions and lands
+    in ONE ``submit`` call, so the figure exercises the cross-tenant
+    grouping (every tenant's events form a single engine batch however
+    interleaved they arrive) and the stacked closed-form OSSP pass.
+    Reports the aggregate events/s (whole submission over wall clock)
+    *and* each tenant's engine-side events/s, so a per-tenant collapse
+    can no longer hide inside a healthy-looking aggregate. Table
+    compiles happen at ``open_session``, outside the timed window;
+    ``compile_seconds`` reports them.
+    """
     service = AuditService()
     tenants = [f"bench-{i}" for i in range(n_tenants)]
     for index, tenant in enumerate(tenants):
@@ -129,6 +150,7 @@ def _measure_multi_tenant(
                 costs=costs,
                 backend="analytic",
                 seed=seed + index,
+                policy_table=policy_table,
             ),
             history,
         )
@@ -142,7 +164,23 @@ def _measure_multi_tenant(
     ]
     started = time.perf_counter()
     service.submit(routed)
-    return time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    per_tenant = {}
+    for tenant in tenants:
+        stats = service.session(tenant).report()
+        per_tenant[tenant] = (
+            stats.events / stats.wall_seconds if stats.wall_seconds > 0 else 0.0
+        )
+    aggregate = len(routed) / elapsed
+    return {
+        "tenants": n_tenants,
+        "policy_table": policy_table,
+        "seconds": elapsed,
+        "events_per_second": aggregate,
+        "aggregate_events_per_second": aggregate,
+        "per_tenant_events_per_second": per_tenant,
+        "compile_seconds": service.stats().compile_seconds,
+    }
 
 
 def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
@@ -157,6 +195,7 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
 
     engine_seconds: list[float] = []
     service_seconds: list[float] = []
+    table_seconds: list[float] = []
     for _ in range(REPEATS):
         engine_seconds.append(
             _measure_engine(payoffs, costs, history, types, times, seed)
@@ -164,10 +203,30 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
         service_seconds.append(
             _measure_service(payoffs, costs, history, events, seed)
         )
+        table_seconds.append(
+            _measure_service(
+                payoffs, costs, history, events, seed, policy_table=True
+            )
+        )
     best_engine = min(engine_seconds)
     best_service = min(service_seconds)
-    multi_seconds = _measure_multi_tenant(
+    best_table = min(table_seconds)
+    single_rate = n_alerts / best_service
+    single_table_rate = n_alerts / best_table
+    # The headline multi-tenant figure runs the compiled-table serving
+    # path (this is the steady-state hot configuration); the cache-path
+    # twin is kept alongside so the table's contribution stays visible.
+    multi_table = _measure_multi_tenant(
+        payoffs, costs, history, events, seed, n_tenants, policy_table=True
+    )
+    multi_table["scaling_ratio"] = (
+        multi_table["aggregate_events_per_second"] / single_table_rate
+    )
+    multi_cache = _measure_multi_tenant(
         payoffs, costs, history, events, seed, n_tenants
+    )
+    multi_cache["scaling_ratio"] = (
+        multi_cache["aggregate_events_per_second"] / single_rate
     )
     http = _measure_http(payoffs, costs, history, events, seed)
     http["overhead_vs_engine"] = http["seconds"] / best_engine - 1.0
@@ -178,15 +237,14 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
         "repeats": REPEATS,
         "engine_seconds": engine_seconds,
         "service_seconds": service_seconds,
+        "service_table_seconds": table_seconds,
         "engine_events_per_second": n_alerts / best_engine,
-        "service_events_per_second": n_alerts / best_service,
+        "service_events_per_second": single_rate,
+        "service_table_events_per_second": single_table_rate,
         "overhead": best_service / best_engine - 1.0,
         "max_overhead": MAX_OVERHEAD,
-        "multi_tenant": {
-            "tenants": n_tenants,
-            "seconds": multi_seconds,
-            "events_per_second": n_alerts / multi_seconds,
-        },
+        "multi_tenant": multi_table,
+        "multi_tenant_cache": multi_cache,
         "http_loopback": http,
     }
 
@@ -230,22 +288,42 @@ def main(argv: list[str] | None = None) -> int:
 
 def _format(payload: dict) -> str:
     multi = payload["multi_tenant"]
+    cache = payload["multi_tenant_cache"]
     http = payload["http_loopback"]
-    return "\n".join([
+    lines = [
         f"Serving façade vs raw engine ({payload['n_alerts']} alerts, "
         f"{payload['n_types']} types, best of {payload['repeats']})",
         f"  raw BatchAuditEngine : "
         f"{payload['engine_events_per_second']:9.0f} events/s",
         f"  AuditService.submit  : "
         f"{payload['service_events_per_second']:9.0f} events/s",
+        f"  submit (policy table): "
+        f"{payload['service_table_events_per_second']:9.0f} events/s",
         f"  façade overhead      : {payload['overhead']:9.1%} "
         f"(ceiling {payload['max_overhead']:.0%})",
-        f"  {multi['tenants']}-tenant submit     : "
-        f"{multi['events_per_second']:9.0f} events/s",
+    ]
+    for label, section in (
+        (f"{multi['tenants']}-tenant table submit", multi),
+        (f"{cache['tenants']}-tenant cache submit", cache),
+    ):
+        rates = section["per_tenant_events_per_second"]
+        lines.append(
+            f"  {label:<21}: "
+            f"{section['aggregate_events_per_second']:9.0f} events/s "
+            f"aggregate (scaling {section['scaling_ratio']:.2f}x of "
+            f"1-tenant)"
+        )
+        lines.append(
+            "     per tenant        : "
+            + ", ".join(f"{rate:.0f}" for rate in rates.values())
+            + " events/s"
+        )
+    lines.append(
         f"  HTTP loopback submit : "
         f"{http['events_per_second']:9.0f} events/s "
-        f"(wire overhead {http['overhead_vs_engine']:.1%}, informational)",
-    ])
+        f"(wire overhead {http['overhead_vs_engine']:.1%}, informational)"
+    )
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

@@ -4,9 +4,10 @@
 :class:`AuditSession` objects and offers three decision interfaces:
 
 * :meth:`AuditService.decide` — one event, one decision (request/response);
-* :meth:`AuditService.submit` — the synchronous hot path: consecutive
-  same-tenant runs are batched through the engine's stream API, preserving
-  the input order of the decisions;
+* :meth:`AuditService.submit` — the synchronous hot path: each tenant's
+  events form one engine-stream batch (however interleaved they arrive),
+  same-config tenants share one stacked closed-form OSSP pass, and
+  decisions return in input order;
 * :meth:`AuditService.stream` — an ``asyncio`` generator
   (``async for decision in service.stream(events)``) with bounded
   backpressure: a producer task decides events off the event loop while
@@ -87,6 +88,14 @@ EventSource = Union[Iterable[AlertEvent], AsyncIterable[AlertEvent]]
 
 #: Default bound on decisions buffered ahead of a slow stream consumer.
 DEFAULT_MAX_PENDING = 64
+
+#: Agreement bound for the stacked cross-tenant OSSP re-derivation in
+#: :meth:`AuditService.submit`. Cache-path decisions match the stacked
+#: closed form bit for bit; the compiled-table fast loop reaches the
+#: attacker utility via ``U_au + theta*(U_ac - U_au)`` instead of
+#: ``theta*U_ac + (1-theta)*U_au`` — algebraically equal, a few ulps
+#: apart — so the gate allows that rounding and nothing more.
+_STACKED_OSSP_TOL = 1e-9
 
 #: Queue sentinel marking the end of a stream.
 _DONE = object()
@@ -453,52 +462,145 @@ class AuditService:
             self._journal(event.tenant, "observe", {"event": event.to_dict()})
 
     def submit(self, events: Sequence[AlertEvent]) -> tuple[SignalDecision, ...]:
-        """The hot path: decide many events, batching per tenant.
+        """The hot path: decide many events, batched per tenant then stacked.
 
-        Consecutive events of the same tenant form one engine-stream batch
-        (:meth:`AuditSession.decide_batch`); decisions come back in input
-        order. Per-tenant event order is preserved, so the result is
-        bit-identical to calling :meth:`decide` event by event.
+        *All* events of one tenant form a single engine-stream batch —
+        interleaved round-robin traffic no longer degrades to per-event
+        batches, which is where the old consecutive-run grouping lost an
+        order of magnitude. Per-tenant event order is preserved, so each
+        tenant's decisions are bit-identical to calling :meth:`decide`
+        event by event; decisions come back in input order, and one WAL
+        record journals per tenant group.
+
+        After the per-tenant sequential passes land, tenants whose
+        sessions share a payoff configuration are stacked: one
+        :func:`~repro.engine.stream.batch_closed_form_ossp` evaluation
+        over the concatenated marginals re-derives every applied OSSP
+        value in a single NumPy pass per alert type, and each tenant's
+        slice is fanned back against its recorded decisions (the engine's
+        per-cycle vectorized cross-check, run once for the whole
+        submission instead of once per tenant — see
+        :meth:`_stacked_ossp_check`).
 
         The whole submission is validated before any event is processed
         (every tenant resolved, every per-tenant subsequence checked by
         :meth:`AuditSession.validate_events`), so a malformed submission
         is rejected atomically — no session is left with a half-committed
         budget or advanced randomness. A *solver* failure mid-submission
-        is not rolled back: earlier runs stay committed (their sessions'
-        accounting reconciles with what landed) and the error propagates.
+        is not rolled back: tenant groups decided earlier (first-appearance
+        order) stay committed and the error propagates.
         """
+        if not events:
+            return ()
         per_tenant: dict[str, list[AlertEvent]] = {}
-        for event in events:
+        slots: dict[str, list[int]] = {}
+        for index, event in enumerate(events):
             per_tenant.setdefault(event.tenant, []).append(event)
-        for tenant, sequence in per_tenant.items():
-            self.session(tenant).validate_events(sequence)
+            slots.setdefault(event.tenant, []).append(index)
+        for tenant, group in per_tenant.items():
+            self.session(tenant).validate_events(group)
 
-        decisions: list[SignalDecision] = []
-        run: list[AlertEvent] = []
-
-        def flush() -> None:
+        decisions: list[SignalDecision | None] = [None] * len(events)
+        landed: list[tuple[str, AuditSession, Any]] = []
+        for tenant, group in per_tenant.items():
             # Validation already covered the full per-tenant sequences, so
-            # runs go straight to the engine without a second walk. Each
-            # run journals as one WAL record the moment it lands, so a
-            # solver failure later in the submission never loses committed
-            # runs on replay.
-            landed = self.session(run[0].tenant)._decide_batch_validated(run)
-            decisions.extend(landed)
+            # groups go straight to the engine without a second walk. Each
+            # group journals as one WAL record the moment it lands, so a
+            # solver failure in a later tenant's group never loses
+            # committed groups on replay.
+            session = self.session(tenant)
+            wrapped, result = session._decide_batch_stream(
+                group, batched_ossp=False
+            )
+            for slot, decision in zip(slots[tenant], wrapped):
+                decisions[slot] = decision
             if self._journaling:
-                self._journal(run[0].tenant, "submit", {
-                    "events": [event.to_dict() for event in run],
-                    "decisions": [decision.to_dict() for decision in landed],
+                self._journal(tenant, "submit", {
+                    "events": [event.to_dict() for event in group],
+                    "decisions": [decision.to_dict() for decision in wrapped],
                 })
-
-        for event in events:
-            if run and event.tenant != run[0].tenant:
-                flush()
-                run = []
-            run.append(event)
-        if run:
-            flush()
+            landed.append((tenant, session, result))
+        self._stacked_ossp_check(landed)
         return tuple(decisions)
+
+    def _stacked_ossp_check(
+        self, landed: Sequence[tuple[str, AuditSession, Any]]
+    ) -> None:
+        """One stacked closed-form OSSP pass across same-config tenants.
+
+        Groups the submission's tenants by payoff configuration, evaluates
+        the Theorem-3 closed form over the *stacked* marginals — one
+        :func:`~repro.engine.stream.batch_closed_form_ossp` call per alert
+        type per configuration, covering every tenant in the group — and
+        fans each tenant's slice back against its recorded decisions. The
+        stacked derivation is bit-identical to the sequential solve path
+        (the expressions match term for term; pinned by tests); the
+        compiled-table pipeline reaches the attacker utility through an
+        algebraically equal but differently associated expression, hence
+        the few-ulp tolerance. A divergence beyond it means the
+        sequential pipeline and the vectorized closed form disagree — a
+        correctness failure surfaced as :class:`DataError` naming the
+        tenant, before the submission is acknowledged.
+        """
+        import numpy as np
+
+        from repro.engine.stream import batch_closed_form_ossp
+
+        groups: dict[tuple, list[tuple[str, Any]]] = {}
+        for tenant, session, result in landed:
+            config = session.config
+            if (
+                result is None
+                or not config.signaling_enabled
+                or config.robust_margin > 0
+                or config.signaling_method != "closed_form"
+            ):
+                continue
+            signature = tuple(
+                (type_id, p.u_dc, p.u_du, p.u_ac, p.u_au)
+                for type_id, p in sorted(config.payoffs.items())
+            )
+            groups.setdefault(signature, []).append((tenant, result))
+
+        for members in groups.values():
+            payoffs = None
+            for tenant, _result in members:
+                payoffs = self.session(tenant).config.payoffs
+                break
+            type_ids = np.concatenate([r.type_ids for _, r in members])
+            thetas = np.concatenate([r.thetas for _, r in members])
+            recorded = np.concatenate([r.ossp_utilities for _, r in members])
+            applied = np.concatenate([
+                np.fromiter(
+                    (d.signaling_applied for d in r.decisions),
+                    dtype=bool,
+                    count=len(r.decisions),
+                )
+                for _, r in members
+            ])
+            stacked = recorded.copy()
+            for type_id in np.unique(type_ids):
+                payoff = payoffs[int(type_id)]
+                if not payoff.satisfies_theorem3_condition():
+                    continue
+                mask = (type_ids == type_id) & applied
+                if not np.any(mask):
+                    continue
+                _p1, _q1, p0, q0 = batch_closed_form_ossp(thetas[mask], payoff)
+                stacked[mask] = p0 * payoff.u_dc + q0 * payoff.u_du
+            gaps = np.abs(stacked - recorded)
+            worst = int(np.argmax(gaps)) if gaps.size else 0
+            if gaps.size and gaps[worst] > _STACKED_OSSP_TOL:
+                sizes = [r.type_ids.size for _, r in members]
+                offsets = np.cumsum([0] + sizes)
+                slot = int(np.searchsorted(offsets, worst, side="right") - 1)
+                tenant = members[slot][0]
+                raise DataError(
+                    f"tenant {tenant!r}: stacked closed-form OSSP diverged "
+                    f"from the sequential pipeline by "
+                    f"{float(gaps[worst]):.3e} (> {_STACKED_OSSP_TOL:.0e}) "
+                    "— submission refused"
+                )
 
     async def stream(
         self,

@@ -64,6 +64,11 @@ class _CycleCounters:
     wall_seconds: float = 0.0
     hits_at_start: int = 0
     misses_at_start: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+    fallbacks: int = 0
+    recompiles_at_start: int = 0
+    compile_seconds_at_start: float = 0.0
 
 
 class AuditSession:
@@ -110,12 +115,16 @@ class AuditSession:
             ),
             rng=np.random.default_rng(config.seed),
             cache=self._cache,
+            policy_table=config.policy_table,
         )
         self._state = SESSION_OPEN
         self._cycle = 0
         self._cycles_closed = 0
         self._events_total = 0
         self._wall_total = 0.0
+        self._table_hits_total = 0
+        self._table_misses_total = 0
+        self._fallbacks_total = 0
         self._last_time: float | None = None
         self._counters = self._fresh_counters()
 
@@ -223,8 +232,22 @@ class AuditSession:
         The service hot path validates whole submissions up front and
         calls this directly, so events are never walked twice.
         """
+        wrapped, _result = self._decide_batch_stream(events)
+        return wrapped
+
+    def _decide_batch_stream(
+        self, events: Sequence[AlertEvent], batched_ossp: bool = True
+    ) -> tuple[tuple[SignalDecision, ...], "object | None"]:
+        """Validated batch body returning the engine stream result too.
+
+        The service's cross-tenant submit path needs the raw
+        :class:`~repro.engine.stream.StreamResult` (marginals, recorded
+        OSSP values) next to the wrapped decisions, so it can run one
+        stacked closed-form derivation across tenants; ``batched_ossp``
+        forwards to :meth:`BatchAuditEngine.process_stream`.
+        """
         if not events:
-            return ()
+            return (), None
         first_sequence = self._counters.events
         decided_before = len(self._engine.game.decisions)
         started = _time.perf_counter()
@@ -232,6 +255,7 @@ class AuditSession:
             result = self._engine.process_stream(
                 [event.type_id for event in events],
                 [event.time_of_day for event in events],
+                batched_ossp=batched_ossp,
             )
         except BaseException:
             # A mid-stream solver failure leaves some alerts processed in
@@ -244,14 +268,21 @@ class AuditSession:
         self._counters.events += len(events)
         self._counters.warnings += int(np.sum(result.warned))
         self._counters.wall_seconds += result.stats.wall_seconds
+        self._counters.table_hits += result.stats.table_hits
+        self._counters.table_misses += result.stats.table_misses
+        self._counters.fallbacks += result.stats.fallbacks
         self._events_total += len(events)
         self._wall_total += result.stats.wall_seconds
-        return tuple(
+        self._table_hits_total += result.stats.table_hits
+        self._table_misses_total += result.stats.table_misses
+        self._fallbacks_total += result.stats.fallbacks
+        wrapped = tuple(
             self._wrap(event, decision, first_sequence + offset)
             for offset, (event, decision) in enumerate(
                 zip(events, result.decisions)
             )
         )
+        return wrapped, result
 
     def _reconcile_partial(self, decided_before: int, started: float) -> None:
         """Align counters with the game after a failed batch."""
@@ -300,12 +331,24 @@ class AuditSession:
             cache_hits=cache_hits,
             cache_entries=entries,
             wall_seconds=counters.wall_seconds,
+            table_hits=counters.table_hits,
+            table_misses=counters.table_misses,
+            fallbacks=counters.fallbacks,
+            recompiles=self._engine.recompiles - counters.recompiles_at_start,
+            compile_seconds=(
+                self._engine.compile_seconds
+                - counters.compile_seconds_at_start
+            ),
         )
+        # Snapshot the next cycle's baselines BEFORE reset: a stale-region
+        # recompile executes inside engine.reset() and must land in the
+        # next cycle's report, not vanish between snapshots.
+        next_counters = self._fresh_counters()
         self._engine.reset()
         self._cycle += 1
         self._cycles_closed += 1
         self._last_time = None
-        self._counters = self._fresh_counters()
+        self._counters = next_counters
         return report
 
     def report(self) -> SessionStats:
@@ -327,6 +370,11 @@ class AuditSession:
             cache_entries=entries,
             wall_seconds=self._wall_total,
             budget_remaining=self.budget_remaining,
+            table_hits=self._table_hits_total,
+            table_misses=self._table_misses_total,
+            fallbacks=self._fallbacks_total,
+            recompiles=self._engine.recompiles,
+            compile_seconds=self._engine.compile_seconds,
         )
 
     def close(self) -> SessionStats:
@@ -347,6 +395,8 @@ class AuditSession:
         return _CycleCounters(
             hits_at_start=self._cache.hits if self._cache is not None else 0,
             misses_at_start=self._cache.misses if self._cache is not None else 0,
+            recompiles_at_start=self._engine.recompiles,
+            compile_seconds_at_start=self._engine.compile_seconds,
         )
 
     def _require_open(self) -> None:
@@ -388,11 +438,26 @@ class AuditSession:
 
     def _process(self, event: AlertEvent) -> AlertDecision:
         self.validate_events((event,))
-        started = _time.perf_counter()
-        decision = self._engine.game.process_alert(
-            int(event.type_id), float(event.time_of_day)
-        )
-        elapsed = _time.perf_counter() - started
+        if self._engine.policy is not None:
+            # Table mode: the stream path IS the per-alert pipeline (a
+            # one-element stream), so single decides hit the table too.
+            result = self._engine.process_stream(
+                [int(event.type_id)], [float(event.time_of_day)]
+            )
+            decision = result.decisions[0]
+            elapsed = result.stats.wall_seconds
+            self._counters.table_hits += result.stats.table_hits
+            self._counters.table_misses += result.stats.table_misses
+            self._counters.fallbacks += result.stats.fallbacks
+            self._table_hits_total += result.stats.table_hits
+            self._table_misses_total += result.stats.table_misses
+            self._fallbacks_total += result.stats.fallbacks
+        else:
+            started = _time.perf_counter()
+            decision = self._engine.game.process_alert(
+                int(event.type_id), float(event.time_of_day)
+            )
+            elapsed = _time.perf_counter() - started
         # Commit the chronology watermark only after a successful solve,
         # so a rejected event never blocks later valid ones.
         self._last_time = float(event.time_of_day)

@@ -137,8 +137,13 @@ class CycleReport(_Payload):
 
     ``sse_solves``/``cache_hits`` reconcile with ``alerts`` exactly like
     :class:`~repro.engine.stream.EngineStats` (with a cache attached,
-    ``sse_solves + cache_hits == alerts``); ``wall_seconds`` is the
-    decide-path processing time of the cycle.
+    ``sse_solves + cache_hits == alerts``; in policy-table mode
+    ``table_hits + fallbacks == alerts`` and only the fallbacks flow
+    through the solve/cache path); ``wall_seconds`` is the decide-path
+    processing time of the cycle. ``recompiles``/``compile_seconds``
+    report table compilation work that landed during this cycle (a
+    recompile triggered by this cycle's close executes at reset and is
+    attributed to the next cycle).
     """
 
     tenant: str
@@ -154,11 +159,21 @@ class CycleReport(_Payload):
     cache_hits: int
     cache_entries: int
     wall_seconds: float
+    table_hits: int = 0
+    table_misses: int = 0
+    fallbacks: int = 0
+    recompiles: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of per-alert solves served from the session cache."""
         return self.cache_hits / self.alerts if self.alerts else 0.0
+
+    @property
+    def table_hit_rate(self) -> float:
+        """Fraction of alerts served straight from the policy table."""
+        return self.table_hits / self.alerts if self.alerts else 0.0
 
     @property
     def alerts_per_second(self) -> float:
@@ -168,7 +183,11 @@ class CycleReport(_Payload):
 
 @dataclass(frozen=True)
 class SessionStats(_Payload):
-    """One tenant's cumulative accounting across every cycle so far."""
+    """One tenant's cumulative accounting across every cycle so far.
+
+    The table counters are lifetime figures; ``compile_seconds`` includes
+    the initial policy-table compile at session open.
+    """
 
     tenant: str
     state: str
@@ -180,11 +199,21 @@ class SessionStats(_Payload):
     cache_entries: int
     wall_seconds: float
     budget_remaining: float
+    table_hits: int = 0
+    table_misses: int = 0
+    fallbacks: int = 0
+    recompiles: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         """Lifetime fraction of solves served from the cache."""
         return self.cache_hits / self.events if self.events else 0.0
+
+    @property
+    def table_hit_rate(self) -> float:
+        """Lifetime fraction of events served straight from the table."""
+        return self.table_hits / self.events if self.events else 0.0
 
 
 @dataclass(frozen=True)
@@ -205,11 +234,21 @@ class ServiceStats(_Payload):
     cache_entries: int
     wall_seconds: float
     per_tenant: tuple[SessionStats, ...] = field(default_factory=tuple)
+    table_hits: int = 0
+    table_misses: int = 0
+    fallbacks: int = 0
+    recompiles: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         """Service-wide fraction of solves served from session caches."""
         return self.cache_hits / self.events if self.events else 0.0
+
+    @property
+    def table_hit_rate(self) -> float:
+        """Service-wide fraction of events served from policy tables."""
+        return self.table_hits / self.events if self.events else 0.0
 
     @property
     def events_per_second(self) -> float:
@@ -229,6 +268,11 @@ class ServiceStats(_Payload):
             cache_entries=sum(s.cache_entries for s in sessions),
             wall_seconds=float(sum(s.wall_seconds for s in sessions)),
             per_tenant=sessions,
+            table_hits=sum(s.table_hits for s in sessions),
+            table_misses=sum(s.table_misses for s in sessions),
+            fallbacks=sum(s.fallbacks for s in sessions),
+            recompiles=sum(s.recompiles for s in sessions),
+            compile_seconds=float(sum(s.compile_seconds for s in sessions)),
         )
 
     @classmethod
@@ -267,6 +311,7 @@ class SessionConfig(_Payload):
     cache_budget_step: float = 0.0
     cache_rate_step: float = 0.0
     cache_error_budget: float | None = None
+    policy_table: bool = False
 
     def __post_init__(self) -> None:
         if not self.tenant or not isinstance(self.tenant, str):
@@ -346,4 +391,5 @@ class SessionConfig(_Payload):
             cache_budget_step=spec.cache_budget_step,
             cache_rate_step=spec.cache_rate_step,
             cache_error_budget=spec.cache_error_budget,
+            policy_table=spec.policy_table,
         )

@@ -49,6 +49,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "which the certified mode requires)",
     )
     parser.add_argument(
+        "--policy-table", action="store_true", default=None,
+        dest="policy_table",
+        help="compile each cycle's reachable (budget, rates) region into "
+        "a certified policy table and serve in-region decisions from it "
+        "with zero solves (implies --backend analytic unless one is "
+        "given; out-of-region states fall back to the solve/cache path)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="render figures as ASCII charts instead of bucket tables",
     )
@@ -232,7 +240,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     explicit = {
-        name for name in ("seed", "days", "backend", "cache_error_budget")
+        name for name in (
+            "seed", "days", "backend", "cache_error_budget", "policy_table"
+        )
         if getattr(args, name) is not None
     }
     args.seed = 7 if args.seed is None else args.seed
@@ -284,6 +294,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(format_engine_comparison(run_engine_comparison(
             seed=args.seed, error_budget=error_budget,
+            policy_table=bool(args.policy_table),
         )))
     elif args.experiment == "ablation-rollback":
         from repro.experiments.ablations import run_rollback_ablation
@@ -446,6 +457,13 @@ def _apply_global_overrides(spec, args, explicit):
         # default.
         if spec.cache_mode == CACHE_SHARED:
             overrides["cache_mode"] = CACHE_PER_TRIAL
+    if "policy_table" in explicit:
+        overrides["policy_table"] = True
+        # The compiled geometry is the analytic solver's, so the flag
+        # implies the analytic backend; an explicit conflicting --backend
+        # is surfaced by spec validation instead of silently overridden.
+        if "backend" not in explicit and spec.backend != "analytic":
+            overrides["backend"] = "analytic"
     return spec.with_updates(**overrides) if overrides else spec
 
 

@@ -69,6 +69,22 @@ class BudgetLedger:
         self._records.append(SpendRecord(time_of_day=time_of_day, amount=charged, label=label))
         return charged
 
+    def sync(self, remaining: float, records: list[SpendRecord]) -> None:
+        """Bulk-apply charges computed outside the ledger.
+
+        Vectorized front ends (the policy-table fast path) track the
+        sequential budget recursion in a local float and buffer their
+        :class:`SpendRecord` objects; this hands the equivalent state back
+        in one call. ``remaining`` must be the balance after the buffered
+        records — the caller mirrors :meth:`spend`'s clamping arithmetic.
+        """
+        if not 0.0 <= remaining <= self.initial:
+            raise BudgetError(
+                f"synced balance {remaining} outside [0, {self.initial}]"
+            )
+        self._records.extend(records)
+        self._remaining = float(remaining)
+
     def can_afford(self, amount: float) -> bool:
         """Whether ``amount`` fits in the remaining budget."""
         return amount <= self._remaining + 1e-12

@@ -219,9 +219,28 @@ class SignalingAuditGame:
         return self._ledger.remaining
 
     @property
+    def ledger(self) -> BudgetLedger:
+        """The cycle's budget ledger."""
+        return self._ledger
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The signal-sampling generator (shared with fast front ends)."""
+        return self._rng
+
+    @property
     def decisions(self) -> tuple[AlertDecision, ...]:
         """All decisions made in the current cycle, in arrival order."""
         return tuple(self._decisions)
+
+    def record_decision(self, decision: AlertDecision) -> None:
+        """Append a decision produced outside :meth:`process_alert`.
+
+        The policy-table fast path builds decisions without touching the
+        per-alert pipeline; recording them here keeps :attr:`decisions`
+        a complete chronological log of the cycle.
+        """
+        self._decisions.append(decision)
 
     def reset(self) -> None:
         """Start a fresh audit cycle (budget, estimator anchor, history)."""

@@ -52,13 +52,19 @@ optimal, but they are different optima.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ModelError
 from repro.core.payoffs import PayoffMatrix
-from repro.core.sse import SSESolution, build_certificate, select_candidate
+from repro.core.sse import (
+    _TIE_TOL,
+    SSESolution,
+    build_certificate,
+    select_candidate,
+)
 
 #: Feasibility slack, matching the LP path's tolerance scale.
 _FEAS_TOL = 1e-9
@@ -176,6 +182,186 @@ def solve_multiple_lp_analytic(
             },
             winner,
         ),
+    )
+
+
+@dataclass(frozen=True)
+class GridSolution:
+    """One stacked analytic solve over a (rate-column x budget) grid.
+
+    Everything :func:`solve_multiple_lp_analytic` derives for a single
+    state, evaluated for ``K`` coefficient vectors ("columns") crossed with
+    ``N`` budgets in one NumPy pass. The per-candidate water-filling
+    geometry splits into a budget-independent part shared by every column
+    (the bound lines ``a``/``b``, the coverage breakpoints ``xs`` and box
+    cap ``x_cap`` — pure payoff algebra, since theta coefficients are
+    strictly positive) and a per-column part (``g`` evaluated at the
+    breakpoints, weighted by that column's reciprocal coefficients). The
+    compiled policy table serves *exact* per-state solutions from ``g``
+    alone; the dense per-grid-point arrays certify cells and back the
+    stored decision tables.
+
+    Attributes
+    ----------
+    type_ids:
+        Sorted alert types; every candidate axis is ordered by this.
+    budgets:
+        The budget grid, ascending, shape ``(N,)``.
+    a, b:
+        Best-response lower-bound lines, shape ``(n, n)`` (row: candidate).
+    xs:
+        Candidate coverage breakpoints, shape ``(n, n + 2)``, ascending.
+    x_cap:
+        Budget-independent coverage cap per candidate, shape ``(n,)``.
+    g:
+        Budget needed to support each coverage breakpoint, per column:
+        shape ``(K, n, n + 2)``; ``g[:, :, 0]`` is the candidate's entry
+        cost (budget needed for its cheapest feasible allocation).
+    feasible:
+        Shape ``(K, n, N)``; candidate feasibility at each grid state.
+    x_star:
+        Optimal candidate coverage at each grid state, shape ``(K, n, N)``.
+    values / attacker:
+        Auditor / attacker utilities at ``x_star`` (auditor ``-inf`` when
+        infeasible), shape ``(K, n, N)``.
+    winners:
+        Canonical winning-candidate *index* per grid state (same
+        tie-breaking as :func:`~repro.core.sse.select_candidate`), shape
+        ``(K, N)``.
+    """
+
+    type_ids: tuple[int, ...]
+    budgets: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    xs: np.ndarray
+    x_cap: np.ndarray
+    g: np.ndarray
+    feasible: np.ndarray
+    x_star: np.ndarray
+    values: np.ndarray
+    attacker: np.ndarray
+    winners: np.ndarray
+
+
+def solve_grid_analytic(
+    budgets: np.ndarray,
+    coefficients: np.ndarray,
+    payoffs: Mapping[int, PayoffMatrix],
+    type_ids: Sequence[int] | None = None,
+) -> GridSolution:
+    """Solve the multiple-LP SSE over a whole state grid in one pass.
+
+    ``budgets`` is the ascending budget axis (shape ``(N,)``);
+    ``coefficients`` holds one strictly-positive theta-coefficient vector
+    per rate column (shape ``(K, n)``, columns ordered by sorted type id).
+    The result covers all ``K x N`` states. Memory scales as
+    ``K * n * N``; chunk the columns for large grids.
+    """
+    if type_ids is None:
+        type_ids = sorted(payoffs)
+    type_ids = tuple(type_ids)
+    n = len(type_ids)
+    budgets = np.asarray(budgets, dtype=float)
+    coef = np.asarray(coefficients, dtype=float)
+    if coef.ndim != 2 or coef.shape[1] != n:
+        raise ModelError(
+            f"coefficients must have shape (K, {n}), got {coef.shape}"
+        )
+    if np.any(coef <= 0.0) or not np.all(np.isfinite(coef)):
+        raise ModelError("grid theta coefficients must be finite and positive")
+    if budgets.ndim != 1 or budgets.size < 1 or np.any(np.diff(budgets) <= 0):
+        raise ModelError("budgets must be a strictly increasing 1-D grid")
+
+    u_dc = np.array([payoffs[t].u_dc for t in type_ids])
+    u_du = np.array([payoffs[t].u_du for t in type_ids])
+    u_au = np.array([payoffs[t].u_au for t in type_ids])
+    gap = np.array([payoffs[t].u_ac for t in type_ids]) - u_au
+
+    # Budget-independent geometry (coefficients are positive, so every
+    # theta box is [0, 1] and the cross caps are pure payoff algebra).
+    a = (u_au[None, :] - u_au[:, None]) / (-gap)[None, :]
+    b = gap[:, None] / gap[None, :]
+    off = ~np.eye(n, dtype=bool)
+    cross_cap = np.where(off, (1.0 - a) / b, np.inf)
+    x_cap_raw = np.minimum(1.0, cross_cap.min(axis=1, initial=np.inf))
+    feasible_cap = x_cap_raw >= -_FEAS_TOL
+    x_cap = np.clip(x_cap_raw, 0.0, None)
+
+    act = np.where(off & (a < 0.0), -a / b, 0.0)
+    act = np.clip(act, 0.0, x_cap[:, None])
+    xs = np.sort(
+        np.concatenate([np.zeros((n, 1)), act, x_cap[:, None]], axis=1), axis=1
+    )
+    m = xs.shape[1]
+
+    # Support tensor S[c, k, t]: coverage type t must carry when candidate
+    # c sits at breakpoint xs[c, k] (own coverage on the diagonal). One
+    # einsum against each column's reciprocal coefficients yields g.
+    support = np.clip(a[:, None, :] + b[:, None, :] * xs[:, :, None], 0.0, None)
+    support = np.where(off[:, None, :], support, 0.0)
+    diag = np.arange(n)
+    support[diag, :, diag] = xs  # own coverage on the diagonal
+    inv_coef = 1.0 / coef  # (K, n)
+    g = np.einsum("ckt,jt->jck", support, inv_coef)  # (K, n, m)
+
+    entry = g[:, :, 0]
+    feasible = feasible_cap[None, :, None] & (
+        entry[:, :, None] <= budgets[None, None, :] + _FEAS_TOL
+    )
+
+    # Largest breakpoint within budget, then segment interpolation — the
+    # same water-filling inversion as the single-state path, broadcast.
+    idx = np.clip(
+        np.sum(g[:, :, :, None] <= budgets[None, None, None, :] + _FEAS_TOL, axis=2)
+        - 1,
+        0,
+        m - 1,
+    )  # (K, n, N)
+    xs_cols = np.broadcast_to(xs[None, :, :], g.shape)
+    x_lo = np.take_along_axis(xs_cols, idx, axis=2)
+    g_lo = np.take_along_axis(g, idx, axis=2)
+    idx_next = np.minimum(idx + 1, m - 1)
+    x_hi = np.take_along_axis(xs_cols, idx_next, axis=2)
+    g_hi = np.take_along_axis(g, idx_next, axis=2)
+    dg = g_hi - g_lo
+    with np.errstate(divide="ignore", invalid="ignore"):
+        step = np.where(
+            dg > 0.0, (budgets[None, None, :] - g_lo) * (x_hi - x_lo) / dg, 0.0
+        )
+    x_star = np.where(idx == m - 1, x_lo, np.clip(x_lo + step, x_lo, x_hi))
+    x_star = np.where(feasible, x_star, 0.0)
+
+    values = np.where(
+        feasible,
+        u_du[None, :, None] + x_star * (u_dc - u_du)[None, :, None],
+        -np.inf,
+    )
+    attacker = u_au[None, :, None] + x_star * gap[None, :, None]
+
+    # select_candidate, vectorized: value ties within _TIE_TOL, then least
+    # attacker utility within _TIE_TOL, then smallest type id (= smallest
+    # index, since type_ids is sorted).
+    best = values.max(axis=1, keepdims=True)
+    tied = values >= best - _TIE_TOL
+    att_masked = np.where(tied, attacker, np.inf)
+    least = att_masked.min(axis=1, keepdims=True)
+    tied &= att_masked <= least + _TIE_TOL
+    winners = tied.argmax(axis=1).astype(np.int16)
+
+    return GridSolution(
+        type_ids=type_ids,
+        budgets=budgets,
+        a=a,
+        b=b,
+        xs=xs,
+        x_cap=x_cap,
+        g=g,
+        feasible=feasible,
+        x_star=x_star,
+        values=values,
+        attacker=attacker,
+        winners=winners,
     )
 
 

@@ -34,6 +34,18 @@ The legacy lossy policy (``error_budget=None``) is replayed too and its
 realized error *reported* for contrast, but not gated — it is the
 unbounded mode this harness exists to fence off.
 
+Part C — policy-table conformance. The same stream replays through the
+engine in four configurations — plain analytic, cached analytic,
+compiled policy table, and a *floored* table whose compiled budget grid
+deliberately stops above the stream's realized exhaustion point, so a
+large tail of out-of-region states exercises the fallback path. Every
+table configuration is compared pairwise against the analytic and the
+cached replays on per-alert game values (gated at
+``error_budget + VALUE_TOL``, the same certified bound as Part B) *and*
+equilibrium marginals (gated at :data:`THETA_TOL`); the floored run must
+additionally report a non-empty fallback count, or the out-of-region
+coverage silently vanished.
+
 Run it from the command line (CI does, in quick mode)::
 
     PYTHONPATH=src python -m repro.engine.conformance [--quick] [--out PATH]
@@ -134,6 +146,39 @@ class CachePolicyResult:
 
 
 @dataclass
+class TableConfigResult:
+    """One policy-table replay's pairwise agreement (Part C).
+
+    ``expect_fallbacks`` marks the floored configuration: its compiled
+    region excludes the stream's low-budget tail on purpose, so zero
+    fallbacks would mean the out-of-region path went untested.
+    """
+
+    label: str
+    error_budget: float
+    n_alerts: int = 0
+    table_hits: int = 0
+    fallbacks: int = 0
+    expect_fallbacks: bool = False
+    max_value_gap_vs_analytic: float = 0.0
+    max_theta_gap_vs_analytic: float = 0.0
+    max_value_gap_vs_cached: float = 0.0
+    max_theta_gap_vs_cached: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        bound = self.error_budget + VALUE_TOL
+        if self.expect_fallbacks and self.fallbacks == 0:
+            return False
+        return (
+            self.max_value_gap_vs_analytic <= bound
+            and self.max_value_gap_vs_cached <= bound
+            and self.max_theta_gap_vs_analytic <= THETA_TOL
+            and self.max_theta_gap_vs_cached <= THETA_TOL
+        )
+
+
+@dataclass
 class ConformanceReport:
     """Machine-readable outcome of one conformance run."""
 
@@ -143,6 +188,7 @@ class ConformanceReport:
     n_states: int
     pairs: list[PairResult] = field(default_factory=list)
     cache: list[CachePolicyResult] = field(default_factory=list)
+    table: list[TableConfigResult] = field(default_factory=list)
     failures: list[dict[str, Any]] = field(default_factory=list)
 
     @property
@@ -150,6 +196,7 @@ class ConformanceReport:
         return (
             all(pair.passed for pair in self.pairs)
             and all(policy.passed for policy in self.cache)
+            and all(config.passed for config in self.table)
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -162,6 +209,8 @@ class ConformanceReport:
         for entry, policy in zip(payload["cache"], self.cache):
             entry["passed"] = policy.passed
             entry["gated"] = policy.gated
+        for entry, config in zip(payload["table"], self.table):
+            entry["passed"] = config.passed
         return payload
 
 
@@ -372,6 +421,100 @@ def check_cache(
             )
 
 
+def check_table(
+    report: ConformanceReport,
+    n_alerts: int,
+    rng: np.random.Generator,
+    budget: float = 40.0,
+) -> None:
+    """Part C: compiled-table replays vs the analytic and cached paths.
+
+    One stream, four engine configurations. The ``table`` configuration
+    compiles over the full reachable region (all hits on this workload);
+    the ``table-floored`` one compiles a grid whose budget axis stops at
+    70% of the opening budget, so once the replay spends past the floor
+    every remaining alert is out-of-region and must take the fallback
+    path — which the gate requires to agree with the cache path exactly
+    as tightly as the in-region cells do.
+    """
+    from repro.engine.stream import BatchAuditEngine, analytic_config
+
+    payoffs, costs, history, types, times = _stream_workload(
+        rng, n_types=4, n_alerts=n_alerts
+    )
+
+    def replay(
+        cache: SSESolutionCache | None,
+        policy_table: bool = False,
+        policy_table_options: dict | None = None,
+    ):
+        engine = BatchAuditEngine(
+            analytic_config(
+                SAGConfig(
+                    payoffs=payoffs,
+                    costs=costs,
+                    budget=budget,
+                    budget_charging=CHARGE_EXPECTED,
+                )
+            ),
+            RollbackEstimator(FutureAlertEstimator(history)),
+            rng=np.random.default_rng(11),
+            cache=cache,
+            policy_table=policy_table,
+            policy_table_options=policy_table_options,
+        )
+        return engine.process_stream(types, times)
+
+    analytic_result = replay(None)
+    cached_result = replay(
+        SSESolutionCache(error_budget=DEFAULT_ERROR_BUDGET)
+    )
+    configurations = (
+        ("table", None, False),
+        ("table-floored", {"budget_floor": budget * 0.7}, True),
+    )
+    for label, options, expect_fallbacks in configurations:
+        table_result = replay(
+            SSESolutionCache(error_budget=DEFAULT_ERROR_BUDGET),
+            policy_table=True,
+            policy_table_options=options,
+        )
+        result = TableConfigResult(
+            label=label,
+            error_budget=DEFAULT_ERROR_BUDGET,
+            n_alerts=int(len(types)),
+            table_hits=table_result.stats.table_hits,
+            fallbacks=table_result.stats.fallbacks,
+            expect_fallbacks=expect_fallbacks,
+            max_value_gap_vs_analytic=float(
+                np.max(np.abs(table_result.game_values - analytic_result.game_values))
+            ),
+            max_theta_gap_vs_analytic=float(
+                np.max(np.abs(table_result.thetas - analytic_result.thetas))
+            ),
+            max_value_gap_vs_cached=float(
+                np.max(np.abs(table_result.game_values - cached_result.game_values))
+            ),
+            max_theta_gap_vs_cached=float(
+                np.max(np.abs(table_result.thetas - cached_result.thetas))
+            ),
+        )
+        report.table.append(result)
+        if not result.passed and len(report.failures) < 10:
+            report.failures.append(
+                {
+                    "kind": "table",
+                    "label": label,
+                    "table_hits": result.table_hits,
+                    "fallbacks": result.fallbacks,
+                    "max_value_gap_vs_analytic": result.max_value_gap_vs_analytic,
+                    "max_theta_gap_vs_analytic": result.max_theta_gap_vs_analytic,
+                    "max_value_gap_vs_cached": result.max_value_gap_vs_cached,
+                    "max_theta_gap_vs_cached": result.max_theta_gap_vs_cached,
+                }
+            )
+
+
 def run_conformance(
     seed: int = 7,
     quick: bool = False,
@@ -392,6 +535,7 @@ def run_conformance(
     rng = np.random.default_rng(seed)
     check_backends(report, n_games, n_states, rng)
     check_cache(report, n_alerts, rng)
+    check_table(report, n_alerts, rng)
     return report
 
 
@@ -427,6 +571,16 @@ def format_report(report: ConformanceReport) -> str:
             f"(hit rate {policy.hit_rate:.0%}, "
             f"{policy.refinements} refinements)"
         )
+    lines.append("  policy table (value gap vs analytic/cached, theta gap):")
+    for config in report.table:
+        status = "ok " if config.passed else "FAIL"
+        lines.append(
+            f"    [{status}] {config.label:14s} "
+            f"value {config.max_value_gap_vs_analytic:.2e}/"
+            f"{config.max_value_gap_vs_cached:.2e}  "
+            f"theta {max(config.max_theta_gap_vs_analytic, config.max_theta_gap_vs_cached):.2e}  "
+            f"hits {config.table_hits}, fallbacks {config.fallbacks}"
+        )
     lines.append(f"  overall: {'PASS' if report.passed else 'FAIL'}")
     return "\n".join(lines)
 
@@ -453,7 +607,10 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote {args.out}")
     if not report.passed:
-        print("FAIL: backend or cache conformance violated", file=sys.stderr)
+        print(
+            "FAIL: backend, cache, or policy-table conformance violated",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -127,12 +127,25 @@ class EngineComparisonResult:
     max_game_value_gap: float
     mean_path_divergence: float
     max_path_divergence: float
+    policy_table: bool = False
+    table_hit_rate: float = 0.0
+    fallbacks: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
         """Wall-clock ratio baseline / engine (higher is better)."""
         return (
             self.baseline_seconds / self.engine_seconds
+            if self.engine_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def decisions_per_second(self) -> float:
+        """Engine-side decision throughput (loop wall clock)."""
+        return (
+            self.n_alerts / self.engine_seconds
             if self.engine_seconds > 0
             else float("inf")
         )
@@ -180,8 +193,17 @@ def run_engine_comparison(
     budget_step: float = 0.5,
     rate_step: float = 1.0,
     error_budget: float | None = DEFAULT_ERROR_BUDGET,
+    policy_table: bool = False,
 ) -> EngineComparisonResult:
     """Replay one stream: per-alert ``baseline_backend`` vs analytic+cache.
+
+    ``policy_table=True`` serves the fast side from a precompiled
+    certified policy table (the zero-solve steady-state path) instead of
+    the per-alert solve+cache pipeline; the same verification pass then
+    re-solves every realized state exactly, so ``max_game_value_gap``
+    measures the table's end-to-end certified accuracy. Table compilation
+    happens at session open, outside ``engine_seconds`` (the per-cycle
+    loop wall); it is reported in ``compile_seconds``.
 
     Both runs use expected-value budget charging so their budget paths stay
     comparable (conditional charging would fork on sampled signals).
@@ -241,6 +263,7 @@ def run_engine_comparison(
             cache_budget_step=budget_step,
             cache_rate_step=rate_step,
             cache_error_budget=error_budget,
+            policy_table=policy_table,
         ),
         history,
     )
@@ -256,7 +279,7 @@ def run_engine_comparison(
     )
     engine_values = np.array([d.game_value for d in decisions])
     report = session.close_cycle()
-    session.close()
+    final_stats = session.close()
 
     verified_gaps = _verified_gaps(
         decisions, payoffs, costs, history, budget, baseline_backend
@@ -282,6 +305,10 @@ def run_engine_comparison(
         max_path_divergence=float(
             np.max(np.abs(engine_values - baseline_values))
         ),
+        policy_table=policy_table,
+        table_hit_rate=report.table_hit_rate,
+        fallbacks=report.fallbacks,
+        compile_seconds=final_stats.compile_seconds,
     )
 
 
@@ -328,22 +355,33 @@ def _verified_gaps(
 
 def format_engine_comparison(result: EngineComparisonResult) -> str:
     """Render the engine-vs-baseline comparison."""
-    return (
+    fast_label = "compiled table    " if result.policy_table else "analytic + cache  "
+    lines = [
         f"Batch engine vs per-alert {result.baseline_backend} "
-        f"({result.n_types} types, {result.n_alerts} alerts)\n"
+        f"({result.n_types} types, {result.n_alerts} alerts)",
         f"  per-alert {result.baseline_backend:8s}: "
-        f"{result.baseline_seconds:8.3f} s\n"
-        f"  analytic + cache  : {result.engine_seconds:8.3f} s\n"
-        f"  speedup           : {result.speedup:8.1f}x\n"
+        f"{result.baseline_seconds:8.3f} s",
+        f"  {fast_label}: {result.engine_seconds:8.3f} s",
+        f"  speedup           : {result.speedup:8.1f}x",
         f"  cache hit rate    : {result.cache_hit_rate:8.1%} "
-        f"({result.sse_solves} solves, {result.cache_entries} entries)\n"
+        f"({result.sse_solves} solves, {result.cache_entries} entries)",
+    ]
+    if result.policy_table:
+        lines.append(
+            f"  table hit rate    : {result.table_hit_rate:8.1%} "
+            f"({result.fallbacks} fallbacks, compiled in "
+            f"{result.compile_seconds:.2f} s, "
+            f"{result.decisions_per_second:,.0f} decisions/s)"
+        )
+    lines.extend([
         f"  verified gap      : {result.mean_game_value_gap:8.2e} mean / "
         f"{result.max_game_value_gap:.2e} max "
-        f"(error_budget={result.error_budget})\n"
+        f"(error_budget={result.error_budget})",
         f"  path divergence   : {result.mean_path_divergence:8.2e} mean / "
         f"{result.max_path_divergence:.2e} max "
-        f"(budget_step={result.budget_step}, rate_step={result.rate_step})"
-    )
+        f"(budget_step={result.budget_step}, rate_step={result.rate_step})",
+    ])
+    return "\n".join(lines)
 
 
 def format_runtime(result: RuntimeResult) -> str:

@@ -116,6 +116,12 @@ class ScenarioSpec:
         certified adaptive mode: cross-state cache reuse only when the
         stored per-state certificate bounds the game-value error within
         the budget (see :mod:`repro.engine.cache`).
+    policy_table:
+        Compile the session's reachable ``(budget, rates)`` region into a
+        certified policy table and serve in-region decisions from it with
+        zero solves (see :mod:`repro.engine.policy_table`). Requires the
+        analytic backend, ``robust_margin == 0``, and (with signaling) the
+        closed-form method.
     """
 
     name: str
@@ -139,6 +145,7 @@ class ScenarioSpec:
     cache_budget_step: float = 0.0
     cache_rate_step: float = 0.0
     cache_error_budget: float | None = None
+    policy_table: bool = False
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -161,6 +168,20 @@ class ScenarioSpec:
             raise ExperimentError(
                 "signaling_enabled must be a boolean, got "
                 f"{self.signaling_enabled!r}"
+            )
+        if not isinstance(self.policy_table, bool):
+            raise ExperimentError(
+                f"policy_table must be a boolean, got {self.policy_table!r}"
+            )
+        if self.policy_table and self.backend != "analytic":
+            raise ExperimentError(
+                "policy_table requires backend='analytic' (the compiled "
+                f"geometry is the analytic solver's), got {self.backend!r}"
+            )
+        if self.policy_table and self.robust_margin > 0:
+            raise ExperimentError(
+                "policy_table covers the classic OSSP only; robust_margin "
+                "must be 0"
             )
         _require(self.setting, SETTINGS, "setting")
         _require(self.attacker, ATTACKERS, "attacker")

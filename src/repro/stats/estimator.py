@@ -120,6 +120,37 @@ class FutureAlertEstimator:
             raise EstimationError(f"estimator has no history for alert type {type_id}")
         return self._times[type_id]
 
+    def rate_trajectory(self) -> tuple[np.ndarray, np.ndarray]:
+        """The remaining-mean step function over the day, as arrays.
+
+        Within a cycle the rate vector is a deterministic step function of
+        the (effective) query time: it changes only at historical arrival
+        times. Returns ``(boundaries, rates)`` where ``boundaries`` is the
+        sorted union of all merged historical arrival times (shape ``(K,)``)
+        and ``rates`` has shape ``(K + 1, n_types)`` with columns ordered by
+        :attr:`type_ids`. Row ``j`` holds :meth:`remaining_mean` for every
+        query time ``t`` with ``searchsorted(boundaries, t, 'right') == j``
+        — i.e. row 0 covers times before the first arrival and row ``j``
+        covers ``[boundaries[j-1], boundaries[j])``.
+
+        The rows are produced by the same ``searchsorted`` + integer
+        division as :meth:`remaining_mean`, so they are bitwise identical
+        to the scalar path — the policy-table compiler relies on that.
+        """
+        type_ids = self.type_ids
+        boundaries = np.unique(np.concatenate(
+            [self._merged[t] for t in type_ids]
+        )) if any(self._merged[t].size for t in type_ids) else np.empty(0)
+        days = int(self._days or 1)
+        rates = np.empty((boundaries.size + 1, len(type_ids)), dtype=float)
+        for col, type_id in enumerate(type_ids):
+            merged = self._merged[type_id]
+            rates[0, col] = merged.size / days
+            if boundaries.size:
+                counts = np.searchsorted(merged, boundaries, side="right")
+                rates[1:, col] = (merged.size - counts) / days
+        return boundaries, rates
+
 
 class RollbackEstimator:
     """Knowledge-rollback wrapper around a :class:`FutureAlertEstimator`.
@@ -158,9 +189,23 @@ class RollbackEstimator:
         return self._enabled
 
     @property
+    def threshold(self) -> float:
+        """The rollback threshold on the total remaining mean."""
+        return self._threshold
+
+    @property
     def anchor_time(self) -> float:
         """Current frozen anchor time-of-day."""
         return self._anchor
+
+    def sync_anchor(self, time_of_day: float) -> None:
+        """Set the anchor directly.
+
+        Used by vectorized front ends (the policy-table fast path) that
+        precompute the anchor recursion for a whole batch and need to hand
+        the equivalent state back before interleaving per-alert calls.
+        """
+        self._anchor = float(time_of_day)
 
     def reset(self) -> None:
         """Start a fresh audit cycle."""

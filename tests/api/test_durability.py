@@ -100,6 +100,41 @@ class TestKillAndReplay:
         assert lived == expected
         assert session.budget_remaining == reference.session("a").budget_remaining
 
+    def test_restore_table_mode_session_bit_identical(self, tmp_path):
+        """A killed table-mode session restores off the WAL and continues
+        with bit-identical decisions: the replayed stream drives the
+        recompiled table (and its fallback path) through the exact same
+        states and RNG draws as the uninterrupted twin."""
+        events = make_events(n=24)
+
+        reference = AuditService()
+        reference.open_session(
+            make_config(budget=50.0, policy_table=True), make_history()
+        )
+        expected = [reference.decide(event) for event in events[:10]]
+        reference.close_cycle("a")
+        expected += [reference.decide(event) for event in events]
+
+        victim = _open_durable(tmp_path, budget=50.0, policy_table=True)
+        lived = [victim.decide(event) for event in events[:10]]
+        victim.close_cycle("a")
+        lived += [victim.decide(event) for event in events[:9]]
+        del victim  # the crash
+
+        restored = AuditService.restore(tmp_path)
+        session = restored.session("a")
+        assert session.cycle == 1
+        stats = session.report()
+        assert stats.events == 19
+        assert stats.table_hits + stats.fallbacks == 19
+        assert stats.compile_seconds > 0.0
+        lived += [restored.decide(event) for event in events[9:]]
+        assert lived == expected
+        assert (
+            session.budget_remaining
+            == reference.session("a").budget_remaining
+        )
+
     def test_restore_rebuilds_cycle_reports(self, tmp_path):
         events = make_events(n=8)
         reference = AuditService()

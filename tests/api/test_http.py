@@ -55,6 +55,29 @@ class TestGetEndpoints:
             _get(server.url + "/nope")
         assert excinfo.value.code == 404
 
+    def test_stats_export_matches_in_process_snapshot(self, server):
+        # A table-mode tenant lands alongside the fixture's cache-mode one,
+        # so the wire export must carry the policy-table counters — and the
+        # whole body must be exactly the in-process ServiceStats snapshot,
+        # not a hand-maintained projection that can drift.
+        service = server.service
+        service.open_session(
+            make_config(tenant="tbl", budget=50.0, policy_table=True),
+            make_history(),
+        )
+        service.submit(make_events(tenant="tbl", n=12))
+        status, body = _get(server.url + "/stats")
+        assert status == 200
+        snapshot = service.stats().to_dict()
+        assert body["stats"] == json.loads(json.dumps(snapshot))
+        assert body["stats"]["table_hits"] + body["stats"]["fallbacks"] == 12
+        assert body["stats"]["compile_seconds"] > 0.0
+        by_tenant = {
+            entry["tenant"]: entry for entry in body["stats"]["per_tenant"]
+        }
+        assert by_tenant["tbl"]["table_hits"] == body["stats"]["table_hits"]
+        assert by_tenant["a"]["table_hits"] == 0
+
 
 class TestPostEndpoints:
     def test_decide(self, server):

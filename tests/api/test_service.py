@@ -80,6 +80,59 @@ class TestHotPath:
         )
         assert batched == serial
 
+    def test_submit_equals_serial_decides_table_mode(self):
+        """The stacked OSSP pass never changes a table-served decision."""
+        events = interleaved_events()
+
+        service = AuditService()
+        service.open_session(
+            make_config(tenant="a", seed=11, budget=50.0, policy_table=True),
+            make_history(),
+        )
+        service.open_session(
+            make_config(tenant="b", seed=29, budget=50.0, policy_table=True),
+            make_history(),
+        )
+        batched = service.submit(events)
+
+        serial_sessions = {
+            "a": AuditSession.open(
+                make_config(
+                    tenant="a", seed=11, budget=50.0, policy_table=True
+                ),
+                make_history(),
+            ),
+            "b": AuditSession.open(
+                make_config(
+                    tenant="b", seed=29, budget=50.0, policy_table=True
+                ),
+                make_history(),
+            ),
+        }
+        serial = tuple(
+            serial_sessions[event.tenant].decide(event) for event in events
+        )
+        assert batched == serial
+        stats = service.stats()
+        assert stats.table_hits + stats.fallbacks == len(events)
+
+    def test_submit_mixed_table_and_cache_tenants(self):
+        """Tenants on different serving modes share one submission; the
+        stacked pass only groups the eligible same-config ones."""
+        events = interleaved_events()
+        service = AuditService()
+        service.open_session(
+            make_config(tenant="a", seed=11, budget=50.0, policy_table=True),
+            make_history(),
+        )
+        service.open_session(make_config(tenant="b", seed=29), make_history())
+        decisions = service.submit(events)
+        assert len(decisions) == len(events)
+        assert [d.tenant for d in decisions] == [e.tenant for e in events]
+        stats = service.stats()
+        assert stats.table_hits > 0  # tenant a served from its table
+        assert stats.sse_solves > 0  # tenant b still solves
+
     def test_submit_preserves_input_order(self):
         events = interleaved_events()
         service = AuditService()

@@ -165,6 +165,59 @@ class TestLifecycle:
         assert session.report().sse_solves == 5
 
 
+class TestPolicyTableSession:
+    def _open_table_session(self, **overrides):
+        overrides.setdefault("budget", 50.0)
+        overrides.setdefault("policy_table", True)
+        return AuditSession.open(make_config(**overrides), make_history())
+
+    def test_table_session_matches_cache_session(self):
+        """Per-event decisions agree with the cache path within the
+        certified error budget (exact table cells, ulp-scale association
+        differences)."""
+        events = make_events(n=16)
+        table = self._open_table_session()
+        cached = AuditSession.open(make_config(budget=50.0), make_history())
+        for event in events:
+            left = table.decide(event)
+            right = cached.decide(event)
+            assert left.theta == pytest.approx(right.theta, abs=1e-9)
+            assert left.game_value == pytest.approx(
+                right.game_value, abs=1e-6
+            )
+        report = table.close_cycle()
+        assert report.table_hits + report.fallbacks == len(events)
+        assert report.table_hits > 0
+
+    def test_recompile_lands_in_the_next_cycle_report(self):
+        """A stale region marked mid-cycle recompiles inside close_cycle's
+        reset and must be attributed to the *next* cycle, not lost between
+        counter snapshots. Drift is simulated by recompiling the engine's
+        table over a single trajectory column, as a real rate drift past
+        the compiled prefix would leave it."""
+        events = make_events(n=8)
+        session = self._open_table_session()
+        engine = session._engine
+        engine._table_options["max_columns"] = 1
+        engine._compile_table()
+        assert engine.policy.region.truncated
+
+        for event in events:
+            session.decide(event)
+        first = session.close_cycle()
+        assert first.fallbacks == len(events)
+        assert first.recompiles == 0  # marked stale, recompile is in reset
+
+        for event in events:
+            session.decide(event)
+        second = session.close_cycle()
+        assert second.recompiles == 1
+        assert second.compile_seconds > 0.0
+        assert second.fallbacks == 0
+        stats = session.report()
+        assert stats.recompiles == 1
+
+
 class TestEventValidation:
     def test_wrong_tenant_rejected(self):
         session = AuditSession.open(make_config(), make_history())
