@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -49,6 +50,16 @@ MAX_OVERHEAD = 0.10
 
 #: Paired measurement repeats; the overhead check uses the best of each.
 REPEATS = 3
+
+#: Acceptance floor for the sharded tier: aggregate multi-tenant
+#: throughput at CLUSTER_WORKERS workers vs 1 worker through the same
+#: front door. Recorded always; enforced only where the hardware can
+#: physically show it (>= CLUSTER_WORKERS CPUs — the bench_suite
+#: precedent: record everywhere, gate where it means something).
+MIN_CLUSTER_SCALING = 2.5
+
+#: Worker count of the scaled cluster measurement.
+CLUSTER_WORKERS = 4
 
 
 def _measure_engine(payoffs, costs, history, types, times, seed) -> float:
@@ -127,7 +138,7 @@ def _measure_multi_tenant(
     payoffs, costs, history, events, seed, n_tenants: int,
     policy_table: bool = False,
 ) -> dict:
-    """One round-robin multi-tenant submit, measured per tenant and whole.
+    """Round-robin multi-tenant submit: warm-up pass, then best of repeats.
 
     The stream splits round-robin over ``n_tenants`` sessions and lands
     in ONE ``submit`` call, so the figure exercises the cross-tenant
@@ -135,10 +146,33 @@ def _measure_multi_tenant(
     interleaved they arrive) and the stacked closed-form OSSP pass.
     Reports the aggregate events/s (whole submission over wall clock)
     *and* each tenant's engine-side events/s, so a per-tenant collapse
-    can no longer hide inside a healthy-looking aggregate. Table
-    compiles happen at ``open_session``, outside the timed window;
-    ``compile_seconds`` reports them.
+    can no longer hide inside a healthy-looking aggregate.
+
+    A full throwaway pass runs first: process-level one-time costs
+    (allocator growth, NumPy/SciPy internals paging in) used to land
+    entirely on whichever tenant went first, showing up as a phantom 4x
+    per-tenant imbalance. Then ``REPEATS`` measured passes run on fresh
+    services and the fastest pass is reported — per-tenant rates now
+    reflect the workload, not interpreter warm-up. Table compiles happen
+    at ``open_session``, outside the timed window; ``compile_seconds``
+    reports them.
     """
+    passes = [
+        _one_multi_tenant_pass(
+            payoffs, costs, history, events, seed, n_tenants, policy_table
+        )
+        for _ in range(REPEATS + 1)
+    ]
+    best = min(passes[1:], key=lambda result: result["seconds"])
+    best["repeats"] = REPEATS
+    best["warmed_up"] = True
+    return best
+
+
+def _one_multi_tenant_pass(
+    payoffs, costs, history, events, seed, n_tenants: int,
+    policy_table: bool = False,
+) -> dict:
     service = AuditService()
     tenants = [f"bench-{i}" for i in range(n_tenants)]
     for index, tenant in enumerate(tenants):
@@ -180,6 +214,88 @@ def _measure_multi_tenant(
         "aggregate_events_per_second": aggregate,
         "per_tenant_events_per_second": per_tenant,
         "compile_seconds": service.stats().compile_seconds,
+    }
+
+
+def _measure_cluster_scaling(
+    payoffs, costs, history, events, seed, n_workers: int = CLUSTER_WORKERS,
+) -> dict:
+    """Aggregate multi-tenant throughput: N workers vs 1, same front door.
+
+    One tenant is pinned to each shard of the N-worker ring (names probed
+    deterministically against the hash placement), the identical
+    round-robin stream drives both cluster sizes through the router's
+    ``submit`` fan-out, and each size reports the best of ``REPEATS``
+    passes after a warm-up pass (``close_cycle`` resets the day between
+    passes). Worker boot and session opens sit outside every timed
+    window. Cache mode, not table mode: the scaling story is process
+    parallelism of real solver work.
+    """
+    from repro.api import ReproClient, serve_cluster
+    from repro.api.hashring import HashRing
+
+    worker_ids = [f"shard-{index}" for index in range(n_workers)]
+    ring = HashRing(worker_ids)
+    tenants: list[str] = []
+    covered: set[str] = set()
+    index = 0
+    while len(tenants) < n_workers:
+        name = f"bench-c{index}"
+        owner = ring.owner(name)
+        if owner not in covered:
+            covered.add(owner)
+            tenants.append(name)
+        index += 1
+    routed = [
+        AlertEvent(
+            tenant=tenants[position % len(tenants)],
+            type_id=event.type_id,
+            time_of_day=event.time_of_day,
+        )
+        for position, event in enumerate(events)
+    ]
+
+    def _drive(workers: list[str]) -> float:
+        with serve_cluster(workers=workers).start_background() as cluster:
+            client = ReproClient.connect(cluster.url)
+            for offset, tenant in enumerate(tenants):
+                client.open_session(
+                    SessionConfig(
+                        tenant=tenant,
+                        budget=50.0,
+                        payoffs=payoffs,
+                        costs=costs,
+                        backend="analytic",
+                        seed=seed + offset,
+                    ),
+                    history,
+                )
+            best = float("inf")
+            for attempt in range(REPEATS + 1):
+                started = time.perf_counter()
+                decisions = client.submit(routed)
+                elapsed = time.perf_counter() - started
+                assert len(decisions) == len(routed)
+                for tenant in tenants:
+                    client.close_cycle(tenant)
+                if attempt > 0:  # the first pass is warm-up
+                    best = min(best, elapsed)
+            return len(routed) / best
+
+    single_rate = _drive(worker_ids[:1])
+    scaled_rate = _drive(worker_ids)
+    cpu_count = os.cpu_count() or 1
+    return {
+        "workers": n_workers,
+        "tenants": tenants,
+        "events": len(routed),
+        "repeats": REPEATS,
+        "events_per_second_1_worker": single_rate,
+        f"events_per_second_{n_workers}_workers": scaled_rate,
+        "scaling_ratio": scaled_rate / single_rate,
+        "min_scaling_ratio": MIN_CLUSTER_SCALING,
+        "cpu_count": cpu_count,
+        "enforced": cpu_count >= n_workers,
     }
 
 
@@ -230,6 +346,9 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
     )
     http = _measure_http(payoffs, costs, history, events, seed)
     http["overhead_vs_engine"] = http["seconds"] / best_engine - 1.0
+    cluster = _measure_cluster_scaling(
+        payoffs, costs, history, events, seed
+    )
 
     return {
         "n_alerts": n_alerts,
@@ -246,6 +365,7 @@ def run_bench(seed: int = 7, n_alerts: int = 4000, n_tenants: int = 4) -> dict:
         "multi_tenant": multi_table,
         "multi_tenant_cache": multi_cache,
         "http_loopback": http,
+        "cluster_scaling": cluster,
     }
 
 
@@ -280,6 +400,15 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: façade overhead {payload['overhead']:.1%} exceeds the "
             f"{MAX_OVERHEAD:.0%} acceptance ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    cluster = payload["cluster_scaling"]
+    if cluster["enforced"] and cluster["scaling_ratio"] < MIN_CLUSTER_SCALING:
+        print(
+            f"FAIL: cluster scaling {cluster['scaling_ratio']:.2f}x at "
+            f"{cluster['workers']} workers is below the "
+            f"{MIN_CLUSTER_SCALING:.1f}x acceptance floor",
             file=sys.stderr,
         )
         return 1
@@ -322,6 +451,19 @@ def _format(payload: dict) -> str:
         f"  HTTP loopback submit : "
         f"{http['events_per_second']:9.0f} events/s "
         f"(wire overhead {http['overhead_vs_engine']:.1%}, informational)"
+    )
+    cluster = payload["cluster_scaling"]
+    gate = (
+        f"floor {cluster['min_scaling_ratio']:.1f}x enforced"
+        if cluster["enforced"]
+        else f"floor {cluster['min_scaling_ratio']:.1f}x recorded only "
+             f"({cluster['cpu_count']} CPUs < {cluster['workers']} workers)"
+    )
+    scaled = cluster[f"events_per_second_{cluster['workers']}_workers"]
+    lines.append(
+        f"  cluster {cluster['workers']}w vs 1w    : "
+        f"{scaled:9.0f} vs {cluster['events_per_second_1_worker']:.0f} "
+        f"events/s (scaling {cluster['scaling_ratio']:.2f}x, {gate})"
     )
     return "\n".join(lines)
 

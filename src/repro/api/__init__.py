@@ -21,7 +21,13 @@ additions — every ``v1`` symbol is unchanged):
   dependency-free ``ThreadingHTTPServer`` binding of the protocol;
 * :mod:`repro.api.client` — :class:`~repro.api.client.ReproClient` with
   swappable :class:`~repro.api.client.InProcessTransport` /
-  :class:`~repro.api.client.HttpTransport`, bit-identical per tenant.
+  :class:`~repro.api.client.HttpTransport`, bit-identical per tenant;
+* :mod:`repro.api.cluster` — :func:`~repro.api.cluster.serve_cluster`,
+  the tenant-sharded multi-process tier: a consistent-hash ring
+  (:mod:`repro.api.hashring`) routes tenants to supervised worker
+  processes (:mod:`repro.api.supervisor`) behind one asyncio front door
+  speaking the same protocol — a cluster URL is just another
+  :class:`~repro.api.client.ReproClient` endpoint.
 """
 
 from repro.api import v1
@@ -37,13 +43,18 @@ from repro.api.protocol import (
 )
 from repro.api.http import ReproHttpServer, serve_http
 from repro.api.client import HttpTransport, InProcessTransport, ReproClient
+from repro.api.hashring import HashRing
+from repro.api.supervisor import WorkerSpec, WorkerSupervisor
+from repro.api.cluster import AuditCluster, serve_cluster
 
 #: The current API version module.
 CURRENT_VERSION = "v1"
 
 __all__ = [
+    "AuditCluster",
     "CURRENT_VERSION",
     "ErrorBody",
+    "HashRing",
     "HttpTransport",
     "InProcessTransport",
     "PROTOCOL_VERSION",
@@ -53,8 +64,11 @@ __all__ = [
     "Request",
     "Response",
     "SequenceTracker",
+    "WorkerSpec",
+    "WorkerSupervisor",
     "decode_ndjson",
     "encode_ndjson",
+    "serve_cluster",
     "serve_http",
     "v1",
 ]

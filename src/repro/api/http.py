@@ -64,6 +64,8 @@ STATUS_BY_CODE: dict[str, int] = {
     "experiment_invalid": HTTPStatus.UNPROCESSABLE_ENTITY,
     "data_invalid": HTTPStatus.UNPROCESSABLE_ENTITY,
     "data_query": HTTPStatus.UNPROCESSABLE_ENTITY,
+    "cluster_error": HTTPStatus.INTERNAL_SERVER_ERROR,
+    "worker_unavailable": HTTPStatus.SERVICE_UNAVAILABLE,
 }
 
 #: Events decided per streamed ``submit`` chunk.

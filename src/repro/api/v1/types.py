@@ -276,6 +276,21 @@ class ServiceStats(_Payload):
         )
 
     @classmethod
+    def merge(cls, parts: "tuple[ServiceStats, ...]") -> "ServiceStats":
+        """Merge shard-level aggregates into one cluster-wide aggregate.
+
+        Tenants are disjoint across shards (the hash ring partitions
+        them), so merging is exactly :meth:`from_sessions` over the
+        concatenated per-tenant snapshots — the cluster ``/stats`` fan-in
+        reproduces what a single process holding every session would
+        report, modulo per-tenant ordering.
+        """
+        sessions: list[SessionStats] = []
+        for part in parts:
+            sessions.extend(part.per_tenant)
+        return cls.from_sessions(tuple(sessions))
+
+    @classmethod
     def _decode(cls, payload: dict[str, Any]) -> dict[str, Any]:
         payload["per_tenant"] = tuple(
             SessionStats.from_dict(entry) for entry in payload.get("per_tenant", ())

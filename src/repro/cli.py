@@ -163,6 +163,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(endpoints: /v1/<op>, /healthz, /stats; see docs/api.md)",
     )
     serve.add_argument(
+        "--cluster", action="store_true",
+        help="serve the tenant-sharded multi-process tier instead of one "
+        "process: an asyncio router dispatches each tenant to one of "
+        "--workers supervised worker processes via a consistent-hash "
+        "ring (implies the HTTP wire; see docs/api.md)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="with --cluster: number of shard worker processes "
+        "(default 2); each journals to <state-dir>/shard-k/",
+    )
+    serve.add_argument(
         "--host", default="127.0.0.1", metavar="ADDR",
         help="bind address for --http (default 127.0.0.1)",
     )
@@ -475,6 +487,8 @@ def _run_serve(args, explicit) -> int:
     from repro.api.v1 import AuditService
     from repro.experiments.report import render_table
 
+    if args.cluster:
+        return _run_serve_cluster(args, explicit)
     if args.http:
         return _run_serve_http(args, explicit)
 
@@ -603,6 +617,63 @@ def _run_serve_http(args, explicit) -> int:
     finally:
         server.shutdown()
     return 0
+
+
+def _run_serve_cluster(args, explicit) -> int:
+    """``serve --cluster``: the tenant-sharded multi-process tier.
+
+    Boots ``--workers`` supervised worker processes (each a durable
+    ``AuditService`` journaling to ``<state-dir>/shard-k/``, restored
+    from any logs already there), then the protocol-speaking router.
+    Scenarios open *through* the router, so each lands on its
+    hash-assigned shard exactly as any external client's would.
+    """
+    import json as _json
+    import urllib.request as _urllib_request
+
+    from repro.api import ReproClient, serve_cluster
+
+    specs = _selected_specs(args, explicit)
+    cluster = serve_cluster(
+        workers=max(1, args.workers),
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+    )
+    try:
+        cluster.start_background()
+        health = _json.load(
+            _urllib_request.urlopen(cluster.url + "/healthz")
+        )
+        existing = set(health["tenants"])
+        client = ReproClient.connect(cluster.url)
+        for spec in specs:
+            if spec.name in existing:
+                continue  # restored from the shard's WAL
+            client.open_scenario(spec)
+        if args.ready_file:
+            cluster.write_ready_file(args.ready_file)
+        tenants = ", ".join(
+            spec.name for spec in specs
+        ) or ", ".join(sorted(existing)) or (
+            "none (open sessions via /v1/open)"
+        )
+        placement = ", ".join(
+            f"{worker}={cluster.supervisor.pid(worker)}"
+            for worker in cluster.worker_ids
+        )
+        print(f"serving repro.api cluster on {cluster.url}  "
+              f"(tenants: {tenants})")
+        print(f"workers: {placement}")
+        print("endpoints: POST /v1/<op>  GET /healthz  GET /stats  "
+              "GET /cluster — Ctrl-C stops")
+        while True:
+            if cluster.join(timeout=3600.0):
+                return 1  # the router died under us
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        cluster.shutdown()
 
 
 def _run_decide(args, explicit) -> int:

@@ -143,3 +143,28 @@ class TransportError(ApiError):
     """
 
     code = "transport_error"
+
+
+class ClusterError(ApiError):
+    """A cluster-tier failure: misconfiguration, routing, or rebalancing.
+
+    Raised by :mod:`repro.api.cluster` and :mod:`repro.api.supervisor`
+    for problems in the sharded serving tier itself (bad worker counts,
+    unknown shard ids, handoff failures) — distinct from errors any
+    single worker's service reports, which travel through under their
+    own stable codes.
+    """
+
+    code = "cluster_error"
+
+
+class WorkerUnavailableError(ClusterError):
+    """A shard's worker process cannot serve and cannot be restarted.
+
+    The supervisor restarts crashed workers with bounded backoff; once a
+    worker exhausts its restart budget (or never comes up within the
+    start timeout) requests routed to its shard fail with this error
+    instead of retrying forever.
+    """
+
+    code = "worker_unavailable"

@@ -1,0 +1,216 @@
+"""Cluster transparency: N workers are bit-identical to one process.
+
+The sharded tier's core contract — the consistent-hash placement, the
+process boundary, the fan-out/fan-in, and rebalancing are all *routing*,
+never *semantics*. An N-worker cluster driven by the same scenario seeds
+as a single-process :class:`~repro.api.v1.AuditService` must produce
+exactly equal per-tenant decision streams, cycle reports (modulo wall
+clock), and service stats (modulo shard attribution: ``per_tenant`` order
+follows shard layout, so aggregates and sorted per-tenant snapshots are
+compared, not tuple order).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ReproClient, serve_cluster
+from repro.api.v1 import AuditService
+from repro.scenarios import ScenarioSpec
+
+from apihelpers import make_config, make_events, make_history
+
+TINY = ScenarioSpec(
+    name="cluster-tiny", n_days=8, training_window=6, n_trials=1,
+    normal_daily_mean=400.0,
+)
+
+
+def _strip_wall(report):
+    return dataclasses.replace(report, wall_seconds=0.0)
+
+
+def _scenario_specs_spanning(cluster, count=2):
+    """Scenario copies renamed so every shard owns at least one of them."""
+    specs = []
+    covered = set()
+    index = 0
+    while len(specs) < count or len(covered) < len(cluster.worker_ids):
+        name = f"cluster-tiny-{index}"
+        owner = cluster.owner_of(name)
+        if owner not in covered or len(specs) < count:
+            specs.append(dataclasses.replace(TINY, name=name))
+            covered.add(owner)
+        index += 1
+        if index > 200:  # pragma: no cover - placement would be broken
+            raise AssertionError("could not span every shard")
+    return specs
+
+
+@pytest.fixture(scope="module")
+def rig(tmp_path_factory):
+    """A 3-worker cluster + client + single-process reference."""
+    state_dir = tmp_path_factory.mktemp("cluster-eqv")
+    with serve_cluster(workers=3, state_dir=state_dir).start_background() as cluster:
+        yield cluster, ReproClient.connect(cluster.url), AuditService()
+
+
+class TestScenarioEquivalence:
+    def test_full_lifecycle_bit_identical_per_tenant(self, rig):
+        cluster, client, reference = rig
+        specs = _scenario_specs_spanning(cluster, count=3)
+        owners = {spec.name: cluster.owner_of(spec.name) for spec in specs}
+        assert set(owners.values()) == set(cluster.worker_ids)
+
+        events = {}
+        for spec in specs:
+            cluster_events = client.open_scenario(spec)
+            _session, reference_events = reference.open_scenario(spec)
+            assert cluster_events == tuple(reference_events)
+            events[spec.name] = cluster_events[:20]
+
+        # Interleave tenants so the fan-out actually exercises grouping
+        # and input-order fan-back across all three shards at once.
+        mixed = [
+            events[spec.name][index]
+            for index in range(20)
+            for spec in specs
+        ]
+        assert list(client.submit(mixed)) == list(reference.submit(mixed))
+
+        for spec in specs:
+            assert _strip_wall(client.close_cycle(spec.name)) == _strip_wall(
+                reference.close_cycle(spec.name)
+            )
+            lived = _strip_wall(client.report(spec.name))
+            expected = _strip_wall(reference.session(spec.name).report())
+            assert lived == expected
+
+        merged = client.stats()
+        expected = reference.stats()
+        # Aggregates match exactly; per-tenant snapshots match as a set
+        # (shard layout decides tuple order — the documented attribution
+        # difference).
+        assert dataclasses.replace(
+            merged, per_tenant=(), wall_seconds=0.0
+        ) == dataclasses.replace(expected, per_tenant=(), wall_seconds=0.0)
+        assert sorted(
+            _strip_wall(stats).to_json() for stats in merged.per_tenant
+        ) == sorted(
+            _strip_wall(stats).to_json() for stats in expected.per_tenant
+        )
+        for spec in specs:
+            client.close_session(spec.name)
+            reference.close_session(spec.name)
+
+
+class TestConfiguredSessionEquivalence:
+    def test_decide_streams_and_multi_cycle_identical(self, rig):
+        cluster, client, reference = rig
+        tenants = [f"eqv-{index}" for index in range(4)]
+        for tenant in tenants:
+            for target in (client, reference):
+                target.open_session(
+                    make_config(tenant=tenant, budget=20.0, seed=7),
+                    make_history(),
+                )
+        per_tenant = {
+            tenant: make_events(tenant=tenant, n=8) for tenant in tenants
+        }
+        for _cycle in range(2):
+            for tenant in tenants:
+                lived = [
+                    client.decide(event) for event in per_tenant[tenant]
+                ]
+                expected = list(reference.submit(per_tenant[tenant]))
+                assert lived == expected
+                assert _strip_wall(
+                    client.close_cycle(tenant)
+                ) == _strip_wall(reference.close_cycle(tenant))
+        for tenant in tenants:
+            client.close_session(tenant)
+            reference.close_session(tenant)
+
+    def test_sequence_numbers_shard_locally(self, rig):
+        """Per-tenant seq streams are tracked by the owning shard: every
+        tenant can use the same seq values without interference, exactly
+        like a single process."""
+        cluster, client, reference = rig
+        tenants = [f"seq-{index}" for index in range(3)]
+        for tenant in tenants:
+            for target in (client, reference):
+                target.open_session(
+                    make_config(tenant=tenant), make_history()
+                )
+        for seq in range(1, 5):
+            for tenant in tenants:
+                event = make_events(tenant=tenant, n=6)[seq - 1]
+                lived, replayed = client.decide_idempotent(event, seq=seq)
+                expected, _ = reference.decide_idempotent(event, seq=seq)
+                assert (lived, replayed) == (expected, False)
+        # Replays keep shard-local semantics too.
+        for tenant in tenants:
+            event = make_events(tenant=tenant, n=6)[3]
+            lived, replayed = client.decide_idempotent(event, seq=4)
+            assert replayed
+            expected, _ = reference.decide_idempotent(event, seq=4)
+            assert lived == expected
+        for tenant in tenants:
+            client.close_session(tenant)
+            reference.close_session(tenant)
+
+
+class TestRebalanceEquivalence:
+    def test_grow_then_shrink_preserves_per_tenant_streams(self, tmp_path):
+        """Adding and removing a worker mid-stream hands the moved
+        tenants' WALs to their new owners; decisions before, between, and
+        after the membership changes stay bit-identical to one process."""
+        with serve_cluster(
+            workers=2, state_dir=tmp_path / "cluster"
+        ).start_background() as cluster:
+            client = ReproClient.connect(cluster.url)
+            reference = AuditService()
+            tenants = [f"move-{index}" for index in range(4)]
+            for tenant in tenants:
+                for target in (client, reference):
+                    target.open_session(
+                        make_config(tenant=tenant, budget=20.0),
+                        make_history(),
+                    )
+            per_tenant = {
+                tenant: make_events(tenant=tenant, n=12)
+                for tenant in tenants
+            }
+            for tenant in tenants:
+                assert [
+                    client.decide(event)
+                    for event in per_tenant[tenant][:4]
+                ] == list(reference.submit(per_tenant[tenant][:4]))
+
+            added = cluster.add_worker()
+            moved = [
+                tenant for tenant in tenants
+                if cluster.owner_of(tenant) == added
+            ]
+            for tenant in tenants:
+                assert [
+                    client.decide(event)
+                    for event in per_tenant[tenant][4:8]
+                ] == list(reference.submit(per_tenant[tenant][4:8]))
+
+            cluster.remove_worker(added)
+            for tenant in tenants:
+                assert [
+                    client.decide(event)
+                    for event in per_tenant[tenant][8:]
+                ] == list(reference.submit(per_tenant[tenant][8:]))
+                assert _strip_wall(
+                    client.close_cycle(tenant)
+                ) == _strip_wall(reference.close_cycle(tenant))
+            merged = client.stats()
+            expected = reference.stats()
+            assert merged.events == expected.events
+            assert merged.cycles_closed == expected.cycles_closed
+            # The handoff is only interesting if the ring actually moved
+            # someone both ways.
+            assert moved, "adding a third worker moved no tenants"
