@@ -1,0 +1,203 @@
+"""Benchmark — learning subsystem: FP convergence, regret decay, throughput.
+
+Reproduces: the learning-subsystem acceptance targets. Three gates:
+
+1. **Fictitious-play convergence** — on random zero-sum instances (the
+   provable-convergence regime) the dynamics of
+   :func:`repro.learning.fictitious_play.run_fictitious_play` must drive
+   the normalized exploitability gap to ``FP_GAP_TOL`` (1e-3) within the
+   iteration cap; the worst gap and per-instance iteration counts are
+   recorded.
+2. **No-regret decay** — a :class:`~repro.learning.attackers.NoRegretAttacker`
+   driven through :func:`~repro.learning.loop.run_learning_loop` for
+   >= 20 cycles must show monotonically decreasing average regret (within
+   ``REGRET_NOISE`` per step) and strictly lower final than initial regret.
+3. **Throughput** — the learning loop must sustain at least
+   ``MIN_DECISIONS_PER_SECOND`` decisions/s end to end (engine replays
+   plus per-cycle belief updates).
+
+The run writes its measurements to ``BENCH_learning.json``, which CI
+uploads as an artifact alongside the other BENCH files.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_learning.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.engine.conformance import zero_sum_game
+from repro.learning import NoRegretAttacker, run_fictitious_play, run_learning_loop
+from repro.scenarios import ScenarioSpec
+
+#: Normalized exploitability gap every zero-sum instance must reach.
+FP_GAP_TOL = 1e-3
+
+#: Iteration cap for the dynamics (matches conformance Part D).
+FP_ITERATIONS = 4000
+
+#: Allowed per-step increase in the average-regret curve (sampling noise
+#: from signal lotteries and budget-path variation across replay cycles).
+REGRET_NOISE = 0.02
+
+#: End-to-end learning-loop throughput floor (decisions per second).
+MIN_DECISIONS_PER_SECOND = 150.0
+
+#: Cycles the no-regret attacker learns for (the gate requires >= 20).
+REGRET_CYCLES = 24
+
+
+def bench_fp_convergence(seed: int, n_instances: int) -> dict:
+    """Gap and iteration count for each zero-sum instance."""
+    rng = np.random.default_rng(seed)
+    gaps, iterations = [], []
+    for _ in range(n_instances):
+        payoffs, _costs = zero_sum_game(rng)
+        budget = float(rng.uniform(1.0, 50.0))
+        coefficient = {t: float(rng.uniform(0.005, 0.5)) for t in sorted(payoffs)}
+        result = run_fictitious_play(
+            budget, coefficient, payoffs,
+            iterations=FP_ITERATIONS, tol=FP_GAP_TOL,
+        )
+        gaps.append(result.gap)
+        iterations.append(result.iterations)
+    return {
+        "instances": n_instances,
+        "gap_tol": FP_GAP_TOL,
+        "iteration_cap": FP_ITERATIONS,
+        "max_gap": max(gaps),
+        "mean_iterations": float(np.mean(iterations)),
+        "max_iterations": max(iterations),
+        "all_converged": max(gaps) <= FP_GAP_TOL,
+    }
+
+
+def bench_regret_curve(seed: int, cycles: int) -> dict:
+    """The no-regret attacker's average-regret curve plus throughput."""
+    spec = ScenarioSpec(
+        name="bench-learning", seed=seed, n_days=4, training_window=3,
+        attacker="no_regret", learning_cycles=cycles,
+    )
+    alerts, context, _split = spec.build_world()
+    started = time.perf_counter()
+    curve = run_learning_loop(
+        NoRegretAttacker(learning_rate=spec.learning_rate),
+        alerts, context, cycles=cycles,
+    )
+    wall = time.perf_counter() - started
+    regret = list(curve.regret)
+    violations = [
+        (i, regret[i], regret[i + 1])
+        for i in range(len(regret) - 1)
+        if regret[i + 1] > regret[i] + REGRET_NOISE
+    ]
+    decisions = cycles * len(alerts)
+    return {
+        "cycles": cycles,
+        "alerts_per_cycle": len(alerts),
+        "regret_curve": regret,
+        "regret_initial": regret[0],
+        "regret_final": regret[-1],
+        "monotone_within_noise": not violations,
+        "violations": violations,
+        "decisions": decisions,
+        "wall_seconds": wall,
+        "decisions_per_second": decisions / wall if wall > 0 else 0.0,
+    }
+
+
+def run_bench(seed: int = 7, quick: bool = False) -> dict:
+    """All three measurement groups in one payload."""
+    return {
+        "fp": bench_fp_convergence(seed, n_instances=6 if quick else 20),
+        "regret": bench_regret_curve(seed, cycles=REGRET_CYCLES),
+        "floors": {
+            "fp_gap_tol": FP_GAP_TOL,
+            "regret_noise": REGRET_NOISE,
+            "min_decisions_per_second": MIN_DECISIONS_PER_SECOND,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced instance count for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_learning.json", metavar="PATH",
+        help="where to write the JSON measurements",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    payload = run_bench(seed=args.seed, quick=args.quick)
+    payload["quick"] = bool(args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print(_format(payload))
+    print(f"wrote {args.out}")
+
+    failed = False
+    fp = payload["fp"]
+    if not fp["all_converged"]:
+        print(
+            f"FAIL: fictitious play left an exploitability gap of "
+            f"{fp['max_gap']:.2e} (> {FP_GAP_TOL:g}) after "
+            f"{fp['iteration_cap']} iterations",
+            file=sys.stderr,
+        )
+        failed = True
+    regret = payload["regret"]
+    if not regret["monotone_within_noise"]:
+        print(
+            f"FAIL: average regret increased beyond the {REGRET_NOISE:g} "
+            f"noise band at steps {regret['violations']}",
+            file=sys.stderr,
+        )
+        failed = True
+    if not regret["regret_final"] < regret["regret_initial"]:
+        print(
+            f"FAIL: final regret {regret['regret_final']:.4f} not below "
+            f"initial {regret['regret_initial']:.4f}",
+            file=sys.stderr,
+        )
+        failed = True
+    if regret["decisions_per_second"] < MIN_DECISIONS_PER_SECOND:
+        print(
+            f"FAIL: learning loop at {regret['decisions_per_second']:.0f} "
+            f"decisions/s, below the {MIN_DECISIONS_PER_SECOND:.0f}/s floor",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def _format(payload: dict) -> str:
+    fp, regret = payload["fp"], payload["regret"]
+    return "\n".join([
+        f"Learning subsystem ({'quick' if payload['quick'] else 'full'})",
+        f"  FP dynamics: {fp['instances']} zero-sum instances, "
+        f"worst gap {fp['max_gap']:.2e} (tol {fp['gap_tol']:g}), "
+        f"mean {fp['mean_iterations']:.0f} / max {fp['max_iterations']} "
+        "iterations",
+        f"  no-regret: {regret['cycles']} cycles x "
+        f"{regret['alerts_per_cycle']} alerts, regret "
+        f"{regret['regret_initial']:.4f} -> {regret['regret_final']:.4f} "
+        f"(monotone within noise: {regret['monotone_within_noise']})",
+        f"  throughput: {regret['decisions_per_second']:.0f} decisions/s "
+        f"(floor {MIN_DECISIONS_PER_SECOND:.0f}/s)",
+    ])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

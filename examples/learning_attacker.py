@@ -1,0 +1,81 @@
+"""A learning attacker closing its regret gap on a static rational baseline.
+
+Run with:  python examples/learning_attacker.py
+
+The paper's attacker is perfectly rational and *fully informed*: he knows
+the auditor's committed coverage and best-responds from cycle one, so his
+regret is zero by definition. An adaptive attacker starts ignorant and has
+to learn the coverage from observed audit cycles. This example drives a
+Hedge-based :class:`~repro.learning.attackers.NoRegretAttacker` and a
+Beta-posterior :class:`~repro.learning.attackers.BayesianLearningAttacker`
+through ten replayed audit cycles (:func:`~repro.learning.loop.run_learning_loop`)
+and plots each per-cycle average-regret curve against the rational
+attacker's flat zero line.
+"""
+
+from repro.learning import (
+    BayesianLearningAttacker,
+    NoRegretAttacker,
+    run_learning_loop,
+)
+from repro.scenarios import ScenarioSpec
+
+CYCLES = 10
+PLOT_WIDTH = 40
+
+
+def textplot(values, width=PLOT_WIDTH) -> list[str]:
+    """One horizontal bar per cycle, scaled to the largest value."""
+    top = max(max(values), 1e-12)
+    lines = []
+    for cycle, value in enumerate(values, start=1):
+        bar = "#" * max(1, round(width * value / top)) if value > 0 else ""
+        lines.append(f"  cycle {cycle:>2} |{bar:<{width}}| {value:.4f}")
+    return lines
+
+
+def main() -> None:
+    spec = ScenarioSpec(
+        name="example-learning", n_days=4, training_window=3,
+        attacker="no_regret", learning_cycles=CYCLES,
+        backend="fictitious_play",
+    )
+    alerts, context, _split = spec.build_world()
+    print(f"world: {len(alerts)} alerts/cycle, backend={spec.backend}, "
+          f"{CYCLES} cycles\n")
+
+    print("static rational attacker (paper baseline): fully informed, "
+          "best-responds immediately")
+    print("  regret = 0.0000 at every cycle\n")
+
+    hedge = run_learning_loop(
+        NoRegretAttacker(learning_rate=spec.learning_rate),
+        alerts, context, cycles=CYCLES,
+    )
+    print("no-regret (Hedge over attack types): average regret per cycle")
+    print("\n".join(textplot(hedge.regret)))
+    print(f"  regret {hedge.regret[0]:.4f} -> {hedge.regret[-1]:.4f}, "
+          f"final exploitability gap {hedge.exploit_gap[-1]:.4f}\n")
+
+    # The Bayesian learner plays a best response to his posterior mean, so
+    # his own-play regret is flat zero; the informative curve is the gap to
+    # the best response against the TRUE coverage, which collapses the
+    # cycle his posterior crosses the break-even coverage.
+    bayes = run_learning_loop(
+        BayesianLearningAttacker(observation_weight=4.0),
+        alerts, context, cycles=CYCLES,
+    )
+    print("bayesian (Beta posterior over coverage): exploitability gap "
+          "per cycle")
+    print("\n".join(textplot(bayes.exploit_gap)))
+    print(f"  gap {bayes.exploit_gap[0]:.4f} -> {bayes.exploit_gap[-1]:.4f}, "
+          f"posterior entropy {bayes.posterior_entropy[0]:.3f} -> "
+          f"{bayes.posterior_entropy[-1]:.3f}\n")
+
+    print("the rational attacker's zero-regret line is the floor both "
+          "learners decay toward;\nthe auditor's SSE commitment is "
+          "attacker-model-free, so the defense needs no retuning.")
+
+
+if __name__ == "__main__":
+    main()

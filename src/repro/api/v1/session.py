@@ -39,6 +39,10 @@ from repro.errors import (
 from repro.core.game import AlertDecision, SAGConfig
 from repro.engine.cache import SSESolutionCache
 from repro.engine.stream import BatchAuditEngine
+from repro.learning.attackers import (
+    BayesianLearningAttacker,
+    NoRegretAttacker,
+)
 from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
 from repro.api.v1.types import (
     SESSION_CLOSED,
@@ -53,6 +57,20 @@ from repro.api.v1.types import (
 #: Type alias for the training history a session estimates from:
 #: per-type lists of sorted arrival-time arrays, one per historical day.
 History = Mapping[int, Sequence[np.ndarray]]
+
+
+def _build_learning_attacker(config: SessionConfig):
+    """The session's simulated learning adversary, or ``None``.
+
+    ``config.attacker`` validation already guarantees membership in
+    :data:`repro.api.v1.types.SESSION_ATTACKERS`; ``"rational"`` (the
+    default) means no simulated learner and zeroed learning metrics.
+    """
+    if config.attacker == "bayesian_learning":
+        return BayesianLearningAttacker(observation_weight=config.learning_rate)
+    if config.attacker == "no_regret":
+        return NoRegretAttacker(learning_rate=config.learning_rate)
+    return None
 
 
 @dataclass
@@ -103,6 +121,7 @@ class AuditSession:
                 signaling_enabled=config.signaling_enabled,
                 budget_charging=config.budget_charging,
                 robust_margin=config.robust_margin,
+                fp_iterations=config.fp_iterations,
             ),
             RollbackEstimator(
                 FutureAlertEstimator(self._history),
@@ -126,6 +145,16 @@ class AuditSession:
         self._table_misses_total = 0
         self._fallbacks_total = 0
         self._last_time: float | None = None
+        # The simulated adversary learning against this session's published
+        # coverage, if the config asks for one. Learning is observational:
+        # the attacker watches each closed cycle's realized coverage and
+        # its metrics land on CycleReport — decisions are never affected,
+        # so decide/submit determinism is untouched.
+        self._attacker = _build_learning_attacker(config)
+        self._learning_cycles_total = 0
+        self._regret_sum = 0.0
+        self._entropy_sum = 0.0
+        self._gap_sum = 0.0
         self._counters = self._fresh_counters()
 
     # ------------------------------------------------------------------
@@ -311,6 +340,36 @@ class AuditSession:
         decisions = self._engine.game.decisions
         values = [d.game_value for d in decisions]
         counters = self._counters
+        # Feed the cycle's realized per-type coverage to the learning
+        # attacker BEFORE the engine resets (the decisions are about to be
+        # discarded). Empty cycles teach nothing and report zeros.
+        learning_cycles = 0
+        regret = posterior_entropy = exploit_gap = 0.0
+        if self._attacker is not None and decisions:
+            theta_sums: dict[int, float] = {}
+            theta_counts: dict[int, int] = {}
+            for decision in decisions:
+                theta_sums[decision.type_id] = (
+                    theta_sums.get(decision.type_id, 0.0) + decision.theta
+                )
+                theta_counts[decision.type_id] = (
+                    theta_counts.get(decision.type_id, 0) + 1
+                )
+            coverage = {
+                type_id: theta_sums[type_id] / theta_counts[type_id]
+                for type_id in theta_sums
+            }
+            metrics = self._attacker.observe_cycle(
+                coverage, self._config.payoffs
+            )
+            learning_cycles = 1
+            regret = metrics.regret
+            posterior_entropy = metrics.posterior_entropy
+            exploit_gap = metrics.exploit_gap
+            self._learning_cycles_total += 1
+            self._regret_sum += regret
+            self._entropy_sum += posterior_entropy
+            self._gap_sum += exploit_gap
         if self._cache is not None:
             sse_solves = self._cache.misses - counters.misses_at_start
             cache_hits = self._cache.hits - counters.hits_at_start
@@ -339,6 +398,10 @@ class AuditSession:
                 self._engine.compile_seconds
                 - counters.compile_seconds_at_start
             ),
+            learning_cycles=learning_cycles,
+            regret=regret,
+            posterior_entropy=posterior_entropy,
+            exploit_gap=exploit_gap,
         )
         # Snapshot the next cycle's baselines BEFORE reset: a stale-region
         # recompile executes inside engine.reset() and must land in the
@@ -375,6 +438,12 @@ class AuditSession:
             fallbacks=self._fallbacks_total,
             recompiles=self._engine.recompiles,
             compile_seconds=self._engine.compile_seconds,
+            learning_cycles=self._learning_cycles_total,
+            regret=self._regret_sum / max(1, self._learning_cycles_total),
+            posterior_entropy=(
+                self._entropy_sum / max(1, self._learning_cycles_total)
+            ),
+            exploit_gap=self._gap_sum / max(1, self._learning_cycles_total),
         )
 
     def close(self) -> SessionStats:

@@ -25,6 +25,12 @@ from repro.core.payoffs import PayoffMatrix
 SESSION_OPEN = "open"
 SESSION_CLOSED = "closed"
 
+#: Attacker models a session can track across cycle closes. ``"rational"``
+#: (the default) attaches nothing; the learning models
+#: (:mod:`repro.learning`) observe each closed cycle's mean coverage and
+#: surface regret/entropy/exploitability diagnostics on the reports.
+SESSION_ATTACKERS = ("rational", "bayesian_learning", "no_regret")
+
 
 class _Payload:
     """Shared serde for the API dataclasses.
@@ -144,6 +150,11 @@ class CycleReport(_Payload):
     report table compilation work that landed during this cycle (a
     recompile triggered by this cycle's close executes at reset and is
     attributed to the next cycle).
+
+    ``learning_cycles`` is 1 when a learning attacker observed this
+    cycle's coverage at close (see :mod:`repro.learning`), else 0;
+    ``regret``/``posterior_entropy``/``exploit_gap`` are that observation's
+    diagnostics (0.0 without a learning attacker).
     """
 
     tenant: str
@@ -164,6 +175,10 @@ class CycleReport(_Payload):
     fallbacks: int = 0
     recompiles: int = 0
     compile_seconds: float = 0.0
+    learning_cycles: int = 0
+    regret: float = 0.0
+    posterior_entropy: float = 0.0
+    exploit_gap: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -187,6 +202,10 @@ class SessionStats(_Payload):
 
     The table counters are lifetime figures; ``compile_seconds`` includes
     the initial policy-table compile at session open.
+
+    ``learning_cycles`` counts cycles a learning attacker observed;
+    ``regret``/``posterior_entropy``/``exploit_gap`` average those cycles'
+    diagnostics (0.0 when no learning attacker is attached).
     """
 
     tenant: str
@@ -204,6 +223,10 @@ class SessionStats(_Payload):
     fallbacks: int = 0
     recompiles: int = 0
     compile_seconds: float = 0.0
+    learning_cycles: int = 0
+    regret: float = 0.0
+    posterior_entropy: float = 0.0
+    exploit_gap: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -239,6 +262,10 @@ class ServiceStats(_Payload):
     fallbacks: int = 0
     recompiles: int = 0
     compile_seconds: float = 0.0
+    learning_cycles: int = 0
+    regret: float = 0.0
+    posterior_entropy: float = 0.0
+    exploit_gap: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -257,7 +284,23 @@ class ServiceStats(_Payload):
 
     @classmethod
     def from_sessions(cls, sessions: tuple[SessionStats, ...]) -> "ServiceStats":
-        """Merge per-tenant snapshots into the service-wide aggregate."""
+        """Merge per-tenant snapshots into the service-wide aggregate.
+
+        Counters sum; the learning diagnostics are averaged weighted by
+        each tenant's ``learning_cycles`` (so the aggregate is the mean
+        over all observed learning cycles, and merging shard aggregates
+        through :meth:`merge` reconstructs the same figure).
+        """
+        learning_cycles = sum(s.learning_cycles for s in sessions)
+
+        def _learning_mean(metric: str) -> float:
+            if learning_cycles == 0:
+                return 0.0
+            return (
+                sum(getattr(s, metric) * s.learning_cycles for s in sessions)
+                / learning_cycles
+            )
+
         return cls(
             tenants=len(sessions),
             open_sessions=sum(s.state == SESSION_OPEN for s in sessions),
@@ -273,6 +316,10 @@ class ServiceStats(_Payload):
             fallbacks=sum(s.fallbacks for s in sessions),
             recompiles=sum(s.recompiles for s in sessions),
             compile_seconds=float(sum(s.compile_seconds for s in sessions)),
+            learning_cycles=learning_cycles,
+            regret=_learning_mean("regret"),
+            posterior_entropy=_learning_mean("posterior_entropy"),
+            exploit_gap=_learning_mean("exploit_gap"),
         )
 
     @classmethod
@@ -327,10 +374,37 @@ class SessionConfig(_Payload):
     cache_rate_step: float = 0.0
     cache_error_budget: float | None = None
     policy_table: bool = False
+    attacker: str = "rational"
+    learning_rate: float = 0.5
+    fp_iterations: int | None = None
 
     def __post_init__(self) -> None:
         if not self.tenant or not isinstance(self.tenant, str):
             raise InvalidEventError("tenant must be a non-empty string")
+        if self.attacker not in SESSION_ATTACKERS:
+            raise InvalidEventError(
+                f"unknown session attacker {self.attacker!r}; "
+                f"expected one of {SESSION_ATTACKERS}"
+            )
+        if isinstance(self.learning_rate, bool) or not isinstance(
+            self.learning_rate, (int, float)
+        ):
+            raise InvalidEventError(
+                f"learning_rate must be a number, got {self.learning_rate!r}"
+            )
+        if not self.learning_rate > 0:
+            raise InvalidEventError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.fp_iterations is not None and (
+            isinstance(self.fp_iterations, bool)
+            or not isinstance(self.fp_iterations, int)
+            or self.fp_iterations < 1
+        ):
+            raise InvalidEventError(
+                f"fp_iterations must be a positive integer or None, "
+                f"got {self.fp_iterations!r}"
+            )
         if self.cache_error_budget is not None:
             if isinstance(self.cache_error_budget, bool) or not isinstance(
                 self.cache_error_budget, (int, float)
@@ -392,6 +466,9 @@ class SessionConfig(_Payload):
         """
         from repro.scenarios.spec import CACHE_OFF
 
+        attacker = (
+            spec.attacker if spec.attacker in SESSION_ATTACKERS else "rational"
+        )
         return cls(
             tenant=spec.name,
             budget=spec.resolved_budget(),
@@ -407,4 +484,7 @@ class SessionConfig(_Payload):
             cache_rate_step=spec.cache_rate_step,
             cache_error_budget=spec.cache_error_budget,
             policy_table=spec.policy_table,
+            attacker=attacker,
+            learning_rate=spec.learning_rate,
+            fp_iterations=spec.fp_iterations,
         )

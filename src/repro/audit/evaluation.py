@@ -88,6 +88,7 @@ class EvaluationHarness:
         seed: int = 0,
         budget_charging: str = "conditional",
         use_engine_cache: bool = False,
+        fp_iterations: int | None = None,
     ) -> None:
         self._store = store
         self._payoffs = dict(payoffs)
@@ -105,6 +106,7 @@ class EvaluationHarness:
         self._seed = seed
         self._budget_charging = budget_charging
         self._use_engine_cache = use_engine_cache
+        self._fp_iterations = fp_iterations
 
     def splits(self, window: int = PAPER_TRAINING_DAYS) -> list[TrainTestSplit]:
         """Rolling groups over every day in the store."""
@@ -124,6 +126,7 @@ class EvaluationHarness:
             seed=self._seed + split.test_day,
             budget_charging=self._budget_charging,
             sse_cache=SSESolutionCache() if self._use_engine_cache else None,
+            fp_iterations=self._fp_iterations,
         )
 
     def test_alerts(self, split: TrainTestSplit):

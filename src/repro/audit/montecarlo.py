@@ -257,6 +257,7 @@ def run_single_trial(
             signaling_enabled=signaling_enabled,
             budget_charging=context.budget_charging,
             robust_margin=robust_margin,
+            fp_iterations=context.fp_iterations,
         ),
         context.build_estimator(),
         rng=np.random.default_rng(game_sequence),
@@ -297,6 +298,7 @@ def run_trials(
     solution_cache: SSESolutionCache | None = None,
     cache_factory: Callable[[], SSESolutionCache | None] | None = None,
     n_attackers: int = 1,
+    attacker_factory: Callable[[], object] | None = None,
 ) -> list[TrialOutcome]:
     """Run one trial per seed, in order (a shard's worth of work).
 
@@ -310,6 +312,12 @@ def run_trials(
     the scenario runner's quantized ``per-trial`` mode uses — a quantized
     cache confined to one trial cannot couple trials, so sharding stays
     result-invariant; the factory may retain references for stats).
+
+    ``attacker_factory`` mirrors it for the attacker: called once per
+    trial so *stateful* attackers (the learning models of
+    :mod:`repro.learning`) start every trial from a fresh belief —
+    without it, a shared learning attacker would couple trials and make
+    outcomes depend on how trials shard across workers.
     """
     moment = PoissonReciprocalMoment()
     attacker = attacker or RationalAttacker()
@@ -320,7 +328,9 @@ def run_trials(
             trial_seed,
             timing=timing,
             signaling_enabled=signaling_enabled,
-            attacker=attacker,
+            attacker=(
+                attacker_factory() if attacker_factory is not None else attacker
+            ),
             robust_margin=robust_margin,
             solution_cache=(
                 cache_factory() if cache_factory is not None else solution_cache
@@ -457,7 +467,10 @@ def _attack_at_slot(
     # bookkeeping; the equilibrium marginals do not depend on it.)
     probe = game.process_alert(next(iter(context.payoffs)), time_of_day)
 
-    if isinstance(attacker, QuantalResponseAttacker):
+    # Duck-typed dispatch: attackers exposing a mixed strategy
+    # (quantal, no-regret) get a sampled draw; pure-strategy attackers
+    # (rational, Bayesian-learning) use their deterministic plan.
+    if hasattr(attacker, "type_distribution"):
         distribution = attacker.type_distribution(probe.sse.thetas, context.payoffs)
         type_ids = sorted(distribution)
         probabilities = [distribution[t] for t in type_ids]
@@ -482,7 +495,7 @@ def _attack_at_slot(
         expected = scheme.auditor_utility(payoff)
         warned = bool(rng.random() < scheme.warning_probability)
         if warned:
-            if isinstance(attacker, QuantalResponseAttacker):
+            if hasattr(attacker, "proceed_probability"):
                 proceeded = bool(
                     rng.random() < attacker.proceed_probability(scheme, payoff)
                 )

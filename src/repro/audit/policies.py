@@ -61,6 +61,9 @@ class CycleContext:
     sse_cache:
         Optional :class:`~repro.engine.cache.SSESolutionCache` shared by
         the game-backed policies running under this context.
+    fp_iterations:
+        Proposal-dynamics iteration budget for the ``"fictitious_play"``
+        backend (``None`` = backend default); ignored by other backends.
     """
 
     history: Mapping[int, list[np.ndarray]]
@@ -73,6 +76,7 @@ class CycleContext:
     seed: int = 0
     budget_charging: str = "conditional"
     sse_cache: SSESolutionCache | None = None
+    fp_iterations: int | None = None
 
     def build_estimator(self) -> RollbackEstimator:
         """Fresh rollback estimator over this context's history."""

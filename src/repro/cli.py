@@ -36,8 +36,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--test-days", type=int, default=4, help="test days for the figures"
     )
     parser.add_argument(
-        "--backend", choices=("scipy", "simplex", "analytic"), default=None,
+        "--backend",
+        choices=("scipy", "simplex", "analytic", "fictitious_play"),
+        default=None,
         help="solver backend (analytic = vectorized LP (2) fast path; "
+        "fictitious_play = learning dynamics + exact refinement; "
         "default: scipy)",
     )
     parser.add_argument(
@@ -76,6 +79,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         ("montecarlo", "attacker-in-the-loop empirical validation"),
         ("robustness", "robust SAG vs boundedly rational attackers"),
         ("full-eval", "all-group (15x) evaluation summary"),
+        ("backends", "list registered solver backends"),
     ):
         subparsers.add_parser(name, help=help_text)
     suite = subparsers.add_parser(
@@ -389,6 +393,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"gap {result.expectation_gap:7.2f}  "
                   f"attack rate {result.attack_rate:.2f}  "
                   f"quit rate {result.quit_rate:.2f}")
+    elif args.experiment == "backends":
+        from repro.solvers.registry import (
+            BACKEND_DESCRIPTIONS,
+            DEFAULT_BACKEND,
+            available_backends,
+        )
+
+        print("Registered solver backends (--backend NAME):")
+        for name in available_backends():
+            marker = "*" if name == DEFAULT_BACKEND else " "
+            print(f"  {marker} {name:16s} {BACKEND_DESCRIPTIONS[name]}")
+        print("  (* = default)")
     elif args.experiment == "suite":
         return _run_suite(args, explicit)
     elif args.experiment == "serve":

@@ -82,6 +82,11 @@ class SAGConfig:
         When positive, signaling uses the hardened quit constraint of
         :func:`repro.extensions.robust.solve_robust_ossp` with this margin
         (a fraction of ``|U_au|``); 0 is the classic OSSP.
+    fp_iterations:
+        Iteration budget for the ``"fictitious_play"`` backend's proposal
+        dynamics (``None`` = the backend default). Does not affect the
+        returned equilibrium — the refinement stage is exact at any
+        budget — so it is safe to vary under a shared solution cache.
     """
 
     payoffs: Mapping[int, PayoffMatrix]
@@ -93,10 +98,15 @@ class SAGConfig:
     scope: str = SCOPE_BEST_RESPONSE
     budget_charging: str = CHARGE_CONDITIONAL
     robust_margin: float = 0.0
+    fp_iterations: int | None = None
 
     def __post_init__(self) -> None:
         if self.budget < 0:
             raise ModelError(f"budget must be non-negative, got {self.budget}")
+        if self.fp_iterations is not None and self.fp_iterations < 1:
+            raise ModelError(
+                f"fp_iterations must be >= 1, got {self.fp_iterations}"
+            )
         if set(self.payoffs) != set(self.costs):
             raise ModelError("payoffs and costs must cover the same alert types")
         if self.scope not in (SCOPE_BEST_RESPONSE, SCOPE_ALL):
@@ -341,6 +351,7 @@ class SignalingAuditGame:
             self._config.costs,
             moment=self._moment,
             backend=self._config.backend,
+            fp_iterations=self._config.fp_iterations,
         )
 
     def _coefficients(self, state: GameState) -> dict[int, float]:

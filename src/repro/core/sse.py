@@ -25,7 +25,11 @@ from dataclasses import dataclass, field, replace
 from repro.errors import ModelError
 from repro.core.payoffs import PayoffMatrix
 from repro.solvers import LPBuilder, solve
-from repro.solvers.registry import ANALYTIC_BACKEND, DEFAULT_BACKEND
+from repro.solvers.registry import (
+    ANALYTIC_BACKEND,
+    DEFAULT_BACKEND,
+    FICTITIOUS_PLAY_BACKEND,
+)
 from repro.stats.poisson import PoissonReciprocalMoment
 
 _THETA_TOL = 1e-9
@@ -305,6 +309,7 @@ def solve_online_sse(
     costs: Mapping[int, float],
     moment: PoissonReciprocalMoment | None = None,
     backend: str = DEFAULT_BACKEND,
+    fp_iterations: int | None = None,
 ) -> SSESolution:
     """Compute the online SSE at ``state`` (LP (2), multiple-LP method).
 
@@ -320,8 +325,14 @@ def solve_online_sse(
         Optional memoized Poisson reciprocal-moment table. Pass a shared
         instance when solving many states: the memo persists across calls.
     backend:
-        Solver backend name — ``"scipy"``, ``"simplex"``, or ``"analytic"``
-        (the vectorized fast path of :mod:`repro.engine.analytic`).
+        Solver backend name — ``"scipy"``, ``"simplex"``, ``"analytic"``
+        (the vectorized fast path of :mod:`repro.engine.analytic`), or
+        ``"fictitious_play"`` (learning dynamics plus exact refinement,
+        :mod:`repro.learning.fictitious_play`).
+    fp_iterations:
+        Proposal-dynamics iteration budget for ``"fictitious_play"``
+        (``None`` = backend default); ignored by the other backends and
+        never affects the returned equilibrium.
     """
     type_ids = sorted(state.lambdas)
     _validate_coverage(type_ids, payoffs, costs)
@@ -333,7 +344,10 @@ def solve_online_sse(
         t: moment(state.lambdas[t]) / costs[t]
         for t in type_ids
     }
-    solution = solve_multiple_lp(state.budget, coefficient, payoffs, backend=backend)
+    solution = solve_multiple_lp(
+        state.budget, coefficient, payoffs, backend=backend,
+        fp_iterations=fp_iterations,
+    )
     certificate = solution.certificate
     if certificate is None:
         return solution
@@ -365,6 +379,7 @@ def solve_multiple_lp(
     coefficient: Mapping[int, float],
     payoffs: Mapping[int, PayoffMatrix],
     backend: str = DEFAULT_BACKEND,
+    fp_iterations: int | None = None,
 ) -> SSESolution:
     """The multiple-LP SSE method over precomputed theta coefficients.
 
@@ -386,6 +401,15 @@ def solve_multiple_lp(
         from repro.engine.analytic import solve_multiple_lp_analytic
 
         return solve_multiple_lp_analytic(budget, coefficient, payoffs)
+    if backend == FICTITIOUS_PLAY_BACKEND:
+        # Same layering: the learning subsystem builds on top of this module.
+        from repro.learning.fictitious_play import solve_multiple_lp_fp
+
+        if fp_iterations is None:
+            return solve_multiple_lp_fp(budget, coefficient, payoffs)
+        return solve_multiple_lp_fp(
+            budget, coefficient, payoffs, iterations=fp_iterations
+        )
     type_ids = sorted(coefficient)
     solutions: dict[int, SSESolution | None] = {
         candidate: _solve_candidate_lp(

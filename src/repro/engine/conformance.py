@@ -46,6 +46,19 @@ equilibrium marginals (gated at :data:`THETA_TOL`); the floored run must
 additionally report a non-empty fallback count, or the out-of-region
 coverage silently vanished.
 
+Part D — fictitious-play conformance. The ``fictitious_play`` backend
+(:mod:`repro.learning.fictitious_play`) proposes candidates through
+learning dynamics but refines every surviving candidate exactly, so it
+must agree with the LP backends to the *same* tolerances as Part A —
+not a looser "learning" bound. Random **zero-sum** instances
+(``u_dc = -u_ac``, ``u_du = -u_au``, the classical fictitious-play
+convergence regime) are solved at random states and compared pairwise
+against every Part A backend on values, attacker utilities, best
+responses, and all marginals. The raw dynamics are additionally run on
+their own and gated on the normalized exploitability gap reaching
+:data:`FP_GAP_TOL` within :data:`FP_DYNAMICS_ITERATIONS` iterations —
+the convergence property the learning loop and the benchmark rely on.
+
 Run it from the command line (CI does, in quick mode)::
 
     PYTHONPATH=src python -m repro.engine.conformance [--quick] [--out PATH]
@@ -82,10 +95,18 @@ from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
 #: Backends under differential test.
 BACKENDS = ("scipy", "simplex", "analytic")
 
+#: The learning-dynamics backend Part D compares against each of BACKENDS.
+FP_BACKEND = "fictitious_play"
+
 #: Absolute tolerance for utilities (auditor/attacker game values).
 VALUE_TOL = 1e-6
 #: Absolute tolerance for marginal audit probabilities.
 THETA_TOL = 1e-6
+
+#: Normalized exploitability gap the raw fictitious-play dynamics must
+#: reach on zero-sum instances (Part D), and the iteration cap they get.
+FP_GAP_TOL = 1e-3
+FP_DYNAMICS_ITERATIONS = 4000
 
 #: Cache policies replayed in Part B: (budget_step, rate_step, error_budget).
 #: The first is the default certified adaptive policy; the ``None`` entry
@@ -179,6 +200,26 @@ class TableConfigResult:
 
 
 @dataclass
+class FPDynamicsResult:
+    """Aggregate convergence of the raw fictitious-play dynamics (Part D).
+
+    Every zero-sum instance must reach a normalized exploitability gap of
+    :data:`FP_GAP_TOL` within :data:`FP_DYNAMICS_ITERATIONS` iterations;
+    the worst gap and iteration count are reported for trend-watching.
+    """
+
+    instances: int = 0
+    converged: int = 0
+    max_gap: float = 0.0
+    max_iterations_used: int = 0
+    gap_tol: float = FP_GAP_TOL
+
+    @property
+    def passed(self) -> bool:
+        return self.instances > 0 and self.converged == self.instances
+
+
+@dataclass
 class ConformanceReport:
     """Machine-readable outcome of one conformance run."""
 
@@ -189,6 +230,8 @@ class ConformanceReport:
     pairs: list[PairResult] = field(default_factory=list)
     cache: list[CachePolicyResult] = field(default_factory=list)
     table: list[TableConfigResult] = field(default_factory=list)
+    fp_pairs: list[PairResult] = field(default_factory=list)
+    fp_dynamics: list[FPDynamicsResult] = field(default_factory=list)
     failures: list[dict[str, Any]] = field(default_factory=list)
 
     @property
@@ -197,13 +240,18 @@ class ConformanceReport:
             all(pair.passed for pair in self.pairs)
             and all(policy.passed for policy in self.cache)
             and all(config.passed for config in self.table)
+            and all(pair.passed for pair in self.fp_pairs)
+            and all(dyn.passed for dyn in self.fp_dynamics)
         )
 
     def to_dict(self) -> dict[str, Any]:
         payload = dataclasses.asdict(self)
         payload["passed"] = self.passed
-        payload["tolerances"] = {"value": VALUE_TOL, "theta": THETA_TOL}
+        payload["tolerances"] = {
+            "value": VALUE_TOL, "theta": THETA_TOL, "fp_gap": FP_GAP_TOL,
+        }
         payload["backends"] = list(BACKENDS)
+        payload["fp_backend"] = FP_BACKEND
         for entry, pair in zip(payload["pairs"], self.pairs):
             entry["passed"] = pair.passed
         for entry, policy in zip(payload["cache"], self.cache):
@@ -211,6 +259,10 @@ class ConformanceReport:
             entry["gated"] = policy.gated
         for entry, config in zip(payload["table"], self.table):
             entry["passed"] = config.passed
+        for entry, pair in zip(payload["fp_pairs"], self.fp_pairs):
+            entry["passed"] = pair.passed
+        for entry, dyn in zip(payload["fp_dynamics"], self.fp_dynamics):
+            entry["passed"] = dyn.passed
         return payload
 
 
@@ -254,6 +306,31 @@ def random_game(
             u_au=base.u_au + float(rng.uniform(-jitter, jitter)),
         )
         costs[target] = costs[source]
+    return payoffs, costs
+
+
+def zero_sum_game(
+    rng: np.random.Generator, n_types: int | None = None
+) -> tuple[dict[int, PayoffMatrix], dict[int, float]]:
+    """A random zero-sum game honoring the paper's sign conventions.
+
+    ``u_dc = -u_ac`` and ``u_du = -u_au`` — the regime where fictitious
+    play provably converges. Zero-sum payoffs put the Theorem 3 quantity
+    at exactly zero, so these games cannot come from :func:`random_game`
+    (whose filter is strict); pure SSE solves never need Theorem 3, which
+    is all Part D exercises.
+    """
+    if n_types is None:
+        n_types = int(rng.integers(2, 7))
+    payoffs: dict[int, PayoffMatrix] = {}
+    costs: dict[int, float] = {}
+    for type_id in range(1, n_types + 1):
+        u_ac = float(rng.uniform(-6000.0, -500.0))
+        u_au = float(rng.uniform(100.0, 900.0))
+        payoffs[type_id] = PayoffMatrix(
+            u_dc=-u_ac, u_du=-u_au, u_ac=u_ac, u_au=u_au
+        )
+        costs[type_id] = float(rng.uniform(0.5, 3.0))
     return payoffs, costs
 
 
@@ -334,6 +411,112 @@ def check_backends(
                         }
                     )
     report.pairs = list(pairs.values())
+
+
+def check_fictitious_play(
+    report: ConformanceReport,
+    n_games: int,
+    n_states: int,
+    rng: np.random.Generator,
+    n_dynamics: int = 8,
+    max_failures: int = 10,
+) -> None:
+    """Part D: the fictitious-play backend and its raw dynamics.
+
+    The backend half holds ``fictitious_play`` to Part A's exact
+    tolerances against every LP backend on zero-sum instances — the
+    propose-refine-complete design makes it exact regardless of how far
+    the dynamics got. The dynamics half runs
+    :func:`repro.learning.fictitious_play.run_fictitious_play` directly
+    and gates the normalized exploitability gap.
+    """
+    from repro.learning.fictitious_play import run_fictitious_play
+
+    pairs = {
+        backend: PairResult(first=FP_BACKEND, second=backend)
+        for backend in BACKENDS
+    }
+    for _ in range(n_games):
+        payoffs, costs = zero_sum_game(rng)
+        type_ids = tuple(sorted(payoffs))
+        for _ in range(n_states):
+            state = random_state(rng, type_ids)
+            fp = solve_online_sse(state, payoffs, costs, backend=FP_BACKEND)
+            for backend, pair in pairs.items():
+                other = solve_online_sse(state, payoffs, costs, backend=backend)
+                pair.states += 1
+                value_gap = abs(fp.auditor_utility - other.auditor_utility)
+                attacker_gap = abs(fp.attacker_utility - other.attacker_utility)
+                theta_gap = max(
+                    abs(fp.thetas[t] - other.thetas[t]) for t in type_ids
+                )
+                pair.max_value_gap = max(pair.max_value_gap, value_gap)
+                pair.max_attacker_gap = max(pair.max_attacker_gap, attacker_gap)
+                pair.max_theta_gap = max(pair.max_theta_gap, theta_gap)
+                mismatch = fp.best_response != other.best_response
+                if mismatch:
+                    pair.best_response_mismatches += 1
+                if (
+                    mismatch
+                    or value_gap > VALUE_TOL
+                    or attacker_gap > VALUE_TOL
+                    or theta_gap > THETA_TOL
+                ) and len(report.failures) < max_failures:
+                    report.failures.append(
+                        {
+                            "kind": "fictitious_play",
+                            "pair": f"{FP_BACKEND}/{backend}",
+                            "budget": state.budget,
+                            "lambdas": dict(state.lambdas),
+                            "payoffs": {
+                                t: dataclasses.asdict(p)
+                                for t, p in payoffs.items()
+                            },
+                            "costs": costs,
+                            "value_gap": value_gap,
+                            "attacker_gap": attacker_gap,
+                            "theta_gap": theta_gap,
+                            "best_responses": [
+                                fp.best_response, other.best_response,
+                            ],
+                        }
+                    )
+    report.fp_pairs = list(pairs.values())
+
+    dynamics = FPDynamicsResult()
+    for _ in range(n_dynamics):
+        payoffs, _costs = zero_sum_game(rng)
+        budget = float(rng.uniform(1.0, 50.0))
+        coefficient = {
+            t: float(rng.uniform(0.005, 0.5)) for t in sorted(payoffs)
+        }
+        result = run_fictitious_play(
+            budget,
+            coefficient,
+            payoffs,
+            iterations=FP_DYNAMICS_ITERATIONS,
+            tol=FP_GAP_TOL,
+        )
+        dynamics.instances += 1
+        dynamics.converged += int(result.converged)
+        dynamics.max_gap = max(dynamics.max_gap, result.gap)
+        dynamics.max_iterations_used = max(
+            dynamics.max_iterations_used, result.iterations
+        )
+        if not result.converged and len(report.failures) < max_failures:
+            report.failures.append(
+                {
+                    "kind": "fp_dynamics",
+                    "budget": budget,
+                    "coefficient": coefficient,
+                    "payoffs": {
+                        t: dataclasses.asdict(p) for t, p in payoffs.items()
+                    },
+                    "gap": result.gap,
+                    "iterations": result.iterations,
+                }
+            )
+    report.fp_dynamics = [dynamics]
 
 
 def _stream_workload(
@@ -536,6 +719,13 @@ def run_conformance(
     check_backends(report, n_games, n_states, rng)
     check_cache(report, n_alerts, rng)
     check_table(report, n_alerts, rng)
+    check_fictitious_play(
+        report,
+        n_games=max(1, n_games // 2),
+        n_states=n_states,
+        rng=rng,
+        n_dynamics=4 if quick else 10,
+    )
     return report
 
 
@@ -580,6 +770,26 @@ def format_report(report: ConformanceReport) -> str:
             f"{config.max_value_gap_vs_cached:.2e}  "
             f"theta {max(config.max_theta_gap_vs_analytic, config.max_theta_gap_vs_cached):.2e}  "
             f"hits {config.table_hits}, fallbacks {config.fallbacks}"
+        )
+    lines.append(
+        "  fictitious play vs LP backends (zero-sum; Part A tolerances):"
+    )
+    for pair in report.fp_pairs:
+        status = "ok " if pair.passed else "FAIL"
+        lines.append(
+            f"    [{status}] {pair.first}/{pair.second:8s} "
+            f"value {pair.max_value_gap:.2e}  "
+            f"attacker {pair.max_attacker_gap:.2e}  "
+            f"theta {pair.max_theta_gap:.2e}  "
+            f"BR mismatches {pair.best_response_mismatches}"
+        )
+    for dyn in report.fp_dynamics:
+        status = "ok " if dyn.passed else "FAIL"
+        lines.append(
+            f"    [{status}] dynamics: {dyn.converged}/{dyn.instances} "
+            f"instances reached gap {dyn.gap_tol:g} "
+            f"(worst gap {dyn.max_gap:.2e}, "
+            f"max {dyn.max_iterations_used} iterations)"
         )
     lines.append(f"  overall: {'PASS' if report.passed else 'FAIL'}")
     return "\n".join(lines)

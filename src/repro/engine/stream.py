@@ -125,6 +125,12 @@ class EngineStats:
     mixed-mode shards). ``recompiles`` and ``compile_seconds`` report the
     table compilation work that landed since the previous stats snapshot
     (the initial compile is attributed to the first cycle).
+
+    ``learning_cycles`` counts attacker-learning cycles folded into these
+    stats (see :mod:`repro.learning`); ``regret``, ``posterior_entropy``
+    and ``exploit_gap`` are the cycle-averaged learning diagnostics, 0.0
+    when no learning attacker was attached. Merging averages them weighted
+    by each shard's ``learning_cycles``.
     """
 
     alerts: int
@@ -138,6 +144,10 @@ class EngineStats:
     fallbacks: int = 0
     recompiles: int = 0
     compile_seconds: float = 0.0
+    learning_cycles: int = 0
+    regret: float = 0.0
+    posterior_entropy: float = 0.0
+    exploit_gap: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -172,6 +182,16 @@ class EngineStats:
             raise ExperimentError(
                 f"cannot merge stats across backends: {sorted(backends)}"
             )
+        learning_cycles = sum(s.learning_cycles for s in shards)
+
+        def _learning_mean(metric: str) -> float:
+            if learning_cycles == 0:
+                return 0.0
+            return (
+                sum(getattr(s, metric) * s.learning_cycles for s in shards)
+                / learning_cycles
+            )
+
         return cls(
             alerts=sum(s.alerts for s in shards),
             sse_solves=sum(s.sse_solves for s in shards),
@@ -184,6 +204,10 @@ class EngineStats:
             fallbacks=sum(s.fallbacks for s in shards),
             recompiles=sum(s.recompiles for s in shards),
             compile_seconds=float(sum(s.compile_seconds for s in shards)),
+            learning_cycles=learning_cycles,
+            regret=_learning_mean("regret"),
+            posterior_entropy=_learning_mean("posterior_entropy"),
+            exploit_gap=_learning_mean("exploit_gap"),
         )
 
 

@@ -56,6 +56,16 @@ class ExperimentError(ReproError):
     """An experiment configuration problem."""
 
 
+class ConfigError(ExperimentError):
+    """An invalid combination of scenario/session configuration knobs.
+
+    Subclass of :class:`ExperimentError` so existing handlers (and the
+    wire-code mapping to ``"experiment_invalid"``) keep working; raised
+    where the problem is a *conflict between fields* rather than a single
+    malformed value.
+    """
+
+
 class ApiError(ReproError):
     """Base class for serving-API (:mod:`repro.api`) failures.
 

@@ -1,0 +1,39 @@
+"""Learning subsystem: adaptive attackers and fictitious-play equilibria.
+
+Two halves, both layered strictly above :mod:`repro.core`:
+
+* :mod:`repro.learning.fictitious_play` — the ``"fictitious_play"`` SSE
+  backend (damped fictitious-play dynamics + exact candidate refinement);
+* :mod:`repro.learning.estimators` / :mod:`repro.learning.attackers` —
+  attackers that learn the audit policy across cycles, satisfying the
+  static attacker interface of :mod:`repro.audit.attacker`;
+* :mod:`repro.learning.loop` — a deterministic multi-cycle driver that
+  replays one day's alerts while the attacker adapts, producing regret /
+  posterior-entropy / exploitability curves.
+"""
+
+from repro.learning.attackers import (
+    BayesianLearningAttacker,
+    LearningMetrics,
+    NoRegretAttacker,
+)
+from repro.learning.estimators import BetaCoverageEstimator, PolicyEstimator
+from repro.learning.fictitious_play import (
+    FictitiousPlayResult,
+    run_fictitious_play,
+    solve_multiple_lp_fp,
+)
+from repro.learning.loop import LearningCurveResult, run_learning_loop
+
+__all__ = [
+    "BayesianLearningAttacker",
+    "BetaCoverageEstimator",
+    "FictitiousPlayResult",
+    "LearningCurveResult",
+    "LearningMetrics",
+    "NoRegretAttacker",
+    "PolicyEstimator",
+    "run_fictitious_play",
+    "run_learning_loop",
+    "solve_multiple_lp_fp",
+]

@@ -1,0 +1,281 @@
+"""Attackers that learn the audit policy across cycles.
+
+Both attackers satisfy the static attacker interface of
+:mod:`repro.audit.attacker` (``choose_type`` + ``proceeds_after_warning``),
+so they drop into :class:`~repro.audit.cycle.AuditCycle`, the Monte Carlo
+driver, and the scenario runner unchanged. The difference is *what they
+read*: instead of the auditor's true marginals they consult an internal
+belief, updated once per cycle via :meth:`observe_cycle` with the cycle's
+mean observed coverage.
+
+* :class:`BayesianLearningAttacker` keeps a Beta posterior per type
+  (:class:`~repro.learning.estimators.BetaCoverageEstimator`) and
+  best-responds to the posterior-mean coverage.
+* :class:`NoRegretAttacker` runs Hedge (multiplicative weights) over his
+  arms — one per alert type plus a no-attack arm — on full-information
+  per-cycle payoff feedback; his average regret decays like
+  ``O(sqrt(log n / k))``.
+
+Every update is deterministic (expected counts, no sampling), preserving
+the bit-identical determinism contract across the serial runner, the
+sharded :class:`~repro.scenarios.runner.ParallelRunner`, and the service
+submit path. Within a Monte Carlo trial a learning attacker is exactly as
+static as :class:`~repro.audit.attacker.RationalAttacker` — beliefs only
+move at cycle boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import SignalingScheme
+from repro.audit.attacker import AttackPlan
+from repro.learning.estimators import BetaCoverageEstimator
+
+
+@dataclass(frozen=True)
+class LearningMetrics:
+    """One cycle's learning diagnostics, scale-normalized.
+
+    Attributes
+    ----------
+    cycle:
+        1-based index of the cycle that produced these numbers.
+    regret:
+        Average external regret per cycle so far (no-regret attackers;
+        0.0 for attackers without a regret notion). Normalized by the
+        running payoff scale so it is comparable across games.
+    posterior_entropy:
+        Belief uncertainty in nats — mean Beta posterior entropy for the
+        Bayesian attacker, Shannon entropy of the arm mixture for Hedge.
+    exploit_gap:
+        How exploitable the attacker's current play is against the
+        *observed* coverage: best-arm payoff minus the attacker's realized
+        (believed-choice or mixture) payoff, divided by the payoff scale.
+    """
+
+    cycle: int
+    regret: float
+    posterior_entropy: float
+    exploit_gap: float
+
+
+def _proceeds_rationally(scheme: SignalingScheme, payoff: PayoffMatrix) -> bool:
+    """The rational warning response (shared by both learning attackers).
+
+    Warnings are observed *within* the cycle — the signal realization is in
+    front of the attacker, so there is nothing to learn: he proceeds only
+    when the conditional utility is strictly positive (payoff-scaled
+    tolerance, as in :class:`~repro.audit.attacker.RationalAttacker`).
+    """
+    value = scheme.attacker_proceed_utility_given_warning(payoff)
+    return value > 1e-9 * max(1.0, abs(payoff.u_au))
+
+
+class BayesianLearningAttacker:
+    """Best-responds to a Beta posterior over per-type audit coverage.
+
+    Starts from ``Beta(prior_alpha, prior_beta)`` per type (uniform by
+    default — believed coverage 0.5 everywhere) and folds each cycle's
+    observed mean coverage in as expected counts weighted by
+    ``observation_weight``.
+    """
+
+    def __init__(
+        self,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        observation_weight: float = 1.0,
+    ) -> None:
+        if observation_weight <= 0.0:
+            raise ModelError(
+                f"observation weight must be > 0, got {observation_weight}"
+            )
+        self.estimator = BetaCoverageEstimator(prior_alpha, prior_beta)
+        self.observation_weight = float(observation_weight)
+        self.cycles = 0
+        self.last_metrics: LearningMetrics | None = None
+
+    def believed_coverage(self, type_ids) -> dict[int, float]:
+        """Posterior-mean coverage for the candidate types."""
+        return {t: self.estimator.mean(t) for t in sorted(type_ids)}
+
+    def choose_type(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> AttackPlan:
+        """Best response to the *believed* coverage (true thetas ignored)."""
+        if not thetas:
+            raise ModelError("attacker needs at least one candidate type")
+        believed = self.believed_coverage(thetas)
+        best_type = None
+        best_value = -math.inf
+        for type_id in sorted(believed):
+            value = payoffs[type_id].attacker_utility(believed[type_id])
+            if value > best_value:
+                best_type = type_id
+                best_value = value
+        if best_value < 0:
+            return AttackPlan(type_id=None, expected_utility=0.0)
+        return AttackPlan(type_id=best_type, expected_utility=best_value)
+
+    def proceeds_after_warning(
+        self, scheme: SignalingScheme, payoff: PayoffMatrix
+    ) -> bool:
+        return _proceeds_rationally(scheme, payoff)
+
+    def observe_cycle(
+        self,
+        coverage: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> LearningMetrics:
+        """Fold one cycle's mean observed coverage into the posterior.
+
+        Returns the cycle's diagnostics; ``exploit_gap`` compares the best
+        attack against the observed coverage with the value the attacker's
+        *post-update* believed best response actually achieves there.
+        """
+        if not coverage:
+            raise ModelError("observed coverage must cover at least one type")
+        self.estimator.observe(coverage, weight=self.observation_weight)
+        self.cycles += 1
+
+        true_values = {
+            t: payoffs[t].attacker_utility(coverage[t]) for t in sorted(coverage)
+        }
+        scale = max(1.0, max(abs(v) for v in true_values.values()))
+        best_true = max(0.0, max(true_values.values()))
+        plan = self.choose_type(coverage, payoffs)
+        realized = 0.0 if plan.type_id is None else true_values[plan.type_id]
+        self.last_metrics = LearningMetrics(
+            cycle=self.cycles,
+            regret=0.0,
+            posterior_entropy=self.estimator.entropy(),
+            exploit_gap=(best_true - realized) / scale,
+        )
+        return self.last_metrics
+
+
+class NoRegretAttacker:
+    """Hedge (multiplicative weights) over attack types plus no-attack.
+
+    Keeps one cumulative-gain counter per arm; the mixture is the softmax
+    of ``learning_rate * gains / scale`` with a running payoff scale, so
+    the learning rate is comparable across games. Feedback is
+    full-information: after each cycle every arm's counterfactual payoff
+    against the observed mean coverage is revealed (the no-attack arm
+    always pays 0).
+    """
+
+    def __init__(self, learning_rate: float = 0.5) -> None:
+        if not learning_rate > 0.0:
+            raise ModelError(
+                f"learning rate must be > 0, got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.cycles = 0
+        self.last_metrics: LearningMetrics | None = None
+        self._gains: dict[int | None, float] = {None: 0.0}
+        self._realized = 0.0
+        self._scale = 1.0
+
+    def _arms(self, type_ids) -> list[int | None]:
+        """Sorted attack arms then the no-attack arm, registered lazily."""
+        arms: list[int | None] = sorted(type_ids)
+        for arm in arms:
+            self._gains.setdefault(arm, 0.0)
+        arms.append(None)
+        return arms
+
+    def _weights(self, arms) -> dict[int | None, float]:
+        logits = [self.learning_rate * self._gains[a] / self._scale for a in arms]
+        top = max(logits)
+        raw = [math.exp(l - top) for l in logits]
+        total = sum(raw)
+        return {arm: w / total for arm, w in zip(arms, raw)}
+
+    def choose_type(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> AttackPlan:
+        """Deterministic modal arm (ties go to the smallest type id).
+
+        ``expected_utility`` reports the chosen arm's empirical mean gain,
+        which is what the attacker believes the arm is worth.
+        """
+        if not thetas:
+            raise ModelError("attacker needs at least one candidate type")
+        arms = self._arms(thetas)
+        weights = self._weights(arms)
+        best = max(arms, key=lambda a: weights[a] - (1e-12 if a is None else 0.0))
+        if best is None:
+            return AttackPlan(type_id=None, expected_utility=0.0)
+        mean_gain = self._gains[best] / self.cycles if self.cycles else 0.0
+        return AttackPlan(type_id=best, expected_utility=mean_gain)
+
+    def type_distribution(
+        self,
+        thetas: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> dict[int, float]:
+        """Mixture over attack types, conditional on attacking.
+
+        The no-attack arm's weight is renormalized away so the returned
+        probabilities sum to 1 — the sampled Monte Carlo path draws a type
+        from this conditional, mirroring the quantal attacker.
+        """
+        if not thetas:
+            raise ModelError("attacker needs at least one candidate type")
+        arms = self._arms(thetas)
+        weights = self._weights(arms)
+        attack_total = sum(weights[a] for a in arms if a is not None)
+        return {
+            a: weights[a] / attack_total for a in arms if a is not None
+        }
+
+    def proceeds_after_warning(
+        self, scheme: SignalingScheme, payoff: PayoffMatrix
+    ) -> bool:
+        return _proceeds_rationally(scheme, payoff)
+
+    def observe_cycle(
+        self,
+        coverage: Mapping[int, float],
+        payoffs: Mapping[int, PayoffMatrix],
+    ) -> LearningMetrics:
+        """Full-information Hedge update from one cycle's mean coverage."""
+        if not coverage:
+            raise ModelError("observed coverage must cover at least one type")
+        arms = self._arms(coverage)
+        gains = {
+            a: 0.0 if a is None else payoffs[a].attacker_utility(coverage[a])
+            for a in arms
+        }
+        self._scale = max(
+            self._scale, max(abs(g) for g in gains.values())
+        )
+        weights = self._weights(arms)  # the mixture played this cycle
+        realized = sum(weights[a] * gains[a] for a in arms)
+        self._realized += realized
+        for arm in arms:
+            self._gains[arm] += gains[arm]
+        self.cycles += 1
+
+        cycle_scale = max(1.0, max(abs(g) for g in gains.values()))
+        best_cum = max(self._gains[a] for a in arms)
+        entropy = -sum(
+            w * math.log(w) for w in weights.values() if w > 0.0
+        )
+        self.last_metrics = LearningMetrics(
+            cycle=self.cycles,
+            regret=(best_cum - self._realized) / (self.cycles * self._scale),
+            posterior_entropy=entropy,
+            exploit_gap=(max(0.0, max(gains.values())) - realized) / cycle_scale,
+        )
+        return self.last_metrics

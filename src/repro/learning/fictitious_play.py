@@ -1,0 +1,290 @@
+"""Fictitious-play equilibrium backend for the multiple-LP SSE method.
+
+The generic backends (scipy/simplex) and the analytic water-filling solver
+compute the SSE by *enumerating* candidate best responses. This module
+reaches the same equilibrium through *learning dynamics*: a damped
+fictitious-play loop in which
+
+* the attacker runs Hedge (multiplicative weights) over his arms — one per
+  alert type plus the no-attack arm — against the auditor's average
+  coverage vector, and
+* the auditor plays an exact best response to the attacker's average
+  mixture: a fractional-knapsack water-fill that ranks types by
+  ``y_t * (U_dc - U_du) * coef_t`` per budget unit.
+
+Both sides are maintained as running averages (the "fictitious" play), and
+progress is measured by the exploitability gap of the average pair. On
+zero-sum instances the gap bounds the distance to the game value and
+converges to zero; on general-sum instances the dynamics still concentrate
+on the attacker's near-best-response arms.
+
+The dynamics alone cannot hit the 1e-6 conformance tolerance in a bounded
+iteration budget (plain fictitious play converges like ``O(1/sqrt(k))``).
+The backend therefore uses a propose–refine–complete scheme that is exact
+*regardless* of how far the dynamics got:
+
+1. **propose** — the arms the converged mixture concentrates on are the
+   candidate best responses;
+2. **refine** — each proposed candidate is solved exactly with the
+   closed-form single-candidate water-fill
+   (:func:`repro.engine.analytic.refine_candidate_solution`);
+3. **complete** — any remaining candidate whose cheap value upper bound
+   ``U_du + min(1, coef * B) * (U_dc - U_du)`` could still beat (or tie)
+   the best refined value is refined as well, so no potential winner or
+   tie-set member is ever skipped.
+
+The winner among refined candidates is picked by the canonical
+:func:`repro.core.sse.select_candidate` tie-breaking, making the returned
+equilibrium bit-comparable with the other backends. Returned solutions
+carry no certificate (like cache refinements, they are served, not used
+for certified cross-state reuse).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ModelError, SolverError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.sse import SSESolution, _TIE_TOL, select_candidate
+from repro.engine.analytic import refine_candidate_solution
+
+#: Default iteration budget for the dynamics. The propose/complete scheme
+#: keeps the *solution* exact at any budget; more iterations only tighten
+#: the reported exploitability gap.
+DEFAULT_ITERATIONS = 400
+
+#: Default Hedge learning rate (on payoffs normalized to [-1, 1]).
+DEFAULT_LEARNING_RATE = 1.0
+
+#: Arms whose payoff against the average coverage is within this window
+#: (scale-normalized) of the best arm are proposed for exact refinement.
+_PROPOSAL_WINDOW = 1e-3
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax (max-subtracted) over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)
+    return weights / weights.sum(axis=-1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class FictitiousPlayResult:
+    """Converged state of one fictitious-play run.
+
+    Attributes
+    ----------
+    coverage:
+        The auditor's average coverage ``theta`` per type.
+    mixture:
+        The attacker's average mixture over arms; the key ``None`` is the
+        no-attack arm.
+    iterations:
+        Iterations actually run (early exit once the gap clears ``tol``).
+    gap:
+        Scale-normalized exploitability of the average pair:
+        ``(max_arm A(theta_bar) - sum_arm y_bar * A(BR(y_bar)))/scale``.
+        A certified distance-to-equilibrium bound on zero-sum instances.
+    converged:
+        Whether ``gap <= tol`` within the iteration budget.
+    """
+
+    coverage: dict[int, float]
+    mixture: dict[int | None, float]
+    iterations: int
+    gap: float
+    converged: bool
+
+
+def _arrays(
+    coefficient: Mapping[int, float], payoffs: Mapping[int, PayoffMatrix]
+) -> tuple[list[int], np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    type_ids = sorted(coefficient)
+    if not type_ids:
+        raise ModelError("fictitious play needs at least one alert type")
+    coef = np.array([float(coefficient[t]) for t in type_ids])
+    u_ac = np.array([payoffs[t].u_ac for t in type_ids])
+    u_au = np.array([payoffs[t].u_au for t in type_ids])
+    span = np.array([payoffs[t].u_dc - payoffs[t].u_du for t in type_ids])
+    u_du = np.array([payoffs[t].u_du for t in type_ids])
+    return type_ids, coef, u_ac, u_au, span, u_du
+
+
+def _auditor_best_response(
+    weights: np.ndarray,
+    budget: float,
+    coef: np.ndarray,
+    span: np.ndarray,
+) -> np.ndarray:
+    """Exact auditor best response to attack-arm weights ``weights``.
+
+    Maximizes ``sum_t weights_t * span_t * theta_t`` over the coverage
+    polytope ``{theta: sum theta_t / coef_t <= budget, 0 <= theta <= 1}``
+    (types with ``coef_t <= 0`` are pinned at zero) — a fractional
+    knapsack: fill types by descending value per budget unit.
+    """
+    theta = np.zeros_like(coef)
+    active = coef > 0.0
+    if not active.any() or budget <= 0.0:
+        return theta
+    density = np.where(active, weights * span * coef, -np.inf)
+    remaining = float(budget)
+    for idx in np.argsort(-density, kind="stable"):
+        if not active[idx] or density[idx] <= 0.0 or remaining <= 0.0:
+            break
+        fill = min(1.0, coef[idx] * remaining)
+        theta[idx] = fill
+        remaining -= fill / coef[idx]
+    return theta
+
+
+def run_fictitious_play(
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    iterations: int = DEFAULT_ITERATIONS,
+    learning_rate: float = DEFAULT_LEARNING_RATE,
+    tol: float = 1e-3,
+) -> FictitiousPlayResult:
+    """Run damped fictitious play and return the averaged pair.
+
+    The attacker side is optimistic Hedge over cumulative (normalized)
+    payoffs against the auditor's average coverage; because the attacker
+    payoff is linear in ``theta``, the payoff against the average equals
+    the average payoff, so the cumulative vector is just
+    ``k * A(theta_bar_k)``. The auditor side is the exact knapsack best
+    response to the average mixture. Stops early once the normalized
+    exploitability gap of the average pair drops to ``tol``.
+    """
+    if iterations < 1:
+        raise SolverError(f"fictitious play needs >= 1 iteration, got {iterations}")
+    if not learning_rate > 0.0:
+        raise SolverError(f"learning rate must be > 0, got {learning_rate}")
+    type_ids, coef, u_ac, u_au, span, u_du = _arrays(coefficient, payoffs)
+    del u_du
+    n = len(type_ids)
+    scale = max(
+        1.0, float(np.max(np.abs(u_ac))), float(np.max(np.abs(u_au))), float(span.max())
+    )
+
+    # Arm order: the n attack types then the no-attack arm (payoff 0).
+    theta_bar = _auditor_best_response(np.full(n, 1.0 / n), budget, coef, span)
+    mixture_sum = np.zeros(n + 1)
+    gains_prev = np.zeros(n + 1)
+    best_gap = np.inf
+    best_pair = (theta_bar.copy(), np.full(n + 1, 1.0 / (n + 1)))
+    ran = 0
+    for k in range(1, iterations + 1):
+        ran = k
+        gains = np.zeros(n + 1)
+        gains[:n] = (theta_bar * u_ac + (1.0 - theta_bar) * u_au) / scale
+        # Optimistic Hedge: cumulative payoffs plus a repeat of the latest.
+        logits = learning_rate * (k * gains + (gains - gains_prev))
+        gains_prev = gains
+        mixture = softmax(logits)
+        mixture_sum += mixture
+        y_bar = mixture_sum / k
+        theta_k = _auditor_best_response(y_bar[:n], budget, coef, span)
+        theta_bar += (theta_k - theta_bar) / (k + 1.0)
+
+        attacker_best = max(0.0, float(gains[:n].max()))
+        against_br = (theta_k * u_ac + (1.0 - theta_k) * u_au) / scale
+        held_to = float(np.dot(y_bar[:n], against_br))  # no-attack arm adds 0
+        gap = attacker_best - held_to
+        if gap < best_gap:
+            # Anytime behavior: the gap of the averaged pair is not
+            # monotone, so keep the best pair seen rather than the last.
+            best_gap = gap
+            best_pair = (theta_bar.copy(), y_bar.copy())
+            if best_gap <= tol:
+                break
+
+    theta_best, y_best = best_pair
+    mixture_out: dict[int | None, float] = {
+        t: float(y_best[i]) for i, t in enumerate(type_ids)
+    }
+    mixture_out[None] = float(y_best[n])
+    return FictitiousPlayResult(
+        coverage={t: float(theta_best[i]) for i, t in enumerate(type_ids)},
+        mixture=mixture_out,
+        iterations=ran,
+        gap=float(best_gap),
+        converged=bool(best_gap <= tol),
+    )
+
+
+def solve_multiple_lp_fp(
+    budget: float,
+    coefficient: Mapping[int, float],
+    payoffs: Mapping[int, PayoffMatrix],
+    iterations: int = DEFAULT_ITERATIONS,
+    learning_rate: float = DEFAULT_LEARNING_RATE,
+) -> SSESolution:
+    """The multiple-LP SSE via fictitious play + exact refinement.
+
+    See the module docstring: the dynamics propose candidate best
+    responses, each proposal is refined exactly, and the completion sweep
+    refines every other candidate whose value upper bound could still
+    reach the tie window — so the result matches the enumeration backends
+    up to the canonical tie-breaking, independent of dynamics quality.
+    """
+    type_ids, coef, u_ac, u_au, span, u_du = _arrays(coefficient, payoffs)
+    played = run_fictitious_play(
+        budget, coefficient, payoffs, iterations=iterations,
+        learning_rate=learning_rate,
+    )
+
+    theta_bar = np.array([played.coverage[t] for t in type_ids])
+    arm_payoff = theta_bar * u_ac + (1.0 - theta_bar) * u_au
+    scale = max(1.0, float(np.max(np.abs(arm_payoff))))
+    window = _PROPOSAL_WINDOW * scale
+    proposed = [
+        type_ids[i]
+        for i in np.argsort(-arm_payoff, kind="stable")
+        if arm_payoff[i] >= float(arm_payoff.max()) - window
+    ]
+
+    # Per-candidate value upper bound for the completion sweep: coverage of
+    # the candidate can at best reach min(1, coef * B), ignoring the
+    # best-response constraints — so no skipped candidate can beat it.
+    x_max = np.minimum(1.0, np.where(coef > 0.0, coef * budget, 0.0))
+    upper = {t: float(u_du[i] + x_max[i] * span[i]) for i, t in enumerate(type_ids)}
+
+    refined: dict[int, SSESolution | None] = {}
+    best_value = -np.inf
+
+    def _refine(candidate: int) -> None:
+        nonlocal best_value
+        solution = refine_candidate_solution(candidate, budget, coefficient, payoffs)
+        refined[candidate] = solution
+        if solution is not None and solution.auditor_utility > best_value:
+            best_value = solution.auditor_utility
+
+    for candidate in proposed:
+        _refine(candidate)
+    for candidate in sorted(type_ids, key=lambda t: -upper[t]):
+        if candidate in refined:
+            continue
+        if upper[candidate] <= best_value - _TIE_TOL:
+            break  # sorted by upper bound: nothing below can enter the tie set
+        _refine(candidate)
+
+    winner = select_candidate(
+        [
+            (candidate, solution.auditor_utility, solution.attacker_utility)
+            for candidate, solution in refined.items()
+            if solution is not None
+        ]
+    )
+    if winner is None:
+        raise ModelError("no feasible best-response LP; game is ill-formed")
+    best = refined[winner]
+    return replace(
+        best,
+        lps_solved=len(refined),
+        lps_feasible=sum(1 for s in refined.values() if s is not None),
+    )

@@ -1,0 +1,144 @@
+"""Deterministic multi-cycle learning loop.
+
+Replays one day's alert stream for ``cycles`` audit cycles through a fresh
+:class:`~repro.engine.stream.BatchAuditEngine` while a learning attacker
+adapts between cycles: after each cycle the attacker observes the cycle's
+per-type *mean* coverage and updates his belief
+(:meth:`observe_cycle`). The engine's cache persists across cycles, so
+repeat cycles are mostly dictionary lookups.
+
+Everything is deterministic given the context seed — the loop runs
+identically in the serial runner, in the :class:`ParallelRunner` parent
+process, and behind the service — which is what lets the scenario suite
+embed the resulting curves in its bit-compared deterministic payload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.core.game import SAGConfig
+from repro.engine.stream import BatchAuditEngine
+from repro.audit.policies import CycleContext
+from repro.logstore.store import AlertRecord
+
+
+@dataclass(frozen=True)
+class LearningCurveResult:
+    """Per-cycle learning diagnostics for one attacker/engine pairing.
+
+    All curves are indexed by cycle (1-based ``cycle`` entries). The wall
+    clock is deliberately absent: the payload is part of the scenario
+    suite's bit-compared deterministic output.
+    """
+
+    attacker: str
+    cycles: int
+    regret: tuple[float, ...]
+    posterior_entropy: tuple[float, ...]
+    exploit_gap: tuple[float, ...]
+    mean_game_value: tuple[float, ...]
+    final_coverage: dict[int, float]
+
+    def summary(self) -> dict[str, float]:
+        """Cycle-averaged metrics (the ``EngineStats`` attachment)."""
+        return {
+            "regret": float(np.mean(self.regret)),
+            "posterior_entropy": float(np.mean(self.posterior_entropy)),
+            "exploit_gap": float(np.mean(self.exploit_gap)),
+            "learning_cycles": self.cycles,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "attacker": self.attacker,
+            "cycles": self.cycles,
+            "regret": list(self.regret),
+            "posterior_entropy": list(self.posterior_entropy),
+            "exploit_gap": list(self.exploit_gap),
+            "mean_game_value": list(self.mean_game_value),
+            "final_coverage": {str(t): v for t, v in self.final_coverage.items()},
+        }
+
+
+def mean_coverage(
+    type_ids: np.ndarray, thetas: np.ndarray
+) -> dict[int, float]:
+    """Per-type mean marginal coverage over one cycle's decisions."""
+    coverage: dict[int, float] = {}
+    ids = np.asarray(type_ids)
+    values = np.asarray(thetas, dtype=float)
+    for type_id in np.unique(ids):
+        coverage[int(type_id)] = float(values[ids == type_id].mean())
+    return coverage
+
+
+def run_learning_loop(
+    attacker,
+    alerts: Sequence[AlertRecord],
+    context: CycleContext,
+    cycles: int = 10,
+    signaling_enabled: bool = True,
+) -> LearningCurveResult:
+    """Drive ``attacker`` through ``cycles`` replays of one alert day.
+
+    The attacker must expose ``observe_cycle(coverage, payoffs)`` (the
+    learning interface of :mod:`repro.learning.attackers`). Returns the
+    per-cycle metric curves plus the auditor's mean game value per cycle
+    — the auditor side is untouched by the attacker's learning (the SSE
+    commitment is attacker-model-free), so the game-value curve moves only
+    through signal-draw and budget-path variation across replays.
+    """
+    if cycles < 1:
+        raise ExperimentError(f"learning loop needs >= 1 cycle, got {cycles}")
+    if not alerts:
+        raise ExperimentError("learning loop needs a non-empty alert day")
+    if not hasattr(attacker, "observe_cycle"):
+        raise ExperimentError(
+            f"{type(attacker).__name__} is not a learning attacker "
+            "(no observe_cycle method)"
+        )
+    config = SAGConfig(
+        payoffs=context.payoffs,
+        costs=context.costs,
+        budget=context.budget,
+        backend=context.backend,
+        signaling_enabled=signaling_enabled,
+        budget_charging=context.budget_charging,
+        fp_iterations=context.fp_iterations,
+    )
+    engine = BatchAuditEngine(
+        config,
+        context.build_estimator(),
+        rng=np.random.default_rng(context.seed),
+    )
+    type_arr = np.array([a.type_id for a in alerts], dtype=int)
+    time_arr = np.array([a.time_of_day for a in alerts], dtype=float)
+
+    regret: list[float] = []
+    entropy: list[float] = []
+    gap: list[float] = []
+    game_value: list[float] = []
+    coverage: dict[int, float] = {}
+    for _ in range(cycles):
+        result = engine.process_stream(type_arr, time_arr)
+        coverage = mean_coverage(result.type_ids, result.thetas)
+        metrics = attacker.observe_cycle(coverage, context.payoffs)
+        regret.append(metrics.regret)
+        entropy.append(metrics.posterior_entropy)
+        gap.append(metrics.exploit_gap)
+        game_value.append(float(result.game_values.mean()))
+        engine.reset()
+    return LearningCurveResult(
+        attacker=type(attacker).__name__,
+        cycles=cycles,
+        regret=tuple(regret),
+        posterior_entropy=tuple(entropy),
+        exploit_gap=tuple(gap),
+        mean_game_value=tuple(game_value),
+        final_coverage=coverage,
+    )

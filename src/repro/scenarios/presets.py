@@ -47,6 +47,24 @@ PRESETS: dict[str, ScenarioSpec] = {
         # Diurnal stress: the alert mass arrives overnight, inverting the
         # budget-pacing problem.
         ScenarioSpec(name="night-shift", diurnal="night"),
+        # Adaptive adversaries: a Bayesian attacker estimating the audit
+        # coverage from observed cycles, and a no-regret (Hedge) attacker
+        # driven by per-cycle payoff feedback. Both add a learning-curve
+        # section (regret / posterior entropy / exploitability gap) to the
+        # suite payload, solved through the fictitious-play backend so the
+        # equilibrium side exercises learning dynamics too.
+        ScenarioSpec(
+            name="learning-bayesian",
+            attacker="bayesian_learning",
+            backend="fictitious_play",
+            learning_cycles=20,
+        ),
+        ScenarioSpec(
+            name="learning-no-regret",
+            attacker="no_regret",
+            backend="fictitious_play",
+            learning_cycles=20,
+        ),
     )
 }
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time as _time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
 from repro.errors import ExperimentError
@@ -46,6 +46,7 @@ from repro.audit.montecarlo import (
 from repro.audit.policies import CycleContext
 from repro.engine.cache import CacheStats, SSESolutionCache
 from repro.engine.stream import EngineStats
+from repro.learning.loop import LearningCurveResult, run_learning_loop
 from repro.logstore.store import AlertRecord
 from repro.scenarios.spec import (
     CACHE_PER_TRIAL,
@@ -108,7 +109,10 @@ def _execute_shard(task: _ShardTask) -> _ShardResult:
         task.trial_seeds,
         timing=spec.timing,
         signaling_enabled=spec.signaling_enabled,
-        attacker=spec.attacker_model(),
+        # The spec method is itself the zero-arg factory: a fresh attacker
+        # per trial keeps stateful (learning) attackers shard-invariant and
+        # is a no-op for the stateless models.
+        attacker_factory=spec.attacker_model,
         robust_margin=spec.robust_margin,
         solution_cache=solution_cache,
         cache_factory=cache_factory,
@@ -165,10 +169,23 @@ class ScenarioResult:
     montecarlo: MonteCarloResult
     engine: EngineStats
     n_shards: int
+    learning: LearningCurveResult | None = None
 
     def deterministic_dict(self) -> dict[str, Any]:
-        """The shard-count-invariant payload (spec + merged Monte Carlo)."""
-        return {"spec": self.spec.to_dict(), "montecarlo": self.montecarlo.to_dict()}
+        """The shard-count-invariant payload (spec + merged Monte Carlo).
+
+        Learning-attacker scenarios add a ``learning`` section: the
+        multi-cycle curve is computed once in the parent process against
+        the scenario's deterministic world, so it is identical for any
+        worker count and belongs in the bit-compared payload.
+        """
+        payload = {
+            "spec": self.spec.to_dict(),
+            "montecarlo": self.montecarlo.to_dict(),
+        }
+        if self.learning is not None:
+            payload["learning"] = self.learning.to_dict()
+        return payload
 
     def run_dict(self) -> dict[str, Any]:
         """Execution accounting (varies with sharding and machine load)."""
@@ -295,7 +312,9 @@ class ParallelRunner:
                 ]
 
         results = []
-        for spec, tasks, shards in zip(specs, tasks_per_scenario, shard_results):
+        for spec, world, tasks, shards in zip(
+            specs, worlds, tasks_per_scenario, shard_results
+        ):
             # Concatenating shard outcomes in shard order reproduces the
             # serial trial order, so one from_outcomes pass over the
             # concatenation IS the merge (MonteCarloResult.merge does the
@@ -306,12 +325,28 @@ class ParallelRunner:
                 trial_seeds=[s for task in tasks for s in task.trial_seeds],
                 master_seed=spec.seed,
             )
+            engine = EngineStats.merge([shard.stats for shard in shards])
+            learning = None
+            if spec.learning_attacker:
+                # The multi-cycle learning curve runs in the parent — never
+                # on the pool — so its payload is identical for any worker
+                # count, like everything else in deterministic_dict().
+                alerts, context = world
+                learning = run_learning_loop(
+                    spec.attacker_model(),
+                    alerts,
+                    context,
+                    cycles=spec.learning_cycles,
+                    signaling_enabled=spec.signaling_enabled,
+                )
+                engine = replace(engine, **learning.summary())
             results.append(
                 ScenarioResult(
                     spec=spec,
                     montecarlo=merged,
-                    engine=EngineStats.merge([shard.stats for shard in shards]),
+                    engine=engine,
                     n_shards=len(shards),
+                    learning=learning,
                 )
             )
         return SuiteResult(

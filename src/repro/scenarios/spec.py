@@ -16,8 +16,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
+from repro.learning.attackers import BayesianLearningAttacker, NoRegretAttacker
 from repro.audit.evaluation import EvaluationHarness, TrainTestSplit
 from repro.audit.montecarlo import TIMING_LATE, TIMING_UNIFORM
 from repro.audit.policies import CycleContext
@@ -43,7 +44,19 @@ ATTACKER_RATIONAL = "rational"   # the paper's perfectly rational attacker
 ATTACKER_QUANTAL = "quantal"     # boundedly rational (logit) attacker
 ATTACKER_ROBUST = "robust"       # quantal attacker vs margin-hardened OSSP
 ATTACKER_MULTI = "multi"         # m independent symmetric rational attackers
-ATTACKERS = (ATTACKER_RATIONAL, ATTACKER_QUANTAL, ATTACKER_ROBUST, ATTACKER_MULTI)
+ATTACKER_BAYESIAN = "bayesian_learning"  # Beta-posterior coverage learner
+ATTACKER_NO_REGRET = "no_regret"         # Hedge over attack types
+#: Attackers that adapt across cycles (see :mod:`repro.learning`). The
+#: suite runs the multi-cycle learning loop for these and embeds the
+#: regret/entropy/exploitability curves in the deterministic payload.
+LEARNING_ATTACKERS = (ATTACKER_BAYESIAN, ATTACKER_NO_REGRET)
+ATTACKERS = (
+    ATTACKER_RATIONAL,
+    ATTACKER_QUANTAL,
+    ATTACKER_ROBUST,
+    ATTACKER_MULTI,
+    *LEARNING_ATTACKERS,
+)
 
 #: Cache policies for the suite's Monte Carlo trials.
 CACHE_SHARED = "shared"       # one exact-mode cache per worker (never changes results)
@@ -51,7 +64,7 @@ CACHE_PER_TRIAL = "per-trial" # fresh (possibly quantized) cache per trial
 CACHE_OFF = "off"             # no caching
 CACHE_MODES = (CACHE_SHARED, CACHE_PER_TRIAL, CACHE_OFF)
 
-_BACKENDS = ("scipy", "simplex", "analytic")
+_BACKENDS = ("scipy", "simplex", "analytic", "fictitious_play")
 _TIMINGS = (TIMING_UNIFORM, TIMING_LATE)
 _CHARGING = ("conditional", "expected")
 
@@ -89,12 +102,26 @@ class ScenarioSpec:
         Named intra-day arrival profile: ``hospital``/``uniform``/``night``.
     attacker:
         ``rational``, ``quantal``, ``robust`` (= quantal attacker against a
-        margin-hardened OSSP; requires ``robust_margin > 0``) or ``multi``
-        (``n_attackers`` independent symmetric rational attackers).
+        margin-hardened OSSP; requires ``robust_margin > 0``), ``multi``
+        (``n_attackers`` independent symmetric rational attackers), or a
+        learning model — ``bayesian_learning`` (Beta posterior over
+        per-type coverage) / ``no_regret`` (Hedge over attack types); see
+        :mod:`repro.learning`.
     rationality:
         Quantal-response precision (used by ``quantal``/``robust``).
     n_attackers:
-        Simultaneous attackers per trial (``multi`` only; others keep 1).
+        Simultaneous attackers per trial (``multi`` only; any other
+        attacker with ``n_attackers != 1`` is a :class:`ConfigError`).
+    learning_rate:
+        Step size for the learning attackers (Hedge rate for
+        ``no_regret``; observation weight for ``bayesian_learning``).
+    learning_cycles:
+        Cycles of the adaptive learning loop the suite runs for learning
+        attackers (ignored otherwise).
+    fp_iterations:
+        Iteration budget for the ``fictitious_play`` backend's dynamics
+        (the equilibrium itself stays exact at any budget; this bounds the
+        reported exploitability-gap quality).
     robust_margin:
         Hardened quit-constraint margin as a fraction of ``|U_au|``.
     timing:
@@ -135,6 +162,9 @@ class ScenarioSpec:
     attacker: str = ATTACKER_RATIONAL
     rationality: float = 20.0
     n_attackers: int = 1
+    learning_rate: float = 0.5
+    learning_cycles: int = 10
+    fp_iterations: int = 400
     robust_margin: float = 0.0
     timing: str = TIMING_UNIFORM
     signaling_enabled: bool = True
@@ -153,13 +183,16 @@ class ScenarioSpec:
         # Type checks come first so wrong-typed CLI/JSON values (e.g. an
         # --axis string landing in a numeric field) surface as clean
         # ExperimentErrors instead of TypeErrors from the range checks.
-        for field_name in ("seed", "n_days", "n_trials", "n_attackers"):
+        for field_name in (
+            "seed", "n_days", "n_trials", "n_attackers",
+            "learning_cycles", "fp_iterations",
+        ):
             _require_int(getattr(self, field_name), field_name)
         if self.training_window is not None:
             _require_int(self.training_window, "training_window")
         for field_name in (
             "normal_daily_mean", "rationality", "robust_margin",
-            "cache_budget_step", "cache_rate_step",
+            "cache_budget_step", "cache_rate_step", "learning_rate",
         ):
             _require_number(getattr(self, field_name), field_name)
         if self.budget is not None:
@@ -219,8 +252,22 @@ class ScenarioSpec:
                 f"n_attackers must be >= 1, got {self.n_attackers}"
             )
         if self.attacker != ATTACKER_MULTI and self.n_attackers != 1:
+            raise ConfigError(
+                f"n_attackers={self.n_attackers} requires attacker='multi'; "
+                f"attacker={self.attacker!r} plays a single attacker per "
+                "trial — drop n_attackers or switch the attacker model"
+            )
+        if not self.learning_rate > 0:
             raise ExperimentError(
-                "n_attackers > 1 requires attacker='multi'"
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.learning_cycles < 1:
+            raise ExperimentError(
+                f"learning_cycles must be >= 1, got {self.learning_cycles}"
+            )
+        if self.fp_iterations < 1:
+            raise ExperimentError(
+                f"fp_iterations must be >= 1, got {self.fp_iterations}"
             )
         if self.cache_budget_step < 0 or self.cache_rate_step < 0:
             raise ExperimentError("cache quantization steps must be non-negative")
@@ -280,11 +327,32 @@ class ScenarioSpec:
         """Alert types in play."""
         return tuple(sorted(self.payoffs()))
 
-    def attacker_model(self) -> RationalAttacker | QuantalResponseAttacker:
-        """The attacker instance the Monte Carlo trials play against."""
+    def attacker_model(
+        self,
+    ) -> (
+        RationalAttacker
+        | QuantalResponseAttacker
+        | BayesianLearningAttacker
+        | NoRegretAttacker
+    ):
+        """A fresh attacker instance the Monte Carlo trials play against.
+
+        Learning attackers are stateful (beliefs move at cycle
+        boundaries); callers that need sharding invariance build one per
+        trial via this factory.
+        """
         if self.attacker in (ATTACKER_QUANTAL, ATTACKER_ROBUST):
             return QuantalResponseAttacker(self.rationality)
+        if self.attacker == ATTACKER_BAYESIAN:
+            return BayesianLearningAttacker(observation_weight=self.learning_rate)
+        if self.attacker == ATTACKER_NO_REGRET:
+            return NoRegretAttacker(learning_rate=self.learning_rate)
         return RationalAttacker()
+
+    @property
+    def learning_attacker(self) -> bool:
+        """Whether this scenario's attacker adapts across cycles."""
+        return self.attacker in LEARNING_ATTACKERS
 
     # ------------------------------------------------------------------
     # World construction
@@ -310,6 +378,7 @@ class ScenarioSpec:
             backend=self.backend,
             seed=self.seed,
             budget_charging=self.budget_charging,
+            fp_iterations=self.fp_iterations,
         )
 
     def build_world(

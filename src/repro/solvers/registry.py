@@ -37,7 +37,35 @@ DEFAULT_BACKEND = scipy_backend.BACKEND_NAME
 #: ``_STRUCTURED_FALLBACK`` (HiGHS, the analytic path's cross-check partner).
 ANALYTIC_BACKEND = "analytic"
 
-_STRUCTURED_FALLBACK = {ANALYTIC_BACKEND: scipy_backend.BACKEND_NAME}
+#: The fictitious-play backend (:mod:`repro.learning.fictitious_play`). Also
+#: structured: it reaches the SSE through learning dynamics plus exact
+#: candidate refinement rather than generic LP solves, so generic programs
+#: requested under this name fall back to HiGHS as well.
+FICTITIOUS_PLAY_BACKEND = "fictitious_play"
+
+_STRUCTURED_FALLBACK = {
+    ANALYTIC_BACKEND: scipy_backend.BACKEND_NAME,
+    FICTITIOUS_PLAY_BACKEND: scipy_backend.BACKEND_NAME,
+}
+
+#: One-line per-backend descriptions for the ``repro backends`` CLI.
+BACKEND_DESCRIPTIONS: dict[str, str] = {
+    scipy_backend.BACKEND_NAME: (
+        "generic LP backend — scipy.optimize.linprog (HiGHS); the default"
+    ),
+    simplex.BACKEND_NAME: (
+        "generic LP backend — pure-python Bland-rule simplex cross-check"
+    ),
+    ANALYTIC_BACKEND: (
+        "structured SSE backend — vectorized closed-form water-filling "
+        f"(generic LPs fall back to '{scipy_backend.BACKEND_NAME}')"
+    ),
+    FICTITIOUS_PLAY_BACKEND: (
+        "structured SSE backend — damped fictitious-play dynamics with exact "
+        f"candidate refinement (generic LPs fall back to "
+        f"'{scipy_backend.BACKEND_NAME}')"
+    ),
+}
 
 
 def available_backends() -> tuple[str, ...]:

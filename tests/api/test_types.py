@@ -114,6 +114,31 @@ class TestValidation:
         with pytest.raises(InvalidEventError):
             AlertEvent(tenant="a", type_id=1, time_of_day=-1.0)
 
+    def test_unknown_session_attacker_rejected(self):
+        with pytest.raises(InvalidEventError):
+            SessionConfig(tenant="a", budget=1.0, payoffs={1: PAY},
+                          costs={1: 1.0}, attacker="psychic")
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, "fast", True])
+    def test_bad_learning_rate_rejected(self, rate):
+        with pytest.raises(InvalidEventError):
+            SessionConfig(tenant="a", budget=1.0, payoffs={1: PAY},
+                          costs={1: 1.0}, learning_rate=rate)
+
+    @pytest.mark.parametrize("iterations", [0, -5, 2.5, "many", True])
+    def test_bad_fp_iterations_rejected(self, iterations):
+        with pytest.raises(InvalidEventError):
+            SessionConfig(tenant="a", budget=1.0, payoffs={1: PAY},
+                          costs={1: 1.0}, fp_iterations=iterations)
+
+    def test_fp_iterations_none_and_positive_accepted(self):
+        base = dict(tenant="a", budget=1.0, payoffs={1: PAY}, costs={1: 1.0})
+        assert SessionConfig(**base).fp_iterations is None
+        config = SessionConfig(**base, fp_iterations=50,
+                               attacker="no_regret", learning_rate=0.25)
+        assert config.fp_iterations == 50
+        assert SessionConfig.from_json(config.to_json()) == config
+
 
 class TestFromScenario:
     def test_config_mirrors_spec(self):
@@ -130,3 +155,19 @@ class TestFromScenario:
     def test_default_budget_resolves(self):
         spec = ScenarioSpec(name="t")
         assert SessionConfig.from_scenario(spec).budget == spec.resolved_budget()
+
+    def test_learning_knobs_mirror_spec(self):
+        spec = ScenarioSpec(
+            name="t", attacker="no_regret", learning_rate=0.25,
+            backend="fictitious_play", fp_iterations=77,
+        )
+        config = SessionConfig.from_scenario(spec)
+        assert config.attacker == "no_regret"
+        assert config.learning_rate == 0.25
+        assert config.fp_iterations == 77
+
+    def test_unsupported_session_attackers_fall_back_to_rational(self):
+        # quantal/robust/multi shape Monte Carlo trials, not the decision
+        # stream, so sessions run them as rational.
+        spec = ScenarioSpec(name="t", attacker="quantal", rationality=3.0)
+        assert SessionConfig.from_scenario(spec).attacker == "rational"

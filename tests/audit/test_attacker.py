@@ -1,6 +1,7 @@
 """Tests for the attacker models."""
 
 import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.errors import ModelError
 from repro.audit.attacker import QuantalResponseAttacker, RationalAttacker
@@ -104,3 +105,65 @@ class TestQuantalResponseAttacker:
     def test_empty_rejected(self):
         with pytest.raises(ModelError):
             QuantalResponseAttacker(1.0).type_distribution({}, {})
+
+
+payoff_strategy = st.builds(
+    PayoffMatrix,
+    u_dc=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    u_du=st.floats(min_value=-5000.0, max_value=-1.0, allow_nan=False),
+    u_ac=st.floats(min_value=-10000.0, max_value=-1.0, allow_nan=False),
+    u_au=st.floats(min_value=1.0, max_value=2000.0, allow_nan=False),
+)
+world_strategy = st.integers(min_value=2, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.lists(payoff_strategy, min_size=n, max_size=n),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ),
+    )
+)
+
+
+class TestQuantalLimits:
+    """The quantal attacker's two analytic limits, over random worlds."""
+
+    @given(world_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_rationality_is_uniform(self, world):
+        payoff_list, theta_list = world
+        payoffs = dict(enumerate(payoff_list, start=1))
+        thetas = dict(enumerate(theta_list, start=1))
+        distribution = QuantalResponseAttacker(0.0).type_distribution(
+            thetas, payoffs
+        )
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        for probability in distribution.values():
+            assert probability == pytest.approx(1.0 / len(payoffs))
+
+    @given(world_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_high_rationality_recovers_rational_best_response(self, world):
+        payoff_list, theta_list = world
+        payoffs = dict(enumerate(payoff_list, start=1))
+        thetas = dict(enumerate(theta_list, start=1))
+        utilities = {
+            t: payoffs[t].attacker_utility(thetas[t]) for t in payoffs
+        }
+        ranked = sorted(utilities.values(), reverse=True)
+        scale = max(1.0, max(abs(u) for u in utilities.values()))
+        # Skip near-ties: in the tied limit the logit mass legitimately
+        # splits, so there is no unique best response to recover.
+        assume(ranked[0] - ranked[1] > 1e-3 * scale)
+        # The rational attacker may prefer not to attack at all; the
+        # quantal model only distributes *which* type, so condition the
+        # comparison on an attack being worthwhile.
+        assume(ranked[0] >= 0)
+
+        distribution = QuantalResponseAttacker(1e6).type_distribution(
+            thetas, payoffs
+        )
+        best = max(distribution, key=distribution.get)
+        rational = RationalAttacker().choose_type(thetas, payoffs)
+        assert best == rational.type_id
+        assert distribution[best] > 0.99

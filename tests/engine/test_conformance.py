@@ -8,6 +8,7 @@ from repro.core.sse import GameState, solve_online_sse
 from repro.engine.conformance import (
     BACKENDS,
     CachePolicyResult,
+    FP_GAP_TOL,
     VALUE_TOL,
     format_report,
     main,
@@ -53,7 +54,9 @@ class TestHarness:
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["passed"] is True
         assert payload["backends"] == list(BACKENDS)
-        assert payload["tolerances"] == {"value": VALUE_TOL, "theta": 1e-6}
+        assert payload["tolerances"] == {
+            "value": VALUE_TOL, "theta": 1e-6, "fp_gap": 1e-3,
+        }
         assert len(payload["pairs"]) == 3
         assert all("passed" in entry for entry in payload["pairs"])
         assert all("gated" in entry for entry in payload["cache"])
@@ -62,6 +65,29 @@ class TestHarness:
         text = format_report(report)
         assert "overall: PASS" in text
         assert "scipy" in text and "analytic" in text
+
+    def test_part_d_compares_fp_against_every_backend(self, report):
+        assert {(p.first, p.second) for p in report.fp_pairs} == {
+            ("fictitious_play", backend) for backend in BACKENDS
+        }
+        for pair in report.fp_pairs:
+            assert pair.passed
+            assert pair.best_response_mismatches == 0
+            assert pair.max_value_gap <= VALUE_TOL
+
+    def test_part_d_dynamics_converge_on_zero_sum(self, report):
+        assert report.fp_dynamics
+        for dynamics in report.fp_dynamics:
+            assert dynamics.passed
+            assert dynamics.converged == dynamics.instances
+            assert dynamics.max_gap <= FP_GAP_TOL
+
+    def test_part_d_rides_the_report_verdict_and_text(self, report):
+        payload = report.to_dict()
+        assert payload["fp_backend"] == "fictitious_play"
+        assert all(entry["passed"] for entry in payload["fp_pairs"])
+        assert all(entry["passed"] for entry in payload["fp_dynamics"])
+        assert "fictitious play" in format_report(report)
 
     def test_failed_policy_fails_the_report(self, report):
         # A synthetic violation must flip the verdict.

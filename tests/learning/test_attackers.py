@@ -1,0 +1,134 @@
+"""Tests for the adaptive attacker models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.core.payoffs import PayoffMatrix
+from repro.core.signaling import solve_ossp
+from repro.learning import (
+    BayesianLearningAttacker,
+    LearningMetrics,
+    NoRegretAttacker,
+)
+
+PAY1 = PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0, u_au=400.0)
+PAY2 = PayoffMatrix(u_dc=150.0, u_du=-500.0, u_ac=-2250.0, u_au=600.0)
+PAYOFFS = {1: PAY1, 2: PAY2}
+
+
+class TestBayesianLearningAttacker:
+    def test_believes_the_prior_not_the_truth(self):
+        attacker = BayesianLearningAttacker()
+        assert attacker.believed_coverage([1, 2]) == {1: 0.5, 2: 0.5}
+        # True coverage makes type 2 the clear best response, but at
+        # believed coverage 0.5 both types are deeply negative: no attack.
+        plan = attacker.choose_type({1: 0.9, 2: 0.0}, PAYOFFS)
+        assert not plan.attacks
+
+    def test_learns_low_coverage_and_attacks(self):
+        attacker = BayesianLearningAttacker(observation_weight=10.0)
+        for _ in range(20):
+            attacker.observe_cycle({1: 0.05, 2: 0.02}, PAYOFFS)
+        plan = attacker.choose_type({1: 0.5, 2: 0.5}, PAYOFFS)
+        assert plan.attacks
+        assert plan.type_id == 2  # higher uncovered payoff
+
+    def test_metrics_shape_and_regret_is_zero(self):
+        attacker = BayesianLearningAttacker()
+        metrics = attacker.observe_cycle({1: 0.2, 2: 0.3}, PAYOFFS)
+        assert isinstance(metrics, LearningMetrics)
+        assert metrics.cycle == 1
+        assert metrics.regret == 0.0
+        assert metrics.exploit_gap >= 0.0
+        assert attacker.last_metrics == metrics
+
+    def test_exploit_gap_closes_as_the_posterior_converges(self):
+        # Metrics are post-update, so the default unit weight keeps the
+        # first cycles below break-even before the posterior crosses it.
+        attacker = BayesianLearningAttacker()
+        curve = [
+            attacker.observe_cycle({1: 0.05, 2: 0.02}, PAYOFFS).exploit_gap
+            for _ in range(20)
+        ]
+        assert curve[0] == pytest.approx(1.0)  # believed: stay out
+        assert curve[-1] == pytest.approx(0.0)  # learned: attack type 2
+
+    def test_quits_on_ossp_warning(self):
+        attacker = BayesianLearningAttacker()
+        scheme = solve_ossp(0.1, PAY1)
+        assert not attacker.proceeds_after_warning(scheme, PAY1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BayesianLearningAttacker(observation_weight=0.0)
+        attacker = BayesianLearningAttacker()
+        with pytest.raises(ModelError):
+            attacker.observe_cycle({}, PAYOFFS)
+        with pytest.raises(ModelError):
+            attacker.choose_type({}, PAYOFFS)
+
+
+class TestNoRegretAttacker:
+    def test_starts_uniform_over_attack_types(self):
+        attacker = NoRegretAttacker()
+        distribution = attacker.type_distribution({1: 0.0, 2: 0.0}, PAYOFFS)
+        assert distribution[1] == pytest.approx(0.5)
+        assert distribution[2] == pytest.approx(0.5)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_regret_decays_under_fixed_coverage(self):
+        attacker = NoRegretAttacker(learning_rate=0.5)
+        curve = [
+            attacker.observe_cycle({1: 0.6, 2: 0.05}, PAYOFFS).regret
+            for _ in range(30)
+        ]
+        assert curve[-1] < curve[0]
+        assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_mixture_concentrates_on_the_best_arm(self):
+        attacker = NoRegretAttacker(learning_rate=1.0)
+        for _ in range(40):
+            attacker.observe_cycle({1: 0.6, 2: 0.05}, PAYOFFS)
+        distribution = attacker.type_distribution({1: 0.6, 2: 0.05}, PAYOFFS)
+        assert distribution[2] > 0.95
+        assert attacker.choose_type({1: 0.6, 2: 0.05}, PAYOFFS).type_id == 2
+
+    def test_prefers_not_attacking_when_everything_is_covered(self):
+        attacker = NoRegretAttacker(learning_rate=1.0)
+        for _ in range(40):
+            # Both types deeply covered: every attack arm pays negative,
+            # the no-attack arm pays 0 and must win.
+            attacker.observe_cycle({1: 0.95, 2: 0.95}, PAYOFFS)
+        assert not attacker.choose_type({1: 0.95, 2: 0.95}, PAYOFFS).attacks
+
+    def test_updates_are_deterministic(self):
+        first = NoRegretAttacker()
+        second = NoRegretAttacker()
+        for _ in range(10):
+            a = first.observe_cycle({1: 0.3, 2: 0.1}, PAYOFFS)
+            b = second.observe_cycle({1: 0.3, 2: 0.1}, PAYOFFS)
+            assert a == b
+
+    def test_entropy_falls_as_the_mixture_concentrates(self):
+        attacker = NoRegretAttacker(learning_rate=1.0)
+        entropies = [
+            attacker.observe_cycle({1: 0.6, 2: 0.05}, PAYOFFS).posterior_entropy
+            for _ in range(40)
+        ]
+        assert entropies[-1] < entropies[0]
+
+    def test_quits_on_ossp_warning(self):
+        attacker = NoRegretAttacker()
+        scheme = solve_ossp(0.1, PAY1)
+        assert not attacker.proceeds_after_warning(scheme, PAY1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            NoRegretAttacker(learning_rate=0.0)
+        attacker = NoRegretAttacker()
+        with pytest.raises(ModelError):
+            attacker.observe_cycle({}, PAYOFFS)
+        with pytest.raises(ModelError):
+            attacker.choose_type({}, PAYOFFS)
+        with pytest.raises(ModelError):
+            attacker.type_distribution({}, PAYOFFS)

@@ -1,0 +1,79 @@
+"""Tests for the coverage-belief estimators."""
+
+import pytest
+import scipy.special
+
+from repro.errors import ModelError
+from repro.learning.estimators import (
+    BetaCoverageEstimator,
+    PolicyEstimator,
+    _beta_entropy,
+    _digamma,
+)
+
+
+class TestDigamma:
+    @pytest.mark.parametrize(
+        "x", [1e-3, 0.1, 0.5, 1.0, 1.5, 2.0, 5.99, 6.0, 10.0, 123.4]
+    )
+    def test_matches_scipy(self, x):
+        assert _digamma(x) == pytest.approx(
+            float(scipy.special.digamma(x)), abs=1e-10
+        )
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ModelError):
+            _digamma(0.0)
+        with pytest.raises(ModelError):
+            _digamma(-1.0)
+
+
+class TestBetaEntropy:
+    def test_uniform_beta_has_zero_entropy(self):
+        # Beta(1, 1) is Uniform(0, 1): differential entropy 0 nats.
+        assert _beta_entropy(1.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentration_lowers_entropy(self):
+        assert _beta_entropy(50.0, 50.0) < _beta_entropy(5.0, 5.0) < 0.0
+
+
+class TestBetaCoverageEstimator:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(BetaCoverageEstimator(), PolicyEstimator)
+
+    def test_prior_mean(self):
+        assert BetaCoverageEstimator().mean(1) == pytest.approx(0.5)
+        skewed = BetaCoverageEstimator(prior_alpha=3.0, prior_beta=1.0)
+        assert skewed.mean(7) == pytest.approx(0.75)
+
+    def test_observation_pulls_the_mean(self):
+        estimator = BetaCoverageEstimator()
+        for _ in range(50):
+            estimator.observe({1: 0.9, 2: 0.1})
+        assert estimator.mean(1) == pytest.approx(0.9, abs=0.02)
+        assert estimator.mean(2) == pytest.approx(0.1, abs=0.02)
+        assert estimator.means() == {1: estimator.mean(1), 2: estimator.mean(2)}
+
+    def test_weight_equals_repeated_observations(self):
+        heavy = BetaCoverageEstimator()
+        heavy.observe({1: 0.3}, weight=4.0)
+        light = BetaCoverageEstimator()
+        for _ in range(4):
+            light.observe({1: 0.3})
+        assert heavy.mean(1) == pytest.approx(light.mean(1))
+
+    def test_entropy_shrinks_with_evidence(self):
+        estimator = BetaCoverageEstimator()
+        before = estimator.entropy()
+        for _ in range(20):
+            estimator.observe({1: 0.4})
+        assert estimator.entropy() < before
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BetaCoverageEstimator(prior_alpha=0.0)
+        estimator = BetaCoverageEstimator()
+        with pytest.raises(ModelError):
+            estimator.observe({1: 1.5})
+        with pytest.raises(ModelError):
+            estimator.observe({1: 0.5}, weight=0.0)

@@ -1,0 +1,101 @@
+"""Tests for the fictitious-play dynamics and the equilibrium backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.sse import solve_multiple_lp, solve_online_sse
+from repro.engine.conformance import random_game, random_state, zero_sum_game
+from repro.learning import FictitiousPlayResult, run_fictitious_play
+from repro.learning.fictitious_play import solve_multiple_lp_fp
+from repro.solvers.registry import available_backends
+
+
+def _instance(seed, zero_sum=False):
+    rng = np.random.default_rng(seed)
+    payoffs, costs = zero_sum_game(rng) if zero_sum else random_game(rng)
+    budget = float(rng.uniform(1.0, 50.0))
+    coefficient = {t: float(rng.uniform(0.005, 0.5)) for t in sorted(payoffs)}
+    return budget, coefficient, payoffs, costs
+
+
+class TestDynamics:
+    def test_converges_on_zero_sum_instances(self):
+        for seed in (1, 2, 3):
+            budget, coefficient, payoffs, _ = _instance(seed, zero_sum=True)
+            result = run_fictitious_play(
+                budget, coefficient, payoffs, iterations=4000, tol=1e-3
+            )
+            assert isinstance(result, FictitiousPlayResult)
+            assert result.converged
+            assert result.gap <= 1e-3
+            assert result.iterations <= 4000
+
+    def test_coverage_respects_probability_and_budget(self):
+        budget, coefficient, payoffs, _ = _instance(5, zero_sum=True)
+        result = run_fictitious_play(budget, coefficient, payoffs)
+        for type_id, theta in result.coverage.items():
+            assert 0.0 <= theta <= 1.0
+            # theta = coef * B implies B = theta / coef.
+            assert theta <= coefficient[type_id] * budget + 1e-9
+        spent = sum(
+            result.coverage[t] / coefficient[t] for t in result.coverage
+        )
+        assert spent <= budget + 1e-6
+        assert sum(result.mixture.values()) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        budget, coefficient, payoffs, _ = _instance(8, zero_sum=True)
+        first = run_fictitious_play(budget, coefficient, payoffs)
+        second = run_fictitious_play(budget, coefficient, payoffs)
+        assert first == second
+
+
+class TestBackend:
+    def test_registered(self):
+        assert "fictitious_play" in available_backends()
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_agrees_with_the_lp_path(self, seed):
+        budget, coefficient, payoffs, _ = _instance(seed)
+        fp = solve_multiple_lp_fp(budget, coefficient, payoffs)
+        lp = solve_multiple_lp(budget, coefficient, payoffs, backend="scipy")
+        assert fp.auditor_utility == pytest.approx(lp.auditor_utility, abs=1e-6)
+        assert fp.attacker_utility == pytest.approx(lp.attacker_utility, abs=1e-6)
+        assert fp.best_response == lp.best_response
+
+    def test_agrees_end_to_end_through_solve_online_sse(self):
+        rng = np.random.default_rng(21)
+        payoffs, costs = random_game(rng)
+        state = random_state(rng, tuple(sorted(payoffs)))
+        fp = solve_online_sse(state, payoffs, costs, backend="fictitious_play")
+        reference = solve_online_sse(state, payoffs, costs, backend="scipy")
+        assert fp.auditor_utility == pytest.approx(
+            reference.auditor_utility, abs=1e-6
+        )
+        assert fp.best_response == reference.best_response
+
+    def test_iteration_budget_never_changes_the_equilibrium(self):
+        # The refinement stage is exact at any proposal budget, which is
+        # what makes fp_iterations safe to vary under a shared cache.
+        budget, coefficient, payoffs, _ = _instance(31)
+        tiny = solve_multiple_lp_fp(budget, coefficient, payoffs, iterations=5)
+        full = solve_multiple_lp_fp(budget, coefficient, payoffs)
+        assert tiny.auditor_utility == pytest.approx(
+            full.auditor_utility, abs=1e-9
+        )
+        assert tiny.best_response == full.best_response
+
+    def test_no_certificate_so_cache_stays_exact(self):
+        budget, coefficient, payoffs, _ = _instance(41)
+        assert solve_multiple_lp_fp(budget, coefficient, payoffs).certificate is None
+
+
+class TestZeroSumGenerator:
+    def test_payoffs_are_zero_sum_and_deterministic(self):
+        payoffs, costs = zero_sum_game(np.random.default_rng(3))
+        assert set(payoffs) == set(costs)
+        for payoff in payoffs.values():
+            assert payoff.u_dc == -payoff.u_ac
+            assert payoff.u_du == -payoff.u_au
+        again, again_costs = zero_sum_game(np.random.default_rng(3))
+        assert again == payoffs and again_costs == costs

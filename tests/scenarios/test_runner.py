@@ -232,3 +232,68 @@ class TestParallelRunner:
 def _alert_count(spec):
     alerts, _context, _split = spec.build_world()
     return len(alerts)
+
+
+@pytest.fixture(scope="module")
+def learning_spec():
+    return ScenarioSpec(
+        name="tiny-learning", n_days=8, training_window=6, n_trials=4,
+        normal_daily_mean=400.0, attacker="no_regret", learning_cycles=5,
+    )
+
+
+class TestLearningScenarios:
+    """Learning-attacker specs: curves in the payload, same bits everywhere."""
+
+    def test_curves_identical_across_worker_counts(self, learning_spec):
+        serial = ParallelRunner(workers=1).run([learning_spec])
+        parallel = ParallelRunner(workers=2).run([learning_spec])
+        assert json.dumps(serial.scenarios_payload(), sort_keys=True) == \
+            json.dumps(parallel.scenarios_payload(), sort_keys=True)
+        payload = serial.scenarios_payload()[0]
+        assert payload["learning"]["cycles"] == 5
+        assert len(payload["learning"]["regret"]) == 5
+
+    def test_learning_metrics_fold_into_engine_stats(self, learning_spec):
+        result = ParallelRunner(workers=1).run([learning_spec]).results[0]
+        assert result.learning is not None
+        assert result.learning.attacker == "NoRegretAttacker"
+        assert result.engine.learning_cycles == 5
+        assert result.engine.regret > 0.0
+        summary = result.learning.summary()
+        assert result.engine.regret == pytest.approx(summary["regret"])
+
+    def test_static_specs_have_no_learning_section(self, tiny_specs):
+        result = ParallelRunner(workers=1).run([tiny_specs[0]]).results[0]
+        assert result.learning is None
+        assert "learning" not in result.deterministic_dict()
+        assert result.engine.learning_cycles == 0
+
+    def test_service_submit_path_matches_and_reports_metrics(
+        self, learning_spec
+    ):
+        from repro.api.v1 import AuditService
+
+        # Learning is observational — the auditor's committed policy does
+        # not depend on the attacker model — so a learning-attacker session
+        # must produce bit-identical decisions to a rational-attacker one.
+        learning_service = AuditService()
+        _session, events = learning_service.open_scenario(learning_spec)
+        learning_decisions = learning_service.submit(events[:30])
+
+        static_service = AuditService()
+        static_spec = learning_spec.with_updates(attacker="rational")
+        _session2, _events2 = static_service.open_scenario(static_spec)
+        static_decisions = static_service.submit(events[:30])
+        assert [d.to_dict() for d in learning_decisions] == \
+            [d.to_dict() for d in static_decisions]
+
+        # But only the learning session reports per-cycle metrics.
+        report = learning_service.close_cycle(learning_spec.name)
+        assert report.learning_cycles == 1
+        assert report.regret > 0.0
+        static_report = static_service.close_cycle(static_spec.name)
+        assert static_report.learning_cycles == 0
+        stats = learning_service.stats()
+        assert stats.learning_cycles == 1
+        assert stats.regret == pytest.approx(report.regret)

@@ -35,6 +35,10 @@ class TestValidation:
             {"attacker": "robust"},       # robust needs a positive margin
             {"n_attackers": 0},
             {"n_attackers": 3},           # multi-attacker count without 'multi'
+            {"learning_rate": 0.0},
+            {"learning_rate": -0.5},
+            {"learning_cycles": 0},
+            {"fp_iterations": 0},
             {"cache_budget_step": -0.5},
             {"cache_budget_step": 0.5},   # quantized shared cache forbidden
             {"cache_error_budget": -1e-6},
@@ -105,6 +109,18 @@ class TestValidation:
         spec = ScenarioSpec(name="s", attacker="multi", n_attackers=3)
         assert spec.n_attackers == 3
 
+    @pytest.mark.parametrize(
+        "attacker", ["rational", "quantal", "bayesian_learning", "no_regret"]
+    )
+    def test_attacker_count_without_multi_is_a_config_error(self, attacker):
+        from repro.errors import ConfigError
+
+        base = {"name": "s", "n_attackers": 2, "attacker": attacker}
+        if attacker == "quantal":
+            base["rationality"] = 3.0
+        with pytest.raises(ConfigError):
+            ScenarioSpec(**base)
+
 
 class TestResolution:
     def test_paper_budgets_by_setting(self):
@@ -138,6 +154,30 @@ class TestResolution:
             name="s", attacker="robust", robust_margin=0.1
         ).attacker_model()
         assert isinstance(robust, QuantalResponseAttacker)
+
+    def test_learning_attacker_models(self):
+        from repro.learning import BayesianLearningAttacker, NoRegretAttacker
+
+        bayes_spec = ScenarioSpec(
+            name="s", attacker="bayesian_learning", learning_rate=2.0
+        )
+        assert bayes_spec.learning_attacker
+        bayes = bayes_spec.attacker_model()
+        assert isinstance(bayes, BayesianLearningAttacker)
+        assert bayes.observation_weight == 2.0
+
+        hedge_spec = ScenarioSpec(
+            name="s", attacker="no_regret", learning_rate=0.25
+        )
+        assert hedge_spec.learning_attacker
+        hedge = hedge_spec.attacker_model()
+        assert isinstance(hedge, NoRegretAttacker)
+        assert hedge.learning_rate == 0.25
+        # attacker_model is the per-trial factory: every call must build a
+        # fresh attacker so shards never share learning state.
+        assert hedge_spec.attacker_model() is not hedge
+
+        assert not ScenarioSpec(name="s").learning_attacker
 
 
 class TestSerialization:
@@ -191,8 +231,16 @@ class TestPresets:
 
     def test_expected_presets_present(self):
         for name in ("fig2-uniform", "fig2-late", "fig3-multi",
-                     "quantal", "robust", "multi-attacker", "night-shift"):
+                     "quantal", "robust", "multi-attacker", "night-shift",
+                     "learning-bayesian", "learning-no-regret"):
             assert get_scenario(name).name == name
+
+    def test_learning_presets_use_fictitious_play(self):
+        for name in ("learning-bayesian", "learning-no-regret"):
+            spec = get_scenario(name)
+            assert spec.learning_attacker
+            assert spec.backend == "fictitious_play"
+            assert spec.learning_cycles >= 20
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ExperimentError):

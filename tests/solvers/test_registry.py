@@ -29,7 +29,24 @@ def simple_lp():
 
 
 def test_available_backends():
-    assert available_backends() == ("analytic", "scipy", "simplex")
+    assert available_backends() == (
+        "analytic", "fictitious_play", "scipy", "simplex"
+    )
+
+
+def test_every_backend_has_a_description():
+    from repro.solvers.registry import BACKEND_DESCRIPTIONS
+
+    assert set(BACKEND_DESCRIPTIONS) == set(available_backends())
+    assert all(BACKEND_DESCRIPTIONS.values())
+
+
+def test_fictitious_play_generic_lp_falls_back_to_scipy(simple_lp):
+    # Like "analytic", it is a structured backend: generic programs
+    # resolve to HiGHS.
+    solution = get_backend("fictitious_play")(simple_lp)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.backend == "scipy"
 
 
 def test_get_backend_unknown():

@@ -24,10 +24,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 API_DOC = REPO_ROOT / "docs" / "api.md"
 
 #: Modules allowed to construct the raw engine: the façade itself, the
-#: engine package, and the audit/experiment internals the engine serves.
+#: engine package, and the learning loop (a measurement harness that
+#: replays the engine cache-persistently across cycles — it sits *below*
+#: the façade, which imports repro.learning for its attacker models, so
+#: routing it through repro.api.v1 would be an import cycle).
 _ENGINE_ALLOWED = (
     "src/repro/engine/",
     "src/repro/api/",
+    "src/repro/learning/",
 )
 
 

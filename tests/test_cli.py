@@ -52,6 +52,16 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["figure9"])
 
+    def test_backends_lists_registry(self, capsys):
+        from repro.solvers.registry import available_backends
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "fictitious_play" in out
+        assert "* " in out  # the default backend is marked
+
 
 class TestSuiteCli:
     def test_list_presets(self, capsys):
