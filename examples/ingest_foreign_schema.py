@@ -1,0 +1,92 @@
+"""Foreign-schema ingestion: a site-specific dump in, decisions out.
+
+Run with:  python examples/ingest_foreign_schema.py
+
+Real hospital data never arrives shaped like the simulator's entity
+lists — it arrives as a handful of tables in a site-specific schema,
+tied together by universal keys (patient number ``hn``, admission
+number ``an``, visit number ``vn``). This example walks the whole
+ingest pipeline on a generated demo dump:
+
+1. generate a foreign-schema dump (``staff``/``person``/``opd_visit``/
+   ``access_log`` tables) and the declarative ``SchemaMapping`` that
+   projects it onto the canonical roles;
+2. stream it through ``MappedSource`` — entity resolution and alert
+   *typing by the real rule engine*, nothing labeled by the mapping;
+3. open an audit session over the source via ``repro.api.v1`` and
+   decide the test day's alerts;
+4. journal the typed alert log and replay it bit-identically through
+   ``LogReplaySource`` — the replay half of the source contract.
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro.api.v1 as v1
+from repro.emr.engine import PAPER_TYPE_NAMES
+from repro.ingest import (
+    GeneratorConfig,
+    LogReplaySource,
+    MappedSource,
+    foreign_mapping,
+    generate_tables,
+    small_population,
+)
+from repro.scenarios import get_scenario
+
+
+def main() -> None:
+    # 1. A demo dump, in memory: four foreign tables + their mapping.
+    config = GeneratorConfig(
+        seed=11, n_days=6, daily_accesses=900, daily_suspicious=40,
+        population=small_population(),
+    )
+    tables = generate_tables(config)
+    mapping = foreign_mapping()
+    print(f"foreign dump: {', '.join(sorted(tables))} "
+          f"({len(tables['access_log'])} access rows over "
+          f"{config.n_days} days)")
+    print(f"mapping {mapping.name!r}: keys hn/an/vn, "
+          f"{len(mapping.accesses.columns)} access columns spelled out\n")
+
+    # 2. Through the mapping: the rule engine types every access.
+    source = MappedSource(mapping, tables)
+    store = source.build_store()
+    print(f"rule engine typed {len(store)} alerts from "
+          f"{source.n_access_rows} rows:")
+    for type_id, count in sorted(source.type_counts().items()):
+        name = PAPER_TYPE_NAMES.get(type_id, "extra combination")
+        print(f"  type {type_id:3d}  {count:4d}  {name}")
+
+    # 3. Decide the test day through the façade. The scenario spec
+    # contributes the game configuration and tenant name only.
+    spec = get_scenario("fig2-uniform")
+    session, events = v1.open_source(spec, source)
+    warned = 0
+    for event in events:
+        decision = session.decide(event)
+        warned += decision.warned
+    report = session.close_cycle()
+    session.close()
+    print(f"\ndecided {len(events)} alerts for tenant {spec.name!r}: "
+          f"{report.warnings_sent} warnings ({warned} observed), budget "
+          f"{report.budget_final:.2f} of {report.budget_initial:.0f} left")
+
+    # 4. Journal + replay: identical records, identical ids.
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "alerts.jsonl"
+        source.journal(journal)
+        replayed = LogReplaySource(str(journal)).build_store()
+        identical = [
+            (r.alert_id, r.day, r.time_of_day, r.type_id)
+            for day in store.days for r in store.day_alerts(day)
+        ] == [
+            (r.alert_id, r.day, r.time_of_day, r.type_id)
+            for day in replayed.days for r in replayed.day_alerts(day)
+        ]
+        print(f"journal replay bit-identical: {identical} "
+              f"(descriptor {source.replay()})")
+
+
+if __name__ == "__main__":
+    main()

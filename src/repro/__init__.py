@@ -75,7 +75,6 @@ from repro.scenarios import (
     ScenarioMatrix,
     ScenarioSpec,
     get_scenario,
-    run_scenario,
     scenario_names,
 )
 from repro.api.v1 import (
@@ -86,6 +85,7 @@ from repro.api.v1 import (
     ServiceStats,
     SessionConfig,
     SignalDecision,
+    run_scenario,
 )
 from repro.errors import ApiError, ReproError
 

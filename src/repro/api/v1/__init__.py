@@ -40,7 +40,7 @@ from repro.api.v1.service import (
     AuditService,
     error_code,
 )
-from repro.api.v1.session import AuditSession, open_scenario
+from repro.api.v1.session import AuditSession, open_scenario, open_source
 from repro.api.v1.types import (
     SESSION_CLOSED,
     SESSION_OPEN,
@@ -102,6 +102,7 @@ __all__ = [
     "UnknownTenantError",
     "error_code",
     "open_scenario",
+    "open_source",
     "run_scenario",
     "run_suite",
 ]

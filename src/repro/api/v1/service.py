@@ -33,7 +33,7 @@ from typing import Any, AsyncIterator, Union
 
 from repro import errors
 from repro.errors import DataError, SessionStateError, UnknownTenantError
-from repro.api.v1.session import AuditSession, History, open_scenario
+from repro.api.v1.session import AuditSession, History, open_scenario, open_source
 from repro.api.v1.types import (
     SESSION_OPEN,
     AlertEvent,
@@ -355,6 +355,27 @@ class AuditService:
         # Journal the resolved config + history (not the spec), so replay
         # never rebuilds the scenario world: restore is deterministic even
         # if scenario presets change between runs.
+        self._journal(session.tenant, "open", {
+            "config": session.config.to_dict(),
+            "history": self._history_payload(session.training_history),
+        })
+        return session, events
+
+    def open_source(self, spec, source) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
+        """Open a session over a live alert source (see :func:`open_source`).
+
+        The spec supplies the game configuration and tenant name; the
+        :class:`~repro.ingest.source.AlertSource` supplies the alert log.
+        Journaled exactly like :meth:`open_scenario` — the resolved config
+        and history, never the source — so durable restore replays the
+        session without re-ingesting anything.
+        """
+        if spec.name in self._sessions:
+            raise SessionStateError(
+                f"tenant {spec.name!r} already has an open session"
+            )
+        session, events = open_source(spec, source)
+        self._sessions[session.tenant] = session
         self._journal(session.tenant, "open", {
             "config": session.config.to_dict(),
             "history": self._history_payload(session.training_history),

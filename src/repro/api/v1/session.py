@@ -565,8 +565,28 @@ def open_scenario(spec) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
     estimator, the frozen test day as :class:`AlertEvent` payloads) — the
     façade-level equivalent of :meth:`ScenarioSpec.build_world` that the
     CLI ``serve``/``decide`` subcommands and the examples go through.
+    The spec's ``source`` knob picks the alert source; use
+    :func:`open_source` to supply a live
+    :class:`~repro.ingest.source.AlertSource` instance directly.
     """
-    store = spec.build_store()
+    return _open_with_store(spec, spec.build_store())
+
+
+def open_source(spec, source) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
+    """Open a session over an :class:`~repro.ingest.source.AlertSource`.
+
+    Same split semantics as :func:`open_scenario` — the source's earlier
+    days train the estimator, the first test day becomes the decision
+    stream — but the alert log comes from ``source.build_store()``
+    instead of the spec's registered source. This is how ``repro ingest``
+    serves a freshly mapped foreign dump without journaling it first; the
+    spec contributes the game configuration (payoffs, budget, backend)
+    and the tenant name only.
+    """
+    return _open_with_store(spec, source.build_store())
+
+
+def _open_with_store(spec, store) -> tuple[AuditSession, tuple[AlertEvent, ...]]:
     harness = spec.build_harness(store)
     split = harness.splits(window=spec.resolved_window(store))[0]
     alerts = harness.test_alerts(split)

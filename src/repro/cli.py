@@ -80,6 +80,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         ("robustness", "robust SAG vs boundedly rational attackers"),
         ("full-eval", "all-group (15x) evaluation summary"),
         ("backends", "list registered solver backends"),
+        ("sources", "list registered alert sources"),
     ):
         subparsers.add_parser(name, help=help_text)
     suite = subparsers.add_parser(
@@ -250,6 +251,71 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="attach per-tenant monotonic sequence numbers starting at N "
         "to --events decisions (idempotent retry protection)",
     )
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="map a foreign-schema dump into a decision stream "
+        "(repro.ingest)",
+        description=(
+            "Ingest a foreign-schema hospital dump (CSV/ndjson tables + "
+            "mapping.json) through its declarative SchemaMapping: type "
+            "every access with the real rule engine, optionally journal "
+            "the resulting alert log for bit-identical replay, then "
+            "stream the decision day through repro.api.v1 — against a "
+            "running `repro serve --http` server with --url, or an "
+            "in-process session configured by --scenario otherwise. "
+            "Prints one SignalDecision JSON per line."
+        ),
+    )
+    ingest.add_argument(
+        "--dump", required=True, metavar="DIR",
+        help="dump directory (tables as <name>.csv/.ndjson; its "
+        "mapping.json is used unless --mapping is given)",
+    )
+    ingest.add_argument(
+        "--mapping", metavar="PATH",
+        help="SchemaMapping JSON file (default: DIR/mapping.json)",
+    )
+    ingest.add_argument(
+        "--journal", metavar="PATH",
+        help="journal the ingested alert log here (.csv/.jsonl/.ndjson); "
+        "replayable via ScenarioSpec(source='log', source_path=PATH)",
+    )
+    ingest.add_argument(
+        "--stats-only", action="store_true",
+        help="print ingestion stats as JSON and exit without deciding",
+    )
+    ingest.add_argument(
+        "--url", metavar="URL",
+        help="stream decisions to a running `repro serve --http` server "
+        "(the --tenant session must be open there)",
+    )
+    ingest.add_argument(
+        "--tenant", metavar="NAME",
+        help="tenant for --url events (required with --url)",
+    )
+    ingest.add_argument(
+        "--types", metavar="IDS",
+        help="comma-separated alert type ids to stream (--url mode; "
+        "default: every ingested type)",
+    )
+    ingest.add_argument(
+        "--day", type=int, default=None, metavar="N",
+        help="ingested day to stream in --url mode (default: the last)",
+    )
+    ingest.add_argument(
+        "--seq-start", type=int, default=None, metavar="N",
+        help="attach monotonic sequence numbers starting at N to --url "
+        "decisions",
+    )
+    ingest.add_argument(
+        "--scenario", default="fig2-uniform", metavar="NAME",
+        help="scenario preset supplying the game configuration in local "
+        "mode (payoffs, budget, backend; default fig2-uniform)",
+    )
+    ingest.add_argument(
+        "--spec-file", metavar="PATH",
+        help="JSON file with a single scenario spec (overrides --scenario)",
+    )
     parser.add_argument(
         "--svg", metavar="PATH",
         help="also write figure output as SVG files with this path prefix",
@@ -405,12 +471,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             marker = "*" if name == DEFAULT_BACKEND else " "
             print(f"  {marker} {name:16s} {BACKEND_DESCRIPTIONS[name]}")
         print("  (* = default)")
+    elif args.experiment == "sources":
+        from repro.ingest import SOURCE_DESCRIPTIONS, available_sources
+        from repro.ingest.registry import SOURCE_SIMULATOR
+
+        print("Registered alert sources (ScenarioSpec.source / repro ingest):")
+        for name in available_sources():
+            marker = "*" if name == SOURCE_SIMULATOR else " "
+            print(f"  {marker} {name:12s} {SOURCE_DESCRIPTIONS[name]}")
+        print("  (* = default)")
     elif args.experiment == "suite":
         return _run_suite(args, explicit)
     elif args.experiment == "serve":
         return _run_serve(args, explicit)
     elif args.experiment == "decide":
         return _run_decide(args, explicit)
+    elif args.experiment == "ingest":
+        return _run_ingest(args, explicit)
     return 0
 
 
@@ -854,6 +931,136 @@ def _decide_remote_single(args, explicit) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(decision.to_json(indent=2))
+    return 0
+
+
+def _run_ingest(args, explicit) -> int:
+    """The ``ingest`` subcommand: foreign dump → typed alerts → decisions.
+
+    Composes with the HTTP server in shell pipelines::
+
+        python -m repro.ingest.generate --out dump --small
+        repro serve --http --scenarios fig2-uniform --ready-file url.txt &
+        repro ingest --dump dump --url "$(cat url.txt)" \\
+            --tenant fig2-uniform --types 1
+    """
+    import json
+
+    from repro.errors import ReproError
+    from repro.ingest import MappedSource, SchemaMapping
+
+    try:
+        mapping = None
+        if args.mapping:
+            with open(args.mapping, encoding="utf-8") as handle:
+                mapping = SchemaMapping.from_json(handle.read())
+        source = MappedSource.open(args.dump, mapping=mapping)
+        store = source.build_store()
+        if args.journal:
+            source.journal(args.journal)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    counts = source.type_counts()
+    stats = {
+        "dump": args.dump,
+        "mapping": source.mapping.name,
+        "access_rows": source.n_access_rows,
+        "alerts": sum(counts.values()),
+        "days": list(store.days),
+        "type_counts": {str(t): counts[t] for t in sorted(counts)},
+        "journal": args.journal,
+    }
+    if args.stats_only:
+        print(json.dumps(stats, indent=2))
+        return 0
+    # Decisions own stdout (one JSON line each); the ingestion summary
+    # goes to stderr so pipelines stay parseable.
+    print(json.dumps(stats), file=sys.stderr)
+    if args.url:
+        return _ingest_remote(args, store)
+    return _ingest_local(args, explicit, source)
+
+
+def _ingest_remote(args, store) -> int:
+    """``ingest --url``: stream one ingested day at a served session."""
+    from repro.errors import ReproError
+    from repro.api import ReproClient
+    from repro.api.v1 import AlertEvent
+
+    if not args.tenant:
+        print("--url streaming needs --tenant (the open session on the "
+              "server to decide against)", file=sys.stderr)
+        return 2
+    day = args.day if args.day is not None else store.days[-1]
+    if day not in store.days:
+        print(f"error: day {day} not among ingested days "
+              f"{list(store.days)}", file=sys.stderr)
+        return 1
+    wanted = None
+    if args.types:
+        try:
+            wanted = {
+                int(part) for part in args.types.split(",") if part.strip()
+            }
+        except ValueError:
+            print(f"--types must be comma-separated integers, got "
+                  f"{args.types!r}", file=sys.stderr)
+            return 2
+    alerts = [
+        alert for alert in store.day_alerts(day)
+        if wanted is None or alert.type_id in wanted
+    ]
+    client = ReproClient.connect(args.url)
+    seq = args.seq_start
+    decided = 0
+    try:
+        for alert in alerts:
+            event = AlertEvent(
+                tenant=args.tenant,
+                type_id=alert.type_id,
+                time_of_day=alert.time_of_day,
+                event_id=alert.alert_id,
+            )
+            decision = client.decide(event, seq=seq)
+            if seq is not None:
+                seq += 1
+            print(decision.to_json(), flush=True)
+            decided += 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if decided == 0:
+        print(f"no alerts to stream on day {day}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _ingest_local(args, explicit, source) -> int:
+    """``ingest`` without ``--url``: one in-process session over the dump.
+
+    The scenario spec contributes the game configuration (payoffs,
+    budget, backend) and the tenant name; the alert stream is the
+    mapped source's, split exactly as :func:`repro.api.v1.open_source`
+    documents. The cycle report lands on stderr after the decisions.
+    """
+    from repro.errors import ReproError
+    from repro.api.v1 import open_source
+
+    spec = _decide_spec(args, explicit)
+    if spec is None:
+        return 2
+    try:
+        session, events = open_source(spec, source)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for event in events:
+        print(session.decide(event).to_json(), flush=True)
+    report = session.close_cycle()
+    session.close()
+    print(report.to_json(), file=sys.stderr)
     return 0
 
 

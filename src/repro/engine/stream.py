@@ -480,28 +480,6 @@ class BatchAuditEngine:
             decisions=tuple(decisions),
         )
 
-    def run_cycle(
-        self,
-        type_ids: Sequence[int] | np.ndarray,
-        times: Sequence[float] | np.ndarray,
-    ) -> StreamResult:
-        """Deprecated alias of :meth:`process_stream`.
-
-        The serving façade (:class:`repro.api.v1.AuditSession`) is the
-        supported way to drive whole cycles; this alias keeps old callers
-        of the pre-façade name working.
-        """
-        import warnings
-
-        warnings.warn(
-            "BatchAuditEngine.run_cycle is deprecated; use "
-            "repro.api.v1.AuditSession.decide_batch (or process_stream "
-            "when driving the engine directly)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.process_stream(type_ids, times)
-
     def _table_stream(
         self, type_arr: np.ndarray, time_arr: np.ndarray
     ) -> tuple[list[AlertDecision], int, int]:

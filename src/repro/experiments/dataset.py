@@ -1,9 +1,11 @@
 """Synthetic 56-day dataset shared by the experiments.
 
 The builder runs the full honest pipeline — population synthesis, calibrated
-access simulation, rule-engine detection — and returns the alert store the
-evaluation harness consumes. Results are memoized per parameter set so the
-benchmarks can share one dataset within a process.
+access simulation, rule-engine detection — through the
+:class:`~repro.ingest.simulator.SimulatorSource` adapter (the canonical
+owner of the seed→population→simulator RNG threading) and returns the
+alert store the evaluation harness consumes. Results are memoized per
+parameter set so the benchmarks can share one dataset within a process.
 """
 
 from __future__ import annotations
@@ -11,22 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-import numpy as np
-
-from repro.emr.population import PopulationConfig, build_population
-from repro.emr.simulator import (
-    AccessLogSimulator,
-    SimulatedDay,
-    SimulatorConfig,
-)
-from repro.experiments.config import PAPER_DAYS, paper_calibration
+from repro.emr.population import PopulationConfig
+from repro.emr.simulator import SimulatedDay
+from repro.experiments.config import PAPER_DAYS
+from repro.ingest.simulator import DEFAULT_NORMAL_DAILY_MEAN, SimulatorSource
 from repro.logstore.store import AlertLogStore
-from repro.stats.diurnal import named_profile
 
-#: Default routine-access volume per day. Scaled down from the paper's
-#: ~192k/day (10.75M / 56); the game only consumes the calibrated alert
-#: stream, so this knob trades simulation time for access-log realism.
-DEFAULT_NORMAL_DAILY_MEAN = 4000.0
+__all__ = [
+    "DEFAULT_NORMAL_DAILY_MEAN",
+    "Dataset",
+    "build_alert_store",
+    "build_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -62,18 +60,14 @@ def build_dataset(
     (:data:`repro.stats.diurnal.PROFILE_FACTORIES`); the string form keeps
     the knob serializable for scenario specs and memoization keys.
     """
-    rng = np.random.default_rng(seed)
-    population = build_population(population_config, rng=rng)
-    simulator = AccessLogSimulator(
-        population,
-        SimulatorConfig(
-            calibration=paper_calibration(),
-            normal_daily_mean=normal_daily_mean,
-            profile=named_profile(diurnal),
-        ),
-        rng=rng,
+    source = SimulatorSource(
+        seed=seed,
+        n_days=n_days,
+        normal_daily_mean=normal_daily_mean,
+        diurnal=diurnal,
+        population_config=population_config,
     )
-    days = tuple(simulator.simulate(n_days))
+    days = source.simulate_days()
     store = AlertLogStore()
     for day in days:
         for alert in day.alerts:

@@ -1,0 +1,68 @@
+"""Pluggable alert sources and declarative foreign-schema ingestion.
+
+The audit game consumes a typed alert stream; this package owns where
+that stream comes from. :class:`AlertSource` is the protocol (iterate
+typed alert days, report type counts, replay from a seed or a journaled
+log); :class:`SimulatorSource` wraps the calibrated EMR simulator,
+:class:`MappedSource` ingests foreign-schema hospital dumps through a
+declarative :class:`SchemaMapping`, and :class:`LogReplaySource` replays
+any journaled run bit-identically. Sources register by name
+(``repro sources``); see ``docs/ingestion.md``.
+"""
+
+from repro.ingest.generate import (
+    GeneratorConfig,
+    foreign_mapping,
+    generate_tables,
+    small_population,
+    write_dump,
+)
+from repro.ingest.mapping import (
+    TRANSFORMS,
+    ColumnSpec,
+    MappedSource,
+    SchemaMapping,
+    TableMapping,
+    read_dump,
+)
+from repro.ingest.registry import (
+    SOURCE_DESCRIPTIONS,
+    available_sources,
+    get_source,
+    source_from_replay,
+    store_for,
+)
+from repro.ingest.simulator import DEFAULT_NORMAL_DAILY_MEAN, SimulatorSource
+from repro.ingest.source import (
+    AlertSource,
+    LogReplaySource,
+    SourceDay,
+    StoreBackedSource,
+    load_alert_store,
+)
+
+__all__ = [
+    "AlertSource",
+    "ColumnSpec",
+    "DEFAULT_NORMAL_DAILY_MEAN",
+    "GeneratorConfig",
+    "LogReplaySource",
+    "MappedSource",
+    "SOURCE_DESCRIPTIONS",
+    "SchemaMapping",
+    "SimulatorSource",
+    "SourceDay",
+    "StoreBackedSource",
+    "TRANSFORMS",
+    "TableMapping",
+    "available_sources",
+    "foreign_mapping",
+    "generate_tables",
+    "get_source",
+    "load_alert_store",
+    "read_dump",
+    "small_population",
+    "source_from_replay",
+    "store_for",
+    "write_dump",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro.ingest`` — generate a foreign-schema demo dump.
+
+Delegates to :func:`repro.ingest.generate.main`; see that module for the
+schema and the flags.
+"""
+
+import sys
+
+from repro.ingest.generate import main
+
+if __name__ == "__main__":
+    sys.exit(main())

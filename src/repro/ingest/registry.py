@@ -1,0 +1,107 @@
+"""Alert-source lookup (mirrors :mod:`repro.solvers.registry`)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Callable, Mapping
+
+from repro.errors import DataError
+from repro.ingest.mapping import MappedSource
+from repro.ingest.simulator import SimulatorSource
+from repro.ingest.source import AlertSource, LogReplaySource
+from repro.logstore.store import AlertLogStore
+
+SOURCE_SIMULATOR = "simulator"
+SOURCE_LOG = "log"
+SOURCE_MAPPED = "mapped"
+
+_SOURCES: dict[str, Callable[..., AlertSource]] = {
+    SOURCE_SIMULATOR: SimulatorSource,
+    SOURCE_LOG: LogReplaySource,
+    SOURCE_MAPPED: MappedSource.open,
+}
+
+#: One-line per-source descriptions for the ``repro sources`` CLI.
+SOURCE_DESCRIPTIONS: dict[str, str] = {
+    SOURCE_SIMULATOR: (
+        "calibrated EMR simulator — population synthesis + rule-engine "
+        "detection, replayable from its seed; the default"
+    ),
+    SOURCE_LOG: (
+        "journaled alert log (.csv/.jsonl/.ndjson) — replays any run "
+        "bit-identically from its journal path"
+    ),
+    SOURCE_MAPPED: (
+        "foreign-schema dump streamed through a declarative SchemaMapping "
+        "and typed by the real rule engine (dump dir with mapping.json)"
+    ),
+}
+
+
+def available_sources() -> tuple[str, ...]:
+    """Names of the registered alert sources."""
+    return tuple(sorted(_SOURCES))
+
+
+def get_source(name: str = SOURCE_SIMULATOR) -> Callable[..., AlertSource]:
+    """Look up a source factory by name.
+
+    ``"simulator"`` resolves to :class:`SimulatorSource` (seed/volume
+    keywords), ``"log"`` to :class:`LogReplaySource` (a journal path),
+    ``"mapped"`` to :meth:`MappedSource.open` (a dump directory).
+    """
+    try:
+        return _SOURCES[name]
+    except KeyError:
+        raise DataError(
+            f"unknown alert source {name!r}; available: {available_sources()}"
+        ) from None
+
+
+def source_from_replay(payload: Mapping[str, Any]) -> AlertSource:
+    """Rebuild a source from an :meth:`AlertSource.replay` descriptor."""
+    if not isinstance(payload, Mapping) or "source" not in payload:
+        raise DataError(
+            "a replay descriptor must be an object with a 'source' key"
+        )
+    options = {key: value for key, value in payload.items() if key != "source"}
+    name = payload["source"]
+    if name == SOURCE_SIMULATOR:
+        population = options.pop("population_config", None)
+        if population is not None:
+            from repro.emr.population import PopulationConfig
+
+            options["population_config"] = PopulationConfig(**population)
+        return SimulatorSource(**options)
+    factory = get_source(name)
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise DataError(
+            f"bad replay options for source {name!r}: {error}"
+        ) from error
+
+
+@lru_cache(maxsize=8)
+def _cached_path_store(name: str, path: str) -> AlertLogStore:
+    factory = get_source(name)
+    return factory(path).build_store()
+
+
+def store_for(name: str, path: str | None = None) -> AlertLogStore:
+    """The (memoized) alert store for a named source.
+
+    This is the scenario layer's entry point: ``source="simulator"``
+    keeps its memoization in
+    :func:`repro.experiments.dataset.build_alert_store` (which carries
+    the dataset parameters), so only path-backed sources route here.
+    """
+    if name == SOURCE_SIMULATOR:
+        raise DataError(
+            "store_for() serves path-backed sources; build simulator "
+            "stores via repro.experiments.dataset.build_alert_store"
+        )
+    get_source(name)
+    if not path:
+        raise DataError(f"source {name!r} needs a source_path")
+    return _cached_path_store(name, path)

@@ -1,0 +1,139 @@
+"""The ``AlertSource`` protocol: where alert streams come from.
+
+The audit game never sees a hospital — it sees a typed alert stream.
+Everything upstream of :class:`~repro.logstore.store.AlertLogStore` is
+therefore pluggable: the calibrated EMR simulator
+(:class:`~repro.ingest.simulator.SimulatorSource`), a previously
+journaled log (:class:`LogReplaySource`), or a foreign-schema hospital
+dump mapped through a declarative schema
+(:class:`~repro.ingest.mapping.MappedSource`). A source must do three
+things:
+
+* iterate its days as typed alert batches (:meth:`AlertSource.iter_days`);
+* report how many alerts of each type it produced
+  (:meth:`AlertSource.type_counts`);
+* be **replayable** — :meth:`AlertSource.replay` returns a
+  JSON-serializable descriptor (a seed, or a journaled-log path) from
+  which :func:`repro.ingest.registry.source_from_replay` reconstructs an
+  equivalent source.
+
+Sources are registered by name in :mod:`repro.ingest.registry`
+(mirroring :mod:`repro.solvers.registry`); ``repro sources`` lists them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+from repro.errors import DataError
+from repro.logstore.io import read_alerts_csv, read_alerts_jsonl
+from repro.logstore.store import AlertLogStore, AlertRecord
+
+
+@dataclass(frozen=True)
+class SourceDay:
+    """One day of typed alerts, chronological — the unit a source yields."""
+
+    day: int
+    alerts: tuple[AlertRecord, ...]
+
+    @property
+    def n_alerts(self) -> int:
+        return len(self.alerts)
+
+
+@runtime_checkable
+class AlertSource(Protocol):
+    """Anything that can produce a typed, replayable alert stream."""
+
+    @property
+    def name(self) -> str:
+        """Registry name of this source kind (``repro sources``)."""
+        ...
+
+    def build_store(self) -> AlertLogStore:
+        """Materialize the full alert log this source produces."""
+        ...
+
+    def iter_days(self) -> Iterator[SourceDay]:
+        """The source's days, in order, as typed alert batches."""
+        ...
+
+    def type_counts(self) -> dict[int, int]:
+        """``{type_id: total alerts}`` over the whole stream."""
+        ...
+
+    def replay(self) -> dict[str, Any]:
+        """A JSON descriptor from which an equivalent source rebuilds."""
+        ...
+
+
+class StoreBackedSource:
+    """Mixin implementing the stream views on top of :meth:`build_store`.
+
+    Concrete sources only supply ``build_store`` (and may memoize it);
+    day iteration and type counts derive from the store, so every source
+    agrees with the logstore — the system of record — by construction.
+    """
+
+    def build_store(self) -> AlertLogStore:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def iter_days(self) -> Iterator[SourceDay]:
+        store = self.build_store()
+        for day in store.days:
+            yield SourceDay(day=day, alerts=store.day_alerts(day))
+
+    def type_counts(self) -> dict[int, int]:
+        store = self.build_store()
+        return {t: store.count(type_id=t) for t in store.type_ids}
+
+
+def load_alert_store(path: str | Path) -> AlertLogStore:
+    """Load a journaled alert log, dispatching on the file suffix.
+
+    ``.csv`` loads via :func:`repro.logstore.io.read_alerts_csv`;
+    ``.jsonl``/``.ndjson`` via
+    :func:`repro.logstore.io.read_alerts_jsonl`.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise DataError(f"alert log not found: {path}")
+    if path.suffix == ".csv":
+        return read_alerts_csv(path)
+    if path.suffix in (".jsonl", ".ndjson"):
+        return read_alerts_jsonl(path)
+    raise DataError(
+        f"unsupported alert-log suffix {path.suffix!r} for {path}; "
+        "expected .csv, .jsonl or .ndjson"
+    )
+
+
+@dataclass(frozen=True)
+class LogReplaySource(StoreBackedSource):
+    """Replay a journaled alert log — the replay half of the contract.
+
+    Any source journaled through :func:`repro.logstore.io.write_alerts_jsonl`
+    (``repro ingest --journal``, or :meth:`MappedSource.journal
+    <repro.ingest.mapping.MappedSource.journal>`) reloads here with
+    identical records and alert ids, so downstream decision streams are
+    bit-identical to the original run.
+    """
+
+    path: str
+
+    def __post_init__(self) -> None:
+        if not self.path or not isinstance(self.path, str):
+            raise DataError("LogReplaySource needs a non-empty path string")
+
+    @property
+    def name(self) -> str:
+        return "log"
+
+    def build_store(self) -> AlertLogStore:
+        return load_alert_store(self.path)
+
+    def replay(self) -> dict[str, Any]:
+        return {"source": "log", "path": self.path}

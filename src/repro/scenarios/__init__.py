@@ -18,7 +18,6 @@ from repro.scenarios.runner import (
     ParallelRunner,
     ScenarioResult,
     SuiteResult,
-    run_scenario,
 )
 from repro.scenarios.spec import (
     ATTACKER_MULTI,
@@ -50,6 +49,5 @@ __all__ = [
     "SETTING_SINGLE",
     "SuiteResult",
     "get_scenario",
-    "run_scenario",
     "scenario_names",
 ]

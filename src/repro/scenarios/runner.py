@@ -281,12 +281,13 @@ class ParallelRunner:
                 # Phase 1 — build worlds on the pool, one task per distinct
                 # dataset: specs sharing a dataset reuse the worker's
                 # memoized store, while distinct datasets (seed / n_days /
-                # volume / diurnal sweeps) simulate concurrently.
+                # volume / diurnal / alert-source sweeps) build concurrently.
                 groups: dict[tuple, list[int]] = {}
                 for index, spec in enumerate(specs):
                     key = (
                         spec.seed, spec.n_days,
                         spec.normal_daily_mean, spec.diurnal,
+                        spec.source, spec.source_path,
                     )
                     groups.setdefault(key, []).append(index)
                 group_futures = {
@@ -379,25 +380,6 @@ class ParallelRunner:
                 ]
             )
         return tasks_per_scenario
-
-
-def run_scenario(spec: ScenarioSpec, workers: int = 1) -> ScenarioResult:
-    """Deprecated: use :func:`repro.api.v1.run_scenario` instead.
-
-    Kept as a thin shim over the façade so existing callers keep working;
-    behavior is unchanged.
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.scenarios.runner.run_scenario is deprecated; use "
-        "repro.api.v1.run_scenario",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api.v1 import run_scenario as _api_run_scenario
-
-    return _api_run_scenario(spec, workers=workers)
 
 
 def _contiguous_chunks(

@@ -31,6 +31,11 @@ from repro.experiments.config import (
     paper_costs,
 )
 from repro.experiments.dataset import build_alert_store
+from repro.ingest.registry import (
+    SOURCE_SIMULATOR,
+    available_sources,
+    store_for,
+)
 from repro.logstore.store import AlertLogStore, AlertRecord
 from repro.stats.diurnal import PROFILE_FACTORIES
 
@@ -97,9 +102,20 @@ class ScenarioSpec:
         History days per group; ``None`` = ``min(41, n_days - 1)``.
     normal_daily_mean:
         Routine (non-engineered) accesses per simulated day — the
-        population-volume knob.
+        population-volume knob (``source="simulator"`` only).
     diurnal:
         Named intra-day arrival profile: ``hospital``/``uniform``/``night``.
+    source:
+        Where the alert stream comes from (:mod:`repro.ingest`):
+        ``"simulator"`` (the calibrated EMR pipeline, replayable from
+        ``seed``), ``"log"`` (a journaled alert log at ``source_path``),
+        or ``"mapped"`` (a foreign-schema dump directory with a
+        ``mapping.json`` at ``source_path``). Path-backed sources ignore
+        the simulator volume knobs; ``seed`` still drives the trial-seed
+        expansion.
+    source_path:
+        Filesystem path for the path-backed sources; must be ``None``
+        for ``source="simulator"``.
     attacker:
         ``rational``, ``quantal``, ``robust`` (= quantal attacker against a
         margin-hardened OSSP; requires ``robust_margin > 0``), ``multi``
@@ -159,6 +175,8 @@ class ScenarioSpec:
     training_window: int | None = None
     normal_daily_mean: float = 4000.0
     diurnal: str = "hospital"
+    source: str = SOURCE_SIMULATOR
+    source_path: str | None = None
     attacker: str = ATTACKER_RATIONAL
     rationality: float = 20.0
     n_attackers: int = 1
@@ -223,6 +241,19 @@ class ScenarioSpec:
         _require(self.budget_charging, _CHARGING, "budget_charging")
         _require(self.cache_mode, CACHE_MODES, "cache_mode")
         _require(self.diurnal, tuple(sorted(PROFILE_FACTORIES)), "diurnal")
+        _require(self.source, available_sources(), "source")
+        if self.source == SOURCE_SIMULATOR:
+            if self.source_path is not None:
+                raise ConfigError(
+                    "source_path is only meaningful for path-backed "
+                    f"sources, got source_path={self.source_path!r} with "
+                    "source='simulator'"
+                )
+        elif not self.source_path or not isinstance(self.source_path, str):
+            raise ConfigError(
+                f"source={self.source!r} needs a source_path string "
+                "(the journal file or dump directory to replay)"
+            )
         if self.budget is not None and self.budget < 0:
             raise ExperimentError(f"budget must be non-negative, got {self.budget}")
         if self.n_trials <= 0:
@@ -359,13 +390,21 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
 
     def build_store(self) -> AlertLogStore:
-        """The (memoized) simulated alert store this scenario evaluates on."""
-        return build_alert_store(
-            seed=self.seed,
-            n_days=self.n_days,
-            normal_daily_mean=self.normal_daily_mean,
-            diurnal=self.diurnal,
-        )
+        """The (memoized) alert store this scenario evaluates on.
+
+        Routes through the :mod:`repro.ingest` source registry: the
+        simulator source keeps its parameter-keyed memoization in
+        :func:`repro.experiments.dataset.build_alert_store`; path-backed
+        sources (``log``/``mapped``) load from ``source_path``.
+        """
+        if self.source == SOURCE_SIMULATOR:
+            return build_alert_store(
+                seed=self.seed,
+                n_days=self.n_days,
+                normal_daily_mean=self.normal_daily_mean,
+                diurnal=self.diurnal,
+            )
+        return store_for(self.source, self.source_path)
 
     def build_harness(self, store: AlertLogStore | None = None) -> EvaluationHarness:
         """Evaluation harness over this scenario's store and parameters."""

@@ -1,0 +1,188 @@
+"""Edge cases of the four base alert predicates (``emr/rules.py``).
+
+Hand-built micro-populations pin the boundaries the synthetic generator
+rarely hits head-on: self-access under the coworker rule, patients with
+no employee link, address-string semantics across distinct households,
+and the exact 0.5-mile neighbor radius. A hypothesis block checks the
+metric underneath the neighbor predicate (symmetry, identity,
+translation invariance) over adversarial float coordinates.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.emr.geo import Household, NEIGHBOR_RADIUS_MILES, distance_miles
+from repro.emr.population import Employee, Patient, Population
+from repro.emr.rules import (
+    BaseRule,
+    evaluate_rules,
+    is_department_coworker,
+    is_neighbor,
+    is_same_address,
+    is_same_last_name,
+)
+
+
+def make_population():
+    """Two households, two employees, four patients covering the edges.
+
+    * employee 0 ("Nguyen", dept 0, household 0) is also patient 0;
+    * employee 1 ("Silva", dept 0, household 1) is patient 1 — employee
+      0's department coworker;
+    * patient 2 ("Nguyen", household 1) has **no** employee link;
+    * patient 3 ("Patel", household 2) shares household 1's address
+      string (a distinct household object — same printed address).
+    """
+    households = [
+        Household(household_id=0, address="12 Oak St", x=1.0, y=1.0),
+        Household(household_id=1, address="99 Elm Dr", x=5.0, y=5.0),
+        Household(household_id=2, address="99 Elm Dr", x=15.0, y=15.0),
+    ]
+    employees = [
+        Employee(employee_id=0, surname="Nguyen", department_id=0,
+                 household_id=0, geocode=(1.0, 1.0)),
+        Employee(employee_id=1, surname="Silva", department_id=0,
+                 household_id=1, geocode=(5.0, 5.0)),
+    ]
+    patients = [
+        Patient(patient_id=0, surname="Nguyen", household_id=0,
+                geocode=(1.0, 1.0), employee_id=0),
+        Patient(patient_id=1, surname="Silva", household_id=1,
+                geocode=(5.0, 5.0), employee_id=1),
+        Patient(patient_id=2, surname="Nguyen", household_id=1,
+                geocode=(5.0, 5.0), employee_id=None),
+        Patient(patient_id=3, surname="Patel", household_id=2,
+                geocode=(15.0, 15.0), employee_id=None),
+    ]
+    return Population(
+        households=households,
+        employees=employees,
+        patients=patients,
+        departments=("Cardiology",),
+        candidate_pairs=[],
+    )
+
+
+@pytest.fixture(scope="module")
+def population():
+    return make_population()
+
+
+class TestCoworkerRule:
+    def test_self_access_is_excluded(self, population):
+        # Employee 0 opening their own record: the coworker rule must
+        # not fire — self-access is a separate policy concern.
+        assert not is_department_coworker(population, 0, 0)
+        assert BaseRule.DEPARTMENT_COWORKER not in evaluate_rules(
+            population, 0, 0
+        )
+
+    def test_same_department_colleague_fires(self, population):
+        assert is_department_coworker(population, 0, 1)
+        assert is_department_coworker(population, 1, 0)
+
+    def test_patient_without_employee_link_never_fires(self, population):
+        assert not is_department_coworker(population, 0, 2)
+        assert not is_department_coworker(population, 1, 2)
+
+
+class TestAddressRule:
+    def test_same_household_fires(self, population):
+        assert is_same_address(population, 0, 0)
+
+    def test_identical_address_string_across_households_fires(
+        self, population
+    ):
+        # Patient 3 lives in a *different* household whose printed
+        # address equals employee 1's — string equality is the recorded
+        # EMR semantics, so the rule fires despite the distance.
+        assert is_same_address(population, 1, 3)
+        assert not is_neighbor(population, 1, 3)
+
+    def test_different_addresses_do_not_fire(self, population):
+        assert not is_same_address(population, 0, 1)
+
+    def test_empty_address_is_rejected_at_construction(self):
+        with pytest.raises(Exception, match="address"):
+            Household(household_id=9, address="", x=0.0, y=0.0)
+
+
+class TestNeighborBoundary:
+    def _pair(self, dx, dy):
+        population = make_population()
+        patient = Patient(
+            patient_id=4, surname="Okafor", household_id=2,
+            geocode=(1.0 + dx, 1.0 + dy), employee_id=None,
+        )
+        population.patients.append(patient)
+        return population, 0, 4
+
+    def test_exactly_half_a_mile_is_a_neighbor(self):
+        population, employee, patient = self._pair(NEIGHBOR_RADIUS_MILES, 0.0)
+        assert is_neighbor(population, employee, patient)
+
+    def test_just_beyond_half_a_mile_is_not(self):
+        # nextafter(0.5) would be absorbed when added to the 1.0 base
+        # coordinate; 1e-9 survives the addition and stays far inside
+        # any plausible future tolerance.
+        population, employee, patient = self._pair(
+            NEIGHBOR_RADIUS_MILES + 1e-9, 0.0
+        )
+        assert not is_neighbor(population, employee, patient)
+
+    def test_diagonal_distance_is_euclidean(self):
+        inside = NEIGHBOR_RADIUS_MILES / math.sqrt(2) - 1e-9
+        population, employee, patient = self._pair(inside, inside)
+        assert is_neighbor(population, employee, patient)
+        outside = NEIGHBOR_RADIUS_MILES / math.sqrt(2) + 1e-9
+        population, employee, patient = self._pair(outside, outside)
+        assert not is_neighbor(population, employee, patient)
+
+
+class TestCombinations:
+    def test_name_plus_address_plus_neighbor(self, population):
+        # Employee 0 vs patient 0: same person — surname, household and
+        # geocode all match, the Table 1 type-7 combination.
+        assert evaluate_rules(population, 0, 0) == frozenset({
+            BaseRule.SAME_LAST_NAME, BaseRule.SAME_ADDRESS,
+            BaseRule.NEIGHBOR,
+        })
+
+    def test_namesake_alone_is_type_1_material(self, population):
+        # Employee 0 vs patient 2: shared surname only (patient 2 lives
+        # at employee 1's address, well over half a mile away).
+        assert is_same_last_name(population, 0, 2)
+        assert evaluate_rules(population, 0, 2) == frozenset({
+            BaseRule.SAME_LAST_NAME
+        })
+
+    def test_unrelated_pair_fires_nothing(self, population):
+        assert evaluate_rules(population, 0, 3) == frozenset()
+
+
+coordinates = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDistanceMetric:
+    @given(ax=coordinates, ay=coordinates, bx=coordinates, by=coordinates)
+    def test_symmetry(self, ax, ay, bx, by):
+        assert distance_miles((ax, ay), (bx, by)) == distance_miles(
+            (bx, by), (ax, ay)
+        )
+
+    @given(x=coordinates, y=coordinates)
+    def test_identity(self, x, y):
+        assert distance_miles((x, y), (x, y)) == 0.0
+
+    @given(ax=coordinates, ay=coordinates, bx=coordinates, by=coordinates,
+           tx=st.floats(-1e3, 1e3), ty=st.floats(-1e3, 1e3))
+    def test_translation_invariance_up_to_float_noise(
+        self, ax, ay, bx, by, tx, ty
+    ):
+        base = distance_miles((ax, ay), (bx, by))
+        moved = distance_miles((ax + tx, ay + ty), (bx + tx, by + ty))
+        assert moved == pytest.approx(base, rel=1e-6, abs=1e-6)

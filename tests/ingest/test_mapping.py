@@ -1,0 +1,140 @@
+"""SchemaMapping: declarative serde, validation, and the transforms."""
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.ingest import ColumnSpec, SchemaMapping, TableMapping, TRANSFORMS
+from repro.ingest.generate import foreign_mapping
+
+
+def minimal_mapping(**overrides) -> SchemaMapping:
+    kwargs = dict(
+        name="t",
+        employees=TableMapping("staff", {
+            "employee_id": ColumnSpec("code"),
+            "surname": ColumnSpec("last"),
+            "department": ColumnSpec("dept"),
+            "address": ColumnSpec("addr"),
+            "geo_x": ColumnSpec("x", transform="float"),
+            "geo_y": ColumnSpec("y", transform="float"),
+        }),
+        patients=TableMapping("person", {
+            "surname": ColumnSpec("last"),
+            "address": ColumnSpec("addr"),
+            "geo_x": ColumnSpec("x", transform="float"),
+            "geo_y": ColumnSpec("y", transform="float"),
+        }),
+        accesses=TableMapping("log", {
+            "employee_id": ColumnSpec("code"),
+            "day": ColumnSpec("d", transform="int"),
+            "time_of_day": ColumnSpec("t", transform="float"),
+        }),
+    )
+    kwargs.update(overrides)
+    return SchemaMapping(**kwargs)
+
+
+class TestColumnSpec:
+    def test_string_shorthand_expands_to_identity(self):
+        spec = ColumnSpec.from_dict("hn")
+        assert spec == ColumnSpec(column="hn", transform="identity")
+
+    def test_round_trip_keeps_only_non_defaults(self):
+        spec = ColumnSpec("t", transform="hhmmss_to_seconds", default=0.0)
+        assert ColumnSpec.from_dict(spec.to_dict()) == spec
+        assert ColumnSpec("c").to_dict() == {"column": "c"}
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(DataError, match="unknown transform"):
+            ColumnSpec("c", transform="reverse")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(DataError, match="unknown ColumnSpec keys"):
+            ColumnSpec.from_dict({"column": "c", "regex": ".*"})
+
+
+class TestSchemaMappingValidation:
+    def test_minimal_mapping_is_valid(self):
+        mapping = minimal_mapping()
+        # The universal keys auto-fill the omitted id fields.
+        assert mapping._filled_columns("patients")["patient_id"].column == "hn"
+        assert mapping._filled_columns("accesses")["visit_id"].column == "vn"
+
+    def test_unknown_canonical_field_rejected(self):
+        with pytest.raises(DataError, match="unknown canonical fields"):
+            minimal_mapping(
+                visits=TableMapping("v", {"ward": ColumnSpec("w")})
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(DataError, match="missing required fields"):
+            minimal_mapping(
+                employees=TableMapping("staff", {
+                    "employee_id": ColumnSpec("code"),
+                })
+            )
+
+    def test_custom_keys_propagate_to_autofill(self):
+        mapping = minimal_mapping(patient_key="mrn", visit_key="enc")
+        assert mapping._filled_columns("patients")["patient_id"].column == "mrn"
+        assert mapping._filled_columns("accesses")["visit_id"].column == "enc"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(DataError, match="patient_key"):
+            minimal_mapping(patient_key="")
+
+
+class TestSerde:
+    @pytest.mark.parametrize(
+        "mapping", [minimal_mapping(), foreign_mapping()],
+        ids=["minimal", "demo-his"],
+    )
+    def test_json_round_trip_is_exact(self, mapping):
+        rebuilt = SchemaMapping.from_json(mapping.to_json())
+        assert rebuilt == mapping
+        assert rebuilt.to_dict() == mapping.to_dict()
+
+    def test_document_is_plain_json(self):
+        payload = json.loads(foreign_mapping().to_json())
+        assert payload["name"] == "demo-his"
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_document_keys_rejected(self):
+        payload = minimal_mapping().to_dict()
+        payload["watermark"] = 1
+        with pytest.raises(DataError, match="unknown SchemaMapping keys"):
+            SchemaMapping.from_dict(payload)
+
+    def test_missing_role_rejected(self):
+        payload = minimal_mapping().to_dict()
+        del payload["accesses"]
+        with pytest.raises(DataError, match="accesses"):
+            SchemaMapping.from_dict(payload)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(DataError, match="must be an object"):
+            SchemaMapping.from_json("[1, 2]")
+
+
+class TestTransforms:
+    def test_hhmmss_to_seconds(self):
+        assert TRANSFORMS["hhmmss_to_seconds"]("01:02:03") == 3723.0
+        assert TRANSFORMS["hhmmss_to_seconds"]("23:59:59") == 86399.0
+
+    def test_hhmmss_rejects_other_shapes(self):
+        with pytest.raises(ValueError):
+            TRANSFORMS["hhmmss_to_seconds"]("12:30")
+
+    def test_iso_date_to_day_is_an_ordinal(self):
+        day = TRANSFORMS["iso_date_to_day"]("2024-01-05")
+        assert day - TRANSFORMS["iso_date_to_day"]("2024-01-01") == 4
+
+    def test_int_accepts_float_strings(self):
+        assert TRANSFORMS["int"]("3.0") == 3
+
+    def test_normalizers(self):
+        assert TRANSFORMS["strip"]("  a b  ") == "a b"
+        assert TRANSFORMS["upper"](" ok ") == "OK"
+        assert TRANSFORMS["lower"](" OK ") == "ok"

@@ -1,0 +1,126 @@
+"""The source registry and the ``ScenarioSpec.source`` knob."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, DataError, ExperimentError
+from repro.ingest import (
+    SOURCE_DESCRIPTIONS,
+    GeneratorConfig,
+    LogReplaySource,
+    MappedSource,
+    SimulatorSource,
+    available_sources,
+    foreign_mapping,
+    generate_tables,
+    get_source,
+    small_population,
+    source_from_replay,
+    store_for,
+)
+from repro.scenarios import get_scenario
+
+
+class TestRegistry:
+    def test_available_sources_is_sorted_and_described(self):
+        names = available_sources()
+        assert names == tuple(sorted(names))
+        assert set(names) == {"simulator", "log", "mapped"}
+        for name in names:
+            assert SOURCE_DESCRIPTIONS[name]
+
+    def test_get_source_returns_the_constructors(self):
+        assert get_source("simulator") is SimulatorSource
+        assert get_source("log") is LogReplaySource
+
+    def test_get_source_unknown_name(self):
+        with pytest.raises(DataError, match="unknown alert source"):
+            get_source("kafka")
+
+    def test_store_for_rejects_the_simulator(self):
+        with pytest.raises(DataError):
+            store_for("simulator", None)
+
+    def test_store_for_requires_a_path(self):
+        with pytest.raises(DataError):
+            store_for("log", None)
+
+
+class TestSourceFromReplay:
+    def test_simulator_round_trip(self):
+        source = SimulatorSource(seed=9, n_days=3, normal_daily_mean=80.0)
+        rebuilt = source_from_replay(source.replay())
+        assert rebuilt == source
+
+    def test_simulator_with_population_config(self):
+        source = SimulatorSource(
+            seed=2, n_days=2, normal_daily_mean=50.0,
+            population_config=small_population(),
+        )
+        rebuilt = source_from_replay(source.replay())
+        assert rebuilt.population_config == small_population()
+
+    def test_log_round_trip(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        tables = generate_tables(GeneratorConfig(
+            seed=5, n_days=3, daily_accesses=200, daily_suspicious=10,
+            population=small_population(),
+        ))
+        mapped = MappedSource(foreign_mapping(), tables)
+        mapped.journal(path)
+        rebuilt = source_from_replay(mapped.replay())
+        assert isinstance(rebuilt, LogReplaySource)
+        assert rebuilt.path == str(path)
+
+    def test_rejects_malformed_payloads(self):
+        with pytest.raises(DataError):
+            source_from_replay({"path": "x"})
+        with pytest.raises(DataError):
+            source_from_replay({"source": "kafka"})
+
+
+class TestSpecSourceKnob:
+    def test_default_is_the_simulator(self):
+        assert get_scenario("fig2-uniform").source == "simulator"
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ExperimentError, match="source"):
+            dataclasses.replace(
+                get_scenario("fig2-uniform"), source="kafka"
+            )
+
+    def test_simulator_refuses_a_path(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(
+                get_scenario("fig2-uniform"), source_path="/tmp/x.jsonl"
+            )
+
+    def test_path_backed_source_requires_a_path(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(get_scenario("fig2-uniform"), source="log")
+
+    def test_round_trips_through_dict(self):
+        spec = dataclasses.replace(
+            get_scenario("fig2-uniform"), source="log",
+            source_path="/tmp/a.jsonl",
+        )
+        rebuilt = type(spec).from_dict(spec.to_dict())
+        assert rebuilt.source == "log"
+        assert rebuilt.source_path == "/tmp/a.jsonl"
+
+    def test_log_source_builds_from_the_journal(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        tables = generate_tables(GeneratorConfig(
+            seed=5, n_days=4, daily_accesses=300, daily_suspicious=15,
+            population=small_population(),
+        ))
+        mapped = MappedSource(foreign_mapping(), tables)
+        mapped.journal(path)
+        spec = dataclasses.replace(
+            get_scenario("fig2-uniform"), source="log",
+            source_path=str(path),
+        )
+        store = spec.build_store()
+        assert store.days == mapped.build_store().days
+        assert len(store) == len(mapped.build_store())

@@ -96,61 +96,39 @@ class TestNoFacadeBypass:
             assert "SignalingAuditGame(" not in text, path.name
 
 
-class TestDeprecatedShims:
-    def test_scenarios_run_scenario_warns_and_delegates(self):
-        import warnings
+class TestShimRemoval:
+    """The deprecated shims are gone — callers must use the real names.
 
-        from repro.scenarios import ScenarioSpec
-        from repro.scenarios.runner import run_scenario
+    ``repro.scenarios.runner.run_scenario`` and
+    ``BatchAuditEngine.run_cycle`` carried DeprecationWarnings for a full
+    release cycle; these tests pin their removal so they cannot quietly
+    reappear, and pin the names that replaced them.
+    """
 
-        spec = ScenarioSpec(
-            name="shim-tiny", n_days=8, training_window=6, n_trials=2,
-            normal_daily_mean=400.0,
-        )
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            result = run_scenario(spec)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert result.montecarlo.n_trials == 2
-        # The façade path produces the identical result, silently.
-        assert v1.run_scenario(spec).montecarlo == result.montecarlo
+    def test_runner_module_has_no_run_scenario(self):
+        import repro.scenarios.runner as runner
 
-    def test_engine_run_cycle_warns_and_matches_process_stream(self):
-        import warnings
+        assert not hasattr(runner, "run_scenario")
 
-        import numpy as np
+    def test_scenarios_package_does_not_reexport_run_scenario(self):
+        import repro.scenarios as scenarios
 
-        from repro.core.game import SAGConfig
-        from repro.core.payoffs import PayoffMatrix
+        assert "run_scenario" not in scenarios.__all__
+        assert not hasattr(scenarios, "run_scenario")
+
+    def test_top_level_run_scenario_is_the_facade(self):
+        # repro.run_scenario survives the shim removal by pointing at the
+        # façade orchestrator, not the deleted runner wrapper.
+        assert repro.run_scenario is v1.run_scenario
+
+    def test_engine_has_no_run_cycle(self):
         from repro.engine.stream import BatchAuditEngine
-        from repro.stats.estimator import FutureAlertEstimator, RollbackEstimator
 
-        payoffs = {1: PayoffMatrix(u_dc=100.0, u_du=-400.0, u_ac=-2000.0,
-                                   u_au=400.0)}
-        history = {1: [np.linspace(1000, 80000, 40)] * 3}
+        assert not hasattr(BatchAuditEngine, "run_cycle")
 
-        def build():
-            return BatchAuditEngine(
-                SAGConfig(payoffs=payoffs, costs={1: 1.0}, budget=3.0,
-                          backend="analytic"),
-                RollbackEstimator(FutureAlertEstimator(history)),
-                rng=np.random.default_rng(4),
-            )
+    def test_audit_run_cycle_is_untouched(self):
+        # The *audit-layer* run_cycle (one policy over one day) is a real
+        # API, unrelated to the removed engine alias; it stays exported.
+        from repro.audit.cycle import run_cycle
 
-        times = np.linspace(1000, 80000, 10)
-        types = np.ones(10, dtype=int)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            via_alias = build().run_cycle(types, times)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        direct = build().process_stream(types, times)
-        # Identical decisions up to wall-clock noise (solve_seconds).
-        for left, right in zip(via_alias.decisions, direct.decisions):
-            assert (left.theta, left.warned, left.audit_probability,
-                    left.budget_after, left.game_value) == (
-                right.theta, right.warned, right.audit_probability,
-                right.budget_after, right.game_value)
+        assert repro.run_cycle is run_cycle

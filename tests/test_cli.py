@@ -214,6 +214,75 @@ class TestDecideCli:
         assert decision["time_of_day"] == 43200.0
 
 
+class TestIngestCli:
+    @pytest.fixture(scope="class")
+    def dump_dir(self, tmp_path_factory):
+        from repro.ingest import (
+            GeneratorConfig,
+            foreign_mapping,
+            generate_tables,
+            small_population,
+            write_dump,
+        )
+
+        root = tmp_path_factory.mktemp("dump") / "his"
+        tables = generate_tables(GeneratorConfig(
+            seed=11, n_days=6, daily_accesses=600, daily_suspicious=30,
+            population=small_population(),
+        ))
+        write_dump(tables, root, fmt="csv", mapping=foreign_mapping())
+        return str(root)
+
+    def test_sources_lists_registry(self, capsys):
+        from repro.ingest import SOURCE_DESCRIPTIONS, available_sources
+
+        assert main(["sources"]) == 0
+        out = capsys.readouterr().out
+        for name in available_sources():
+            assert name in out
+            assert SOURCE_DESCRIPTIONS[name] in out
+        assert "* simulator" in out  # the marked default
+
+    def test_ingest_stats_only(self, capsys, dump_dir):
+        assert main([
+            "ingest", "--dump", dump_dir, "--stats-only",
+        ]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["mapping"] == "demo-his"
+        assert stats["access_rows"] == 3600
+        assert stats["days"] == [0, 1, 2, 3, 4, 5]
+        assert stats["alerts"] == sum(stats["type_counts"].values())
+
+    def test_ingest_local_decision_stream(self, capsys, dump_dir, tmp_path):
+        journal = tmp_path / "alerts.jsonl"
+        assert main([
+            "ingest", "--dump", dump_dir, "--journal", str(journal),
+            "--scenario", "fig2-uniform",
+        ]) == 0
+        captured = capsys.readouterr()
+        decisions = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert decisions, "expected one decision line per test-day alert"
+        assert all(d["tenant"] == "fig2-uniform" for d in decisions)
+        assert all(0.0 <= d["theta"] <= 1.0 for d in decisions)
+        assert journal.is_file()
+        # The stderr side carries the ingest summary and cycle report.
+        assert '"mapping": "demo-his"' in captured.err
+
+    def test_ingest_missing_dump_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "ingest", "--dump", str(tmp_path / "nope"), "--stats-only",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_ingest_url_requires_tenant(self, capsys, dump_dir):
+        assert main([
+            "ingest", "--dump", dump_dir, "--url", "http://127.0.0.1:9",
+        ]) == 2
+        assert "--tenant" in capsys.readouterr().err
+
+
 class TestServeDurableCli:
     def test_serve_state_dir_journal_restores(self, capsys, tmp_path, tiny_spec_file):
         state = tmp_path / "state"

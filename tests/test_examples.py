@@ -18,7 +18,9 @@ def test_package_doctest():
     assert results.attempted > 0
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "warning_value.py"])
+@pytest.mark.parametrize("script", [
+    "quickstart.py", "warning_value.py", "ingest_foreign_schema.py",
+])
 def test_fast_examples_run(script):
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
